@@ -1,0 +1,25 @@
+//! Baseline multipoint-connection protocols the paper compares against.
+//!
+//! * [`brute_force`] — the "brute-force LSR-based MC protocol" of Section 2:
+//!   membership LSAs are flooded and **every** switch recomputes the
+//!   topology of every affected MC on every event. Fully general, but "in a
+//!   network with n switches, a single event could trigger n redundant
+//!   computations".
+//! * [`mospf`] — the MOSPF model: on-demand, data-driven computation of
+//!   source-rooted shortest-path trees with a routing cache; membership
+//!   changes flush caches and the next datagram triggers a computation at
+//!   every on-tree router.
+//! * [`cbt`] — the core-based tree model: a shared receiver-only tree grown
+//!   by unicast join requests toward a core switch; cheap to signal but
+//!   prone to traffic concentration and bad core placement.
+//!
+//! The DES baselines ([`brute_force`], [`mospf`]) expose the same counter
+//! style as [`dgmc_core::switch`] so experiment harnesses can run identical
+//! workloads through all protocols.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod brute_force;
+pub mod cbt;
+pub mod mospf;

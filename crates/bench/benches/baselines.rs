@@ -1,0 +1,31 @@
+//! Baseline comparison (Section 4 prose / Section 2): D-GMC vs brute-force
+//! LSR multicast vs MOSPF per-event overhead, and CBT tree quality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgmc_experiments::compare;
+
+fn bench_baselines(c: &mut Criterion) {
+    let sizes = [20usize, 60];
+    let rows = compare::compare_protocols(&sizes, 3, 0xC0FFEE);
+    println!();
+    println!("=== Signaling overhead per membership event (reduced scale) ===");
+    print!("{}", compare::protocol_table(&rows));
+    let cbt_rows = compare::compare_cbt(&sizes, 3, 0xBEEF);
+    println!("=== CBT vs D-GMC Steiner trees ===");
+    print!("{}", compare::cbt_table(&cbt_rows));
+    println!();
+
+    let mut group = c.benchmark_group("baseline_comparison");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("all_protocols", 20), &20usize, |b, &n| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            compare::compare_protocols(&[n], 1, seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

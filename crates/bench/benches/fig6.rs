@@ -1,0 +1,31 @@
+//! Figure 6 (Experiment 1): bursty events, computation-dominated timing.
+//!
+//! Prints the reproduced proposals/floodings/convergence rows, then
+//! benchmarks one bursty D-GMC run per network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgmc_core::switch::DgmcConfig;
+use dgmc_experiments::workload::{self, BurstParams};
+use dgmc_experiments::{presets, runner};
+
+fn bench_fig6(c: &mut Criterion) {
+    dgmc_bench::print_figure(presets::experiment1());
+    let mut group = c.benchmark_group("fig6_bursty_computation_dominated");
+    group.sample_size(10);
+    for &n in &[40usize, 120, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                runner::run_seeded(n, seed, DgmcConfig::computation_dominated(), |rng, net| {
+                    workload::bursty(rng, net, &BurstParams::default())
+                })
+                .expect("run converges")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

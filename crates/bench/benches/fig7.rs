@@ -1,0 +1,28 @@
+//! Figure 7 (Experiment 2): bursty events, communication-dominated timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgmc_core::switch::DgmcConfig;
+use dgmc_experiments::workload::{self, BurstParams};
+use dgmc_experiments::{presets, runner};
+
+fn bench_fig7(c: &mut Criterion) {
+    dgmc_bench::print_figure(presets::experiment2());
+    let mut group = c.benchmark_group("fig7_bursty_communication_dominated");
+    group.sample_size(10);
+    for &n in &[40usize, 120, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 1_000u64;
+            b.iter(|| {
+                seed += 1;
+                runner::run_seeded(n, seed, DgmcConfig::communication_dominated(), |rng, net| {
+                    workload::bursty(rng, net, &BurstParams::default())
+                })
+                .expect("run converges")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

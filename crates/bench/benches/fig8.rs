@@ -1,0 +1,28 @@
+//! Figure 8 (Experiment 3): sparse "normal" traffic periods.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgmc_core::switch::DgmcConfig;
+use dgmc_experiments::workload::{self, SparseParams};
+use dgmc_experiments::{presets, runner};
+
+fn bench_fig8(c: &mut Criterion) {
+    dgmc_bench::print_figure(presets::experiment3());
+    let mut group = c.benchmark_group("fig8_sparse_normal_traffic");
+    group.sample_size(10);
+    for &n in &[40usize, 120, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 2_000u64;
+            b.iter(|| {
+                seed += 1;
+                runner::run_seeded(n, seed, DgmcConfig::computation_dominated(), |rng, net| {
+                    workload::sparse(rng, net, &SparseParams::default())
+                })
+                .expect("run converges")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the building blocks: Steiner heuristics, SPF and
+//! vector-timestamp operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgmc_core::Timestamp;
+use dgmc_mctree::algorithms;
+use dgmc_topology::{generate, spf, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+fn bench_steiner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("steiner_heuristics");
+    for &n in &[50usize, 100, 200] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
+        let terminals: BTreeSet<NodeId> = generate::sample_nodes(&mut rng, &net, n / 10)
+            .into_iter()
+            .collect();
+        group.bench_with_input(BenchmarkId::new("takahashi_matsuyama", n), &n, |b, _| {
+            b.iter(|| algorithms::takahashi_matsuyama(&net, &terminals));
+        });
+        group.bench_with_input(BenchmarkId::new("kmb", n), &n, |b, _| {
+            b.iter(|| algorithms::kmb(&net, &terminals));
+        });
+        group.bench_with_input(BenchmarkId::new("pruned_spt", n), &n, |b, _| {
+            b.iter(|| algorithms::pruned_spt(&net, NodeId(0), &terminals));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spf");
+    for &n in &[100usize, 200] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
+        group.bench_with_input(BenchmarkId::new("dijkstra", n), &n, |b, _| {
+            b.iter(|| spf::shortest_path_tree(&net, NodeId(0)));
+        });
+        group.bench_with_input(BenchmarkId::new("hop_bfs", n), &n, |b, _| {
+            b.iter(|| spf::hop_distances(&net, NodeId(0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_timestamps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timestamps");
+    for &n in &[100usize, 200] {
+        let mut a = Timestamp::zero(n);
+        let mut b_ts = Timestamp::zero(n);
+        for i in (0..n).step_by(3) {
+            a.incr(NodeId(i as u32));
+        }
+        for i in (0..n).step_by(5) {
+            b_ts.incr(NodeId(i as u32));
+        }
+        group.bench_with_input(BenchmarkId::new("dominates", n), &n, |bch, _| {
+            bch.iter(|| a.dominates(&b_ts));
+        });
+        group.bench_with_input(BenchmarkId::new("merge_max", n), &n, |bch, _| {
+            bch.iter(|| a.merged_max(&b_ts));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steiner, bench_spf, bench_timestamps);
+criterion_main!(benches);

@@ -1,0 +1,366 @@
+//! Binary wire format for MC LSAs, timestamps, topologies and the combined
+//! flood payload.
+//!
+//! Extends [`dgmc_lsr::codec`] with the D-GMC types. Timestamps are encoded
+//! sparsely — a burst touches few switches, so most components are zero —
+//! which keeps MC LSAs within the small-packet regime the paper's timing
+//! numbers assume.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! Timestamp  := n:u32 k:u32 (index:u32 value:u64)^k       (sparse)
+//! Topology   := n_edges:u32 (a:u32 b:u32)* n_terms:u32 (t:u32)*
+//! McLsa      := source:u32 event:u8 [role:u8] mc:u32 type:u8
+//!               has_proposal:u8 [Topology] Timestamp
+//! Payload    := 0x01 RouterLsa | 0x02 McLsa
+//! ```
+
+use crate::switch::DgmcPayload;
+use crate::{McEventKind, McId, McLsa, Timestamp};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dgmc_lsr::codec::{decode_router_lsa, encode_router_lsa, CodecError};
+use dgmc_mctree::{McTopology, McType, Role};
+use dgmc_topology::NodeId;
+use std::collections::BTreeSet;
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Encodes a [`Timestamp`] sparsely.
+pub fn encode_timestamp(t: &Timestamp, out: &mut BytesMut) {
+    out.put_u32(t.len() as u32);
+    let nonzero: Vec<(NodeId, u64)> = t.iter().filter(|(_, v)| *v != 0).collect();
+    out.put_u32(nonzero.len() as u32);
+    for (node, value) in nonzero {
+        out.put_u32(node.0);
+        out.put_u64(value);
+    }
+}
+
+/// Decodes a [`Timestamp`].
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] on short input; [`CodecError::BadTag`] when an
+/// index is out of range.
+pub fn decode_timestamp(buf: &mut Bytes) -> Result<Timestamp, CodecError> {
+    need(buf, 8)?;
+    let n = buf.get_u32() as usize;
+    let k = buf.get_u32() as usize;
+    let mut components = vec![0u64; n];
+    for _ in 0..k {
+        need(buf, 12)?;
+        let idx = buf.get_u32() as usize;
+        let val = buf.get_u64();
+        if idx >= n {
+            return Err(CodecError::BadTag(idx as u8));
+        }
+        components[idx] = val;
+    }
+    Ok(Timestamp::from_components(components))
+}
+
+/// Encodes an [`McTopology`].
+pub fn encode_topology(t: &McTopology, out: &mut BytesMut) {
+    out.put_u32(t.edge_count() as u32);
+    for (a, b) in t.edges() {
+        out.put_u32(a.0);
+        out.put_u32(b.0);
+    }
+    out.put_u32(t.terminals().len() as u32);
+    for &term in t.terminals() {
+        out.put_u32(term.0);
+    }
+}
+
+/// Decodes an [`McTopology`].
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] on short input.
+pub fn decode_topology(buf: &mut Bytes) -> Result<McTopology, CodecError> {
+    need(buf, 4)?;
+    let n_edges = buf.get_u32() as usize;
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        need(buf, 8)?;
+        edges.push((NodeId(buf.get_u32()), NodeId(buf.get_u32())));
+    }
+    need(buf, 4)?;
+    let n_terms = buf.get_u32() as usize;
+    let mut terminals = BTreeSet::new();
+    for _ in 0..n_terms {
+        need(buf, 4)?;
+        terminals.insert(NodeId(buf.get_u32()));
+    }
+    Ok(McTopology::from_edges(edges, terminals))
+}
+
+fn role_tag(role: Role) -> u8 {
+    match role {
+        Role::Sender => 0,
+        Role::Receiver => 1,
+        Role::SenderReceiver => 2,
+    }
+}
+
+fn role_from(tag: u8) -> Result<Role, CodecError> {
+    match tag {
+        0 => Ok(Role::Sender),
+        1 => Ok(Role::Receiver),
+        2 => Ok(Role::SenderReceiver),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+fn mc_type_tag(t: McType) -> u8 {
+    match t {
+        McType::Symmetric => 0,
+        McType::ReceiverOnly => 1,
+        McType::Asymmetric => 2,
+    }
+}
+
+fn mc_type_from(tag: u8) -> Result<McType, CodecError> {
+    match tag {
+        0 => Ok(McType::Symmetric),
+        1 => Ok(McType::ReceiverOnly),
+        2 => Ok(McType::Asymmetric),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+/// Encodes an [`McLsa`] — the paper's `(S, F, V, G, P, T)` tuple, with `F`
+/// implied by the payload tag.
+pub fn encode_mc_lsa(lsa: &McLsa, out: &mut BytesMut) {
+    out.put_u32(lsa.source.0);
+    match lsa.event {
+        McEventKind::Join(role) => {
+            out.put_u8(1);
+            out.put_u8(role_tag(role));
+        }
+        McEventKind::Leave => out.put_u8(2),
+        McEventKind::Link => out.put_u8(3),
+        McEventKind::None => out.put_u8(0),
+    }
+    out.put_u32(lsa.mc.0);
+    out.put_u8(mc_type_tag(lsa.mc_type));
+    match &lsa.proposal {
+        Some(p) => {
+            out.put_u8(1);
+            encode_topology(p, out);
+        }
+        None => out.put_u8(0),
+    }
+    encode_timestamp(&lsa.stamp, out);
+}
+
+/// Decodes an [`McLsa`].
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] on short input; [`CodecError::BadTag`] on
+/// unknown event/role/type/flag bytes.
+pub fn decode_mc_lsa(buf: &mut Bytes) -> Result<McLsa, CodecError> {
+    need(buf, 5)?;
+    let source = NodeId(buf.get_u32());
+    let event = match buf.get_u8() {
+        0 => McEventKind::None,
+        1 => {
+            need(buf, 1)?;
+            McEventKind::Join(role_from(buf.get_u8())?)
+        }
+        2 => McEventKind::Leave,
+        3 => McEventKind::Link,
+        t => return Err(CodecError::BadTag(t)),
+    };
+    need(buf, 6)?;
+    let mc = McId(buf.get_u32());
+    let mc_type = mc_type_from(buf.get_u8())?;
+    let proposal = match buf.get_u8() {
+        0 => None,
+        1 => Some(decode_topology(buf)?),
+        t => return Err(CodecError::BadTag(t)),
+    };
+    let stamp = decode_timestamp(buf)?;
+    Ok(McLsa {
+        source,
+        event,
+        mc,
+        mc_type,
+        proposal,
+        stamp,
+    })
+}
+
+/// Encodes a [`DgmcPayload`] with its discriminating tag.
+pub fn encode_payload(payload: &DgmcPayload, out: &mut BytesMut) {
+    match payload {
+        DgmcPayload::Router(lsa) => {
+            out.put_u8(0x01);
+            encode_router_lsa(lsa, out);
+        }
+        DgmcPayload::Mc(lsa) => {
+            out.put_u8(0x02);
+            encode_mc_lsa(lsa, out);
+        }
+    }
+}
+
+/// Decodes a [`DgmcPayload`].
+///
+/// # Errors
+///
+/// Propagates the inner codec errors; [`CodecError::BadTag`] on an unknown
+/// payload tag.
+pub fn decode_payload(buf: &mut Bytes) -> Result<DgmcPayload, CodecError> {
+    need(buf, 1)?;
+    match buf.get_u8() {
+        0x01 => Ok(DgmcPayload::Router(decode_router_lsa(buf)?)),
+        0x02 => Ok(DgmcPayload::Mc(decode_mc_lsa(buf)?)),
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
+/// One-shot encoding of an MC LSA to a frozen buffer (size accounting).
+pub fn mc_lsa_bytes(lsa: &McLsa) -> Bytes {
+    let mut out = BytesMut::new();
+    encode_mc_lsa(lsa, &mut out);
+    out.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_lsa(proposal: bool) -> McLsa {
+        let mut stamp = Timestamp::zero(50);
+        stamp.incr(NodeId(3));
+        stamp.incr(NodeId(3));
+        stamp.incr(NodeId(17));
+        let topo = McTopology::from_edges(
+            [(NodeId(1), NodeId(2)), (NodeId(2), NodeId(5))],
+            [NodeId(1), NodeId(5)].into(),
+        );
+        McLsa {
+            source: NodeId(3),
+            event: McEventKind::Join(Role::Receiver),
+            mc: McId(9),
+            mc_type: McType::ReceiverOnly,
+            proposal: proposal.then_some(topo),
+            stamp,
+        }
+    }
+
+    #[test]
+    fn timestamp_round_trip_sparse() {
+        let mut t = Timestamp::zero(200);
+        t.incr(NodeId(0));
+        t.incr(NodeId(199));
+        t.incr(NodeId(199));
+        let mut out = BytesMut::new();
+        encode_timestamp(&t, &mut out);
+        // Sparse: 8 header + 2 * 12 entries, far below 200 * 8 dense.
+        assert_eq!(out.len(), 8 + 2 * 12);
+        let mut buf = out.freeze();
+        assert_eq!(decode_timestamp(&mut buf).unwrap(), t);
+    }
+
+    #[test]
+    fn topology_round_trip() {
+        let topo = McTopology::from_edges(
+            [(NodeId(4), NodeId(2)), (NodeId(2), NodeId(9))],
+            [NodeId(4), NodeId(9), NodeId(30)].into(),
+        );
+        let mut out = BytesMut::new();
+        encode_topology(&topo, &mut out);
+        let mut buf = out.freeze();
+        assert_eq!(decode_topology(&mut buf).unwrap(), topo);
+    }
+
+    #[test]
+    fn mc_lsa_round_trip_with_and_without_proposal() {
+        for proposal in [false, true] {
+            let lsa = sample_lsa(proposal);
+            let mut buf = mc_lsa_bytes(&lsa);
+            let back = decode_mc_lsa(&mut buf).unwrap();
+            assert_eq!(back, lsa);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        for event in [
+            McEventKind::None,
+            McEventKind::Leave,
+            McEventKind::Link,
+            McEventKind::Join(Role::Sender),
+            McEventKind::Join(Role::SenderReceiver),
+        ] {
+            let lsa = McLsa {
+                event,
+                ..sample_lsa(false)
+            };
+            let mut buf = mc_lsa_bytes(&lsa);
+            assert_eq!(decode_mc_lsa(&mut buf).unwrap().event, event);
+        }
+    }
+
+    #[test]
+    fn payload_tags_discriminate() {
+        let net = dgmc_topology::generate::path(3);
+        let router = DgmcPayload::Router(dgmc_lsr::lsa::RouterLsa::describe(&net, NodeId(1), 4));
+        let mc = DgmcPayload::Mc(sample_lsa(true));
+        for payload in [router, mc] {
+            let mut out = BytesMut::new();
+            encode_payload(&payload, &mut out);
+            let mut buf = out.freeze();
+            let back = decode_payload(&mut buf).unwrap();
+            match (&payload, &back) {
+                (DgmcPayload::Router(a), DgmcPayload::Router(b)) => assert_eq!(a, b),
+                (DgmcPayload::Mc(a), DgmcPayload::Mc(b)) => assert_eq!(a, b),
+                _ => panic!("payload kind changed in transit"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_always_errors_never_panics() {
+        let lsa = sample_lsa(true);
+        let full = mc_lsa_bytes(&lsa);
+        for cut in 0..full.len() {
+            let mut buf = full.slice(0..cut);
+            assert!(decode_mc_lsa(&mut buf).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_timestamp_index_rejected() {
+        let mut out = BytesMut::new();
+        out.put_u32(4); // n = 4
+        out.put_u32(1); // one entry
+        out.put_u32(9); // index out of range
+        out.put_u64(1);
+        let mut buf = out.freeze();
+        assert!(matches!(
+            decode_timestamp(&mut buf),
+            Err(CodecError::BadTag(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_payload_tag_rejected() {
+        let mut buf = Bytes::from_static(&[0x07]);
+        assert!(matches!(
+            decode_payload(&mut buf),
+            Err(CodecError::BadTag(0x07))
+        ));
+    }
+}

@@ -1,0 +1,170 @@
+//! Consensus and convergence checks for experiment harnesses.
+//!
+//! After a quiescent run, every switch must hold the same view of each MC:
+//! same installed topology, same current-topology timestamp `C`, same member
+//! list, no pending flags or mailboxes. The paper's *convergence time* is
+//! the span from the first event of a burst to the instant the last switch
+//! installed its final topology, measured in rounds of `Tf + Tc`.
+
+use crate::switch::{DgmcSwitch, SwitchMsg};
+use crate::{McId, Timestamp};
+use dgmc_des::{ActorId, SimTime, Simulation};
+use dgmc_mctree::{McTopology, Role};
+use dgmc_topology::NodeId;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// The agreed state of one MC across all switches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Consensus {
+    /// The commonly installed topology (`None` if the MC was destroyed
+    /// everywhere).
+    pub topology: Option<McTopology>,
+    /// The common current-topology timestamp.
+    pub c: Option<Timestamp>,
+    /// The common member list.
+    pub members: BTreeMap<NodeId, Role>,
+}
+
+/// A disagreement found by [`check_consensus`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConsensusError {
+    /// Some switches have state for the MC and others do not.
+    PartialState {
+        /// A switch holding state.
+        has: NodeId,
+        /// A switch without state.
+        missing: NodeId,
+    },
+    /// Two switches disagree on the installed topology.
+    TopologyMismatch(NodeId, NodeId),
+    /// Two switches disagree on the `C` timestamp.
+    StampMismatch(NodeId, NodeId),
+    /// Two switches disagree on the member list.
+    MemberMismatch(NodeId, NodeId),
+    /// A switch still has work pending (mailbox, computation or flag).
+    Unsettled(NodeId),
+}
+
+impl fmt::Display for ConsensusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsensusError::PartialState { has, missing } => {
+                write!(f, "{has} has MC state but {missing} does not")
+            }
+            ConsensusError::TopologyMismatch(a, b) => {
+                write!(f, "{a} and {b} installed different topologies")
+            }
+            ConsensusError::StampMismatch(a, b) => {
+                write!(f, "{a} and {b} disagree on the C timestamp")
+            }
+            ConsensusError::MemberMismatch(a, b) => {
+                write!(f, "{a} and {b} disagree on the member list")
+            }
+            ConsensusError::Unsettled(n) => write!(f, "{n} still has pending protocol work"),
+        }
+    }
+}
+
+impl Error for ConsensusError {}
+
+fn switches(sim: &Simulation<SwitchMsg>) -> impl Iterator<Item = &DgmcSwitch> + '_ {
+    (0..sim.actor_count() as u32).map(|i| {
+        sim.actor_as::<DgmcSwitch>(ActorId(i))
+            .expect("all actors are DgmcSwitch")
+    })
+}
+
+/// Verifies that every switch agrees on connection `mc`.
+///
+/// # Errors
+///
+/// Returns the first [`ConsensusError`] found.
+///
+/// # Panics
+///
+/// Panics if the simulation hosts non-[`DgmcSwitch`] actors.
+pub fn check_consensus(
+    sim: &Simulation<SwitchMsg>,
+    mc: McId,
+) -> Result<Consensus, ConsensusError> {
+    let mut reference: Option<(&DgmcSwitch, bool)> = None;
+    let mut consensus = Consensus {
+        topology: None,
+        c: None,
+        members: BTreeMap::new(),
+    };
+    for sw in switches(sim) {
+        let state = sw.engine().state(mc);
+        if let Some(st) = state {
+            if st.computing.is_some() || !st.mailbox.is_empty() {
+                return Err(ConsensusError::Unsettled(sw.id()));
+            }
+        }
+        match (&reference, state) {
+            (None, None) => {
+                reference = Some((sw, false));
+            }
+            (None, Some(st)) => {
+                consensus = Consensus {
+                    topology: st.installed.clone(),
+                    c: Some(st.c.clone()),
+                    members: st.members.clone(),
+                };
+                reference = Some((sw, true));
+            }
+            (Some((first, false)), Some(_)) => {
+                return Err(ConsensusError::PartialState {
+                    has: sw.id(),
+                    missing: first.id(),
+                });
+            }
+            (Some((first, true)), None) => {
+                return Err(ConsensusError::PartialState {
+                    has: first.id(),
+                    missing: sw.id(),
+                });
+            }
+            (Some((first, false)), None) => {
+                let _ = first;
+            }
+            (Some((first, true)), Some(st)) => {
+                if st.installed != consensus.topology {
+                    return Err(ConsensusError::TopologyMismatch(first.id(), sw.id()));
+                }
+                if Some(&st.c) != consensus.c.as_ref() {
+                    return Err(ConsensusError::StampMismatch(first.id(), sw.id()));
+                }
+                if st.members != consensus.members {
+                    return Err(ConsensusError::MemberMismatch(first.id(), sw.id()));
+                }
+            }
+        }
+    }
+    Ok(consensus)
+}
+
+/// The latest topology-install instant across all switches (convergence
+/// endpoint).
+pub fn last_install_time(sim: &Simulation<SwitchMsg>) -> SimTime {
+    switches(sim)
+        .map(|sw| sw.last_install())
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+/// Total copies of `(mc, packet_id)` delivered across all member hosts.
+pub fn total_deliveries(sim: &Simulation<SwitchMsg>, mc: McId, packet_id: u64) -> u32 {
+    switches(sim)
+        .map(|sw| sw.delivered_copies(mc, packet_id))
+        .sum()
+}
+
+/// Per-switch delivered copies of `(mc, packet_id)`.
+pub fn delivery_map(sim: &Simulation<SwitchMsg>, mc: McId, packet_id: u64) -> BTreeMap<NodeId, u32> {
+    switches(sim)
+        .map(|sw| (sw.id(), sw.delivered_copies(mc, packet_id)))
+        .collect()
+}

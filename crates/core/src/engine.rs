@@ -1,0 +1,710 @@
+//! The D-GMC protocol engine: the paper's `EventHandler()` and
+//! `ReceiveLSA()` entities (Figures 4 and 5) as a pure state machine.
+//!
+//! # Concurrency model
+//!
+//! In the paper the two entities run concurrently at a switch, sharing the
+//! timestamps and `make_proposal_flag` atomically, while a topology
+//! computation occupies the switch for `Tc` of real time. This engine
+//! serializes them on the switch's single CPU (DESIGN.md §6):
+//!
+//! * local events are handled immediately, even mid-computation — they only
+//!   bump timestamps and flood;
+//! * incoming MC LSAs are handled immediately when the CPU is idle, and
+//!   queued in the per-MC mailbox while a computation is in flight;
+//! * a completing computation is validated exactly as in the paper:
+//!   the proposal is *withdrawn* if the mailbox is non-empty (Fig. 5 line
+//!   22) or `R` advanced past the saved `old_R` (Fig. 4 line 6) — under
+//!   serialization the latter happens only through local events.
+//!
+//! The engine is pure: every input returns [`DgmcAction`]s for the hosting
+//! actor to execute (timed floods, `Tc`-long computation timers).
+
+use crate::state::{ComputationJob, McState, McSync};
+use crate::{McEventKind, McId, McLsa};
+use dgmc_mctree::{McAlgorithm, McType, Role};
+use dgmc_topology::{Network, NodeId};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// An instruction emitted by the engine for its hosting actor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DgmcAction {
+    /// Flood this MC LSA network-wide (one flooding operation).
+    Flood(McLsa),
+    /// Begin a topology computation for `mc`; call
+    /// [`DgmcEngine::on_computation_done`] after `Tc`.
+    StartComputation {
+        /// The connection being recomputed.
+        mc: McId,
+    },
+    /// A topology was installed (routing entries updated) for `mc`.
+    Installed {
+        /// The connection whose topology changed.
+        mc: McId,
+    },
+    /// A completed computation was discarded because it was already stale.
+    Withdrawn {
+        /// The connection whose proposal was withdrawn.
+        mc: McId,
+    },
+}
+
+/// The per-switch D-GMC protocol engine (all MCs).
+///
+/// # Examples
+///
+/// ```
+/// use dgmc_core::{DgmcAction, DgmcEngine, McId};
+/// use dgmc_mctree::{McType, Role, SphStrategy};
+/// use dgmc_topology::{generate, NodeId};
+/// use std::rc::Rc;
+///
+/// let net = generate::ring(4);
+/// let mut engine = DgmcEngine::new(NodeId(0), 4, Rc::new(SphStrategy::new()));
+/// let actions = engine.local_join(McId(1), McType::Symmetric, Role::SenderReceiver);
+/// // First member: the join starts a topology computation.
+/// assert_eq!(actions, vec![DgmcAction::StartComputation { mc: McId(1) }]);
+/// let done = engine.on_computation_done(McId(1), &net);
+/// assert!(matches!(done[0], DgmcAction::Flood(_)));
+/// ```
+#[derive(Debug)]
+pub struct DgmcEngine {
+    me: NodeId,
+    n: usize,
+    algorithm: Rc<dyn McAlgorithm>,
+    states: BTreeMap<McId, McState>,
+}
+
+impl DgmcEngine {
+    /// Creates the engine for switch `me` in an `n`-switch network.
+    pub fn new(me: NodeId, n: usize, algorithm: Rc<dyn McAlgorithm>) -> DgmcEngine {
+        DgmcEngine {
+            me,
+            n,
+            algorithm,
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// The owning switch.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Read access to the state of connection `mc`, if allocated.
+    pub fn state(&self, mc: McId) -> Option<&McState> {
+        self.states.get(&mc)
+    }
+
+    /// Ids of all connections with allocated state.
+    pub fn mc_ids(&self) -> Vec<McId> {
+        self.states.keys().copied().collect()
+    }
+
+    /// The installed topology of `mc`, if any.
+    pub fn installed(&self, mc: McId) -> Option<&dgmc_mctree::McTopology> {
+        self.states.get(&mc)?.installed.as_ref()
+    }
+
+    /// Returns `true` if this switch is a member of `mc`.
+    pub fn is_member(&self, mc: McId) -> bool {
+        self.states
+            .get(&mc)
+            .is_some_and(|st| st.members.contains_key(&self.me))
+    }
+
+    /// Connections whose installed topology uses the link `(a, b)`.
+    pub fn mcs_using_link(&self, a: NodeId, b: NodeId) -> Vec<McId> {
+        self.states
+            .iter()
+            .filter(|(_, st)| {
+                st.installed
+                    .as_ref()
+                    .is_some_and(|t| t.contains_edge(a, b))
+            })
+            .map(|(&mc, _)| mc)
+            .collect()
+    }
+
+    /// `EventHandler()` for a local host join.
+    ///
+    /// No-op (empty actions) if the switch is already a member.
+    pub fn local_join(&mut self, mc: McId, mc_type: McType, role: Role) -> Vec<DgmcAction> {
+        let st = self
+            .states
+            .entry(mc)
+            .or_insert_with(|| McState::new(mc, mc_type, self.n));
+        if st.members.contains_key(&self.me) {
+            return Vec::new();
+        }
+        self.event_handler(mc, McEventKind::Join(role))
+    }
+
+    /// `EventHandler()` for a local host leave.
+    ///
+    /// No-op if the switch is not a member.
+    pub fn local_leave(&mut self, mc: McId) -> Vec<DgmcAction> {
+        if !self.is_member(mc) {
+            return Vec::new();
+        }
+        self.event_handler(mc, McEventKind::Leave)
+    }
+
+    /// `EventHandler()` for a locally detected link event: invoked once per
+    /// connection whose installed topology uses link `(a, b)` ("a link/nodal
+    /// event will cause ... k MC LSAs, where k is the number of MCs whose
+    /// topologies are affected").
+    ///
+    pub fn local_link_event(&mut self, a: NodeId, b: NodeId) -> Vec<DgmcAction> {
+        let affected = self.mcs_using_link(a, b);
+        let mut actions = Vec::new();
+        for mc in affected {
+            actions.extend(self.event_handler(mc, McEventKind::Link));
+        }
+        actions
+    }
+
+    /// Exports a snapshot of all MC states for database synchronization
+    /// (sent to a neighbor when a link to it comes up, mirroring OSPF's
+    /// database exchange; see [`crate::switch`]).
+    pub fn export_sync(&self) -> Vec<McSync> {
+        self.states
+            .values()
+            .map(|st| McSync {
+                mc: st.mc,
+                mc_type: st.mc_type,
+                r: st.r.clone(),
+                e: st.e.clone(),
+                c: st.c.clone(),
+                c_source: st.c_source,
+                members: st.members.clone(),
+                installed: st.installed.clone(),
+            })
+            .collect()
+    }
+
+    /// Imports a neighbor's database snapshot.
+    ///
+    /// For each synced MC: if the peer has strictly more received events
+    /// (`peer.R > ours` componentwise) the whole per-MC state is adopted
+    /// (the peer processed events we missed while down); otherwise only `E`
+    /// is merged. Local states for MCs absent from the snapshot are deleted
+    /// when quiet — the peer saw those connections destroyed.
+    ///
+    /// Recovery during an *active* burst is best-effort (incomparable `R`s
+    /// are left to the regular protocol); the paper defers disaster recovery
+    /// ("the ability of the protocol to survive disastrous situations ...
+    /// remains for further study").
+    pub fn import_sync(&mut self, snapshot: Vec<McSync>) -> Vec<DgmcAction> {
+        let mut actions = Vec::new();
+        let synced: std::collections::BTreeSet<McId> = snapshot.iter().map(|s| s.mc).collect();
+        for sync in snapshot {
+            let st = self
+                .states
+                .entry(sync.mc)
+                .or_insert_with(|| McState::new(sync.mc, sync.mc_type, self.n));
+            // Adopt only while locally quiet: adopting an R that counts an
+            // event whose LSA is queued or still in flight to us would make
+            // the later delivery double-count it.
+            let quiet = st.mailbox.is_empty() && st.computing.is_none();
+            if quiet
+                && (sync.r.strictly_dominates(&st.r)
+                    || (sync.r == st.r && sync.c.strictly_dominates(&st.c)))
+            {
+                st.r = sync.r.clone();
+                st.c = sync.c;
+                st.c_source = sync.c_source;
+                st.members = sync.members;
+                st.installed = sync.installed;
+                st.e.merge_max(&sync.e);
+                st.e.merge_max(&sync.r);
+                actions.push(DgmcAction::Installed { mc: sync.mc });
+            } else {
+                st.e.merge_max(&sync.e);
+            }
+        }
+        // Prune quiet local states the peer no longer knows (destroyed MCs).
+        let stale: Vec<McId> = self
+            .states
+            .iter()
+            .filter(|(mc, st)| {
+                !synced.contains(mc) && st.mailbox.is_empty() && st.computing.is_none()
+            })
+            .map(|(&mc, _)| mc)
+            .collect();
+        for mc in stale {
+            self.states.remove(&mc);
+        }
+        actions
+    }
+
+    /// The `EventHandler()` algorithm (paper Fig. 4).
+    fn event_handler(&mut self, mc: McId, event: McEventKind) -> Vec<DgmcAction> {
+        debug_assert!(event.is_event(), "EventHandler takes real events");
+        let me = self.me;
+        let st = self.states.get_mut(&mc).expect("state allocated by caller");
+        // Line 1: R[x] += 1; E[x] += 1.
+        st.r.incr(me);
+        st.e.incr(me);
+        // Local bookkeeping of our own membership change.
+        st.apply_membership(me, event);
+        // Line 2: compute only with no known outstanding LSAs — and, under
+        // CPU serialization, only when idle.
+        if st.all_caught_up() && st.computing.is_none() && st.mailbox.is_empty() {
+            // Lines 4-5: save old_R and start the Tc-long computation; the
+            // event LSA is flooded at completion (lines 6-14).
+            st.computing = Some(ComputationJob {
+                old_r: st.r.clone(),
+                terminals: st.terminals(),
+                previous: st.installed.clone(),
+                pending_event: Some(event),
+                stashed_candidate: None,
+            });
+            vec![DgmcAction::StartComputation { mc }]
+        } else {
+            // Lines 15-17: flood the event, defer the proposal to
+            // ReceiveLSA().
+            st.make_proposal_flag = true;
+            let lsa = McLsa {
+                source: me,
+                event,
+                mc,
+                mc_type: st.mc_type,
+                proposal: None,
+                stamp: st.r.clone(),
+            };
+            vec![DgmcAction::Flood(lsa)]
+        }
+    }
+
+    /// Delivers a (fresh, non-duplicate) MC LSA to the engine.
+    ///
+    /// State for an unknown connection is allocated only for join LSAs; a
+    /// leave/link/triggered LSA for an unknown MC is a straggler from before
+    /// this switch deleted the connection's state and is dropped (DESIGN.md
+    /// §6).
+    pub fn on_mc_lsa(&mut self, lsa: McLsa) -> Vec<DgmcAction> {
+        let mc = lsa.mc;
+        if !self.states.contains_key(&mc) {
+            let creates = matches!(lsa.event, McEventKind::Join(_));
+            if !creates {
+                return Vec::new();
+            }
+            self.states
+                .insert(mc, McState::new(mc, lsa.mc_type, self.n));
+        }
+        let st = self.states.get_mut(&mc).expect("just ensured");
+        st.mailbox.push_back(lsa);
+        if st.computing.is_some() {
+            // The CPU is busy; the LSA waits (and will invalidate the
+            // in-flight proposal at completion).
+            return Vec::new();
+        }
+        self.process_mailbox(mc, None)
+    }
+
+    /// Completes the in-flight computation for `mc` (`Tc` elapsed), then
+    /// drains whatever queued up meanwhile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no computation is in flight for `mc`.
+    pub fn on_computation_done(&mut self, mc: McId, image: &Network) -> Vec<DgmcAction> {
+        let me = self.me;
+        let st = self.states.get_mut(&mc).expect("state exists while computing");
+        let job = st
+            .computing
+            .take()
+            .expect("on_computation_done without a computation");
+        // Fig. 4 line 6 / Fig. 5 line 22: still valid iff nothing arrived
+        // during the computation and R did not advance (local events).
+        let fresh = st.mailbox.is_empty() && st.r == job.old_r;
+        let mut actions = Vec::new();
+        let mut carry: Option<crate::state::Candidate> = None;
+        if fresh {
+            let topology = self
+                .algorithm
+                .compute(image, &job.terminals, job.previous.as_ref());
+            let lsa = McLsa {
+                source: me,
+                event: job.pending_event.unwrap_or(McEventKind::None),
+                mc,
+                mc_type: st.mc_type,
+                proposal: Some(topology.clone()),
+                stamp: job.old_r.clone(),
+            };
+            actions.push(DgmcAction::Flood(lsa));
+            if job.pending_event.is_none() {
+                // Fig. 5 line 24: bring E up to date.
+                st.e = st.r.clone();
+            }
+            // Fig. 4 lines 8-10 / Fig. 5 lines 25-27 (with the stamp
+            // correction of DESIGN.md §3): install our own proposal —
+            // unless a stashed equal-stamp proposal from a smaller source
+            // deterministically outranks it (every switch applies the same
+            // rule, so everyone converges on the same winner).
+            let own_wins = match &job.stashed_candidate {
+                Some((_, stamp, source)) => *stamp != job.old_r || me < *source,
+                None => true,
+            };
+            if own_wins {
+                st.c = job.old_r;
+                st.c_source = Some(me);
+                st.installed = Some(topology);
+            } else {
+                let (topo, stamp, source) =
+                    job.stashed_candidate.clone().expect("checked above");
+                st.c = stamp;
+                st.c_source = Some(source);
+                st.installed = Some(topo);
+            }
+            st.make_proposal_flag = false;
+            actions.push(DgmcAction::Installed { mc });
+        } else {
+            // The stashed candidate survives the withdrawal and competes in
+            // the drain below (deviation from Fig. 5 line 29; DESIGN.md §3).
+            carry = job.stashed_candidate.clone();
+            match job.pending_event {
+                Some(event) => {
+                    // Fig. 4 lines 11-13: withdraw the proposal but still
+                    // announce the event, stamped with old_R.
+                    st.make_proposal_flag = true;
+                    actions.push(DgmcAction::Flood(McLsa {
+                        source: me,
+                        event,
+                        mc,
+                        mc_type: st.mc_type,
+                        proposal: None,
+                        stamp: job.old_r,
+                    }));
+                }
+                None => {
+                    // Fig. 5 lines 28-30: withdrawal; the flag stays set and
+                    // the mailbox drain below decides what next.
+                }
+            }
+            actions.push(DgmcAction::Withdrawn { mc });
+        }
+        actions.extend(self.process_mailbox(mc, carry));
+        actions
+    }
+
+    /// The `ReceiveLSA()` algorithm (paper Fig. 5): drains the mailbox,
+    /// decides whether to compute, installs an accepted candidate.
+    fn process_mailbox(
+        &mut self,
+        mc: McId,
+        initial: Option<crate::state::Candidate>,
+    ) -> Vec<DgmcAction> {
+        let me = self.me;
+        let Some(st) = self.states.get_mut(&mc) else {
+            return Vec::new();
+        };
+        debug_assert!(st.computing.is_none(), "mailbox drains only when idle");
+        // Lines 1-2 — except that a candidate carried across a withdrawn
+        // computation stays in play (DESIGN.md §3).
+        let mut candidate: Option<crate::state::Candidate> = initial;
+        let mut actions = Vec::new();
+        // Lines 3-18.
+        while let Some(lsa) = st.mailbox.pop_front() {
+            if lsa.event.is_event() {
+                // Line 7: one more event heard from S.
+                st.r.incr(lsa.source);
+                // Line 8: update the member list for join/leave.
+                st.apply_membership(lsa.source, lsa.event);
+            }
+            // Line 10: E[y] = max(E[y], T[y]).
+            st.e.merge_max(&lsa.stamp);
+            // Line 11: accept a proposal based on everything we expect.
+            if lsa.stamp.dominates(&st.e) && lsa.proposal.is_some() {
+                let replace = match &candidate {
+                    None => true,
+                    Some((_, cand_stamp, cand_src)) => {
+                        // Deterministic preference among equal-information
+                        // proposals: later (strictly larger) stamp wins;
+                        // equal stamps prefer the smaller source id.
+                        lsa.stamp.strictly_dominates(cand_stamp)
+                            || (lsa.stamp == *cand_stamp && lsa.source < *cand_src)
+                    }
+                };
+                if replace {
+                    candidate = Some((
+                        lsa.proposal.clone().expect("checked above"),
+                        lsa.stamp.clone(),
+                        lsa.source,
+                    ));
+                }
+                st.make_proposal_flag = false;
+            } else if st.r.get(me) > lsa.stamp.get(me) {
+                // Line 15: the sender is missing some of our local events.
+                st.make_proposal_flag = true;
+            }
+            debug_assert!(st.invariant_holds(), "E >= R >= C violated");
+        }
+        // Line 19: decide whether to compute a proposal ourselves.
+        if st.make_proposal_flag && st.all_caught_up() && st.r.strictly_dominates(&st.c) {
+            // Lines 20-21: snapshot and start the Tc-long computation; the
+            // flood/withdraw decision happens at completion (lines 22-30).
+            st.computing = Some(ComputationJob {
+                old_r: st.r.clone(),
+                terminals: st.terminals(),
+                previous: st.installed.clone(),
+                pending_event: None,
+                // The loop candidate rides along instead of being nulled
+                // (Fig. 5 lines 25/29): completion arbitrates between it
+                // and our own proposal by (stamp, source).
+                stashed_candidate: candidate,
+            });
+            actions.push(DgmcAction::StartComputation { mc });
+            return actions;
+        }
+        // Lines 32-34: install the accepted candidate, preferring the
+        // deterministic winner over an equal-stamp incumbent.
+        if let Some((topology, stamp, source)) = candidate {
+            let supersedes = stamp.strictly_dominates(&st.c)
+                || (stamp == st.c && st.c_source.is_none_or(|cur| source <= cur));
+            if supersedes {
+                st.c = stamp;
+                st.c_source = Some(source);
+                st.installed = Some(topology);
+                actions.push(DgmcAction::Installed { mc });
+            }
+        }
+        // MC destruction: drop state once the member list is empty and
+        // nothing is pending.
+        if st.deletable() {
+            self.states.remove(&mc);
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Timestamp;
+    use dgmc_mctree::SphStrategy;
+    use dgmc_topology::generate;
+
+    fn engine(me: u32, n: usize) -> DgmcEngine {
+        DgmcEngine::new(NodeId(me), n, Rc::new(SphStrategy::new()))
+    }
+
+    fn flooded(actions: &[DgmcAction]) -> Vec<&McLsa> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                DgmcAction::Flood(lsa) => Some(lsa),
+                _ => None,
+            })
+            .collect()
+    }
+
+    const MC: McId = McId(1);
+
+    #[test]
+    fn first_join_computes_then_floods_with_proposal() {
+        let net = generate::ring(4);
+        let mut e0 = engine(0, 4);
+        let a1 = e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        assert_eq!(a1, vec![DgmcAction::StartComputation { mc: MC }]);
+        let a2 = e0.on_computation_done(MC, &net);
+        let lsas = flooded(&a2);
+        assert_eq!(lsas.len(), 1);
+        assert_eq!(lsas[0].event, McEventKind::Join(Role::SenderReceiver));
+        let p = lsas[0].proposal.as_ref().unwrap();
+        assert_eq!(p.terminals().len(), 1);
+        assert!(a2.contains(&DgmcAction::Installed { mc: MC }));
+        let st = e0.state(MC).unwrap();
+        assert_eq!(st.c, st.r);
+        assert!(st.invariant_holds());
+    }
+
+    #[test]
+    fn duplicate_local_join_is_noop() {
+        let net = generate::ring(4);
+        let mut e0 = engine(0, 4);
+        e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        e0.on_computation_done(MC, &net);
+        let again = e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn receiver_accepts_fresh_proposal() {
+        let net = generate::ring(4);
+        let mut e0 = engine(0, 4);
+        let mut e2 = engine(2, 4);
+        e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        let lsa = flooded(&e0.on_computation_done(MC, &net))[0].clone();
+        let actions = e2.on_mc_lsa(lsa);
+        assert!(actions.contains(&DgmcAction::Installed { mc: MC }));
+        assert_eq!(e2.state(MC).unwrap().members.len(), 1);
+        assert_eq!(e2.installed(MC), e0.installed(MC));
+        assert_eq!(e2.state(MC).unwrap().c, e0.state(MC).unwrap().c);
+    }
+
+    #[test]
+    fn non_join_lsa_for_unknown_mc_is_dropped() {
+        let _net = generate::ring(4);
+        let mut e2 = engine(2, 4);
+        let lsa = McLsa {
+            source: NodeId(0),
+            event: McEventKind::None,
+            mc: MC,
+            mc_type: McType::Symmetric,
+            proposal: Some(dgmc_mctree::McTopology::empty()),
+            stamp: Timestamp::zero(4),
+        };
+        assert!(e2.on_mc_lsa(lsa).is_empty());
+        assert!(e2.state(MC).is_none());
+    }
+
+    #[test]
+    fn lsa_during_computation_invalidates_proposal() {
+        let net = generate::ring(4);
+        let mut e0 = engine(0, 4);
+        let mut e1 = engine(1, 4);
+        // Switch 1 creates the MC; switch 0 learns of it.
+        e1.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        let join1 = flooded(&e1.on_computation_done(MC, &net))[0].clone();
+        e0.on_mc_lsa(join1);
+        // Switch 0 joins: starts computing (caught up).
+        let a = e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        assert_eq!(a, vec![DgmcAction::StartComputation { mc: MC }]);
+        // Meanwhile switch 2's join LSA arrives mid-computation.
+        let mut e2 = engine(2, 4);
+        // Bring e2 up to date first so its stamp is meaningful.
+        // (simplified: craft a join LSA with a plausible stamp)
+        e2.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        let join2 = flooded(&e2.on_computation_done(MC, &net))[0].clone();
+        let queued = e0.on_mc_lsa(join2);
+        assert!(queued.is_empty(), "mailbox holds it during computation");
+        // Completion must withdraw and still announce our join.
+        let done = e0.on_computation_done(MC, &net);
+        assert!(done.contains(&DgmcAction::Withdrawn { mc: MC }));
+        let lsas = flooded(&done);
+        assert_eq!(lsas.len(), 1, "event announced without proposal");
+        assert_eq!(lsas[0].proposal, None);
+        assert!(matches!(lsas[0].event, McEventKind::Join(_)));
+    }
+
+    #[test]
+    fn leave_of_last_member_empties_and_deletes() {
+        let net = generate::ring(4);
+        let mut e0 = engine(0, 4);
+        e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        e0.on_computation_done(MC, &net);
+        let a = e0.local_leave(MC);
+        assert_eq!(a, vec![DgmcAction::StartComputation { mc: MC }]);
+        let done = e0.on_computation_done(MC, &net);
+        let lsas = flooded(&done);
+        assert_eq!(lsas[0].event, McEventKind::Leave);
+        let p = lsas[0].proposal.as_ref().unwrap();
+        assert!(p.terminals().is_empty());
+        // The post-completion mailbox drain notices the empty member list
+        // and deletes the state ("local data structures are deleted").
+        assert!(e0.state(MC).is_none());
+    }
+
+    #[test]
+    fn leave_when_not_member_is_noop() {
+        let _net = generate::ring(4);
+        let mut e0 = engine(0, 4);
+        assert!(e0.local_leave(MC).is_empty());
+    }
+
+    #[test]
+    fn link_event_only_fires_for_affected_mcs() {
+        let net = generate::path(4);
+        let mut e0 = engine(0, 4);
+        let mut e3 = engine(3, 4);
+        // Build an MC spanning 0..3 at switch 0 (via LSAs both ways).
+        e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        let l0 = flooded(&e0.on_computation_done(MC, &net))[0].clone();
+        e3.on_mc_lsa(l0);
+        let a3 = e3.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        assert_eq!(a3, vec![DgmcAction::StartComputation { mc: MC }]);
+        let l3 = flooded(&e3.on_computation_done(MC, &net))[0].clone();
+        e0.on_mc_lsa(l3);
+        // Tree now uses links 0-1,1-2,2-3.
+        assert_eq!(e0.mcs_using_link(NodeId(1), NodeId(2)), vec![MC]);
+        assert!(e0.mcs_using_link(NodeId(0), NodeId(2)).is_empty());
+        // A link event on 1-2 triggers EventHandler for the MC.
+        let mut cut = net.clone();
+        let l = cut.link_between(NodeId(1), NodeId(2)).unwrap().id;
+        cut.set_link_state(l, dgmc_topology::LinkState::Down).unwrap();
+        let actions = e0.local_link_event(NodeId(1), NodeId(2));
+        assert_eq!(actions, vec![DgmcAction::StartComputation { mc: MC }]);
+        // An event on an unused link does nothing.
+        let none = e0.local_link_event(NodeId(0), NodeId(2));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn triggered_proposal_floods_after_conflicting_events() {
+        // Two switches join "simultaneously": each floods a join (deferred,
+        // because they were mid-computation when the other's join arrived)…
+        // Simulate the essential inconsistency path: e0 receives a join LSA
+        // from e1 whose stamp does not include e0's own join event.
+        let net = generate::ring(4);
+        let mut e0 = engine(0, 4);
+        let mut e1 = engine(1, 4);
+        // Both create/join the MC concurrently.
+        e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        e1.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        let lsa0 = flooded(&e0.on_computation_done(MC, &net))[0].clone();
+        let lsa1 = flooded(&e1.on_computation_done(MC, &net))[0].clone();
+        // Cross-deliver: each sees a proposal that misses its own event.
+        let a0 = e0.on_mc_lsa(lsa1);
+        // e0 detects the inconsistency (R[0] > T[0]) and starts computing.
+        assert!(a0.contains(&DgmcAction::StartComputation { mc: MC }));
+        let done0 = e0.on_computation_done(MC, &net);
+        let trig = flooded(&done0);
+        assert_eq!(trig.len(), 1);
+        assert_eq!(trig[0].event, McEventKind::None, "triggered LSA");
+        let p = trig[0].proposal.as_ref().unwrap();
+        assert_eq!(p.terminals().len(), 2, "tree spans both members");
+        // e1 symmetric path, then accepts e0's triggered proposal.
+        let a1 = e1.on_mc_lsa(lsa0);
+        assert!(a1.contains(&DgmcAction::StartComputation { mc: MC }));
+        let done1 = e1.on_computation_done(MC, &net);
+        // e1 computed the same topology (deterministic algorithm).
+        assert_eq!(e0.installed(MC), e1.installed(MC));
+        // Cross-deliver the triggered LSAs; stamps are equal so the smaller
+        // source (e0) wins at both switches.
+        let trig1 = flooded(&done1)[0].clone();
+        e0.on_mc_lsa(trig1);
+        let trig0 = trig[0].clone();
+        e1.on_mc_lsa(trig0);
+        assert_eq!(e0.state(MC).unwrap().c, e1.state(MC).unwrap().c);
+        assert_eq!(e0.state(MC).unwrap().c_source, Some(NodeId(0)));
+        assert_eq!(e1.state(MC).unwrap().c_source, Some(NodeId(0)));
+        assert_eq!(e0.installed(MC), e1.installed(MC));
+        assert!(e0.state(MC).unwrap().all_caught_up());
+        assert!(e1.state(MC).unwrap().all_caught_up());
+    }
+
+    #[test]
+    fn local_event_mid_computation_defers_and_floods() {
+        let net = generate::ring(5);
+        let mut e0 = engine(0, 5);
+        e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        // Computation for the join is in flight; a second local event (a
+        // leave) must flood immediately without a proposal.
+        let a = e0.local_leave(MC);
+        let lsas = flooded(&a);
+        assert_eq!(lsas.len(), 1);
+        assert_eq!(lsas[0].event, McEventKind::Leave);
+        assert_eq!(lsas[0].proposal, None);
+        // The join's computation is now stale (R advanced) -> withdrawn,
+        // and the join event itself must still be announced.
+        let done = e0.on_computation_done(MC, &net);
+        assert!(done.contains(&DgmcAction::Withdrawn { mc: MC }));
+        let announced = flooded(&done);
+        assert_eq!(announced.len(), 1);
+        assert!(matches!(announced[0].event, McEventKind::Join(_)));
+        assert_eq!(announced[0].proposal, None);
+    }
+}

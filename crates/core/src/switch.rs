@@ -1,0 +1,678 @@
+//! The simulated D-GMC switch: a DES actor hosting the unicast LSR
+//! substrate, the flooding engine and the [`DgmcEngine`], with the paper's
+//! timing model (`Tc`-long topology computations, per-hop LSA delays) and a
+//! data plane for end-to-end delivery checks.
+
+use crate::{DgmcAction, DgmcEngine, McId, McLsa};
+use dgmc_des::{Actor, ActorId, Ctx, Envelope, SimDuration, SimTime, Simulation};
+use dgmc_lsr::flood::Flooder;
+use dgmc_lsr::lsa::{FloodPacket, RouterLsa};
+use dgmc_lsr::{Lsdb, RoutingTable};
+use dgmc_mctree::{McAlgorithm, McType, Role};
+use dgmc_topology::{LinkId, Network, NodeId};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Everything that can be flooded: the paper's MC and non-MC LSAs.
+#[derive(Debug, Clone)]
+pub enum DgmcPayload {
+    /// A non-MC LSA (`F = ¬mc`), processed by the unicast LSR substrate.
+    Router(RouterLsa),
+    /// An MC LSA (`F = mc`), processed by the D-GMC protocol.
+    Mc(McLsa),
+}
+
+/// A data-plane packet traveling a multipoint connection.
+#[derive(Debug, Clone)]
+pub struct DataMsg {
+    /// The connection carrying the packet.
+    pub mc: McId,
+    /// Unique id assigned by the injecting harness.
+    pub packet_id: u64,
+    /// The switch where the packet entered the network.
+    pub origin: NodeId,
+    /// Delivery phase.
+    pub kind: DataKind,
+}
+
+/// Delivery phase of a [`DataMsg`].
+#[derive(Debug, Clone)]
+pub enum DataKind {
+    /// Being forwarded along tree edges; `via` is the arrival link (`None`
+    /// at the injection point).
+    TreeFlood {
+        /// Arrival link, if any.
+        via: Option<LinkId>,
+    },
+    /// First stage of receiver-only delivery: unicast toward the contact
+    /// node on the tree.
+    UnicastToContact {
+        /// The chosen contact switch.
+        contact: NodeId,
+    },
+}
+
+/// Messages delivered to a [`DgmcSwitch`].
+#[derive(Debug, Clone)]
+pub enum SwitchMsg {
+    /// A flood packet arriving over `via`.
+    Packet {
+        /// The packet.
+        packet: FloodPacket<DgmcPayload>,
+        /// Arrival link.
+        via: LinkId,
+    },
+    /// An attached host asks to join connection `mc`.
+    HostJoin {
+        /// The connection.
+        mc: McId,
+        /// Type used if the connection must be created.
+        mc_type: McType,
+        /// The member role.
+        role: Role,
+    },
+    /// An attached host asks to leave connection `mc`.
+    HostLeave {
+        /// The connection.
+        mc: McId,
+    },
+    /// An incident link changed state; `detector` marks the advertising
+    /// endpoint.
+    LinkEvent {
+        /// The incident link.
+        link: LinkId,
+        /// New state.
+        up: bool,
+        /// Whether this endpoint originates the advertisements.
+        detector: bool,
+    },
+    /// The `Tc` computation timer for `mc` fired.
+    ComputationDone {
+        /// The connection being recomputed.
+        mc: McId,
+    },
+    /// A host hands the switch a data packet to inject into `mc`.
+    SendData {
+        /// The connection.
+        mc: McId,
+        /// Unique packet id.
+        packet_id: u64,
+    },
+    /// A data packet in flight.
+    Data(DataMsg),
+    /// Administrative node failure/recovery (nodal events).
+    NodeAdmin {
+        /// `false` takes the switch down (it drops all traffic); `true`
+        /// revives it.
+        up: bool,
+    },
+    /// OSPF-style database exchange received from a neighbor after a link
+    /// to it came up: the neighbor's router LSAs and MC state snapshots.
+    DbSync {
+        /// The neighbor's router LSA database.
+        router_lsas: Vec<RouterLsa>,
+        /// The neighbor's per-MC state snapshots.
+        mc_states: Vec<crate::McSync>,
+    },
+}
+
+/// Counter names bumped by [`DgmcSwitch`].
+pub mod counters {
+    /// Topology computations started (the paper's "proposals per event"
+    /// numerator).
+    pub const COMPUTATIONS: &str = "dgmc.computations";
+    /// MC LSA flooding operations initiated ("floodings per event").
+    pub const FLOODINGS: &str = "dgmc.floodings";
+    /// Topologies installed (routing entries updated).
+    pub const INSTALLS: &str = "dgmc.installs";
+    /// Completed computations withdrawn as stale.
+    pub const WITHDRAWN: &str = "dgmc.withdrawn";
+    /// Membership events accepted from local hosts.
+    pub const MEMBER_EVENTS: &str = "dgmc.member_events";
+    /// Fresh MC LSAs processed.
+    pub const MC_LSAS: &str = "dgmc.mc_lsas";
+    /// Duplicate flood packets suppressed.
+    pub const DUPLICATES: &str = "dgmc.duplicates";
+    /// Router (non-MC) LSA floods originated.
+    pub const ROUTER_FLOODS: &str = "dgmc.router_floods";
+    /// Data packets delivered to member hosts.
+    pub const DATA_DELIVERED: &str = "dgmc.data_delivered";
+}
+
+/// Timing parameters of the simulated switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DgmcConfig {
+    /// `Tc`: time one topology computation occupies the switch.
+    pub tc: SimDuration,
+    /// Per-hop LSA/packet relay delay.
+    pub per_hop: SimDuration,
+}
+
+impl DgmcConfig {
+    /// The paper's Experiment 1 regime (ATM LAN): computation dominates.
+    /// Per-hop ≈ 10 µs, `Tc` ≈ 300 µs.
+    pub fn computation_dominated() -> Self {
+        DgmcConfig {
+            tc: SimDuration::micros(300),
+            per_hop: SimDuration::micros(10),
+        }
+    }
+
+    /// The paper's Experiment 2 regime (WAN): communication dominates.
+    /// Per-hop ≈ 2 ms, `Tc` ≈ 50 µs.
+    pub fn communication_dominated() -> Self {
+        DgmcConfig {
+            tc: SimDuration::micros(50),
+            per_hop: SimDuration::millis(2),
+        }
+    }
+}
+
+/// A network switch running the D-GMC protocol over an LSR substrate.
+pub struct DgmcSwitch {
+    me: NodeId,
+    config: DgmcConfig,
+    flooder: Flooder,
+    lsdb: Lsdb,
+    routes: RoutingTable,
+    /// Local ground truth about incident links: (link, neighbor, cost, up).
+    incident: Vec<(LinkId, NodeId, u64, bool)>,
+    next_router_seq: u64,
+    engine: DgmcEngine,
+    image: Network,
+    last_install: SimTime,
+    /// (mc, packet_id) -> copies delivered to the local host.
+    delivered: BTreeMap<(McId, u64), u32>,
+    /// `true` while administratively failed: all traffic is dropped.
+    failed: bool,
+}
+
+impl std::fmt::Debug for DgmcSwitch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DgmcSwitch")
+            .field("me", &self.me)
+            .field("mcs", &self.engine.mc_ids())
+            .finish()
+    }
+}
+
+impl DgmcSwitch {
+    /// Creates the switch warm-started on the ground-truth network `net`.
+    pub fn new(
+        me: NodeId,
+        net: &Network,
+        config: DgmcConfig,
+        algorithm: Rc<dyn McAlgorithm>,
+    ) -> DgmcSwitch {
+        let mut lsdb = Lsdb::new(net.len());
+        for n in net.nodes() {
+            lsdb.install(RouterLsa::describe(net, n, 0));
+        }
+        let image = lsdb.local_image();
+        let routes = RoutingTable::compute(&image, me);
+        let incident = net
+            .links()
+            .filter(|l| l.a == me || l.b == me)
+            .map(|l| (l.id, l.other(me), l.cost, l.is_up()))
+            .collect();
+        DgmcSwitch {
+            me,
+            config,
+            flooder: Flooder::new(me),
+            lsdb,
+            routes,
+            incident,
+            next_router_seq: 1,
+            engine: DgmcEngine::new(me, net.len(), algorithm),
+            image,
+            last_install: SimTime::ZERO,
+            delivered: BTreeMap::new(),
+            failed: false,
+        }
+    }
+
+    /// The switch id.
+    pub fn id(&self) -> NodeId {
+        self.me
+    }
+
+    /// Read access to the protocol engine.
+    pub fn engine(&self) -> &DgmcEngine {
+        &self.engine
+    }
+
+    /// The unicast routing table.
+    pub fn routes(&self) -> &RoutingTable {
+        &self.routes
+    }
+
+    /// Simulated instant of the switch's most recent topology install.
+    pub fn last_install(&self) -> SimTime {
+        self.last_install
+    }
+
+    /// How many copies of `(mc, packet_id)` the local host received.
+    pub fn delivered_copies(&self, mc: McId, packet_id: u64) -> u32 {
+        self.delivered.get(&(mc, packet_id)).copied().unwrap_or(0)
+    }
+
+    fn up_links(&self) -> Vec<(LinkId, NodeId)> {
+        self.incident
+            .iter()
+            .filter(|(.., up)| *up)
+            .map(|&(l, n, ..)| (l, n))
+            .collect()
+    }
+
+    fn link_to(&self, neighbor: NodeId) -> Option<LinkId> {
+        self.incident
+            .iter()
+            .find(|&&(_, n, _, up)| n == neighbor && up)
+            .map(|&(l, ..)| l)
+    }
+
+    fn neighbor_of(&self, link: LinkId) -> Option<NodeId> {
+        self.incident
+            .iter()
+            .find(|&&(l, ..)| l == link)
+            .map(|&(_, n, ..)| n)
+    }
+
+    fn flood(&mut self, ctx: &mut Ctx<'_, SwitchMsg>, payload: DgmcPayload, except: Option<LinkId>) {
+        let packet = self.flooder.originate(payload);
+        for (link, neighbor) in self.up_links() {
+            if Some(link) == except {
+                continue;
+            }
+            ctx.send(
+                ActorId(neighbor.0),
+                self.config.per_hop,
+                SwitchMsg::Packet {
+                    packet: packet.clone(),
+                    via: link,
+                },
+            );
+        }
+    }
+
+    fn relay(
+        &mut self,
+        ctx: &mut Ctx<'_, SwitchMsg>,
+        packet: &FloodPacket<DgmcPayload>,
+        via: LinkId,
+    ) {
+        for (link, neighbor) in self.up_links() {
+            if link == via {
+                continue;
+            }
+            ctx.send(
+                ActorId(neighbor.0),
+                self.config.per_hop,
+                SwitchMsg::Packet {
+                    packet: packet.clone(),
+                    via: link,
+                },
+            );
+        }
+    }
+
+    fn execute(&mut self, ctx: &mut Ctx<'_, SwitchMsg>, actions: Vec<DgmcAction>) {
+        for action in actions {
+            match action {
+                DgmcAction::Flood(lsa) => {
+                    ctx.counter(counters::FLOODINGS).incr();
+                    self.flood(ctx, DgmcPayload::Mc(lsa), None);
+                }
+                DgmcAction::StartComputation { mc } => {
+                    ctx.counter(counters::COMPUTATIONS).incr();
+                    ctx.schedule_self(self.config.tc, SwitchMsg::ComputationDone { mc });
+                }
+                DgmcAction::Installed { mc: _ } => {
+                    ctx.counter(counters::INSTALLS).incr();
+                    self.last_install = ctx.now();
+                }
+                DgmcAction::Withdrawn { mc: _ } => {
+                    ctx.counter(counters::WITHDRAWN).incr();
+                }
+            }
+        }
+    }
+
+    fn refresh_image(&mut self) {
+        self.image = self.lsdb.local_image();
+        self.routes = RoutingTable::compute(&self.image, self.me);
+    }
+
+    fn deliver_locally(&mut self, ctx: &mut Ctx<'_, SwitchMsg>, data: &DataMsg) {
+        if self.engine.is_member(data.mc) {
+            ctx.counter(counters::DATA_DELIVERED).incr();
+            *self
+                .delivered
+                .entry((data.mc, data.packet_id))
+                .or_insert(0) += 1;
+        }
+    }
+
+    fn forward_tree(&mut self, ctx: &mut Ctx<'_, SwitchMsg>, data: DataMsg, via: Option<LinkId>) {
+        self.deliver_locally(ctx, &data);
+        let Some(topology) = self.engine.installed(data.mc) else {
+            return;
+        };
+        let from = via.and_then(|l| self.neighbor_of(l));
+        let next_hops: Vec<NodeId> = topology
+            .neighbors_in(self.me)
+            .into_iter()
+            .filter(|&n| Some(n) != from)
+            .collect();
+        for n in next_hops {
+            if let Some(link) = self.link_to(n) {
+                ctx.send(
+                    ActorId(n.0),
+                    self.config.per_hop,
+                    SwitchMsg::Data(DataMsg {
+                        kind: DataKind::TreeFlood { via: Some(link) },
+                        ..data.clone()
+                    }),
+                );
+            }
+        }
+    }
+
+    fn inject_data(&mut self, ctx: &mut Ctx<'_, SwitchMsg>, mc: McId, packet_id: u64) {
+        let data = DataMsg {
+            mc,
+            packet_id,
+            origin: self.me,
+            kind: DataKind::TreeFlood { via: None },
+        };
+        if self.engine.is_member(mc)
+            || self
+                .engine
+                .installed(mc)
+                .is_some_and(|t| t.touches(self.me))
+        {
+            // On the tree already: second-stage tree delivery.
+            self.forward_tree(ctx, data, None);
+            return;
+        }
+        // Receiver-only style first stage: unicast to the nearest tree node
+        // ("the packet is delivered to any node on the MC").
+        let Some(topology) = self.engine.installed(mc) else {
+            return;
+        };
+        let contact = topology
+            .nodes()
+            .into_iter()
+            .filter_map(|n| self.routes.cost(n).map(|c| (c, n)))
+            .min();
+        let Some((_, contact)) = contact else { return };
+        let msg = SwitchMsg::Data(DataMsg {
+            kind: DataKind::UnicastToContact { contact },
+            ..data
+        });
+        if contact == self.me {
+            // We are the contact (e.g. zero-cost self route can't happen as
+            // we're off-tree, but stay safe).
+            if let SwitchMsg::Data(d) = msg {
+                self.forward_tree(ctx, d, None);
+            }
+            return;
+        }
+        if let Some(next) = self.routes.next_hop(contact) {
+            ctx.send(ActorId(next.0), self.config.per_hop, msg);
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_, SwitchMsg>, data: DataMsg) {
+        match data.kind {
+            DataKind::TreeFlood { via } => {
+                let d = DataMsg {
+                    kind: DataKind::TreeFlood { via },
+                    ..data
+                };
+                self.forward_tree(ctx, d, via);
+            }
+            DataKind::UnicastToContact { contact } => {
+                if contact == self.me {
+                    let d = DataMsg {
+                        kind: DataKind::TreeFlood { via: None },
+                        ..data
+                    };
+                    self.forward_tree(ctx, d, None);
+                } else if let Some(next) = self.routes.next_hop(contact) {
+                    ctx.send(ActorId(next.0), self.config.per_hop, SwitchMsg::Data(data));
+                }
+            }
+        }
+    }
+}
+
+impl Actor<SwitchMsg> for DgmcSwitch {
+    fn handle(&mut self, ctx: &mut Ctx<'_, SwitchMsg>, env: Envelope<SwitchMsg>) {
+        if self.failed {
+            // A failed switch drops everything except its own revival.
+            if let SwitchMsg::NodeAdmin { up: true } = env.msg {
+                self.failed = false;
+                // Incident links come back with the node; neighbors
+                // advertise and sync (inject_node_event drives them).
+                for entry in &mut self.incident {
+                    entry.3 = true;
+                }
+            }
+            return;
+        }
+        match env.msg {
+            SwitchMsg::Packet { packet, via } => {
+                if !self.flooder.accept(packet.id) {
+                    ctx.counter(counters::DUPLICATES).incr();
+                    return;
+                }
+                self.relay(ctx, &packet, via);
+                match packet.payload {
+                    DgmcPayload::Router(lsa) => {
+                        if self.lsdb.install(lsa) {
+                            self.refresh_image();
+                        }
+                    }
+                    DgmcPayload::Mc(lsa) => {
+                        ctx.counter(counters::MC_LSAS).incr();
+                        let actions = self.engine.on_mc_lsa(lsa);
+                        self.execute(ctx, actions);
+                    }
+                }
+            }
+            SwitchMsg::HostJoin { mc, mc_type, role } => {
+                let actions = self.engine.local_join(mc, mc_type, role);
+                if !actions.is_empty() {
+                    ctx.counter(counters::MEMBER_EVENTS).incr();
+                }
+                self.execute(ctx, actions);
+            }
+            SwitchMsg::HostLeave { mc } => {
+                let actions = self.engine.local_leave(mc);
+                if !actions.is_empty() {
+                    ctx.counter(counters::MEMBER_EVENTS).incr();
+                }
+                self.execute(ctx, actions);
+            }
+            SwitchMsg::LinkEvent { link, up, detector } => {
+                if let Some(entry) = self.incident.iter_mut().find(|(l, ..)| *l == link) {
+                    entry.3 = up;
+                } else {
+                    panic!("link {link} is not incident to {}", self.me);
+                }
+                if up {
+                    // Database exchange toward the (possibly just revived)
+                    // far endpoint, as OSPF does when an adjacency forms.
+                    if let Some(neighbor) = self.neighbor_of(link) {
+                        let router_lsas = (0..self.lsdb.node_count() as u32)
+                            .filter_map(|i| self.lsdb.get(NodeId(i)).cloned())
+                            .collect();
+                        ctx.send(
+                            ActorId(neighbor.0),
+                            self.config.per_hop,
+                            SwitchMsg::DbSync {
+                                router_lsas,
+                                mc_states: self.engine.export_sync(),
+                            },
+                        );
+                    }
+                }
+                if detector {
+                    // Originate the one non-MC LSA for this event...
+                    let links = self
+                        .incident
+                        .iter()
+                        .map(|&(l, n, cost, up)| dgmc_lsr::lsa::LinkAdv {
+                            link: l,
+                            neighbor: n,
+                            cost,
+                            up,
+                        })
+                        .collect();
+                    let lsa = RouterLsa {
+                        origin: self.me,
+                        seq: self.next_router_seq,
+                        links,
+                    };
+                    self.next_router_seq += 1;
+                    self.lsdb.install(lsa.clone());
+                    self.refresh_image();
+                    ctx.counter(counters::ROUTER_FLOODS).incr();
+                    self.flood(ctx, DgmcPayload::Router(lsa), None);
+                    // ...then the k MC LSAs for affected connections.
+                    let neighbor = self.neighbor_of(link).expect("incident");
+                    let actions = self.engine.local_link_event(self.me, neighbor);
+                    self.execute(ctx, actions);
+                }
+            }
+            SwitchMsg::ComputationDone { mc } => {
+                let actions = self.engine.on_computation_done(mc, &self.image);
+                self.execute(ctx, actions);
+            }
+            SwitchMsg::SendData { mc, packet_id } => {
+                self.inject_data(ctx, mc, packet_id);
+            }
+            SwitchMsg::Data(data) => {
+                self.on_data(ctx, data);
+            }
+            SwitchMsg::NodeAdmin { up } => {
+                if !up {
+                    self.failed = true;
+                    for entry in &mut self.incident {
+                        entry.3 = false;
+                    }
+                }
+                // up while alive: nothing to do.
+            }
+            SwitchMsg::DbSync {
+                router_lsas,
+                mc_states,
+            } => {
+                let mut changed = false;
+                for lsa in router_lsas {
+                    changed |= self.lsdb.install(lsa);
+                }
+                if changed {
+                    self.refresh_image();
+                }
+                let actions = self.engine.import_sync(mc_states);
+                self.execute(ctx, actions);
+            }
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Builds a simulation with one [`DgmcSwitch`] per node of `net`.
+///
+/// Actor ids equal node ids.
+pub fn build_dgmc_sim(
+    net: &Network,
+    config: DgmcConfig,
+    algorithm: Rc<dyn McAlgorithm>,
+) -> Simulation<SwitchMsg> {
+    let mut sim = Simulation::new();
+    for n in net.nodes() {
+        let id = sim.add_actor(Box::new(DgmcSwitch::new(
+            n,
+            net,
+            config,
+            Rc::clone(&algorithm),
+        )));
+        debug_assert_eq!(id.index(), n.index());
+    }
+    sim
+}
+
+/// Injects a nodal event: `up = false` fails the switch (it silently drops
+/// all traffic and its incident links go down, each advertised by the
+/// surviving neighbor); `up = true` revives it (neighbors re-advertise the
+/// links and send database snapshots so the revived switch resynchronizes).
+///
+/// # Panics
+///
+/// Panics if `node` is unknown in `net`.
+pub fn inject_node_event(
+    sim: &mut Simulation<SwitchMsg>,
+    net: &Network,
+    node: NodeId,
+    up: bool,
+    delay: SimDuration,
+) {
+    assert!(net.contains_node(node), "unknown node {node}");
+    sim.inject(ActorId(node.0), delay, SwitchMsg::NodeAdmin { up });
+    // Neighbors detect each incident link transition slightly later and
+    // advertise their side ("nodal events" decompose into link events with
+    // the surviving endpoint as detector).
+    let detect = delay + SimDuration::nanos(1);
+    for link in net.links().filter(|l| l.a == node || l.b == node) {
+        let neighbor = link.other(node);
+        sim.inject(
+            ActorId(neighbor.0),
+            detect,
+            SwitchMsg::LinkEvent {
+                link: link.id,
+                up,
+                detector: true,
+            },
+        );
+    }
+}
+
+/// Injects a ground-truth link event: both endpoints learn immediately, the
+/// lower-id endpoint advertises (DESIGN.md §6).
+///
+/// # Panics
+///
+/// Panics if `link` is unknown in `net`.
+pub fn inject_link_event(
+    sim: &mut Simulation<SwitchMsg>,
+    net: &Network,
+    link: LinkId,
+    up: bool,
+    delay: SimDuration,
+) {
+    let l = net.link(link).expect("known link");
+    sim.inject(
+        ActorId(l.a.0),
+        delay,
+        SwitchMsg::LinkEvent {
+            link,
+            up,
+            detector: true,
+        },
+    );
+    sim.inject(
+        ActorId(l.b.0),
+        delay,
+        SwitchMsg::LinkEvent {
+            link,
+            up,
+            detector: false,
+        },
+    );
+}

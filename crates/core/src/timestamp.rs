@@ -1,0 +1,223 @@
+use dgmc_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A D-GMC vector timestamp.
+///
+/// "A timestamp `T` is an n-tuple of natural numbers, where `n` is the
+/// number of switches in the network. The x-th component of `T` ... specifies
+/// how many events have been heard from switch `x`."
+///
+/// Comparison follows the paper: `A >= B` iff `A[i] >= B[i]` for every `i`;
+/// `A > B` iff `A >= B` and `A != B`. Two timestamps can be incomparable, so
+/// only [`PartialOrd`] is implemented.
+///
+/// # Examples
+///
+/// ```
+/// use dgmc_core::Timestamp;
+/// use dgmc_topology::NodeId;
+///
+/// let mut a = Timestamp::zero(3);
+/// let mut b = Timestamp::zero(3);
+/// a.incr(NodeId(0));
+/// b.incr(NodeId(2));
+/// assert!(!a.dominates(&b));
+/// assert!(!b.dominates(&a));
+/// let m = a.merged_max(&b);
+/// assert!(m.dominates(&a) && m.dominates(&b));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Timestamp(Vec<u64>);
+
+impl Timestamp {
+    /// The all-zero timestamp for a network of `n` switches.
+    pub fn zero(n: usize) -> Timestamp {
+        Timestamp(vec![0; n])
+    }
+
+    /// Builds a timestamp from explicit components.
+    pub fn from_components(components: Vec<u64>) -> Timestamp {
+        Timestamp(components)
+    }
+
+    /// Number of components (network size).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the timestamp has no components.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The component for switch `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn get(&self, x: NodeId) -> u64 {
+        self.0[x.index()]
+    }
+
+    /// Increments the component for switch `x` (one more event heard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn incr(&mut self, x: NodeId) {
+        self.0[x.index()] += 1;
+    }
+
+    /// Sets every component to the max of itself and `other`'s
+    /// (the `E[y] = max(E[y], T[y])` step of `ReceiveLSA()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn merge_max(&mut self, other: &Timestamp) {
+        assert_eq!(self.0.len(), other.0.len(), "timestamp sizes differ");
+        for (a, &b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// Returns the componentwise max without mutating.
+    pub fn merged_max(&self, other: &Timestamp) -> Timestamp {
+        let mut out = self.clone();
+        out.merge_max(other);
+        out
+    }
+
+    /// The paper's `A >= B`: every component of `self` is at least `other`'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dominates(&self, other: &Timestamp) -> bool {
+        assert_eq!(self.0.len(), other.0.len(), "timestamp sizes differ");
+        self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+    }
+
+    /// The paper's `A > B`: dominates and differs.
+    pub fn strictly_dominates(&self, other: &Timestamp) -> bool {
+        self.dominates(other) && self != other
+    }
+
+    /// Sum of all components (total events heard; useful in traces).
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Iterates over `(switch, component)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.0
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (NodeId(i as u32), v))
+    }
+}
+
+impl PartialOrd for Timestamp {
+    /// `None` for incomparable timestamps.
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self.dominates(other), other.dominates(self)) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Greater),
+            (false, true) => Some(Ordering::Less),
+            (false, false) => None,
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[u64]) -> Timestamp {
+        Timestamp::from_components(v.to_vec())
+    }
+
+    #[test]
+    fn zero_is_dominated_by_everything() {
+        let z = Timestamp::zero(3);
+        let t = ts(&[1, 0, 2]);
+        assert!(t.dominates(&z));
+        assert!(t.strictly_dominates(&z));
+        assert!(z.dominates(&z));
+        assert!(!z.strictly_dominates(&z));
+    }
+
+    #[test]
+    fn incomparable_pairs() {
+        let a = ts(&[1, 0]);
+        let b = ts(&[0, 1]);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert_eq!(a.partial_cmp(&b), None);
+    }
+
+    #[test]
+    fn partial_ord_matches_domination() {
+        let a = ts(&[2, 3]);
+        let b = ts(&[1, 3]);
+        assert_eq!(a.partial_cmp(&b), Some(Ordering::Greater));
+        assert_eq!(b.partial_cmp(&a), Some(Ordering::Less));
+        assert_eq!(a.partial_cmp(&a), Some(Ordering::Equal));
+        assert!(a > b);
+        assert!(b < a);
+        assert!(a == a);
+    }
+
+    #[test]
+    fn merge_is_least_upper_bound() {
+        let a = ts(&[1, 0, 5]);
+        let b = ts(&[0, 2, 3]);
+        let m = a.merged_max(&b);
+        assert_eq!(m, ts(&[1, 2, 5]));
+        assert!(m.dominates(&a) && m.dominates(&b));
+        // lub minimality: anything dominating both dominates m componentwise.
+        let upper = ts(&[9, 9, 9]);
+        assert!(upper.dominates(&m));
+    }
+
+    #[test]
+    fn incr_and_get() {
+        let mut t = Timestamp::zero(2);
+        t.incr(NodeId(1));
+        t.incr(NodeId(1));
+        assert_eq!(t.get(NodeId(1)), 2);
+        assert_eq!(t.get(NodeId(0)), 0);
+        assert_eq!(t.total(), 2);
+    }
+
+    #[test]
+    fn display_and_iter() {
+        let t = ts(&[3, 1, 4]);
+        assert_eq!(t.to_string(), "(3,1,4)");
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs[2], (NodeId(2), 4));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes differ")]
+    fn size_mismatch_panics() {
+        ts(&[1]).dominates(&ts(&[1, 2]));
+    }
+}

@@ -1,0 +1,298 @@
+//! Property-based tests of the D-GMC engine.
+//!
+//! Rather than the timing-driven DES (covered by `protocol_e2e.rs`), these
+//! tests drive a set of [`DgmcEngine`]s under an *adversarial scheduler*:
+//! flooded LSAs are delivered in any interleaving that preserves per-origin
+//! FIFO order (the guarantee real LSR flooding provides via sequence
+//! numbers), and computation completions race arbitrarily with deliveries.
+//! Whatever the schedule, the protocol must drain and leave every switch
+//! with identical members, timestamps and topology.
+
+use dgmc_core::{DgmcAction, DgmcEngine, McId, McLsa, Timestamp};
+use dgmc_mctree::{McType, Role, SphStrategy};
+use dgmc_topology::{generate, Network, NodeId};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+const MC: McId = McId(1);
+
+/// A cluster of engines plus the adversarial delivery fabric.
+struct Cluster {
+    net: Network,
+    engines: Vec<DgmcEngine>,
+    /// queues[origin][receiver]: per-origin FIFO delivery queues.
+    queues: Vec<Vec<VecDeque<McLsa>>>,
+}
+
+impl Cluster {
+    fn new(n: usize) -> Cluster {
+        let net = generate::grid(n, n);
+        let size = net.len();
+        let engines = net
+            .nodes()
+            .map(|id| DgmcEngine::new(id, size, Rc::new(SphStrategy::new())))
+            .collect();
+        Cluster {
+            net,
+            engines,
+            queues: vec![vec![VecDeque::new(); size]; size],
+        }
+    }
+
+    fn size(&self) -> usize {
+        self.engines.len()
+    }
+
+    fn apply(&mut self, origin: usize, actions: Vec<DgmcAction>) {
+        for action in actions {
+            if let DgmcAction::Flood(lsa) = action {
+                for receiver in 0..self.size() {
+                    if receiver != origin {
+                        self.queues[origin][receiver].push_back(lsa.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn join(&mut self, node: usize) {
+        let actions = self.engines[node].local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        self.apply(node, actions);
+    }
+
+    fn leave(&mut self, node: usize) {
+        let actions = self.engines[node].local_leave(MC);
+        self.apply(node, actions);
+    }
+
+    /// One adversarial step; `choice` selects among enabled moves.
+    /// Returns false when fully drained.
+    fn step(&mut self, choice: usize) -> bool {
+        // Enabled moves: completions first, then queue deliveries.
+        let mut moves: Vec<(usize, Option<(usize, usize)>)> = Vec::new();
+        for (i, e) in self.engines.iter().enumerate() {
+            if e.state(MC).is_some_and(|st| st.computing.is_some()) {
+                moves.push((i, None));
+            }
+        }
+        for origin in 0..self.size() {
+            for receiver in 0..self.size() {
+                if !self.queues[origin][receiver].is_empty() {
+                    moves.push((receiver, Some((origin, receiver))));
+                }
+            }
+        }
+        if moves.is_empty() {
+            return false;
+        }
+        let (engine_idx, delivery) = moves[choice % moves.len()];
+        let actions = match delivery {
+            None => self.engines[engine_idx].on_computation_done(MC, &self.net),
+            Some((origin, receiver)) => {
+                let lsa = self.queues[origin][receiver]
+                    .pop_front()
+                    .expect("move was enabled");
+                self.engines[receiver].on_mc_lsa(lsa)
+            }
+        };
+        self.apply(engine_idx, actions);
+        // Per-step invariant: E >= R and E >= C everywhere.
+        for e in &self.engines {
+            if let Some(st) = e.state(MC) {
+                assert!(st.invariant_holds(), "timestamp invariant violated");
+            }
+        }
+        true
+    }
+
+    /// Drains with the provided choice stream (cycled); panics on livelock.
+    fn drain(&mut self, choices: &[usize]) {
+        let mut budget = 100_000;
+        let mut k = 0;
+        loop {
+            let c = if choices.is_empty() { 0 } else { choices[k % choices.len()] };
+            k += 1;
+            if !self.step(c) {
+                return;
+            }
+            budget -= 1;
+            assert!(budget > 0, "protocol livelocked under adversarial schedule");
+        }
+    }
+
+    fn assert_consensus(&self, expected_members: &[usize]) {
+        let states: Vec<_> = self.engines.iter().map(|e| e.state(MC)).collect();
+        if expected_members.is_empty() {
+            for (i, st) in states.iter().enumerate() {
+                assert!(st.is_none(), "engine {i} kept state for a destroyed MC");
+            }
+            return;
+        }
+        let first = states[0].expect("state exists");
+        for (i, st) in states.iter().enumerate() {
+            let st = st.unwrap_or_else(|| panic!("engine {i} lost state"));
+            assert_eq!(st.members, first.members, "member mismatch at {i}");
+            assert_eq!(st.c, first.c, "C mismatch at {i}");
+            assert_eq!(st.installed, first.installed, "topology mismatch at {i}");
+            assert!(st.mailbox.is_empty() && st.computing.is_none());
+        }
+        let got: Vec<usize> = first.members.keys().map(|n| n.index()).collect();
+        let mut want = expected_members.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        let tree = first.installed.as_ref().expect("topology installed");
+        assert_eq!(tree.validate(&self.net, tree.terminals()), Ok(()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any interleaving of a join burst converges to consensus.
+    #[test]
+    fn join_bursts_converge_under_any_schedule(
+        joiners in prop::collection::btree_set(0usize..16, 2..6),
+        choices in prop::collection::vec(0usize..64, 1..200),
+    ) {
+        let mut cluster = Cluster::new(4);
+        let members: Vec<usize> = joiners.iter().copied().collect();
+        for &j in &members {
+            cluster.join(j);
+        }
+        cluster.drain(&choices);
+        cluster.assert_consensus(&members);
+    }
+
+    /// Joins followed by racing leaves converge; full departure destroys
+    /// the MC everywhere.
+    #[test]
+    fn join_then_leave_races_converge(
+        joiners in prop::collection::btree_set(0usize..9, 2..5),
+        leave_count in 0usize..5,
+        choices in prop::collection::vec(0usize..64, 1..300),
+    ) {
+        let mut cluster = Cluster::new(3);
+        let members: Vec<usize> = joiners.iter().copied().collect();
+        for &j in &members {
+            cluster.join(j);
+        }
+        cluster.drain(&choices);
+        let leavers: Vec<usize> = members.iter().copied().take(leave_count).collect();
+        for &l in &leavers {
+            cluster.leave(l);
+        }
+        cluster.drain(&choices);
+        let remaining: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|m| !leavers.contains(m))
+            .collect();
+        cluster.assert_consensus(&remaining);
+    }
+
+    /// Interleaved joins and leaves injected *mid-drain* still converge.
+    #[test]
+    fn events_injected_mid_drain_converge(
+        first in 0usize..9,
+        second in 0usize..9,
+        prefix_steps in 0usize..20,
+        choices in prop::collection::vec(0usize..64, 1..300),
+    ) {
+        prop_assume!(first != second);
+        let mut cluster = Cluster::new(3);
+        cluster.join(first);
+        // Partially propagate, then inject a second event mid-flight.
+        for (k, &c) in choices.iter().take(prefix_steps).enumerate() {
+            if !cluster.step(c.wrapping_add(k)) {
+                break;
+            }
+        }
+        cluster.join(second);
+        cluster.drain(&choices);
+        cluster.assert_consensus(&[first, second]);
+    }
+}
+
+#[test]
+fn timestamp_partial_order_laws() {
+    // Deterministic sanity companion to the proptests above.
+    let mut a = Timestamp::zero(4);
+    let mut b = Timestamp::zero(4);
+    a.incr(NodeId(0));
+    b.incr(NodeId(3));
+    let lub = a.merged_max(&b);
+    assert!(lub.dominates(&a) && lub.dominates(&b));
+    assert!(lub.strictly_dominates(&a));
+    assert_eq!(lub.merged_max(&lub), lub, "merge is idempotent");
+    assert_eq!(a.merged_max(&b), b.merged_max(&a), "merge commutes");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Timestamp algebra: merge is the least upper bound; domination is a
+    /// partial order.
+    #[test]
+    fn timestamp_merge_is_lub(
+        xs in prop::collection::vec(0u64..50, 8),
+        ys in prop::collection::vec(0u64..50, 8),
+        zs in prop::collection::vec(0u64..50, 8),
+    ) {
+        let a = Timestamp::from_components(xs);
+        let b = Timestamp::from_components(ys);
+        let c = Timestamp::from_components(zs);
+        let m = a.merged_max(&b);
+        prop_assert!(m.dominates(&a) && m.dominates(&b));
+        // Least: any upper bound dominates the merge.
+        if c.dominates(&a) && c.dominates(&b) {
+            prop_assert!(c.dominates(&m));
+        }
+        // Partial order laws.
+        prop_assert!(a.dominates(&a));
+        if a.dominates(&b) && b.dominates(&a) {
+            prop_assert_eq!(&a, &b);
+        }
+        if a.dominates(&b) && b.dominates(&c) {
+            prop_assert!(a.dominates(&c));
+        }
+        // Associativity and commutativity of merge.
+        prop_assert_eq!(a.merged_max(&b), b.merged_max(&a));
+        prop_assert_eq!(a.merged_max(&b).merged_max(&c), a.merged_max(&b.merged_max(&c)));
+    }
+
+    /// Codec round-trips for arbitrary timestamps and topologies.
+    #[test]
+    fn codec_round_trips(
+        components in prop::collection::vec(0u64..1000, 0..64),
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..30),
+        terminals in prop::collection::btree_set(0u32..40, 0..10),
+    ) {
+        use dgmc_core::codec;
+        let t = Timestamp::from_components(components);
+        let mut out = bytes::BytesMut::new();
+        codec::encode_timestamp(&t, &mut out);
+        let mut buf = out.freeze();
+        prop_assert_eq!(codec::decode_timestamp(&mut buf).unwrap(), t.clone());
+
+        let topo = dgmc_core::McTopology::from_edges(
+            edges.into_iter().map(|(a, b)| (NodeId(a), NodeId(b))),
+            terminals.into_iter().map(NodeId).collect(),
+        );
+        let mut out = bytes::BytesMut::new();
+        codec::encode_topology(&topo, &mut out);
+        let mut buf = out.freeze();
+        prop_assert_eq!(codec::decode_topology(&mut buf).unwrap(), topo.clone());
+
+        let lsa = McLsa {
+            source: NodeId(1),
+            event: dgmc_core::McEventKind::Join(Role::SenderReceiver),
+            mc: MC,
+            mc_type: McType::Asymmetric,
+            proposal: Some(topo),
+            stamp: t,
+        };
+        let mut buf = codec::mc_lsa_bytes(&lsa);
+        prop_assert_eq!(codec::decode_mc_lsa(&mut buf).unwrap(), lsa);
+    }
+}

@@ -1,0 +1,384 @@
+//! End-to-end protocol tests: full switch actors over simulated networks.
+
+use dgmc_core::switch::{build_dgmc_sim, counters, inject_link_event, DgmcConfig, SwitchMsg};
+use dgmc_core::{convergence, McId, McType, Role};
+use dgmc_des::{ActorId, RunOutcome, SimDuration, Simulation};
+use dgmc_mctree::SphStrategy;
+use dgmc_topology::{generate, Network, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+const MC: McId = McId(1);
+
+fn join(sim: &mut Simulation<SwitchMsg>, node: u32, delay: SimDuration) {
+    sim.inject(
+        ActorId(node),
+        delay,
+        SwitchMsg::HostJoin {
+            mc: MC,
+            mc_type: McType::Symmetric,
+            role: Role::SenderReceiver,
+        },
+    );
+}
+
+fn leave(sim: &mut Simulation<SwitchMsg>, node: u32, delay: SimDuration) {
+    sim.inject(ActorId(node), delay, SwitchMsg::HostLeave { mc: MC });
+}
+
+fn sim_on(net: &Network, config: DgmcConfig) -> Simulation<SwitchMsg> {
+    let mut sim = build_dgmc_sim(net, config, Rc::new(SphStrategy::new()));
+    sim.set_event_budget(5_000_000);
+    sim
+}
+
+#[test]
+fn single_join_costs_one_computation_and_one_flood() {
+    let net = generate::grid(4, 4);
+    let mut sim = sim_on(&net, DgmcConfig::computation_dominated());
+    join(&mut sim, 5, SimDuration::ZERO);
+    assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+    assert_eq!(sim.counter_value(counters::COMPUTATIONS), 1);
+    assert_eq!(sim.counter_value(counters::FLOODINGS), 1);
+    assert_eq!(sim.counter_value(counters::WITHDRAWN), 0);
+    let c = convergence::check_consensus(&sim, MC).unwrap();
+    assert_eq!(c.members.len(), 1);
+}
+
+#[test]
+fn sequential_joins_converge_with_minimal_overhead() {
+    // Events far enough apart are handled individually: exactly one
+    // computation and one flooding each (the paper's Experiment 3 claim).
+    let net = generate::grid(4, 4);
+    let mut sim = sim_on(&net, DgmcConfig::computation_dominated());
+    let members = [0u32, 3, 12, 15, 5];
+    for (i, &m) in members.iter().enumerate() {
+        join(&mut sim, m, SimDuration::millis(10 * i as u64));
+    }
+    assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+    assert_eq!(
+        sim.counter_value(counters::COMPUTATIONS),
+        members.len() as u64
+    );
+    assert_eq!(sim.counter_value(counters::FLOODINGS), members.len() as u64);
+    let c = convergence::check_consensus(&sim, MC).unwrap();
+    assert_eq!(c.members.len(), members.len());
+    let tree = c.topology.unwrap();
+    assert!(tree.is_tree());
+    assert_eq!(tree.validate(&net, tree.terminals()), Ok(()));
+}
+
+#[test]
+fn burst_of_simultaneous_joins_converges() {
+    let net = generate::grid(4, 4);
+    let mut sim = sim_on(&net, DgmcConfig::computation_dominated());
+    for m in [0u32, 3, 12, 15, 6, 9] {
+        join(&mut sim, m, SimDuration::ZERO);
+    }
+    assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+    let c = convergence::check_consensus(&sim, MC).unwrap();
+    assert_eq!(c.members.len(), 6);
+    let tree = c.topology.unwrap();
+    assert_eq!(tree.validate(&net, tree.terminals()), Ok(()));
+}
+
+#[test]
+fn burst_under_wan_timing_converges() {
+    let net = generate::grid(4, 4);
+    let mut sim = sim_on(&net, DgmcConfig::communication_dominated());
+    for m in [1u32, 7, 8, 14] {
+        join(&mut sim, m, SimDuration::ZERO);
+    }
+    assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+    let c = convergence::check_consensus(&sim, MC).unwrap();
+    assert_eq!(c.members.len(), 4);
+}
+
+#[test]
+fn joins_and_leaves_interleaved_converge() {
+    let net = generate::grid(4, 4);
+    let mut sim = sim_on(&net, DgmcConfig::computation_dominated());
+    for m in [0u32, 5, 10, 15] {
+        join(&mut sim, m, SimDuration::ZERO);
+    }
+    sim.run_to_quiescence();
+    // Two leave, one joins, nearly simultaneously.
+    leave(&mut sim, 5, SimDuration::micros(5));
+    leave(&mut sim, 15, SimDuration::micros(7));
+    join(&mut sim, 3, SimDuration::micros(9));
+    assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+    let c = convergence::check_consensus(&sim, MC).unwrap();
+    let expect: Vec<NodeId> = vec![NodeId(0), NodeId(3), NodeId(10)];
+    assert_eq!(c.members.keys().copied().collect::<Vec<_>>(), expect);
+    let tree = c.topology.unwrap();
+    assert_eq!(tree.validate(&net, tree.terminals()), Ok(()));
+}
+
+#[test]
+fn all_members_leaving_destroys_the_mc_everywhere() {
+    let net = generate::ring(6);
+    let mut sim = sim_on(&net, DgmcConfig::computation_dominated());
+    for m in [0u32, 2, 4] {
+        join(&mut sim, m, SimDuration::ZERO);
+    }
+    sim.run_to_quiescence();
+    for (i, m) in [0u32, 2, 4].into_iter().enumerate() {
+        leave(&mut sim, m, SimDuration::millis(5 * (i + 1) as u64));
+    }
+    assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+    // Consensus must be "no state anywhere".
+    let c = convergence::check_consensus(&sim, MC).unwrap();
+    assert!(c.members.is_empty());
+    assert_eq!(c.topology, None);
+}
+
+#[test]
+fn link_failure_on_tree_triggers_repair() {
+    // Members at the ends of a path; cutting a tree link must rebuild via
+    // the ring's other side.
+    let net = generate::ring(8);
+    let mut sim = sim_on(&net, DgmcConfig::computation_dominated());
+    join(&mut sim, 0, SimDuration::ZERO);
+    join(&mut sim, 3, SimDuration::millis(1));
+    sim.run_to_quiescence();
+    let before = convergence::check_consensus(&sim, MC).unwrap();
+    let tree_before = before.topology.unwrap();
+    assert!(tree_before.contains_edge(NodeId(1), NodeId(2)));
+    // Cut 1-2 (a tree link).
+    let link = net.link_between(NodeId(1), NodeId(2)).unwrap().id;
+    inject_link_event(&mut sim, &net, link, false, SimDuration::millis(1));
+    assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+    let after = convergence::check_consensus(&sim, MC).unwrap();
+    let tree_after = after.topology.unwrap();
+    assert!(!tree_after.contains_edge(NodeId(1), NodeId(2)));
+    // The repaired tree is valid on the degraded ground truth.
+    let mut degraded = net.clone();
+    degraded
+        .set_link_state(link, dgmc_topology::LinkState::Down)
+        .unwrap();
+    assert_eq!(
+        tree_after.validate(&degraded, tree_after.terminals()),
+        Ok(())
+    );
+    assert_eq!(sim.counter_value(counters::ROUTER_FLOODS), 1);
+}
+
+#[test]
+fn link_failure_off_tree_is_cheap() {
+    let net = generate::ring(8);
+    let mut sim = sim_on(&net, DgmcConfig::computation_dominated());
+    join(&mut sim, 0, SimDuration::ZERO);
+    join(&mut sim, 2, SimDuration::millis(1));
+    sim.run_to_quiescence();
+    let comps_before = sim.counter_value(counters::COMPUTATIONS);
+    // Cut 5-6, far from the 0-1-2 tree.
+    let link = net.link_between(NodeId(5), NodeId(6)).unwrap().id;
+    inject_link_event(&mut sim, &net, link, false, SimDuration::millis(1));
+    sim.run_to_quiescence();
+    assert_eq!(
+        sim.counter_value(counters::COMPUTATIONS),
+        comps_before,
+        "off-tree link events must not trigger MC computations"
+    );
+}
+
+#[test]
+fn data_delivery_reaches_every_member_exactly_once() {
+    let net = generate::grid(4, 4);
+    let mut sim = sim_on(&net, DgmcConfig::computation_dominated());
+    let members = [0u32, 3, 12, 15];
+    for m in members {
+        join(&mut sim, m, SimDuration::ZERO);
+    }
+    sim.run_to_quiescence();
+    sim.inject(
+        ActorId(0),
+        SimDuration::millis(1),
+        SwitchMsg::SendData {
+            mc: MC,
+            packet_id: 42,
+        },
+    );
+    sim.run_to_quiescence();
+    for m in members {
+        let copies = convergence::delivery_map(&sim, MC, 42)[&NodeId(m)];
+        assert_eq!(copies, 1, "member {m} must get exactly one copy");
+    }
+    assert_eq!(
+        convergence::total_deliveries(&sim, MC, 42),
+        members.len() as u32
+    );
+}
+
+#[test]
+fn receiver_only_injection_from_non_member() {
+    let net = generate::grid(4, 4);
+    let mut sim = build_dgmc_sim(
+        &net,
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    );
+    let receivers = [3u32, 12, 15];
+    for r in receivers {
+        sim.inject(
+            ActorId(r),
+            SimDuration::ZERO,
+            SwitchMsg::HostJoin {
+                mc: MC,
+                mc_type: McType::ReceiverOnly,
+                role: Role::Receiver,
+            },
+        );
+    }
+    sim.run_to_quiescence();
+    // Node 0 is not a member: its packet unicasts to a contact node first.
+    sim.inject(
+        ActorId(0),
+        SimDuration::millis(1),
+        SwitchMsg::SendData {
+            mc: MC,
+            packet_id: 7,
+        },
+    );
+    sim.run_to_quiescence();
+    for r in receivers {
+        assert_eq!(
+            convergence::delivery_map(&sim, MC, 7)[&NodeId(r)],
+            1,
+            "receiver {r} must get exactly one copy"
+        );
+    }
+    // The non-member sender gets nothing.
+    assert_eq!(convergence::delivery_map(&sim, MC, 7)[&NodeId(0)], 0);
+}
+
+#[test]
+fn asymmetric_mc_sender_and_receivers() {
+    let net = generate::grid(3, 3);
+    let mut sim = sim_on(&net, DgmcConfig::computation_dominated());
+    sim.inject(
+        ActorId(0),
+        SimDuration::ZERO,
+        SwitchMsg::HostJoin {
+            mc: MC,
+            mc_type: McType::Asymmetric,
+            role: Role::Sender,
+        },
+    );
+    for r in [6u32, 8] {
+        sim.inject(
+            ActorId(r),
+            SimDuration::millis(1),
+            SwitchMsg::HostJoin {
+                mc: MC,
+                mc_type: McType::Asymmetric,
+                role: Role::Receiver,
+            },
+        );
+    }
+    sim.run_to_quiescence();
+    let c = convergence::check_consensus(&sim, MC).unwrap();
+    assert_eq!(c.members[&NodeId(0)], Role::Sender);
+    assert_eq!(c.members[&NodeId(6)], Role::Receiver);
+    // The sender's packets reach both receivers.
+    sim.inject(
+        ActorId(0),
+        SimDuration::millis(2),
+        SwitchMsg::SendData {
+            mc: MC,
+            packet_id: 1,
+        },
+    );
+    sim.run_to_quiescence();
+    assert_eq!(convergence::delivery_map(&sim, MC, 1)[&NodeId(6)], 1);
+    assert_eq!(convergence::delivery_map(&sim, MC, 1)[&NodeId(8)], 1);
+}
+
+#[test]
+fn randomized_bursts_always_converge() {
+    // Randomized stress: many graphs, random bursts of join/leave; the
+    // protocol must always reach consensus with valid trees.
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = generate::waxman(&mut rng, 30, &generate::WaxmanParams::default());
+        let mut sim = sim_on(&net, DgmcConfig::computation_dominated());
+        let mut members: Vec<u32> = Vec::new();
+        // Seed membership.
+        let initial: Vec<NodeId> = generate::sample_nodes(&mut rng, &net, 5);
+        for (i, n) in initial.iter().enumerate() {
+            join(&mut sim, n.0, SimDuration::micros(i as u64));
+            members.push(n.0);
+        }
+        sim.run_to_quiescence();
+        // Burst: 10 random conflicting events within ~one flooding time.
+        // At most one event per node — injection delays are random, so two
+        // events at the same switch could be delivered out of order.
+        let mut touched: Vec<u32> = Vec::new();
+        for k in 0..10 {
+            let delay = SimDuration::micros(rng.gen_range(0..200) + k);
+            if !members.is_empty() && rng.gen_bool(0.4) {
+                let candidates: Vec<usize> = (0..members.len())
+                    .filter(|&i| !touched.contains(&members[i]))
+                    .collect();
+                let Some(&idx) = candidates.choose(&mut rng) else {
+                    continue;
+                };
+                let node = members.swap_remove(idx);
+                touched.push(node);
+                leave(&mut sim, node, delay);
+            } else {
+                let all: Vec<u32> = net.nodes().map(|n| n.0).collect();
+                let node = *all.choose(&mut rng).unwrap();
+                if !members.contains(&node) && !touched.contains(&node) {
+                    members.push(node);
+                    touched.push(node);
+                    join(&mut sim, node, delay);
+                }
+            }
+        }
+        let outcome = sim.run_to_quiescence();
+        assert_eq!(outcome, RunOutcome::Quiescent, "seed {seed} diverged");
+        let c = convergence::check_consensus(&sim, MC)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        members.sort_unstable();
+        let got: Vec<u32> = c.members.keys().map(|n| n.0).collect();
+        assert_eq!(got, members, "seed {seed} membership mismatch");
+        if let Some(tree) = c.topology {
+            assert_eq!(tree.validate(&net, tree.terminals()), Ok(()), "seed {seed}");
+        } else {
+            assert!(members.is_empty());
+        }
+    }
+}
+
+#[test]
+fn delay_bounded_strategy_runs_live_in_the_protocol() {
+    // The protocol is algorithm-agnostic: plug the delay-bounded strategy
+    // into the switches and the converged tree honors the bound.
+    use dgmc_mctree::DelayBoundedStrategy;
+    let net = generate::ring(10);
+    let bound = 5u64;
+    let mut sim = build_dgmc_sim(
+        &net,
+        DgmcConfig::computation_dominated(),
+        Rc::new(DelayBoundedStrategy::new(bound)),
+    );
+    for (i, m) in [0u32, 4, 7].into_iter().enumerate() {
+        join(&mut sim, m, SimDuration::millis(i as u64));
+    }
+    assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+    let c = convergence::check_consensus(&sim, MC).unwrap();
+    let tree = c.topology.unwrap();
+    assert_eq!(tree.validate(&net, tree.terminals()), Ok(()));
+    let delays =
+        dgmc_mctree::metrics::tree_path_costs(&tree, &net, NodeId(0)).expect("tree valid");
+    for m in [0u32, 4, 7] {
+        assert!(
+            delays[&NodeId(m)] <= bound,
+            "member {m} at delay {}",
+            delays[&NodeId(m)]
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Focused tests of the simulated switch: counters, data-plane edge cases
+//! and configuration presets.
+
+use dgmc_core::switch::{build_dgmc_sim, counters, DgmcConfig, DgmcSwitch, SwitchMsg};
+use dgmc_core::{McId, McType, Role};
+use dgmc_des::{ActorId, SimDuration, Simulation};
+use dgmc_mctree::SphStrategy;
+use dgmc_topology::{generate, NodeId};
+use std::rc::Rc;
+
+const MC: McId = McId(1);
+
+fn sim_path(n: usize) -> Simulation<SwitchMsg> {
+    build_dgmc_sim(
+        &generate::path(n),
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    )
+}
+
+#[test]
+fn config_presets_match_paper_regimes() {
+    let lan = DgmcConfig::computation_dominated();
+    assert!(lan.tc > lan.per_hop, "ATM: computation dominates");
+    assert_eq!(lan.tc, SimDuration::micros(300));
+    assert_eq!(lan.per_hop, SimDuration::micros(10));
+    let wan = DgmcConfig::communication_dominated();
+    assert!(wan.per_hop > wan.tc, "WAN: communication dominates");
+}
+
+#[test]
+fn exact_counter_accounting_for_one_join() {
+    // Path of 4: one join floods one LSA that every other switch accepts
+    // and relays; duplicates are impossible on a tree topology.
+    let mut sim = sim_path(4);
+    sim.inject(
+        ActorId(1),
+        SimDuration::ZERO,
+        SwitchMsg::HostJoin {
+            mc: MC,
+            mc_type: McType::Symmetric,
+            role: Role::SenderReceiver,
+        },
+    );
+    sim.run_to_quiescence();
+    assert_eq!(sim.counter_value(counters::MEMBER_EVENTS), 1);
+    assert_eq!(sim.counter_value(counters::COMPUTATIONS), 1);
+    assert_eq!(sim.counter_value(counters::FLOODINGS), 1);
+    assert_eq!(sim.counter_value(counters::MC_LSAS), 3, "3 receivers");
+    assert_eq!(sim.counter_value(counters::DUPLICATES), 0, "tree topology");
+    assert_eq!(sim.counter_value(counters::INSTALLS), 4, "all switches");
+    assert_eq!(sim.counter_value(counters::WITHDRAWN), 0);
+}
+
+#[test]
+fn duplicates_appear_on_cyclic_topologies() {
+    let mut sim = build_dgmc_sim(
+        &generate::ring(5),
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    );
+    sim.inject(
+        ActorId(0),
+        SimDuration::ZERO,
+        SwitchMsg::HostJoin {
+            mc: MC,
+            mc_type: McType::Symmetric,
+            role: Role::SenderReceiver,
+        },
+    );
+    sim.run_to_quiescence();
+    assert_eq!(sim.counter_value(counters::MC_LSAS), 4);
+    assert!(sim.counter_value(counters::DUPLICATES) >= 1, "ring loops back");
+}
+
+#[test]
+fn data_for_unknown_mc_is_dropped_silently() {
+    let mut sim = sim_path(3);
+    sim.inject(
+        ActorId(0),
+        SimDuration::ZERO,
+        SwitchMsg::SendData {
+            mc: McId(99),
+            packet_id: 1,
+        },
+    );
+    sim.run_to_quiescence();
+    assert_eq!(sim.counter_value(counters::DATA_DELIVERED), 0);
+    assert_eq!(sim.events_processed(), 1, "only the injection itself");
+}
+
+#[test]
+fn leave_from_non_member_switch_is_a_noop() {
+    let mut sim = sim_path(3);
+    sim.inject(ActorId(2), SimDuration::ZERO, SwitchMsg::HostLeave { mc: MC });
+    sim.run_to_quiescence();
+    assert_eq!(sim.counter_value(counters::MEMBER_EVENTS), 0);
+    assert_eq!(sim.counter_value(counters::FLOODINGS), 0);
+}
+
+#[test]
+fn double_join_at_same_switch_counts_once() {
+    let mut sim = sim_path(3);
+    for d in [0u64, 5] {
+        sim.inject(
+            ActorId(0),
+            SimDuration::millis(d),
+            SwitchMsg::HostJoin {
+                mc: MC,
+                mc_type: McType::Symmetric,
+                role: Role::SenderReceiver,
+            },
+        );
+    }
+    sim.run_to_quiescence();
+    assert_eq!(sim.counter_value(counters::MEMBER_EVENTS), 1);
+    assert_eq!(sim.counter_value(counters::COMPUTATIONS), 1);
+}
+
+#[test]
+fn switch_accessors_expose_state() {
+    let mut sim = sim_path(3);
+    sim.inject(
+        ActorId(1),
+        SimDuration::ZERO,
+        SwitchMsg::HostJoin {
+            mc: MC,
+            mc_type: McType::ReceiverOnly,
+            role: Role::Receiver,
+        },
+    );
+    sim.run_to_quiescence();
+    let sw = sim.actor_as::<DgmcSwitch>(ActorId(1)).unwrap();
+    assert_eq!(sw.id(), NodeId(1));
+    assert!(sw.engine().is_member(MC));
+    assert_eq!(sw.engine().state(MC).unwrap().mc_type, McType::ReceiverOnly);
+    assert!(sw.routes().reaches(NodeId(2)));
+    assert!(sw.last_install() > dgmc_des::SimTime::ZERO);
+    assert_eq!(sw.delivered_copies(MC, 0), 0);
+}
+
+#[test]
+fn data_between_installs_uses_latest_tree() {
+    // Members 0 and 2 on a path; after 2 leaves, data from 0 goes nowhere
+    // else (single member left).
+    let mut sim = sim_path(3);
+    for (i, n) in [0u32, 2].into_iter().enumerate() {
+        sim.inject(
+            ActorId(n),
+            SimDuration::millis(i as u64),
+            SwitchMsg::HostJoin {
+                mc: MC,
+                mc_type: McType::Symmetric,
+                role: Role::SenderReceiver,
+            },
+        );
+    }
+    sim.run_to_quiescence();
+    sim.inject(ActorId(2), SimDuration::millis(10), SwitchMsg::HostLeave { mc: MC });
+    sim.run_to_quiescence();
+    sim.inject(
+        ActorId(0),
+        SimDuration::millis(20),
+        SwitchMsg::SendData { mc: MC, packet_id: 3 },
+    );
+    sim.run_to_quiescence();
+    let ex_member = sim.actor_as::<DgmcSwitch>(ActorId(2)).unwrap();
+    assert_eq!(ex_member.delivered_copies(MC, 3), 0, "ex-member hears nothing");
+    let sender = sim.actor_as::<DgmcSwitch>(ActorId(0)).unwrap();
+    assert_eq!(sender.delivered_copies(MC, 3), 1, "sender still a member");
+}

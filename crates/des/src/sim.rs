@@ -1,0 +1,555 @@
+use crate::stats::CounterHandle;
+use crate::trace::{TraceBuffer, TraceEvent};
+use crate::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+/// Identifier of an actor registered with a [`Simulation`].
+///
+/// The D-GMC layers register one actor per network switch and keep
+/// `ActorId(i) == NodeId(i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub u32);
+
+impl ActorId {
+    /// Returns the id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A message delivery: who sent what to whom.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// The recipient.
+    pub to: ActorId,
+    /// The sender, or `None` for externally injected events and self timers.
+    pub from: Option<ActorId>,
+    /// The payload.
+    pub msg: M,
+}
+
+/// A simulated processing entity (a network switch, a workload driver, ...).
+///
+/// Actors never block: [`Actor::handle`] runs to completion at one instant of
+/// simulated time, scheduling future work through the [`Ctx`]. Long-running
+/// computations (the paper's `Tc`) are modeled by scheduling a completion
+/// timer and reacting to it.
+pub trait Actor<M> {
+    /// Reacts to a delivered message.
+    fn handle(&mut self, ctx: &mut Ctx<'_, M>, env: Envelope<M>);
+
+    /// Optional downcasting hook for post-run inspection.
+    ///
+    /// Actors that want experiment harnesses to read their state return
+    /// `Some(self)`; the default hides the actor.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+#[derive(Debug)]
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+// Order by (time, seq): FIFO among simultaneous events, hence deterministic.
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A function rendering a message into a short trace label.
+type Labeler<M> = Box<dyn Fn(&M) -> String>;
+
+/// Why a simulation run returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Quiescent,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The safety event budget was exhausted (likely a livelock bug).
+    EventBudgetExhausted,
+}
+
+/// The scheduling surface actors see while handling a message.
+///
+/// Borrows the simulation's queue and counters; all sends are timestamped
+/// relative to the current instant.
+pub struct Ctx<'a, M> {
+    now: SimTime,
+    self_id: ActorId,
+    queue: &'a mut BinaryHeap<Reverse<Scheduled<M>>>,
+    seq: &'a mut u64,
+    counters: &'a mut HashMap<String, u64>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor currently handling a message.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Schedules `msg` for delivery to `to` after `delay`, sent by the
+    /// current actor.
+    pub fn send(&mut self, to: ActorId, delay: SimDuration, msg: M) {
+        let at = self.now + delay;
+        *self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq: *self.seq,
+            env: Envelope {
+                to,
+                from: Some(self.self_id),
+                msg,
+            },
+        }));
+    }
+
+    /// Schedules a timer: `msg` is delivered back to the current actor after
+    /// `delay` with `from == None`.
+    pub fn schedule_self(&mut self, delay: SimDuration, msg: M) {
+        let at = self.now + delay;
+        *self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq: *self.seq,
+            env: Envelope {
+                to: self.self_id,
+                from: None,
+                msg,
+            },
+        }));
+    }
+
+    /// Returns a handle to the named simulation-wide counter.
+    ///
+    /// Counters are created on first use and readable after the run through
+    /// [`Simulation::counter_value`].
+    pub fn counter(&mut self, name: &str) -> CounterHandle<'_> {
+        CounterHandle::new(self.counters, name)
+    }
+}
+
+/// The event-driven simulation engine.
+///
+/// Deterministic by construction: events at equal instants are delivered in
+/// scheduling order, and all randomness lives in the actors (which should be
+/// seeded explicitly).
+pub struct Simulation<M> {
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    seq: u64,
+    now: SimTime,
+    counters: HashMap<String, u64>,
+    events_processed: u64,
+    event_budget: u64,
+    trace: Option<(TraceBuffer, Labeler<M>)>,
+}
+
+impl<M> fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("actors", &self.actors.len())
+            .field("pending", &self.queue.len())
+            .field("now", &self.now)
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl<M> Default for Simulation<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Simulation<M> {
+    /// Creates an empty simulation at time zero.
+    pub fn new() -> Self {
+        Simulation {
+            actors: Vec::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            counters: HashMap::new(),
+            events_processed: 0,
+            event_budget: u64::MAX,
+            trace: None,
+        }
+    }
+
+    /// Caps the total number of events the engine will process, as a
+    /// protection against protocol livelocks. Default: unlimited.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Enables delivery tracing: the `labeler` renders each message into a
+    /// short label and the `capacity` most recent deliveries are retained.
+    pub fn enable_trace(&mut self, capacity: usize, labeler: impl Fn(&M) -> String + 'static) {
+        self.trace = Some((TraceBuffer::new(capacity), Box::new(labeler)));
+    }
+
+    /// The trace buffer, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref().map(|(buf, _)| buf)
+    }
+
+    /// Registers an actor and returns its id.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        self.actors.push(Some(actor));
+        ActorId((self.actors.len() - 1) as u32)
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Injects an external event for `to`, `delay` after the current instant.
+    pub fn inject(&mut self, to: ActorId, delay: SimDuration, msg: M) {
+        let at = self.now + delay;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            env: Envelope {
+                to,
+                from: None,
+                msg,
+            },
+        }));
+    }
+
+    /// Reads a counter's value (0 if the counter was never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Immutable view of every counter.
+    pub fn counters(&self) -> &HashMap<String, u64> {
+        &self.counters
+    }
+
+    /// Resets all counters to zero (the values, not the registry).
+    pub fn reset_counters(&mut self) {
+        self.counters.clear();
+    }
+
+    /// Grants read access to a registered actor between runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the actor is currently being dispatched.
+    pub fn actor_ref(&self, id: ActorId) -> &dyn Actor<M> {
+        self.actors[id.index()]
+            .as_deref()
+            .expect("actor is not mid-dispatch")
+    }
+
+    /// Downcasts a registered actor to a concrete type via
+    /// [`Actor::as_any`].
+    ///
+    /// Returns `None` when the actor does not expose itself or is of a
+    /// different type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the actor is currently being dispatched.
+    pub fn actor_as<T: 'static>(&self, id: ActorId) -> Option<&T> {
+        self.actor_ref(id).as_any()?.downcast_ref::<T>()
+    }
+
+    /// Grants mutable access to a registered actor between runs.
+    ///
+    /// Intended for workload drivers and post-run inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or the actor is currently being dispatched.
+    pub fn actor_mut(&mut self, id: ActorId) -> &mut dyn Actor<M> {
+        self.actors[id.index()]
+            .as_deref_mut()
+            .expect("actor is not mid-dispatch")
+    }
+
+    /// Runs until the queue drains.
+    pub fn run_to_quiescence(&mut self) -> RunOutcome {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Runs until the queue drains or the first event later than `horizon`
+    /// would be delivered (that event stays queued).
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        loop {
+            if self.events_processed >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            let at = match self.queue.peek() {
+                None => return RunOutcome::Quiescent,
+                Some(Reverse(s)) => s.at,
+            };
+            if at > horizon {
+                return RunOutcome::HorizonReached;
+            }
+            let Reverse(scheduled) = self.queue.pop().expect("peeked");
+            debug_assert!(scheduled.at >= self.now, "event from the past");
+            self.now = scheduled.at;
+            self.events_processed += 1;
+            if let Some((buf, labeler)) = &mut self.trace {
+                buf.push(TraceEvent {
+                    at: scheduled.at,
+                    to: scheduled.env.to,
+                    from: scheduled.env.from,
+                    label: labeler(&scheduled.env.msg),
+                });
+            }
+            let idx = scheduled.env.to.index();
+            // Take the actor out so it can borrow the queue through Ctx.
+            let mut actor = self
+                .actors
+                .get_mut(idx)
+                .and_then(Option::take)
+                .unwrap_or_else(|| {
+                    panic!("message delivered to unknown actor {}", scheduled.env.to)
+                });
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: scheduled.env.to,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
+                counters: &mut self.counters,
+            };
+            actor.handle(&mut ctx, scheduled.env);
+            self.actors[idx] = Some(actor);
+        }
+    }
+
+    /// Runs a single event if one is pending; returns its delivery time.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let at = self.queue.peek().map(|Reverse(s)| s.at)?;
+        self.run_until(at);
+        Some(at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records (time, payload) of everything it receives; optionally pings a
+    /// peer.
+    struct Recorder {
+        seen: Vec<(SimTime, u64)>,
+        forward_to: Option<ActorId>,
+    }
+
+    impl Actor<u64> for Recorder {
+        fn handle(&mut self, ctx: &mut Ctx<'_, u64>, env: Envelope<u64>) {
+            self.seen.push((ctx.now(), env.msg));
+            ctx.counter("received").incr();
+            if let Some(peer) = self.forward_to {
+                if env.msg > 0 {
+                    ctx.send(peer, SimDuration::micros(10), env.msg - 1);
+                }
+            }
+        }
+    }
+
+    fn recorder() -> Recorder {
+        Recorder {
+            seen: Vec::new(),
+            forward_to: None,
+        }
+    }
+
+    #[test]
+    fn events_deliver_in_time_order() {
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Box::new(recorder()));
+        sim.inject(a, SimDuration::micros(30), 3);
+        sim.inject(a, SimDuration::micros(10), 1);
+        sim.inject(a, SimDuration::micros(20), 2);
+        assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+        // Inspect through downcast-free pattern: replace actor with a probe.
+        assert_eq!(sim.counter_value("received"), 3);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::micros(30));
+    }
+
+    #[test]
+    fn simultaneous_events_deliver_fifo() {
+        struct Probe(Vec<u64>);
+        impl Actor<u64> for Probe {
+            fn handle(&mut self, _ctx: &mut Ctx<'_, u64>, env: Envelope<u64>) {
+                self.0.push(env.msg);
+            }
+        }
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Box::new(Probe(Vec::new())));
+        for k in 0..5 {
+            sim.inject(a, SimDuration::micros(5), k);
+        }
+        sim.run_to_quiescence();
+        // Read back through actor_mut: we know the concrete type.
+        // (Simulation has no downcasting; re-register pattern.)
+        // Instead verify via counters-free approach: drop sim and assert order
+        // by using a shared Vec would need interior mutability; simplest is to
+        // re-run with a counter asserting monotone order inside the actor.
+        struct OrderCheck(u64);
+        impl Actor<u64> for OrderCheck {
+            fn handle(&mut self, _ctx: &mut Ctx<'_, u64>, env: Envelope<u64>) {
+                assert_eq!(env.msg, self.0, "FIFO violated");
+                self.0 += 1;
+            }
+        }
+        let mut sim2 = Simulation::new();
+        let b = sim2.add_actor(Box::new(OrderCheck(0)));
+        for k in 0..5 {
+            sim2.inject(b, SimDuration::micros(5), k);
+        }
+        assert_eq!(sim2.run_to_quiescence(), RunOutcome::Quiescent);
+        assert_eq!(sim2.events_processed(), 5);
+    }
+
+    #[test]
+    fn ping_pong_advances_time() {
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Box::new(Recorder {
+            seen: Vec::new(),
+            forward_to: None,
+        }));
+        let b = sim.add_actor(Box::new(Recorder {
+            seen: Vec::new(),
+            forward_to: Some(a),
+        }));
+        // b forwards counting down: 2 -> a? No: b.forward_to = a, a doesn't forward.
+        sim.inject(b, SimDuration::ZERO, 2);
+        sim.run_to_quiescence();
+        assert_eq!(sim.counter_value("received"), 2);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::micros(10));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Box::new(recorder()));
+        sim.inject(a, SimDuration::micros(10), 1);
+        sim.inject(a, SimDuration::micros(100), 2);
+        let outcome = sim.run_until(SimTime::ZERO + SimDuration::micros(50));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(sim.counter_value("received"), 1);
+        assert!(!sim.is_quiescent());
+        assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+        assert_eq!(sim.counter_value("received"), 2);
+    }
+
+    #[test]
+    fn event_budget_stops_livelocks() {
+        struct Looper;
+        impl Actor<u64> for Looper {
+            fn handle(&mut self, ctx: &mut Ctx<'_, u64>, _env: Envelope<u64>) {
+                ctx.schedule_self(SimDuration::micros(1), 0);
+            }
+        }
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Box::new(Looper));
+        sim.set_event_budget(100);
+        sim.inject(a, SimDuration::ZERO, 0);
+        assert_eq!(sim.run_to_quiescence(), RunOutcome::EventBudgetExhausted);
+        assert_eq!(sim.events_processed(), 100);
+    }
+
+    #[test]
+    fn schedule_self_has_no_sender() {
+        struct TimerCheck;
+        impl Actor<u64> for TimerCheck {
+            fn handle(&mut self, ctx: &mut Ctx<'_, u64>, env: Envelope<u64>) {
+                if env.msg == 0 {
+                    ctx.schedule_self(SimDuration::micros(1), 1);
+                } else {
+                    assert_eq!(env.from, None, "timers carry no sender");
+                    assert_eq!(env.to, ctx.self_id());
+                }
+            }
+        }
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Box::new(TimerCheck));
+        sim.inject(a, SimDuration::ZERO, 0);
+        sim.run_to_quiescence();
+        assert_eq!(sim.events_processed(), 2);
+    }
+
+    #[test]
+    fn step_processes_one_instant() {
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Box::new(recorder()));
+        sim.inject(a, SimDuration::micros(5), 1);
+        sim.inject(a, SimDuration::micros(7), 2);
+        assert_eq!(sim.step(), Some(SimTime::ZERO + SimDuration::micros(5)));
+        assert_eq!(sim.counter_value("received"), 1);
+        assert_eq!(sim.step(), Some(SimTime::ZERO + SimDuration::micros(7)));
+        assert_eq!(sim.step(), None);
+    }
+
+    #[test]
+    fn reset_counters_clears_values() {
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Box::new(recorder()));
+        sim.inject(a, SimDuration::ZERO, 1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.counter_value("received"), 1);
+        sim.reset_counters();
+        assert_eq!(sim.counter_value("received"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown actor")]
+    fn delivery_to_unknown_actor_panics() {
+        let mut sim: Simulation<u64> = Simulation::new();
+        sim.inject(ActorId(7), SimDuration::ZERO, 0);
+        sim.run_to_quiescence();
+    }
+}

@@ -1,0 +1,180 @@
+//! Bounded event tracing for simulation debugging.
+//!
+//! When enabled on a [`crate::Simulation`], every delivered event is
+//! recorded (time, sender, receiver and a message label produced by a
+//! user-supplied labeler) into a ring buffer, so a failing run can be
+//! inspected without re-instrumenting actors.
+
+use crate::{ActorId, SimTime};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One recorded delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Delivery instant.
+    pub at: SimTime,
+    /// Recipient actor.
+    pub to: ActorId,
+    /// Sending actor (`None` for injections and timers).
+    pub from: Option<ActorId>,
+    /// Label produced by the labeler at record time.
+    pub label: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.from {
+            Some(from) => write!(f, "[{}] {} -> {}: {}", self.at, from, self.to, self.label),
+            None => write!(f, "[{}] (env) -> {}: {}", self.at, self.to, self.label),
+        }
+    }
+}
+
+/// A capacity-bounded ring buffer of [`TraceEvent`]s.
+///
+/// # Examples
+///
+/// ```
+/// use dgmc_des::trace::TraceBuffer;
+/// let mut t = TraceBuffer::new(2);
+/// t.push_raw("a".into());
+/// t.push_raw("b".into());
+/// t.push_raw("c".into());
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.dropped(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding the `capacity` most recent events.
+    pub fn new(capacity: usize) -> TraceBuffer {
+        TraceBuffer {
+            capacity,
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Records an event, evicting the oldest if full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Testing helper: records a label-only event at time zero.
+    pub fn push_raw(&mut self, label: String) {
+        self.push(TraceEvent {
+            at: SimTime::ZERO,
+            to: ActorId(0),
+            from: None,
+            label,
+        });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted (or rejected) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Retained events whose label contains `needle`.
+    pub fn matching<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.label.contains(needle))
+    }
+
+    /// Renders the retained tail as text (newest last).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(label: &str) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_nanos(42_000),
+            to: ActorId(3),
+            from: Some(ActorId(1)),
+            label: label.to_owned(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5 {
+            t.push(ev(&format!("m{i}")));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let labels: Vec<&str> = t.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, vec!["m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn matching_filters_by_label() {
+        let mut t = TraceBuffer::new(10);
+        t.push(ev("flood mc1"));
+        t.push(ev("data mc2"));
+        t.push(ev("flood mc2"));
+        assert_eq!(t.matching("flood").count(), 2);
+        assert_eq!(t.matching("mc2").count(), 2);
+        assert_eq!(t.matching("zzz").count(), 0);
+    }
+
+    #[test]
+    fn display_and_dump() {
+        let mut t = TraceBuffer::new(2);
+        t.push(ev("hello"));
+        let dump = t.dump();
+        assert!(dump.contains("a1 -> a3: hello"));
+        assert!(dump.contains("42.000us"));
+        let timer = TraceEvent {
+            from: None,
+            ..ev("tick")
+        };
+        assert!(timer.to_string().contains("(env) -> a3: tick"));
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let mut t = TraceBuffer::new(0);
+        t.push(ev("x"));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+}

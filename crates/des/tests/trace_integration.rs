@@ -1,0 +1,60 @@
+//! Tracing integration: the simulation records deliveries with labels.
+
+use dgmc_des::{Actor, ActorId, Ctx, Envelope, SimDuration, Simulation};
+
+struct Chain {
+    next: Option<ActorId>,
+}
+
+impl Actor<&'static str> for Chain {
+    fn handle(&mut self, ctx: &mut Ctx<'_, &'static str>, _env: Envelope<&'static str>) {
+        if let Some(next) = self.next {
+            ctx.send(next, SimDuration::micros(5), "relay");
+        }
+    }
+}
+
+#[test]
+fn trace_records_deliveries_in_order() {
+    let mut sim = Simulation::new();
+    let c = sim.add_actor(Box::new(Chain { next: None }));
+    let b = sim.add_actor(Box::new(Chain { next: Some(c) }));
+    let a = sim.add_actor(Box::new(Chain { next: Some(b) }));
+    sim.enable_trace(16, |msg: &&'static str| (*msg).to_owned());
+    sim.inject(a, SimDuration::ZERO, "start");
+    sim.run_to_quiescence();
+
+    let trace = sim.trace().expect("tracing enabled");
+    assert_eq!(trace.len(), 3);
+    let labels: Vec<&str> = trace.iter().map(|e| e.label.as_str()).collect();
+    assert_eq!(labels, vec!["start", "relay", "relay"]);
+    // Timestamps are non-decreasing and senders are recorded.
+    let events: Vec<_> = trace.iter().collect();
+    assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    assert_eq!(events[0].from, None, "injection has no sender");
+    assert_eq!(events[1].from, Some(a));
+    assert_eq!(trace.matching("relay").count(), 2);
+}
+
+#[test]
+fn trace_ring_keeps_the_tail() {
+    let mut sim = Simulation::new();
+    let b = sim.add_actor(Box::new(Chain { next: None }));
+    let a = sim.add_actor(Box::new(Chain { next: Some(b) }));
+    sim.enable_trace(1, |_| "m".to_owned());
+    sim.inject(a, SimDuration::ZERO, "x");
+    sim.run_to_quiescence();
+    let trace = sim.trace().unwrap();
+    assert_eq!(trace.len(), 1);
+    assert_eq!(trace.dropped(), 1);
+    assert_eq!(trace.iter().next().unwrap().to, b, "tail retained");
+}
+
+#[test]
+fn disabled_trace_returns_none() {
+    let mut sim: Simulation<&'static str> = Simulation::new();
+    let a = sim.add_actor(Box::new(Chain { next: None }));
+    sim.inject(a, SimDuration::ZERO, "x");
+    sim.run_to_quiescence();
+    assert!(sim.trace().is_none());
+}

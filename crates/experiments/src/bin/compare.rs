@@ -1,0 +1,23 @@
+//! Protocol comparison: D-GMC vs brute-force LSR multicast vs MOSPF on
+//! identical workloads, plus CBT tree-quality comparison (Section 4 prose +
+//! Section 5 related-work claims).
+//!
+//! Usage: `cargo run --release -p dgmc-experiments --bin compare [--quick]`
+
+use dgmc_experiments::compare;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sizes, graphs): (Vec<usize>, usize) = if quick {
+        (vec![20, 60], 3)
+    } else {
+        (vec![20, 60, 100, 140, 200], 10)
+    };
+    println!("== Signaling overhead per membership event ==");
+    let rows = compare::compare_protocols(&sizes, graphs, 0xC0FFEE);
+    print!("{}", compare::protocol_table(&rows));
+    println!();
+    println!("== CBT shared trees vs D-GMC Steiner trees ==");
+    let cbt_rows = compare::compare_cbt(&sizes, graphs, 0xBEEF);
+    print!("{}", compare::cbt_table(&cbt_rows));
+}

@@ -1,0 +1,34 @@
+//! Reproduces Experiment 1 (Figure 6): bursty event generation with high
+//! computation time (ATM-testbed timing).
+//!
+//! Usage: `cargo run --release -p dgmc-experiments --bin exp1 [--quick] [--csv]`
+
+use dgmc_experiments::{presets, report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut spec = presets::experiment1();
+    if args.iter().any(|a| a == "--quick") {
+        spec = presets::quick(spec);
+    }
+    let results = presets::run_experiment_with(&spec, |row| {
+        eprintln!(
+            "n={:>3}: proposals/event {:.2}, floodings/event {:.2}, convergence {:.1} rounds",
+            row.n,
+            row.proposals.mean(),
+            row.floodings.mean(),
+            row.convergence.mean()
+        );
+    });
+    if args.iter().any(|a| a == "--csv") {
+        print!("{}", report::csv(&results));
+    } else {
+        print!("{}", report::text_table(&results));
+    }
+    if args.iter().any(|a| a == "--chart") {
+        println!();
+        print!("{}", report::ascii_chart(&results, "proposals", 40));
+        println!();
+        print!("{}", report::ascii_chart(&results, "floodings", 40));
+    }
+}

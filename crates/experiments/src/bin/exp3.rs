@@ -1,0 +1,34 @@
+//! Reproduces Experiment 3 (Figure 8): "normal" traffic periods — events
+//! sufficiently separated to be handled individually.
+//!
+//! Usage: `cargo run --release -p dgmc-experiments --bin exp3 [--quick] [--csv]`
+
+use dgmc_experiments::{presets, report};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut spec = presets::experiment3();
+    if args.iter().any(|a| a == "--quick") {
+        spec = presets::quick(spec);
+    }
+    let results = presets::run_experiment_with(&spec, |row| {
+        eprintln!(
+            "n={:>3}: proposals/event {:.3} (excess {:.3}), floodings/event {:.3}",
+            row.n,
+            row.proposals.mean(),
+            (row.proposals.mean() - 1.0).max(0.0),
+            row.floodings.mean()
+        );
+    });
+    if args.iter().any(|a| a == "--csv") {
+        print!("{}", report::csv(&results));
+    } else {
+        print!("{}", report::text_table(&results));
+    }
+    if args.iter().any(|a| a == "--chart") {
+        println!();
+        print!("{}", report::ascii_chart(&results, "proposals", 40));
+        println!();
+        print!("{}", report::ascii_chart(&results, "floodings", 40));
+    }
+}

@@ -1,0 +1,25 @@
+//! Long-run churn stability study: hundreds of membership events, consensus
+//! checkpoints, overhead drift and state-leak checks.
+//!
+//! Usage: `cargo run --release -p dgmc-experiments --bin longrun [--quick]`
+
+use dgmc_experiments::longrun;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (n, events) = if quick { (30, 100) } else { (100, 500) };
+    println!("== Long-run churn: n={n}, {events} membership events ==");
+    for (label, gap) in [("sparse (50ms mean gap)", 50u64), ("tight (2ms mean gap)", 2)] {
+        match longrun::churn_run(n, events, gap, events / 10, 0x10E6) {
+            Ok(r) => println!(
+                "{label}: {} checkpoints OK, {:.2} proposals/event, {:.2} floodings/event, final tree competitiveness {:.3}, max MC states/switch {}",
+                r.checkpoints,
+                r.proposals_per_event,
+                r.floodings_per_event,
+                r.final_competitiveness.unwrap_or(f64::NAN),
+                r.max_states_per_switch
+            ),
+            Err(e) => println!("{label}: FAILED ({e})"),
+        }
+    }
+}

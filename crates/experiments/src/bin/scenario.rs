@@ -1,0 +1,60 @@
+//! Scenario runner: drive a D-GMC simulation from a text script.
+//!
+//! Usage: `cargo run --release -p dgmc-experiments --bin scenario <file>`
+//! (or pipe the script on stdin). See `dgmc_experiments::scenario` for the
+//! directive language.
+
+use dgmc_experiments::scenario;
+use std::io::Read;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let text = match args.get(1) {
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).expect("stdin");
+            buf
+        }
+    };
+    let parsed = match scenario::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "network: {} switches, {} links; {} directives",
+        parsed.net.len(),
+        parsed.net.link_count(),
+        parsed.steps.len()
+    );
+    let report = scenario::run(&parsed);
+    println!("quiescent: {}", report.quiescent);
+    for (mc, consensus) in &report.consensus {
+        match consensus {
+            Ok(c) => {
+                let members: Vec<String> =
+                    c.members.keys().map(|n| n.to_string()).collect();
+                println!(
+                    "{mc}: consensus OK, members [{}], tree edges {}",
+                    members.join(", "),
+                    c.topology.as_ref().map(|t| t.edge_count()).unwrap_or(0)
+                );
+            }
+            Err(e) => println!("{mc}: NO CONSENSUS ({e})"),
+        }
+    }
+    for (mc, pid, node, copies) in &report.deliveries {
+        println!("data {mc}/packet {pid}: delivered to {node} x{copies}");
+    }
+    let mut names: Vec<&String> = report.counters.keys().collect();
+    names.sort();
+    for name in names {
+        println!("counter {name} = {}", report.counters[name]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Experiment presets matching the paper's three simulation setups, and the
+//! sweep driver that aggregates 20 random graphs per network size with 95%
+//! confidence intervals.
+
+use crate::runner::{run_dgmc, RunMetrics};
+use crate::workload::{self, BurstParams, SparseParams, Workload};
+use dgmc_core::switch::DgmcConfig;
+use dgmc_des::stats::Tally;
+use dgmc_mctree::SphStrategy;
+use dgmc_topology::{generate, Network};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+
+/// Which workload generator an experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// Clustered, conflicting events (Experiments 1-2).
+    Bursty(BurstParams),
+    /// Well-separated events (Experiment 3).
+    Sparse(SparseParams),
+}
+
+/// A full experiment specification.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Human-readable name ("Experiment 1 (Figure 6)").
+    pub name: &'static str,
+    /// Timing regime.
+    pub config: DgmcConfig,
+    /// Network sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Random graphs per size (20 in the paper).
+    pub graphs_per_size: usize,
+    /// Workload generator.
+    pub workload: WorkloadKind,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// Experiment 1 (Figure 6): bursty events, computation time dominates
+/// (ATM testbed timing).
+pub fn experiment1() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "Experiment 1 (Figure 6): bursty events, high computation time",
+        config: DgmcConfig::computation_dominated(),
+        sizes: (20..=200).step_by(20).collect(),
+        graphs_per_size: 20,
+        workload: WorkloadKind::Bursty(BurstParams::default()),
+        seed: 0x9661,
+    }
+}
+
+/// Experiment 2 (Figure 7): bursty events, communication time dominates
+/// (WAN timing).
+pub fn experiment2() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "Experiment 2 (Figure 7): bursty events, high communication time",
+        config: DgmcConfig::communication_dominated(),
+        sizes: (20..=200).step_by(20).collect(),
+        graphs_per_size: 20,
+        workload: WorkloadKind::Bursty(BurstParams::default()),
+        seed: 0x9662,
+    }
+}
+
+/// Experiment 3 (Figure 8): sparse, well-separated events ("normal traffic
+/// periods").
+pub fn experiment3() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "Experiment 3 (Figure 8): normal traffic periods",
+        config: DgmcConfig::computation_dominated(),
+        sizes: (20..=200).step_by(20).collect(),
+        graphs_per_size: 20,
+        workload: WorkloadKind::Sparse(SparseParams::default()),
+        seed: 0x9663,
+    }
+}
+
+/// Shrinks a spec for CI/bench use: fewer sizes and graphs.
+pub fn quick(mut spec: ExperimentSpec) -> ExperimentSpec {
+    spec.sizes.retain(|n| n % 40 == 0);
+    if spec.sizes.is_empty() {
+        spec.sizes = vec![20];
+    }
+    spec.graphs_per_size = 5;
+    spec
+}
+
+/// Aggregated metrics for one network size.
+#[derive(Debug, Clone, Default)]
+pub struct SizeRow {
+    /// The network size.
+    pub n: usize,
+    /// Proposals (topology computations) per event.
+    pub proposals: Tally,
+    /// Flooding operations per event.
+    pub floodings: Tally,
+    /// Convergence time in rounds (bursty workloads only).
+    pub convergence: Tally,
+    /// Runs that failed (diverged / no consensus) — must stay 0.
+    pub failures: usize,
+}
+
+/// Results of a full experiment sweep.
+#[derive(Debug, Clone)]
+pub struct ExperimentResults {
+    /// The spec that produced the results.
+    pub name: String,
+    /// One row per network size.
+    pub rows: Vec<SizeRow>,
+}
+
+fn make_workload(kind: &WorkloadKind, rng: &mut StdRng, net: &Network) -> Workload {
+    match kind {
+        WorkloadKind::Bursty(p) => workload::bursty(rng, net, p),
+        WorkloadKind::Sparse(p) => workload::sparse(rng, net, p),
+    }
+}
+
+/// Runs the full sweep of an experiment spec.
+pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResults {
+    run_experiment_with(spec, |_row| {})
+}
+
+/// Runs the sweep, invoking `progress` after each completed size row.
+pub fn run_experiment_with(
+    spec: &ExperimentSpec,
+    mut progress: impl FnMut(&SizeRow),
+) -> ExperimentResults {
+    let mut rows = Vec::new();
+    for &n in &spec.sizes {
+        let mut row = SizeRow {
+            n,
+            ..SizeRow::default()
+        };
+        for g in 0..spec.graphs_per_size {
+            let seed = spec
+                .seed
+                .wrapping_mul(1_000_003)
+                .wrapping_add((n as u64) << 16)
+                .wrapping_add(g as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
+            let workload = make_workload(&spec.workload, &mut rng, &net);
+            match run_dgmc(&net, spec.config, &workload, Rc::new(SphStrategy::new())) {
+                Ok(m) => record(&mut row, &m),
+                Err(_) => row.failures += 1,
+            }
+        }
+        progress(&row);
+        rows.push(row);
+    }
+    ExperimentResults {
+        name: spec.name.to_owned(),
+        rows,
+    }
+}
+
+fn record(row: &mut SizeRow, m: &RunMetrics) {
+    row.proposals.record(m.proposals_per_event());
+    row.floodings.record(m.floodings_per_event());
+    if let Some(r) = m.convergence_rounds {
+        row.convergence.record(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_parameters() {
+        let e1 = experiment1();
+        assert_eq!(e1.sizes.first(), Some(&20));
+        assert_eq!(e1.sizes.last(), Some(&200), "networks up to 200 switches");
+        assert_eq!(e1.graphs_per_size, 20, "20 graphs per size");
+        assert!(matches!(e1.workload, WorkloadKind::Bursty(_)));
+        assert!(matches!(experiment3().workload, WorkloadKind::Sparse(_)));
+        // Regimes: e1 computation-dominated, e2 communication-dominated.
+        assert!(e1.config.tc > e1.config.per_hop);
+        let e2 = experiment2();
+        assert!(e2.config.per_hop > e2.config.tc);
+    }
+
+    #[test]
+    fn quick_shrinks_the_sweep() {
+        let q = quick(experiment1());
+        assert!(q.sizes.len() < experiment1().sizes.len());
+        assert_eq!(q.graphs_per_size, 5);
+        assert!(!q.sizes.is_empty());
+    }
+
+    #[test]
+    fn tiny_sweep_produces_rows_without_failures() {
+        let spec = ExperimentSpec {
+            name: "test",
+            config: DgmcConfig::computation_dominated(),
+            sizes: vec![20],
+            graphs_per_size: 3,
+            workload: WorkloadKind::Bursty(BurstParams {
+                burst_events: 6,
+                ..BurstParams::default()
+            }),
+            seed: 11,
+        };
+        let results = run_experiment(&spec);
+        assert_eq!(results.rows.len(), 1);
+        let row = &results.rows[0];
+        assert_eq!(row.failures, 0);
+        assert_eq!(row.proposals.len(), 3);
+        assert!(row.proposals.mean() >= 1.0);
+    }
+}

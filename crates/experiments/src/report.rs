@@ -1,0 +1,164 @@
+//! Plain-text and CSV rendering of experiment results, in the same
+//! rows/series the paper's figures report.
+
+use crate::presets::{ExperimentResults, SizeRow};
+use dgmc_des::stats::Tally;
+use std::fmt::Write as _;
+
+fn cell(t: &Tally) -> String {
+    if t.is_empty() {
+        "-".to_owned()
+    } else {
+        format!("{:.3} ±{:.3}", t.mean(), t.ci95_half_width())
+    }
+}
+
+/// Renders the three-metric table of one experiment (mean ± 95% CI).
+pub fn text_table(results: &ExperimentResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", results.name);
+    let _ = writeln!(
+        out,
+        "{:>6}  {:>18}  {:>18}  {:>18}  {:>8}",
+        "n", "proposals/event", "floodings/event", "convergence(rounds)", "failures"
+    );
+    for row in &results.rows {
+        let _ = writeln!(
+            out,
+            "{:>6}  {:>18}  {:>18}  {:>18}  {:>8}",
+            row.n,
+            cell(&row.proposals),
+            cell(&row.floodings),
+            cell(&row.convergence),
+            row.failures
+        );
+    }
+    out
+}
+
+/// Renders the results as CSV (`n,metric,mean,ci95`).
+pub fn csv(results: &ExperimentResults) -> String {
+    let mut out = String::from("n,metric,mean,ci95,samples\n");
+    for row in &results.rows {
+        push_csv(&mut out, row, "proposals_per_event", &row.proposals);
+        push_csv(&mut out, row, "floodings_per_event", &row.floodings);
+        push_csv(&mut out, row, "convergence_rounds", &row.convergence);
+    }
+    out
+}
+
+fn push_csv(out: &mut String, row: &SizeRow, metric: &str, t: &Tally) {
+    if t.is_empty() {
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "{},{},{:.6},{:.6},{}",
+        row.n,
+        metric,
+        t.mean(),
+        t.ci95_half_width(),
+        t.len()
+    );
+}
+
+/// Renders one metric of the results as an ASCII chart (one bar per network
+/// size), the terminal stand-in for the paper's figures.
+///
+/// `metric` selects the series: `"proposals"`, `"floodings"` or
+/// `"convergence"`.
+///
+/// # Panics
+///
+/// Panics on an unknown metric name.
+pub fn ascii_chart(results: &ExperimentResults, metric: &str, width: usize) -> String {
+    let select = |row: &SizeRow| -> Tally {
+        match metric {
+            "proposals" => row.proposals.clone(),
+            "floodings" => row.floodings.clone(),
+            "convergence" => row.convergence.clone(),
+            other => panic!("unknown metric {other:?}"),
+        }
+    };
+    let max = results
+        .rows
+        .iter()
+        .map(|r| select(r).mean())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let mut out = String::new();
+    let _ = writeln!(out, "{} — {metric}/event vs n", results.name);
+    for row in &results.rows {
+        let mean = select(row).mean();
+        let bars = ((mean / max) * width as f64).round() as usize;
+        let _ = writeln!(out, "{:>5} | {:<width$} {mean:.3}", row.n, "#".repeat(bars));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_results() -> ExperimentResults {
+        let mut row = SizeRow {
+            n: 40,
+            ..SizeRow::default()
+        };
+        row.proposals.extend([1.0, 2.0, 3.0]);
+        row.floodings.extend([2.0, 2.0]);
+        ExperimentResults {
+            name: "demo".into(),
+            rows: vec![row],
+        }
+    }
+
+    #[test]
+    fn text_table_contains_means_and_cis() {
+        let t = text_table(&sample_results());
+        assert!(t.contains("demo"));
+        assert!(t.contains("2.000 ±"));
+        assert!(t.contains("proposals/event"));
+        assert!(t.contains("    40"));
+    }
+
+    #[test]
+    fn ascii_chart_scales_bars() {
+        let mut low = SizeRow {
+            n: 20,
+            ..SizeRow::default()
+        };
+        low.proposals.record(1.0);
+        let mut high = SizeRow {
+            n: 40,
+            ..SizeRow::default()
+        };
+        high.proposals.record(4.0);
+        let results = ExperimentResults {
+            name: "demo".into(),
+            rows: vec![low, high],
+        };
+        let chart = ascii_chart(&results, "proposals", 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[1].starts_with("   20 |"));
+        let bars20 = lines[1].matches('#').count();
+        let bars40 = lines[2].matches('#').count();
+        assert_eq!(bars40, 20, "max value fills the width");
+        assert_eq!(bars20, 5, "proportional bar");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown metric")]
+    fn ascii_chart_rejects_unknown_metric() {
+        ascii_chart(&sample_results(), "nope", 10);
+    }
+
+    #[test]
+    fn csv_skips_empty_tallies() {
+        let c = csv(&sample_results());
+        assert!(c.contains("40,proposals_per_event,2.0"));
+        assert!(c.contains("40,floodings_per_event,2.0"));
+        assert!(!c.contains("convergence_rounds"), "empty tally omitted");
+        assert!(c.starts_with("n,metric,mean,ci95,samples\n"));
+    }
+}

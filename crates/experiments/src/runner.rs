@@ -1,0 +1,244 @@
+//! Executes one simulation scenario and extracts the paper's metrics.
+
+use crate::workload::Workload;
+use dgmc_core::switch::{build_dgmc_sim, counters, DgmcConfig, SwitchMsg};
+use dgmc_core::{convergence, McId, McType, Role};
+use dgmc_des::{ActorId, RunOutcome, SimDuration};
+use dgmc_mctree::McAlgorithm;
+use dgmc_topology::{metrics, Network};
+use std::rc::Rc;
+
+/// The connection id used by all experiment runs.
+pub const EXPERIMENT_MC: McId = McId(1);
+
+/// Metrics extracted from one measured run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Membership events actually injected and accepted.
+    pub events: u64,
+    /// Topology computations started during the measured phase.
+    pub computations: u64,
+    /// MC LSA flooding operations during the measured phase.
+    pub floodings: u64,
+    /// Completed-but-stale computations withdrawn.
+    pub withdrawn: u64,
+    /// Convergence time of the measured phase in *rounds* (`Tf + Tc`);
+    /// `None` when the round length is degenerate.
+    pub convergence_rounds: Option<f64>,
+    /// The flooding diameter `Tf` used for the round conversion.
+    pub tf: SimDuration,
+}
+
+impl RunMetrics {
+    /// Computations per event (the paper's Fig. 6(a)/7(a)/8(a) y-axis).
+    pub fn proposals_per_event(&self) -> f64 {
+        ratio(self.computations, self.events)
+    }
+
+    /// Floodings per event (Fig. 6(b)/7(b)/8(b)).
+    pub fn floodings_per_event(&self) -> f64 {
+        ratio(self.floodings, self.events)
+    }
+
+    /// Excess computations per event beyond the one mandatory computation.
+    pub fn excess_proposals_per_event(&self) -> f64 {
+        (self.proposals_per_event() - 1.0).max(0.0)
+    }
+
+    /// Excess floodings per event beyond the one mandatory flood.
+    pub fn excess_floodings_per_event(&self) -> f64 {
+        (self.floodings_per_event() - 1.0).max(0.0)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Errors from a measured run.
+#[derive(Debug)]
+pub enum RunError {
+    /// The simulation did not drain (event budget exhausted — livelock).
+    Diverged,
+    /// Switches disagreed after quiescence.
+    NoConsensus(convergence::ConsensusError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Diverged => f.write_str("simulation exhausted its event budget"),
+            RunError::NoConsensus(e) => write!(f, "no consensus after quiescence: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Runs one measured D-GMC scenario: warm up the initial membership, inject
+/// the workload events, run to quiescence, verify consensus and extract the
+/// metrics.
+///
+/// # Errors
+///
+/// [`RunError::Diverged`] if the event budget is exhausted;
+/// [`RunError::NoConsensus`] if switches disagree afterwards.
+pub fn run_dgmc(
+    net: &Network,
+    config: DgmcConfig,
+    workload: &Workload,
+    algorithm: Rc<dyn McAlgorithm>,
+) -> Result<RunMetrics, RunError> {
+    let mut sim = build_dgmc_sim(net, config, algorithm);
+    sim.set_event_budget(200_000_000);
+    // Warm-up: initial members join well separated.
+    let settle = SimDuration::millis(200);
+    for (i, &m) in workload.initial_members.iter().enumerate() {
+        sim.inject(
+            ActorId(m.0),
+            settle * i as u64,
+            SwitchMsg::HostJoin {
+                mc: EXPERIMENT_MC,
+                mc_type: McType::Symmetric,
+                role: Role::SenderReceiver,
+            },
+        );
+    }
+    if sim.run_to_quiescence() != RunOutcome::Quiescent {
+        return Err(RunError::Diverged);
+    }
+    convergence::check_consensus(&sim, EXPERIMENT_MC).map_err(RunError::NoConsensus)?;
+    sim.reset_counters();
+
+    // Measured phase.
+    let start = sim.now();
+    let mut injected = 0u64;
+    for e in &workload.events {
+        let msg = if e.join {
+            SwitchMsg::HostJoin {
+                mc: EXPERIMENT_MC,
+                mc_type: McType::Symmetric,
+                role: Role::SenderReceiver,
+            }
+        } else {
+            SwitchMsg::HostLeave { mc: EXPERIMENT_MC }
+        };
+        sim.inject(ActorId(e.node.0), e.at, msg);
+        injected += 1;
+    }
+    if sim.run_to_quiescence() != RunOutcome::Quiescent {
+        return Err(RunError::Diverged);
+    }
+    convergence::check_consensus(&sim, EXPERIMENT_MC).map_err(RunError::NoConsensus)?;
+
+    let tf = config.per_hop * u64::from(metrics::flooding_diameter_hops(net));
+    let round = tf + config.tc;
+    let last = convergence::last_install_time(&sim);
+    let convergence_rounds = if round.is_zero() || last < start {
+        None
+    } else {
+        Some((last - start).ratio(round))
+    };
+    Ok(RunMetrics {
+        events: injected,
+        computations: sim.counter_value(counters::COMPUTATIONS),
+        floodings: sim.counter_value(counters::FLOODINGS),
+        withdrawn: sim.counter_value(counters::WITHDRAWN),
+        convergence_rounds,
+        tf,
+    })
+}
+
+/// Convenience wrapper used by benches and tests: seed → graph → workload →
+/// metrics, with the default SPH strategy.
+pub fn run_seeded(
+    n: usize,
+    seed: u64,
+    config: DgmcConfig,
+    make_workload: impl Fn(&mut rand::rngs::StdRng, &Network) -> Workload,
+) -> Result<RunMetrics, RunError> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let net = dgmc_topology::generate::waxman(
+        &mut rng,
+        n,
+        &dgmc_topology::generate::WaxmanParams::default(),
+    );
+    let workload = make_workload(&mut rng, &net);
+    run_dgmc(
+        &net,
+        config,
+        &workload,
+        Rc::new(dgmc_mctree::SphStrategy::new()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{self, BurstParams, SparseParams};
+
+    #[test]
+    fn sparse_run_has_unit_overhead() {
+        let m = run_seeded(
+            30,
+            1,
+            DgmcConfig::computation_dominated(),
+            |rng, net| workload::sparse(rng, net, &SparseParams::default()),
+        )
+        .unwrap();
+        assert!(m.events > 0);
+        assert!((m.proposals_per_event() - 1.0).abs() < 1e-9);
+        assert!((m.floodings_per_event() - 1.0).abs() < 1e-9);
+        assert_eq!(m.excess_proposals_per_event(), 0.0);
+        assert_eq!(m.withdrawn, 0);
+    }
+
+    #[test]
+    fn bursty_run_converges_with_bounded_overhead() {
+        let m = run_seeded(
+            30,
+            2,
+            DgmcConfig::computation_dominated(),
+            |rng, net| workload::bursty(rng, net, &BurstParams::default()),
+        )
+        .unwrap();
+        assert!(m.events > 0);
+        // The paper's headline: computational overhead stays small even in
+        // very busy periods (< 5 computations per event).
+        assert!(m.proposals_per_event() < 5.0, "{}", m.proposals_per_event());
+        assert!(m.floodings_per_event() < 6.0, "{}", m.floodings_per_event());
+        assert!(m.convergence_rounds.is_some());
+    }
+
+    #[test]
+    fn wan_timing_also_converges() {
+        let m = run_seeded(
+            30,
+            3,
+            DgmcConfig::communication_dominated(),
+            |rng, net| workload::bursty(rng, net, &BurstParams::default()),
+        )
+        .unwrap();
+        assert!(m.events > 0);
+        assert!(m.proposals_per_event() >= 1.0);
+    }
+
+    #[test]
+    fn run_metrics_ratios_handle_zero_events() {
+        let m = RunMetrics {
+            events: 0,
+            computations: 0,
+            floodings: 0,
+            withdrawn: 0,
+            convergence_rounds: None,
+            tf: SimDuration::ZERO,
+        };
+        assert_eq!(m.proposals_per_event(), 0.0);
+        assert_eq!(m.floodings_per_event(), 0.0);
+    }
+}

@@ -1,0 +1,479 @@
+//! A small scenario language for driving D-GMC simulations from text.
+//!
+//! Lets users script membership churn, failures and data without writing
+//! Rust — the `scenario` binary reads a file (or stdin) like:
+//!
+//! ```text
+//! # a conference that survives a link cut
+//! net ring 8
+//! join 0 @0ms
+//! join 3 @1ms
+//! cut 1 2 @10ms
+//! send 0 @20ms id=7
+//! ```
+//!
+//! and reports consensus, counters and deliveries.
+
+use dgmc_core::switch::{
+    build_dgmc_sim, inject_link_event, inject_node_event, DgmcConfig, SwitchMsg,
+};
+use dgmc_core::{convergence, McId, McType, Role};
+use dgmc_des::{ActorId, RunOutcome, SimDuration, Simulation};
+use dgmc_mctree::SphStrategy;
+use dgmc_topology::{generate, Network, NodeId};
+use rand::SeedableRng;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// A parsed scenario: the network plus timed directives.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The ground-truth network.
+    pub net: Network,
+    /// Timed directives in file order.
+    pub steps: Vec<Step>,
+}
+
+/// One timed directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// `join <node> @<ms>ms [mc=<id>]`
+    Join {
+        /// Joining switch.
+        node: NodeId,
+        /// Offset.
+        at_ms: u64,
+        /// Connection id.
+        mc: McId,
+    },
+    /// `leave <node> @<ms>ms [mc=<id>]`
+    Leave {
+        /// Leaving switch.
+        node: NodeId,
+        /// Offset.
+        at_ms: u64,
+        /// Connection id.
+        mc: McId,
+    },
+    /// `cut <a> <b> @<ms>ms` / `repair <a> <b> @<ms>ms`
+    Link {
+        /// One endpoint.
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+        /// `true` for repair.
+        up: bool,
+        /// Offset.
+        at_ms: u64,
+    },
+    /// `fail-node <n> @<ms>ms` / `revive-node <n> @<ms>ms`
+    Node {
+        /// The switch.
+        node: NodeId,
+        /// `true` for revival.
+        up: bool,
+        /// Offset.
+        at_ms: u64,
+    },
+    /// `send <node> @<ms>ms id=<packet>` `[mc=<id>]`
+    Send {
+        /// Injecting switch.
+        node: NodeId,
+        /// Offset.
+        at_ms: u64,
+        /// Packet id.
+        packet_id: u64,
+        /// Connection id.
+        mc: McId,
+    },
+}
+
+/// Parse or execution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based line of the offending directive (0 for execution errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl Error for ScenarioError {}
+
+fn err(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_at(tok: &str, line: usize) -> Result<u64, ScenarioError> {
+    let t = tok
+        .strip_prefix('@')
+        .ok_or_else(|| err(line, format!("expected @<ms>ms, got {tok:?}")))?;
+    let t = t.strip_suffix("ms").unwrap_or(t);
+    t.parse()
+        .map_err(|_| err(line, format!("bad time value {tok:?}")))
+}
+
+fn parse_node(tok: &str, net: &Network, line: usize) -> Result<NodeId, ScenarioError> {
+    let id: u32 = tok
+        .parse()
+        .map_err(|_| err(line, format!("bad node id {tok:?}")))?;
+    let node = NodeId(id);
+    if !net.contains_node(node) {
+        return Err(err(line, format!("node {id} outside the network")));
+    }
+    Ok(node)
+}
+
+fn parse_kv(tokens: &[&str], key: &str, default: u64, line: usize) -> Result<u64, ScenarioError> {
+    for t in tokens {
+        if let Some(v) = t.strip_prefix(&format!("{key}=")) {
+            return v
+                .parse()
+                .map_err(|_| err(line, format!("bad {key} value {t:?}")));
+        }
+    }
+    Ok(default)
+}
+
+/// Parses a scenario document.
+///
+/// # Errors
+///
+/// Returns the first [`ScenarioError`] with its line number.
+pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+    let mut net: Option<Network> = None;
+    let mut steps = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = stripped.split_whitespace().collect();
+        match tokens[0] {
+            "net" => {
+                if net.is_some() {
+                    return Err(err(line, "network already declared"));
+                }
+                net = Some(parse_net(&tokens[1..], line)?);
+            }
+            verb @ ("join" | "leave") => {
+                let net_ref = net
+                    .as_ref()
+                    .ok_or_else(|| err(line, "declare `net` before directives"))?;
+                if tokens.len() < 3 {
+                    return Err(err(line, format!("usage: {verb} <node> @<ms>ms [mc=<id>]")));
+                }
+                let node = parse_node(tokens[1], net_ref, line)?;
+                let at_ms = parse_at(tokens[2], line)?;
+                let mc = McId(parse_kv(&tokens[3..], "mc", 1, line)? as u32);
+                steps.push(if verb == "join" {
+                    Step::Join { node, at_ms, mc }
+                } else {
+                    Step::Leave { node, at_ms, mc }
+                });
+            }
+            verb @ ("cut" | "repair") => {
+                let net_ref = net
+                    .as_ref()
+                    .ok_or_else(|| err(line, "declare `net` before directives"))?;
+                if tokens.len() < 4 {
+                    return Err(err(line, format!("usage: {verb} <a> <b> @<ms>ms")));
+                }
+                let a = parse_node(tokens[1], net_ref, line)?;
+                let b = parse_node(tokens[2], net_ref, line)?;
+                if net_ref.link_between(a, b).is_none() {
+                    return Err(err(line, format!("no link between {a} and {b}")));
+                }
+                steps.push(Step::Link {
+                    a,
+                    b,
+                    up: verb == "repair",
+                    at_ms: parse_at(tokens[3], line)?,
+                });
+            }
+            verb @ ("fail-node" | "revive-node") => {
+                let net_ref = net
+                    .as_ref()
+                    .ok_or_else(|| err(line, "declare `net` before directives"))?;
+                if tokens.len() < 3 {
+                    return Err(err(line, format!("usage: {verb} <node> @<ms>ms")));
+                }
+                steps.push(Step::Node {
+                    node: parse_node(tokens[1], net_ref, line)?,
+                    up: verb == "revive-node",
+                    at_ms: parse_at(tokens[2], line)?,
+                });
+            }
+            "send" => {
+                let net_ref = net
+                    .as_ref()
+                    .ok_or_else(|| err(line, "declare `net` before directives"))?;
+                if tokens.len() < 3 {
+                    return Err(err(line, "usage: send <node> @<ms>ms [id=<n>] [mc=<id>]"));
+                }
+                let node = parse_node(tokens[1], net_ref, line)?;
+                let at_ms = parse_at(tokens[2], line)?;
+                let packet_id = parse_kv(&tokens[3..], "id", 0, line)?;
+                let mc = McId(parse_kv(&tokens[3..], "mc", 1, line)? as u32);
+                steps.push(Step::Send {
+                    node,
+                    at_ms,
+                    packet_id,
+                    mc,
+                });
+            }
+            other => return Err(err(line, format!("unknown directive {other:?}"))),
+        }
+    }
+    let net = net.ok_or_else(|| err(0, "scenario declares no `net`"))?;
+    Ok(Scenario { net, steps })
+}
+
+fn parse_net(args: &[&str], line: usize) -> Result<Network, ScenarioError> {
+    match args {
+        ["ring", n] => Ok(generate::ring(parse_usize(n, line)?)),
+        ["path", n] => Ok(generate::path(parse_usize(n, line)?)),
+        ["star", n] => Ok(generate::star(parse_usize(n, line)?)),
+        ["grid", r, c] => Ok(generate::grid(parse_usize(r, line)?, parse_usize(c, line)?)),
+        ["waxman", n, seed] => {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(parse_usize(seed, line)? as u64);
+            Ok(generate::waxman(
+                &mut rng,
+                parse_usize(n, line)?,
+                &generate::WaxmanParams::default(),
+            ))
+        }
+        other => Err(err(
+            line,
+            format!("unknown network spec {other:?} (ring/path/star/grid/waxman)"),
+        )),
+    }
+}
+
+fn parse_usize(tok: &str, line: usize) -> Result<usize, ScenarioError> {
+    tok.parse()
+        .map_err(|_| err(line, format!("bad number {tok:?}")))
+}
+
+/// Outcome of a scenario run.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// Per-MC consensus results, in id order.
+    pub consensus: Vec<(McId, Result<convergence::Consensus, convergence::ConsensusError>)>,
+    /// Simulation counters.
+    pub counters: std::collections::HashMap<String, u64>,
+    /// Delivery counts per (mc, packet, member).
+    pub deliveries: Vec<(McId, u64, NodeId, u32)>,
+    /// Whether the run fully drained.
+    pub quiescent: bool,
+}
+
+/// Executes a scenario and gathers the report.
+pub fn run(scenario: &Scenario) -> ScenarioReport {
+    let mut sim: Simulation<SwitchMsg> = build_dgmc_sim(
+        &scenario.net,
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    );
+    sim.set_event_budget(200_000_000);
+    let mut mcs: Vec<McId> = Vec::new();
+    let mut sends: Vec<(McId, u64)> = Vec::new();
+    let mut net_state = scenario.net.clone();
+    for step in &scenario.steps {
+        match *step {
+            Step::Join { node, at_ms, mc } => {
+                if !mcs.contains(&mc) {
+                    mcs.push(mc);
+                }
+                sim.inject(
+                    ActorId(node.0),
+                    SimDuration::millis(at_ms),
+                    SwitchMsg::HostJoin {
+                        mc,
+                        mc_type: McType::Symmetric,
+                        role: Role::SenderReceiver,
+                    },
+                );
+            }
+            Step::Leave { node, at_ms, mc } => {
+                sim.inject(
+                    ActorId(node.0),
+                    SimDuration::millis(at_ms),
+                    SwitchMsg::HostLeave { mc },
+                );
+            }
+            Step::Link { a, b, up, at_ms } => {
+                let link = net_state
+                    .link_between(a, b)
+                    .expect("validated at parse time")
+                    .id;
+                inject_link_event(&mut sim, &net_state, link, up, SimDuration::millis(at_ms));
+                let state = if up {
+                    dgmc_topology::LinkState::Up
+                } else {
+                    dgmc_topology::LinkState::Down
+                };
+                let _ = net_state.set_link_state(link, state);
+            }
+            Step::Node { node, up, at_ms } => {
+                inject_node_event(&mut sim, &net_state, node, up, SimDuration::millis(at_ms));
+            }
+            Step::Send {
+                node,
+                at_ms,
+                packet_id,
+                mc,
+            } => {
+                sends.push((mc, packet_id));
+                sim.inject(
+                    ActorId(node.0),
+                    SimDuration::millis(at_ms),
+                    SwitchMsg::SendData { mc, packet_id },
+                );
+            }
+        }
+    }
+    let quiescent = sim.run_to_quiescence() == RunOutcome::Quiescent;
+    mcs.sort_unstable();
+    let consensus = mcs
+        .iter()
+        .map(|&mc| (mc, convergence::check_consensus(&sim, mc)))
+        .collect();
+    let mut deliveries = Vec::new();
+    for &(mc, pid) in &sends {
+        for (node, copies) in convergence::delivery_map(&sim, mc, pid) {
+            if copies > 0 {
+                deliveries.push((mc, pid, node, copies));
+            }
+        }
+    }
+    ScenarioReport {
+        consensus,
+        counters: sim.counters().clone(),
+        deliveries,
+        quiescent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "
+# conference surviving a cut
+net ring 8
+join 0 @0ms
+join 3 @1ms
+cut 1 2 @10ms
+send 0 @20ms id=7
+";
+
+    #[test]
+    fn parses_the_demo() {
+        let s = parse(DEMO).unwrap();
+        assert_eq!(s.net.len(), 8);
+        assert_eq!(s.steps.len(), 4);
+        assert_eq!(
+            s.steps[0],
+            Step::Join {
+                node: NodeId(0),
+                at_ms: 0,
+                mc: McId(1)
+            }
+        );
+        assert!(matches!(s.steps[2], Step::Link { up: false, .. }));
+    }
+
+    #[test]
+    fn runs_the_demo_end_to_end() {
+        let s = parse(DEMO).unwrap();
+        let report = run(&s);
+        assert!(report.quiescent);
+        let (mc, consensus) = &report.consensus[0];
+        assert_eq!(*mc, McId(1));
+        let c = consensus.as_ref().expect("consensus reached");
+        assert_eq!(c.members.len(), 2);
+        // The packet reached member 3 exactly once despite the cut.
+        assert!(report
+            .deliveries
+            .iter()
+            .any(|&(_, pid, node, copies)| pid == 7 && node == NodeId(3) && copies == 1));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "net ring 5\njoin 99 @0ms";
+        let e = parse(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("outside the network"));
+
+        let no_net = "join 0 @0ms";
+        assert!(parse(no_net).unwrap_err().message.contains("declare `net`"));
+
+        let dup = "net ring 5\nnet ring 6";
+        assert!(parse(dup).unwrap_err().message.contains("already declared"));
+
+        let unknown = "net ring 5\nfrob 1 @0ms";
+        assert!(parse(unknown).unwrap_err().message.contains("unknown directive"));
+
+        let no_link = "net path 4\ncut 0 3 @1ms";
+        assert!(parse(no_link).unwrap_err().message.contains("no link"));
+    }
+
+    #[test]
+    fn multiple_connections_and_kv_args() {
+        let text = "
+net grid 3 3
+join 0 @0ms mc=5
+join 8 @1ms mc=5
+join 4 @2ms mc=9
+send 0 @10ms id=3 mc=5
+";
+        let s = parse(text).unwrap();
+        let report = run(&s);
+        assert!(report.quiescent);
+        assert_eq!(report.consensus.len(), 2, "two MCs tracked");
+        let ok = report
+            .consensus
+            .iter()
+            .all(|(_, c)| c.is_ok());
+        assert!(ok);
+        assert!(report
+            .deliveries
+            .iter()
+            .any(|&(mc, pid, node, _)| mc == McId(5) && pid == 3 && node == NodeId(8)));
+    }
+
+    #[test]
+    fn node_failure_directives_run() {
+        let text = "
+net ring 6
+join 0 @0ms
+join 2 @1ms
+fail-node 1 @10ms
+revive-node 1 @50ms
+send 0 @100ms id=1
+";
+        let s = parse(text).unwrap();
+        let report = run(&s);
+        assert!(report.quiescent);
+        assert!(report
+            .deliveries
+            .iter()
+            .any(|&(_, pid, node, copies)| pid == 1 && node == NodeId(2) && copies == 1));
+    }
+}

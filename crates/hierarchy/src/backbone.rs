@@ -1,0 +1,156 @@
+//! The level-2 logical network over border switches.
+//!
+//! Backbone nodes are the border switches of the partition; backbone links
+//! are (a) the physical inter-area links and (b) *logical* intra-area links
+//! between border pairs of the same area, with the intra-area shortest-path
+//! cost — the standard PNNI "complex node" summarization.
+
+use crate::{AreaId, AreaMap};
+use dgmc_topology::{spf, Network, NodeId};
+use std::collections::BTreeMap;
+
+/// The backbone: a logical [`Network`] in the *global* node-id space (only
+/// border switches have links) plus the expansion table mapping logical
+/// links back to physical intra-area paths.
+#[derive(Debug, Clone)]
+pub struct Backbone {
+    logical: Network,
+    /// (a, b) normalized -> physical node path a..b for logical links;
+    /// physical inter-area links map to the trivial 2-node path.
+    expansion: BTreeMap<(NodeId, NodeId), Vec<NodeId>>,
+}
+
+impl Backbone {
+    /// Builds the backbone of `net` under `map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an area's borders are not mutually reachable inside their
+    /// area (the partition must produce internally connected areas).
+    pub fn build(net: &Network, map: &AreaMap) -> Backbone {
+        let borders = map.borders(net);
+        let mut logical = Network::with_nodes(net.len());
+        let mut expansion = BTreeMap::new();
+        // Physical inter-area links.
+        for link in net.up_links() {
+            if map.area_of(link.a) != map.area_of(link.b) {
+                logical
+                    .add_link(link.a, link.b, link.cost)
+                    .expect("unique inter-area links");
+                expansion.insert((link.a, link.b), vec![link.a, link.b]);
+            }
+        }
+        // Logical intra-area links between same-area border pairs.
+        for area_idx in 0..map.area_count() as u16 {
+            let area = AreaId(area_idx);
+            let sub = map.area_subgraph(net, area);
+            let area_borders: Vec<NodeId> = borders
+                .iter()
+                .copied()
+                .filter(|&b| map.area_of(b) == area)
+                .collect();
+            for (i, &a) in area_borders.iter().enumerate() {
+                if area_borders.len() <= i + 1 {
+                    continue;
+                }
+                let tree = spf::shortest_path_tree(&sub, a);
+                for &b in &area_borders[i + 1..] {
+                    let cost = tree
+                        .cost_to(b)
+                        .unwrap_or_else(|| panic!("{area} borders {a} and {b} disconnected"));
+                    let path = tree.path_to(b).expect("cost implies path");
+                    if logical.link_between(a, b).is_none() {
+                        logical.add_link(a, b, cost).expect("checked unique");
+                        let key = if a < b { (a, b) } else { (b, a) };
+                        expansion.insert(key, path);
+                    }
+                }
+            }
+        }
+        Backbone { logical, expansion }
+    }
+
+    /// The logical network (global id space; only borders are linked).
+    pub fn logical(&self) -> &Network {
+        &self.logical
+    }
+
+    /// Number of logical links.
+    pub fn logical_link_count(&self) -> usize {
+        self.logical.up_links().count()
+    }
+
+    /// Expands a logical edge to its physical node path.
+    ///
+    /// Returns `None` for unknown edges.
+    pub fn expand(&self, a: NodeId, b: NodeId) -> Option<&[NodeId]> {
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.expansion.get(&key).map(Vec::as_slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgmc_topology::generate;
+
+    #[test]
+    fn backbone_of_two_area_grid() {
+        let net = generate::grid(4, 4);
+        let map = AreaMap::partition(&net, 2);
+        let bb = Backbone::build(&net, &map);
+        let borders = map.borders(&net);
+        // Every border participates in at least one logical link.
+        for &b in &borders {
+            assert!(
+                bb.logical().degree(b) > 0,
+                "border {b} isolated in backbone"
+            );
+        }
+        // Non-border switches are isolated in the logical network.
+        for n in net.nodes() {
+            if !borders.contains(&n) {
+                assert_eq!(bb.logical().degree(n), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn logical_costs_match_intra_area_shortest_paths() {
+        let net = generate::grid(4, 4);
+        let map = AreaMap::partition(&net, 2);
+        let bb = Backbone::build(&net, &map);
+        for link in bb.logical().up_links() {
+            let path = bb.expand(link.a, link.b).expect("expansion exists");
+            // Path endpoints match the logical edge (order may be reversed).
+            let ends = (path[0], *path.last().unwrap());
+            assert!(ends == (link.a, link.b) || ends == (link.b, link.a));
+            // Path cost equals logical cost.
+            let mut cost = 0;
+            for w in path.windows(2) {
+                cost += net.link_between(w[0], w[1]).unwrap().cost;
+            }
+            assert_eq!(cost, link.cost);
+        }
+    }
+
+    #[test]
+    fn backbone_is_connected_across_areas() {
+        let net = generate::grid(6, 6);
+        let map = AreaMap::partition(&net, 4);
+        let bb = Backbone::build(&net, &map);
+        let borders: Vec<NodeId> = map.borders(&net).into_iter().collect();
+        let tree = spf::shortest_path_tree(bb.logical(), borders[0]);
+        for &b in &borders {
+            assert!(tree.reaches(b), "border {b} unreachable in backbone");
+        }
+    }
+
+    #[test]
+    fn single_area_backbone_is_empty() {
+        let net = generate::ring(6);
+        let map = AreaMap::partition(&net, 1);
+        let bb = Backbone::build(&net, &map);
+        assert_eq!(bb.logical_link_count(), 0);
+    }
+}

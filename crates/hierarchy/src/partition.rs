@@ -1,0 +1,290 @@
+//! Area partitioning of a flat network.
+
+use dgmc_topology::{Network, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of a routing area (an OSPF area / PNNI peer group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AreaId(pub u16);
+
+impl fmt::Display for AreaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "area{}", self.0)
+    }
+}
+
+/// A partition of the network's switches into contiguous areas.
+///
+/// # Examples
+///
+/// ```
+/// use dgmc_hierarchy::AreaMap;
+/// use dgmc_topology::generate;
+///
+/// let net = generate::grid(4, 4);
+/// let map = AreaMap::partition(&net, 4);
+/// assert_eq!(map.area_count(), 4);
+/// assert!(map.borders(&net).len() >= 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AreaMap {
+    area_of: Vec<AreaId>,
+    n_areas: usize,
+}
+
+impl AreaMap {
+    /// Partitions `net` into `k` contiguous, roughly balanced areas by
+    /// multi-source BFS from `k` spread-out seeds (deterministic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `k > net.len()` or `net` is disconnected.
+    pub fn partition(net: &Network, k: usize) -> AreaMap {
+        assert!(k > 0, "need at least one area");
+        assert!(k <= net.len(), "more areas than switches");
+        assert!(net.is_connected(), "hierarchy requires a connected network");
+        // Seed selection: farthest-point traversal by hops from node 0.
+        let mut seeds = vec![NodeId(0)];
+        while seeds.len() < k {
+            let mut best: Option<(u32, NodeId)> = None;
+            for cand in net.nodes() {
+                if seeds.contains(&cand) {
+                    continue;
+                }
+                let d = seeds
+                    .iter()
+                    .map(|&s| {
+                        dgmc_topology::spf::hop_distances(net, s)[cand.index()].unwrap_or(0)
+                    })
+                    .min()
+                    .unwrap_or(0);
+                if best.is_none_or(|(bd, bn)| d > bd || (d == bd && cand < bn)) {
+                    best = Some((d, cand));
+                }
+            }
+            seeds.push(best.expect("connected network has candidates").1);
+        }
+        // Balanced multi-source BFS: grow areas one ring at a time, smaller
+        // areas first, deterministic order.
+        let mut area_of: Vec<Option<AreaId>> = vec![None; net.len()];
+        let mut frontiers: Vec<Vec<NodeId>> = Vec::new();
+        for (i, &s) in seeds.iter().enumerate() {
+            area_of[s.index()] = Some(AreaId(i as u16));
+            frontiers.push(vec![s]);
+        }
+        let mut sizes = vec![1usize; k];
+        while area_of.iter().any(Option::is_none) {
+            // Expand the currently smallest area with a non-empty frontier.
+            let mut order: Vec<usize> = (0..k).collect();
+            order.sort_by_key(|&a| (sizes[a], a));
+            let mut progressed = false;
+            for a in order {
+                if frontiers[a].is_empty() {
+                    continue;
+                }
+                let mut next = Vec::new();
+                for &u in &frontiers[a] {
+                    for (v, _) in net.neighbors(u) {
+                        if area_of[v.index()].is_none() {
+                            area_of[v.index()] = Some(AreaId(a as u16));
+                            sizes[a] += 1;
+                            next.push(v);
+                        }
+                    }
+                }
+                frontiers[a] = next;
+                if sizes.iter().sum::<usize>() >= net.len() {
+                    break;
+                }
+                progressed = true;
+                break; // one ring for one area per outer iteration
+            }
+            if !progressed && area_of.iter().any(Option::is_none) {
+                // All frontiers empty but nodes remain (can't happen on a
+                // connected graph, kept as a defensive break).
+                for slot in area_of.iter_mut() {
+                    if slot.is_none() {
+                        *slot = Some(AreaId(0));
+                    }
+                }
+            }
+        }
+        AreaMap {
+            area_of: area_of.into_iter().map(|a| a.expect("assigned")).collect(),
+            n_areas: k,
+        }
+    }
+
+    /// Builds a map from an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is empty or has gaps in the area ids.
+    pub fn from_assignment(area_of: Vec<AreaId>) -> AreaMap {
+        assert!(!area_of.is_empty(), "empty assignment");
+        let n_areas = area_of.iter().map(|a| a.0 as usize + 1).max().unwrap_or(0);
+        for a in 0..n_areas {
+            assert!(
+                area_of.iter().any(|x| x.0 as usize == a),
+                "area {a} has no switches"
+            );
+        }
+        AreaMap { area_of, n_areas }
+    }
+
+    /// The area of switch `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn area_of(&self, n: NodeId) -> AreaId {
+        self.area_of[n.index()]
+    }
+
+    /// Number of areas.
+    pub fn area_count(&self) -> usize {
+        self.n_areas
+    }
+
+    /// Number of switches the map covers.
+    pub fn len(&self) -> usize {
+        self.area_of.len()
+    }
+
+    /// Returns `true` if the map covers no switches.
+    pub fn is_empty(&self) -> bool {
+        self.area_of.is_empty()
+    }
+
+    /// All switches of `area`, in id order.
+    pub fn switches_in(&self, area: AreaId) -> Vec<NodeId> {
+        self.area_of
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == area)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Switches with a neighbor in a different area, given the network.
+    pub fn borders(&self, net: &Network) -> BTreeSet<NodeId> {
+        let mut out = BTreeSet::new();
+        for link in net.up_links() {
+            if self.area_of(link.a) != self.area_of(link.b) {
+                out.insert(link.a);
+                out.insert(link.b);
+            }
+        }
+        out
+    }
+
+    /// The subgraph induced by `area`: same node ids, only intra-area links
+    /// up. Out-of-area nodes remain as isolated placeholders so global
+    /// `NodeId`s (and vector timestamps) stay valid.
+    pub fn area_subgraph(&self, net: &Network, area: AreaId) -> Network {
+        let mut sub = Network::with_nodes(net.len());
+        for link in net.up_links() {
+            if self.area_of(link.a) == area && self.area_of(link.b) == area {
+                sub.add_link(link.a, link.b, link.cost)
+                    .expect("links unique in source network");
+            }
+        }
+        sub
+    }
+
+    /// Checks that every area is internally connected on `net`.
+    pub fn areas_connected(&self, net: &Network) -> bool {
+        (0..self.n_areas as u16).all(|a| {
+            let area = AreaId(a);
+            let sub = self.area_subgraph(net, area);
+            let members = self.switches_in(area);
+            let Some(&first) = members.first() else {
+                return true;
+            };
+            let hops = dgmc_topology::spf::hop_distances(&sub, first);
+            members.iter().all(|m| hops[m.index()].is_some())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgmc_topology::generate;
+
+    #[test]
+    fn partition_covers_and_balances() {
+        let net = generate::grid(6, 6);
+        let map = AreaMap::partition(&net, 4);
+        assert_eq!(map.len(), 36);
+        assert_eq!(map.area_count(), 4);
+        for a in 0..4u16 {
+            let size = map.switches_in(AreaId(a)).len();
+            assert!((4..=16).contains(&size), "area {a} size {size}");
+        }
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let net = generate::grid(5, 5);
+        assert_eq!(AreaMap::partition(&net, 3), AreaMap::partition(&net, 3));
+    }
+
+    #[test]
+    fn areas_are_contiguous() {
+        let net = generate::grid(6, 6);
+        let map = AreaMap::partition(&net, 4);
+        assert!(map.areas_connected(&net));
+    }
+
+    #[test]
+    fn borders_touch_inter_area_links() {
+        let net = generate::grid(4, 4);
+        let map = AreaMap::partition(&net, 2);
+        let borders = map.borders(&net);
+        assert!(!borders.is_empty());
+        for &b in &borders {
+            let has_foreign = net
+                .neighbors(b)
+                .any(|(v, _)| map.area_of(v) != map.area_of(b));
+            assert!(has_foreign);
+        }
+    }
+
+    #[test]
+    fn area_subgraph_keeps_global_ids() {
+        let net = generate::grid(4, 4);
+        let map = AreaMap::partition(&net, 2);
+        let sub = map.area_subgraph(&net, AreaId(0));
+        assert_eq!(sub.len(), net.len(), "global id space preserved");
+        for link in sub.up_links() {
+            assert_eq!(map.area_of(link.a), AreaId(0));
+            assert_eq!(map.area_of(link.b), AreaId(0));
+        }
+    }
+
+    #[test]
+    fn explicit_assignment_round_trips() {
+        let assignment = vec![AreaId(0), AreaId(0), AreaId(1), AreaId(1)];
+        let map = AreaMap::from_assignment(assignment.clone());
+        assert_eq!(map.area_count(), 2);
+        assert_eq!(map.area_of(NodeId(2)), AreaId(1));
+        assert_eq!(map.switches_in(AreaId(0)), vec![NodeId(0), NodeId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no switches")]
+    fn gapped_assignment_panics() {
+        AreaMap::from_assignment(vec![AreaId(0), AreaId(2)]);
+    }
+
+    #[test]
+    fn single_area_is_the_flat_case() {
+        let net = generate::ring(5);
+        let map = AreaMap::partition(&net, 1);
+        assert!(map.borders(&net).is_empty());
+        assert_eq!(map.switches_in(AreaId(0)).len(), 5);
+    }
+}

@@ -1,0 +1,203 @@
+//! Flood-scope accounting: the scalability argument for the hierarchy.
+//!
+//! Under flat D-GMC every advertisement floods all `n` switches. Under the
+//! two-level hierarchy, an event inside an area floods only that area;
+//! only when the *inter-area* part of a connection changes does the backbone
+//! flood too. This module quantifies the reduction.
+
+use crate::backbone::Backbone;
+use crate::AreaMap;
+use dgmc_topology::{Network, NodeId};
+
+/// Flood reach of one membership event at `node`, in switches receiving the
+/// advertisement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FloodScope {
+    /// Switches reached under flat D-GMC (always `n`).
+    pub flat: usize,
+    /// Switches reached under the hierarchy: the event's area, plus the
+    /// backbone borders when the event changes the area's attachment
+    /// (conservatively counted for cross-area connections).
+    pub hierarchical: usize,
+}
+
+impl FloodScope {
+    /// Reduction factor `flat / hierarchical`.
+    pub fn reduction(&self) -> f64 {
+        self.flat as f64 / self.hierarchical.max(1) as f64
+    }
+}
+
+/// Scope of a membership event at `node` for a connection spanning
+/// `member_areas_after` areas (including the event's own area).
+pub fn membership_event_scope(
+    net: &Network,
+    map: &AreaMap,
+    backbone: &Backbone,
+    node: NodeId,
+    cross_area: bool,
+) -> FloodScope {
+    let area = map.area_of(node);
+    let area_size = map.switches_in(area).len();
+    let backbone_size = if cross_area {
+        // Borders hear about attachment changes over the logical network.
+        backbone
+            .logical()
+            .nodes()
+            .filter(|&n| backbone.logical().degree(n) > 0)
+            .count()
+    } else {
+        0
+    };
+    FloodScope {
+        flat: net.len(),
+        hierarchical: area_size + backbone_size,
+    }
+}
+
+/// Average flood scopes over all switches, for intra-area and cross-area
+/// events respectively.
+pub fn average_scopes(
+    net: &Network,
+    map: &AreaMap,
+    backbone: &Backbone,
+) -> (FloodScope, FloodScope) {
+    let n = net.len().max(1);
+    let mut intra = 0usize;
+    let mut cross = 0usize;
+    for node in net.nodes() {
+        intra += membership_event_scope(net, map, backbone, node, false).hierarchical;
+        cross += membership_event_scope(net, map, backbone, node, true).hierarchical;
+    }
+    (
+        FloodScope {
+            flat: net.len(),
+            hierarchical: intra / n,
+        },
+        FloodScope {
+            flat: net.len(),
+            hierarchical: cross / n,
+        },
+    )
+}
+
+/// Per-switch state reduction: a flat switch stores topology for all `n`
+/// switches; a hierarchical switch stores its area plus (if a border) the
+/// backbone.
+pub fn state_per_switch(map: &AreaMap, backbone: &Backbone, node: NodeId) -> usize {
+    let area = map.area_of(node);
+    let mut state = map.switches_in(area).len();
+    if backbone.logical().degree(node) > 0 {
+        state += backbone
+            .logical()
+            .nodes()
+            .filter(|&n| backbone.logical().degree(n) > 0)
+            .count();
+    }
+    state
+}
+
+/// Summary row used by the hierarchy experiment binary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScopeRow {
+    /// Number of areas.
+    pub areas: usize,
+    /// Average intra-area event scope.
+    pub intra_scope: usize,
+    /// Average cross-area event scope.
+    pub cross_scope: usize,
+    /// Flat scope (n).
+    pub flat_scope: usize,
+    /// Average per-switch stored-topology size.
+    pub avg_state: f64,
+}
+
+/// Sweeps area counts on one network.
+pub fn scope_sweep(net: &Network, area_counts: &[usize]) -> Vec<ScopeRow> {
+    area_counts
+        .iter()
+        .map(|&k| {
+            let map = AreaMap::partition(net, k);
+            let backbone = Backbone::build(net, &map);
+            let (intra, cross) = average_scopes(net, &map, &backbone);
+            let total_state: usize = net
+                .nodes()
+                .map(|n| state_per_switch(&map, &backbone, n))
+                .sum();
+            ScopeRow {
+                areas: k,
+                intra_scope: intra.hierarchical,
+                cross_scope: cross.hierarchical,
+                flat_scope: net.len(),
+                avg_state: total_state as f64 / net.len() as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgmc_topology::generate;
+
+    #[test]
+    fn intra_area_events_flood_only_the_area() {
+        let net = generate::grid(6, 6);
+        let map = AreaMap::partition(&net, 4);
+        let bb = Backbone::build(&net, &map);
+        let scope = membership_event_scope(&net, &map, &bb, NodeId(0), false);
+        assert_eq!(scope.flat, 36);
+        assert_eq!(
+            scope.hierarchical,
+            map.switches_in(map.area_of(NodeId(0))).len()
+        );
+        assert!(scope.reduction() > 1.5);
+    }
+
+    #[test]
+    fn cross_area_events_add_the_backbone() {
+        let net = generate::grid(6, 6);
+        let map = AreaMap::partition(&net, 4);
+        let bb = Backbone::build(&net, &map);
+        let intra = membership_event_scope(&net, &map, &bb, NodeId(0), false);
+        let cross = membership_event_scope(&net, &map, &bb, NodeId(0), true);
+        assert!(cross.hierarchical > intra.hierarchical);
+        assert!(cross.hierarchical <= net.len() + net.len());
+    }
+
+    #[test]
+    fn single_area_has_no_reduction() {
+        let net = generate::ring(8);
+        let map = AreaMap::partition(&net, 1);
+        let bb = Backbone::build(&net, &map);
+        let (intra, _) = average_scopes(&net, &map, &bb);
+        assert_eq!(intra.hierarchical, 8);
+        assert!((intra.reduction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_shows_monotone_intra_scope_shrink() {
+        let net = generate::grid(8, 8);
+        let rows = scope_sweep(&net, &[1, 2, 4, 8]);
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].intra_scope <= pair[0].intra_scope,
+                "more areas must not widen intra-area floods"
+            );
+        }
+        assert_eq!(rows[0].intra_scope, 64);
+        assert!(rows[3].intra_scope <= 16);
+    }
+
+    #[test]
+    fn state_shrinks_for_interior_switches() {
+        let net = generate::grid(6, 6);
+        let map = AreaMap::partition(&net, 4);
+        let bb = Backbone::build(&net, &map);
+        let interior = net
+            .nodes()
+            .find(|&n| bb.logical().degree(n) == 0)
+            .expect("some interior switch");
+        assert!(state_per_switch(&map, &bb, interior) < net.len());
+    }
+}

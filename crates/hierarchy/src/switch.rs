@@ -1,0 +1,745 @@
+//! The two-level hierarchical D-GMC switch: full signaling over the DES.
+//!
+//! Every switch runs the *unchanged* flat [`DgmcEngine`] for its own area;
+//! border switches additionally run a second engine instance over the
+//! level-2 [`Backbone`]. The two levels couple through purely local rules at
+//! each area's designated *attachment border* (the smallest border id of the
+//! area, a deterministic choice every switch can make):
+//!
+//! * **up-coupling** — when the attachment observes (through its area
+//!   engine) that the area has members for a connection, it joins the
+//!   backbone instance of that connection on the area's behalf; when the
+//!   area empties, it leaves;
+//! * **down-coupling** — when the attachment observes (through its backbone
+//!   engine) that the connection spans **two or more** areas, it joins its
+//!   own area's connection as a *relay* so the area tree spans it; when the
+//!   connection collapses back to one area, the relay leaves.
+//!
+//! Flooding is scoped: area MC LSAs relay over intra-area links only, so an
+//! intra-area event reaches `|area|` switches (the [`crate::scope`] win,
+//! now realized in actual packet counts); backbone MC LSAs travel *logical*
+//! links — border-to-border tunnels whose latency is the expansion path's
+//! hop count times the per-hop delay.
+//!
+//! Data crosses levels at attachments: packets tree-flood within the member
+//! areas and ride the backbone tree (expanded over tunnels) between them.
+
+use crate::backbone::Backbone;
+use crate::{AreaId, AreaMap};
+use dgmc_core::switch::DgmcConfig;
+use dgmc_core::{DgmcAction, DgmcEngine, McId, McLsa};
+use dgmc_des::{Actor, ActorId, Ctx, Envelope, Simulation};
+use dgmc_lsr::flood::Flooder;
+use dgmc_lsr::lsa::FloodPacket;
+use dgmc_mctree::{McAlgorithm, McType, Role};
+use dgmc_topology::{LinkId, Network, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// Which protocol instance a message belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// The switch's own area instance.
+    Area,
+    /// The border-switch backbone instance.
+    Backbone,
+}
+
+/// A data packet in the hierarchical data plane.
+#[derive(Debug, Clone)]
+pub struct HierData {
+    /// The connection.
+    pub mc: McId,
+    /// Harness-assigned id.
+    pub packet_id: u64,
+    /// Originating switch.
+    pub origin: NodeId,
+    /// Delivery phase.
+    pub kind: HierDataKind,
+}
+
+/// Delivery phase of a [`HierData`].
+#[derive(Debug, Clone)]
+pub enum HierDataKind {
+    /// Riding an area tree; `via` is the physical arrival link.
+    AreaTree {
+        /// Arrival link, `None` at injection.
+        via: Option<LinkId>,
+    },
+    /// Riding the backbone tree; `from` is the logical sender.
+    BackboneHop {
+        /// The border that tunneled the packet here.
+        from: NodeId,
+    },
+}
+
+/// Messages delivered to a [`HierSwitch`].
+#[derive(Debug, Clone)]
+pub enum HierMsg {
+    /// An intra-area flood packet arriving over a physical link.
+    AreaPacket {
+        /// The packet.
+        packet: FloodPacket<McLsa>,
+        /// Arrival link.
+        via: LinkId,
+    },
+    /// A backbone flood packet tunneled from another border.
+    BackbonePacket {
+        /// The packet.
+        packet: FloodPacket<McLsa>,
+        /// The tunneling border.
+        from: NodeId,
+    },
+    /// An attached host joins `mc`.
+    HostJoin {
+        /// The connection.
+        mc: McId,
+        /// Type used when creating.
+        mc_type: McType,
+        /// Member role.
+        role: Role,
+    },
+    /// An attached host leaves `mc`.
+    HostLeave {
+        /// The connection.
+        mc: McId,
+    },
+    /// A `Tc` computation timer fired for the given level.
+    ComputationDone {
+        /// Which engine was computing.
+        level: Level,
+        /// The connection.
+        mc: McId,
+    },
+    /// A host hands over a data packet.
+    SendData {
+        /// The connection.
+        mc: McId,
+        /// Packet id.
+        packet_id: u64,
+    },
+    /// A data packet in flight.
+    Data(HierData),
+}
+
+/// Counter names bumped by [`HierSwitch`].
+pub mod counters {
+    /// Area-level MC LSA receptions (flood scope numerator).
+    pub const AREA_LSAS: &str = "hier.area_lsas";
+    /// Backbone-level MC LSA receptions.
+    pub const BB_LSAS: &str = "hier.bb_lsas";
+    /// Area-level topology computations.
+    pub const AREA_COMPUTATIONS: &str = "hier.area_computations";
+    /// Backbone-level topology computations.
+    pub const BB_COMPUTATIONS: &str = "hier.bb_computations";
+    /// Data packets delivered to member hosts.
+    pub const DATA_DELIVERED: &str = "hier.data_delivered";
+}
+
+/// A switch participating in two-level hierarchical D-GMC.
+pub struct HierSwitch {
+    me: NodeId,
+    area: AreaId,
+    config: DgmcConfig,
+    /// Static intra-area subgraph (this hierarchical variant models
+    /// membership dynamics; link events are the flat protocol's domain).
+    area_net: Rc<Network>,
+    backbone: Rc<Backbone>,
+    /// Designated attachment border of this switch's own area.
+    my_attachment: NodeId,
+    area_engine: DgmcEngine,
+    bb_engine: Option<DgmcEngine>,
+    area_flooder: Flooder,
+    bb_flooder: Flooder,
+    intra_links: Vec<(LinkId, NodeId)>,
+    /// Logical backbone neighbors with tunnel hop counts (borders only).
+    bb_neighbors: Vec<(NodeId, u64)>,
+    /// Connections where a local host is a member (vs. relay joins).
+    host_member: BTreeSet<McId>,
+    /// MC types seen, for relay joins.
+    mc_types: BTreeMap<McId, McType>,
+    delivered: BTreeMap<(McId, u64), u32>,
+}
+
+impl std::fmt::Debug for HierSwitch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HierSwitch")
+            .field("me", &self.me)
+            .field("area", &self.area)
+            .finish()
+    }
+}
+
+impl HierSwitch {
+    /// Creates the switch.
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        me: NodeId,
+        net: &Network,
+        map: &AreaMap,
+        area_net: Rc<Network>,
+        backbone: Rc<Backbone>,
+        config: DgmcConfig,
+        algorithm: Rc<dyn McAlgorithm>,
+        attachments: &BTreeMap<AreaId, NodeId>,
+    ) -> HierSwitch {
+        let area = map.area_of(me);
+        let borders = map.borders(net);
+        let is_border = borders.contains(&me);
+        let intra_links = net
+            .links()
+            .filter(|l| l.is_up() && (l.a == me || l.b == me))
+            .filter(|l| map.area_of(l.a) == map.area_of(l.b))
+            .map(|l| (l.id, l.other(me)))
+            .collect();
+        let bb_neighbors = if is_border {
+            backbone
+                .logical()
+                .neighbors(me)
+                .map(|(n, link)| {
+                    let hops = backbone
+                        .expand(link.a, link.b)
+                        .map(|p| (p.len().saturating_sub(1)) as u64)
+                        .unwrap_or(1);
+                    (n, hops.max(1))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        HierSwitch {
+            me,
+            area,
+            config,
+            area_net,
+            backbone,
+            my_attachment: attachments[&area],
+            area_engine: DgmcEngine::new(me, net.len(), Rc::clone(&algorithm)),
+            bb_engine: is_border.then(|| DgmcEngine::new(me, net.len(), algorithm)),
+            area_flooder: Flooder::new(me),
+            bb_flooder: Flooder::new(me),
+            intra_links,
+            bb_neighbors,
+            host_member: BTreeSet::new(),
+            mc_types: BTreeMap::new(),
+            delivered: BTreeMap::new(),
+        }
+    }
+
+    /// The area-level engine (for inspection).
+    pub fn area_engine(&self) -> &DgmcEngine {
+        &self.area_engine
+    }
+
+    /// The backbone engine, if this switch is a border.
+    pub fn backbone_engine(&self) -> Option<&DgmcEngine> {
+        self.bb_engine.as_ref()
+    }
+
+    /// Copies of `(mc, packet_id)` delivered to the local host.
+    pub fn delivered_copies(&self, mc: McId, packet_id: u64) -> u32 {
+        self.delivered.get(&(mc, packet_id)).copied().unwrap_or(0)
+    }
+
+    /// Returns `true` if this switch is its area's designated attachment.
+    pub fn is_attachment(&self) -> bool {
+        self.me == self.my_attachment
+    }
+
+    fn flood_area(&mut self, ctx: &mut Ctx<'_, HierMsg>, lsa: McLsa) {
+        let packet = self.area_flooder.originate(lsa);
+        for &(link, neighbor) in &self.intra_links {
+            ctx.send(
+                ActorId(neighbor.0),
+                self.config.per_hop,
+                HierMsg::AreaPacket {
+                    packet: packet.clone(),
+                    via: link,
+                },
+            );
+        }
+    }
+
+    fn flood_backbone(&mut self, ctx: &mut Ctx<'_, HierMsg>, lsa: McLsa) {
+        let packet = self.bb_flooder.originate(lsa);
+        for &(neighbor, hops) in &self.bb_neighbors {
+            ctx.send(
+                ActorId(neighbor.0),
+                self.config.per_hop * hops,
+                HierMsg::BackbonePacket {
+                    packet: packet.clone(),
+                    from: self.me,
+                },
+            );
+        }
+    }
+
+    fn execute(&mut self, ctx: &mut Ctx<'_, HierMsg>, level: Level, actions: Vec<DgmcAction>) {
+        for action in actions {
+            match action {
+                DgmcAction::Flood(lsa) => match level {
+                    Level::Area => self.flood_area(ctx, lsa),
+                    Level::Backbone => self.flood_backbone(ctx, lsa),
+                },
+                DgmcAction::StartComputation { mc } => {
+                    let counter = match level {
+                        Level::Area => counters::AREA_COMPUTATIONS,
+                        Level::Backbone => counters::BB_COMPUTATIONS,
+                    };
+                    ctx.counter(counter).incr();
+                    ctx.schedule_self(self.config.tc, HierMsg::ComputationDone { level, mc });
+                }
+                DgmcAction::Installed { .. } | DgmcAction::Withdrawn { .. } => {}
+            }
+        }
+    }
+
+    /// `true` when the area has *host* members for `mc` — the attachment's
+    /// own relay membership (a down-coupling artifact) does not count, or
+    /// empty areas would re-attach themselves forever.
+    fn area_has_host_members(&self, mc: McId) -> bool {
+        self.area_engine.state(mc).is_some_and(|st| {
+            st.members
+                .keys()
+                .any(|&m| m != self.me || self.host_member.contains(&mc))
+        })
+    }
+
+    /// Up-coupling: the attachment mirrors its area's membership into the
+    /// backbone connection.
+    fn couple_up(&mut self, ctx: &mut Ctx<'_, HierMsg>, mc: McId) {
+        if !self.is_attachment() {
+            return;
+        }
+        let area_has_members = self.area_has_host_members(mc);
+        let Some(bb) = self.bb_engine.as_mut() else {
+            return;
+        };
+        let bb_member = bb.is_member(mc);
+        let mc_type = self
+            .mc_types
+            .get(&mc)
+            .copied()
+            .unwrap_or(McType::Symmetric);
+        if area_has_members && !bb_member {
+            let actions = bb.local_join(mc, mc_type, Role::Receiver);
+            self.execute(ctx, Level::Backbone, actions);
+        } else if !area_has_members && bb_member {
+            let actions = bb.local_leave(mc);
+            self.execute(ctx, Level::Backbone, actions);
+        }
+    }
+
+    /// Down-coupling: the attachment joins its area connection as a relay
+    /// while the connection spans multiple areas.
+    fn couple_down(&mut self, ctx: &mut Ctx<'_, HierMsg>, mc: McId) {
+        if !self.is_attachment() {
+            return;
+        }
+        let Some(bb) = self.bb_engine.as_ref() else {
+            return;
+        };
+        let span = bb.state(mc).map(|st| st.members.len()).unwrap_or(0);
+        let cross_area = span >= 2;
+        let am_area_member = self.area_engine.is_member(mc);
+        let host = self.host_member.contains(&mc);
+        // Relay-join only in areas that actually participate: the relay's
+        // purpose is to make the member area's tree span the attachment.
+        let participates = self.area_has_host_members(mc);
+        let mc_type = self
+            .mc_types
+            .get(&mc)
+            .copied()
+            .unwrap_or(McType::Symmetric);
+        if cross_area && participates && !am_area_member {
+            let actions = self.area_engine.local_join(mc, mc_type, Role::Receiver);
+            self.execute(ctx, Level::Area, actions);
+        } else if !cross_area && am_area_member && !host {
+            let actions = self.area_engine.local_leave(mc);
+            self.execute(ctx, Level::Area, actions);
+        }
+    }
+
+    fn deliver_locally(&mut self, ctx: &mut Ctx<'_, HierMsg>, data: &HierData) {
+        if self.host_member.contains(&data.mc) {
+            ctx.counter(counters::DATA_DELIVERED).incr();
+            *self
+                .delivered
+                .entry((data.mc, data.packet_id))
+                .or_insert(0) += 1;
+        }
+    }
+
+    fn area_tree_neighbors(&self, mc: McId, except: Option<NodeId>) -> Vec<(LinkId, NodeId)> {
+        let Some(tree) = self.area_engine.installed(mc) else {
+            return Vec::new();
+        };
+        tree.neighbors_in(self.me)
+            .into_iter()
+            .filter(|&n| Some(n) != except)
+            .filter_map(|n| {
+                self.intra_links
+                    .iter()
+                    .find(|&&(_, nb)| nb == n)
+                    .map(|&(l, _)| (l, n))
+            })
+            .collect()
+    }
+
+    fn bb_tree_neighbors(&self, mc: McId, except: Option<NodeId>) -> Vec<(NodeId, u64)> {
+        let Some(bb) = self.bb_engine.as_ref() else {
+            return Vec::new();
+        };
+        let Some(tree) = bb.installed(mc) else {
+            return Vec::new();
+        };
+        tree.neighbors_in(self.me)
+            .into_iter()
+            .filter(|&n| Some(n) != except)
+            .filter_map(|n| {
+                self.bb_neighbors
+                    .iter()
+                    .find(|&&(nb, _)| nb == n)
+                    .copied()
+            })
+            .collect()
+    }
+
+    fn forward_area_tree(
+        &mut self,
+        ctx: &mut Ctx<'_, HierMsg>,
+        data: HierData,
+        from: Option<NodeId>,
+        and_backbone: bool,
+    ) {
+        self.deliver_locally(ctx, &data);
+        for (link, n) in self.area_tree_neighbors(data.mc, from) {
+            ctx.send(
+                ActorId(n.0),
+                self.config.per_hop,
+                HierMsg::Data(HierData {
+                    kind: HierDataKind::AreaTree { via: Some(link) },
+                    ..data.clone()
+                }),
+            );
+        }
+        if and_backbone && self.is_attachment() {
+            for (n, hops) in self.bb_tree_neighbors(data.mc, None) {
+                ctx.send(
+                    ActorId(n.0),
+                    self.config.per_hop * hops,
+                    HierMsg::Data(HierData {
+                        kind: HierDataKind::BackboneHop { from: self.me },
+                        ..data.clone()
+                    }),
+                );
+            }
+        }
+    }
+
+    fn on_data(&mut self, ctx: &mut Ctx<'_, HierMsg>, data: HierData) {
+        match data.kind {
+            HierDataKind::AreaTree { via } => {
+                let from = via.and_then(|v| {
+                    self.intra_links
+                        .iter()
+                        .find(|&&(l, _)| l == v)
+                        .map(|&(_, n)| n)
+                });
+                // Attachments bridge area traffic onto the backbone. An
+                // AreaTree packet reaching the attachment is necessarily
+                // origin-area traffic: backbone crossings re-enter areas
+                // *from* the attachment (which never receives its own
+                // injection back — area trees are acyclic).
+                let bridge = self.is_attachment();
+                self.forward_area_tree(ctx, data, from, bridge);
+            }
+            HierDataKind::BackboneHop { from } => {
+                // Relay along the backbone tree.
+                for (n, hops) in self.bb_tree_neighbors(data.mc, Some(from)) {
+                    ctx.send(
+                        ActorId(n.0),
+                        self.config.per_hop * hops,
+                        HierMsg::Data(HierData {
+                            kind: HierDataKind::BackboneHop { from: self.me },
+                            ..data.clone()
+                        }),
+                    );
+                }
+                // Inject into the local area tree (we are this area's
+                // attachment if we are on the backbone tree for the MC and
+                // our area participates).
+                if self.is_attachment() && self.area_engine.is_member(data.mc) {
+                    let d = HierData {
+                        kind: HierDataKind::AreaTree { via: None },
+                        ..data
+                    };
+                    self.forward_area_tree(ctx, d, None, false);
+                }
+            }
+        }
+    }
+
+}
+
+impl Actor<HierMsg> for HierSwitch {
+    fn handle(&mut self, ctx: &mut Ctx<'_, HierMsg>, env: Envelope<HierMsg>) {
+        match env.msg {
+            HierMsg::AreaPacket { packet, via } => {
+                if !self.area_flooder.accept(packet.id) {
+                    return;
+                }
+                for &(link, neighbor) in &self.intra_links {
+                    if link == via {
+                        continue;
+                    }
+                    ctx.send(
+                        ActorId(neighbor.0),
+                        self.config.per_hop,
+                        HierMsg::AreaPacket {
+                            packet: packet.clone(),
+                            via: link,
+                        },
+                    );
+                }
+                ctx.counter(counters::AREA_LSAS).incr();
+                let lsa = packet.payload;
+                let mc = lsa.mc;
+                self.mc_types.entry(mc).or_insert(lsa.mc_type);
+                let actions = self.area_engine.on_mc_lsa(lsa);
+                self.execute(ctx, Level::Area, actions);
+                self.couple_up(ctx, mc);
+            }
+            HierMsg::BackbonePacket { packet, from } => {
+                if !self.bb_flooder.accept(packet.id) {
+                    return;
+                }
+                let relay = packet.clone();
+                for &(neighbor, hops) in &self.bb_neighbors {
+                    if neighbor == from {
+                        continue;
+                    }
+                    ctx.send(
+                        ActorId(neighbor.0),
+                        self.config.per_hop * hops,
+                        HierMsg::BackbonePacket {
+                            packet: relay.clone(),
+                            from: self.me,
+                        },
+                    );
+                }
+                ctx.counter(counters::BB_LSAS).incr();
+                let lsa = packet.payload;
+                let mc = lsa.mc;
+                self.mc_types.entry(mc).or_insert(lsa.mc_type);
+                if let Some(bb) = self.bb_engine.as_mut() {
+                    let actions = bb.on_mc_lsa(lsa);
+                    self.execute(ctx, Level::Backbone, actions);
+                }
+                self.couple_down(ctx, mc);
+            }
+            HierMsg::HostJoin { mc, mc_type, role } => {
+                self.mc_types.insert(mc, mc_type);
+                self.host_member.insert(mc);
+                let actions = self.area_engine.local_join(mc, mc_type, role);
+                self.execute(ctx, Level::Area, actions);
+                self.couple_up(ctx, mc);
+            }
+            HierMsg::HostLeave { mc } => {
+                self.host_member.remove(&mc);
+                // Keep relay membership if the attachment still needs it.
+                let actions = self.area_engine.local_leave(mc);
+                self.execute(ctx, Level::Area, actions);
+                self.couple_up(ctx, mc);
+            }
+            HierMsg::ComputationDone { level, mc } => match level {
+                Level::Area => {
+                    let image = Rc::clone(&self.area_net);
+                    let actions = self.area_engine.on_computation_done(mc, &image);
+                    self.execute(ctx, Level::Area, actions);
+                    self.couple_up(ctx, mc);
+                }
+                Level::Backbone => {
+                    let backbone = Rc::clone(&self.backbone);
+                    if let Some(bb) = self.bb_engine.as_mut() {
+                        let actions = bb.on_computation_done(mc, backbone.logical());
+                        self.execute(ctx, Level::Backbone, actions);
+                    }
+                    self.couple_down(ctx, mc);
+                }
+            },
+            HierMsg::SendData { mc, packet_id } => {
+                let data = HierData {
+                    mc,
+                    packet_id,
+                    origin: self.me,
+                    kind: HierDataKind::AreaTree { via: None },
+                };
+                self.forward_area_tree(ctx, data, None, false);
+                // The injection also rides toward the attachment through
+                // the tree; the attachment bridges when it is hit. If we
+                // *are* the attachment, bridge immediately.
+                if self.is_attachment() {
+                    let d = HierData {
+                        mc,
+                        packet_id,
+                        origin: self.me,
+                        kind: HierDataKind::AreaTree { via: None },
+                    };
+                    for (n, hops) in self.bb_tree_neighbors(d.mc, None) {
+                        ctx.send(
+                            ActorId(n.0),
+                            self.config.per_hop * hops,
+                            HierMsg::Data(HierData {
+                                kind: HierDataKind::BackboneHop { from: self.me },
+                                ..d.clone()
+                            }),
+                        );
+                    }
+                }
+            }
+            HierMsg::Data(data) => self.on_data(ctx, data),
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Builds a hierarchical simulation: one [`HierSwitch`] per node.
+///
+/// # Panics
+///
+/// Panics if some area has no border while `map` has multiple areas.
+pub fn build_hier_sim(
+    net: &Network,
+    map: &AreaMap,
+    config: DgmcConfig,
+    algorithm: Rc<dyn McAlgorithm>,
+) -> Simulation<HierMsg> {
+    let backbone = Rc::new(Backbone::build(net, map));
+    let borders = map.borders(net);
+    // Designated attachment per area: the smallest border id; for a
+    // single-area map every switch is its own "attachment" (unused).
+    let mut attachments: BTreeMap<AreaId, NodeId> = BTreeMap::new();
+    for a in 0..map.area_count() as u16 {
+        let area = AreaId(a);
+        let att = borders
+            .iter()
+            .copied()
+            .find(|&b| map.area_of(b) == area)
+            .unwrap_or_else(|| {
+                assert_eq!(map.area_count(), 1, "{area} has no border switch");
+                NodeId(0)
+            });
+        attachments.insert(area, att);
+    }
+    // Per-area subgraphs shared among the area's switches.
+    let area_nets: BTreeMap<AreaId, Rc<Network>> = (0..map.area_count() as u16)
+        .map(|a| {
+            let area = AreaId(a);
+            (area, Rc::new(map.area_subgraph(net, area)))
+        })
+        .collect();
+    let mut sim = Simulation::new();
+    for n in net.nodes() {
+        let area = map.area_of(n);
+        let sw = HierSwitch::new(
+            n,
+            net,
+            map,
+            Rc::clone(&area_nets[&area]),
+            Rc::clone(&backbone),
+            config,
+            Rc::clone(&algorithm),
+            &attachments,
+        );
+        let id = sim.add_actor(Box::new(sw));
+        debug_assert_eq!(id.index(), n.index());
+    }
+    sim
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgmc_mctree::SphStrategy;
+    use dgmc_topology::generate;
+
+    fn grid_setup(k: usize) -> (Network, AreaMap, Simulation<HierMsg>) {
+        let net = generate::grid(4, 4);
+        let map = AreaMap::partition(&net, k);
+        let sim = build_hier_sim(
+            &net,
+            &map,
+            DgmcConfig::computation_dominated(),
+            Rc::new(SphStrategy::new()),
+        );
+        (net, map, sim)
+    }
+
+    #[test]
+    fn builder_registers_one_actor_per_switch() {
+        let (net, _map, sim) = grid_setup(2);
+        assert_eq!(sim.actor_count(), net.len());
+        for n in net.nodes() {
+            let sw = sim.actor_as::<HierSwitch>(ActorId(n.0)).expect("typed");
+            assert!(sw.backbone_engine().is_some() || !sw.is_attachment());
+        }
+    }
+
+    #[test]
+    fn exactly_one_attachment_per_area() {
+        let (net, map, sim) = grid_setup(4);
+        for a in 0..map.area_count() as u16 {
+            let area = AreaId(a);
+            let attachments: Vec<NodeId> = map
+                .switches_in(area)
+                .into_iter()
+                .filter(|&s| {
+                    sim.actor_as::<HierSwitch>(ActorId(s.0))
+                        .unwrap()
+                        .is_attachment()
+                })
+                .collect();
+            assert_eq!(attachments.len(), 1, "{area}");
+            // The attachment is a border switch.
+            assert!(map.borders(&net).contains(&attachments[0]));
+        }
+    }
+
+    #[test]
+    fn interior_switches_have_no_backbone_engine() {
+        let (net, map, sim) = grid_setup(2);
+        let borders = map.borders(&net);
+        for n in net.nodes() {
+            let sw = sim.actor_as::<HierSwitch>(ActorId(n.0)).unwrap();
+            assert_eq!(sw.backbone_engine().is_some(), borders.contains(&n));
+        }
+    }
+
+    #[test]
+    fn tunnel_hop_counts_match_expansion_paths() {
+        let net = generate::grid(4, 4);
+        let map = AreaMap::partition(&net, 2);
+        let backbone = Backbone::build(&net, &map);
+        let sim = build_hier_sim(
+            &net,
+            &map,
+            DgmcConfig::computation_dominated(),
+            Rc::new(SphStrategy::new()),
+        );
+        for &b in map.borders(&net).iter() {
+            let sw = sim.actor_as::<HierSwitch>(ActorId(b.0)).unwrap();
+            for &(neighbor, hops) in &sw.bb_neighbors {
+                let link = backbone
+                    .logical()
+                    .link_between(b, neighbor)
+                    .expect("logical link");
+                let path = backbone.expand(link.a, link.b).expect("expansion");
+                assert_eq!(hops as usize, path.len() - 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration: the hierarchy composes with the unchanged flat protocol.
+
+use dgmc_core::switch::{build_dgmc_sim, DgmcConfig, SwitchMsg};
+use dgmc_core::{convergence, McId, McType, Role};
+use dgmc_des::{ActorId, SimDuration};
+use dgmc_hierarchy::backbone::Backbone;
+use dgmc_hierarchy::{AreaId, AreaMap, HierarchicalMc};
+use dgmc_mctree::SphStrategy;
+use dgmc_topology::{generate, NodeId};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Each area is a complete flat D-GMC domain: running the ordinary DES on
+/// the area subgraph converges exactly as on any flat network.
+#[test]
+fn flat_protocol_runs_unchanged_inside_an_area() {
+    let net = generate::grid(6, 6);
+    let map = AreaMap::partition(&net, 4);
+    let area = AreaId(0);
+    let sub = map.area_subgraph(&net, area);
+    let members: Vec<NodeId> = map.switches_in(area).into_iter().take(3).collect();
+    let mut sim = build_dgmc_sim(
+        &sub,
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    );
+    for (i, m) in members.iter().enumerate() {
+        sim.inject(
+            ActorId(m.0),
+            SimDuration::millis(i as u64),
+            SwitchMsg::HostJoin {
+                mc: McId(1),
+                mc_type: McType::Symmetric,
+                role: Role::SenderReceiver,
+            },
+        );
+    }
+    sim.run_to_quiescence();
+    // Note: out-of-area switches are isolated placeholder nodes in the
+    // subgraph; floods never reach them, so consensus is checked among the
+    // area's switches (the others never allocate state... they are
+    // unreachable, so check_consensus would flag PartialState; inspect the
+    // area switches directly instead).
+    let reference = sim
+        .actor_as::<dgmc_core::switch::DgmcSwitch>(ActorId(members[0].0))
+        .unwrap()
+        .engine()
+        .installed(McId(1))
+        .cloned()
+        .expect("tree installed");
+    for s in map.switches_in(area) {
+        let sw = sim
+            .actor_as::<dgmc_core::switch::DgmcSwitch>(ActorId(s.0))
+            .unwrap();
+        assert_eq!(
+            sw.engine().installed(McId(1)),
+            Some(&reference),
+            "area switch {s} disagrees"
+        );
+    }
+    let want: BTreeSet<NodeId> = members.iter().copied().collect();
+    assert_eq!(reference.validate(&sub, &want), Ok(()));
+}
+
+/// A hierarchically computed topology is a perfectly ordinary proposal: it
+/// validates on the flat network and tree-floods data to every member.
+#[test]
+fn hierarchical_tree_carries_data_end_to_end() {
+    let net = generate::grid(6, 6);
+    let map = AreaMap::partition(&net, 4);
+    let bb = Backbone::build(&net, &map);
+    let members: BTreeSet<NodeId> = [NodeId(0), NodeId(5), NodeId(30), NodeId(35)].into();
+    let mc = HierarchicalMc::compute(&net, &map, &bb, &members).unwrap();
+    let tree = mc.topology().clone();
+    assert_eq!(tree.validate(&net, &members), Ok(()));
+
+    // Walk the tree from one member: every member is reached (tree-flood
+    // data-plane equivalence without spinning up the whole DES).
+    let reached = tree.hops_from(NodeId(0));
+    for &m in &members {
+        assert!(reached.contains_key(&m), "member {m} not reached");
+    }
+}
+
+/// End-to-end on the real DES: install memberships via the flat protocol on
+/// the full network, then verify the hierarchical computation spans the same
+/// member set with bounded extra cost.
+#[test]
+fn hierarchy_matches_flat_protocol_membership() {
+    let net = generate::grid(6, 6);
+    let map = AreaMap::partition(&net, 4);
+    let bb = Backbone::build(&net, &map);
+    let mut sim = build_dgmc_sim(
+        &net,
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    );
+    let joiners = [0u32, 5, 30, 35, 14];
+    for (i, j) in joiners.into_iter().enumerate() {
+        sim.inject(
+            ActorId(j),
+            SimDuration::millis(i as u64),
+            SwitchMsg::HostJoin {
+                mc: McId(1),
+                mc_type: McType::Symmetric,
+                role: Role::SenderReceiver,
+            },
+        );
+    }
+    sim.run_to_quiescence();
+    let consensus = convergence::check_consensus(&sim, McId(1)).unwrap();
+    let members: BTreeSet<NodeId> = consensus.members.keys().copied().collect();
+    let flat_tree = consensus.topology.unwrap();
+
+    let hier = HierarchicalMc::compute(&net, &map, &bb, &members).unwrap();
+    assert_eq!(hier.topology().validate(&net, &members), Ok(()));
+    let hc = hier.topology().total_cost(&net).unwrap() as f64;
+    let fc = flat_tree.total_cost(&net).unwrap() as f64;
+    assert!(hc <= 2.0 * fc, "hierarchical {hc} vs flat {fc}");
+}

@@ -1,0 +1,218 @@
+//! A ready-made DES actor running the LSR substrate standalone.
+//!
+//! Used to validate the substrate (flooding coverage, route convergence after
+//! failures) independently of the D-GMC layer, and as the template the D-GMC
+//! switch actor follows.
+
+use crate::lsa::{FloodPacket, RouterLsa};
+use crate::{LsrAction, LsrNode};
+use dgmc_des::{Actor, ActorId, Ctx, Envelope, SimDuration, Simulation};
+use dgmc_topology::{LinkId, Network, NodeId};
+
+/// Messages exchanged by [`LsrActor`]s.
+#[derive(Debug, Clone)]
+pub enum LsrMsg {
+    /// A flood packet arriving over `via`.
+    Packet {
+        /// The packet.
+        packet: FloodPacket<RouterLsa>,
+        /// The link it arrived on.
+        via: LinkId,
+    },
+    /// A local link state change; `originate` marks the designated detector.
+    LinkEvent {
+        /// The affected incident link.
+        link: LinkId,
+        /// New operational state.
+        up: bool,
+        /// Whether this endpoint floods the advertisement.
+        originate: bool,
+    },
+}
+
+/// Counter names bumped by [`LsrActor`].
+pub mod counters {
+    /// Flood operations initiated (one per advertised event).
+    pub const FLOODS_ORIGINATED: &str = "lsr.floods_originated";
+    /// Fresh (non-duplicate) packets accepted.
+    pub const PACKETS_ACCEPTED: &str = "lsr.packets_accepted";
+    /// Duplicate packets suppressed.
+    pub const PACKETS_DUPLICATE: &str = "lsr.packets_duplicate";
+    /// Routing table recomputations.
+    pub const ROUTE_RECOMPUTES: &str = "lsr.route_recomputes";
+}
+
+/// DES actor hosting one [`LsrNode`].
+#[derive(Debug)]
+pub struct LsrActor {
+    node: LsrNode,
+    per_hop: SimDuration,
+}
+
+impl LsrActor {
+    /// Creates the actor for switch `me` with the given per-hop LSA delay.
+    pub fn new(me: NodeId, net: &Network, per_hop: SimDuration) -> Self {
+        LsrActor {
+            node: LsrNode::new(me, net),
+            per_hop,
+        }
+    }
+
+    /// Read access to the hosted state machine.
+    pub fn node(&self) -> &LsrNode {
+        &self.node
+    }
+
+    fn execute(&self, ctx: &mut Ctx<'_, LsrMsg>, actions: Vec<LsrAction>) {
+        for action in actions {
+            match action {
+                LsrAction::Send {
+                    link,
+                    neighbor,
+                    packet,
+                } => {
+                    ctx.send(
+                        ActorId(neighbor.0),
+                        self.per_hop,
+                        LsrMsg::Packet { packet, via: link },
+                    );
+                }
+                LsrAction::RoutesChanged => {
+                    ctx.counter(counters::ROUTE_RECOMPUTES).incr();
+                }
+            }
+        }
+    }
+}
+
+impl Actor<LsrMsg> for LsrActor {
+    fn handle(&mut self, ctx: &mut Ctx<'_, LsrMsg>, env: Envelope<LsrMsg>) {
+        match env.msg {
+            LsrMsg::Packet { packet, via } => {
+                let actions = self.node.on_packet(packet, Some(via));
+                if actions.is_empty() {
+                    ctx.counter(counters::PACKETS_DUPLICATE).incr();
+                } else {
+                    ctx.counter(counters::PACKETS_ACCEPTED).incr();
+                }
+                self.execute(ctx, actions);
+            }
+            LsrMsg::LinkEvent {
+                link,
+                up,
+                originate,
+            } => {
+                if originate {
+                    ctx.counter(counters::FLOODS_ORIGINATED).incr();
+                    let actions = self.node.local_link_event(link, up);
+                    self.execute(ctx, actions);
+                } else {
+                    self.node.note_link_state(link, up);
+                }
+            }
+        }
+    }
+}
+
+/// Builds a simulation hosting one [`LsrActor`] per switch of `net`.
+///
+/// Actor ids equal node ids (`ActorId(i)` hosts `NodeId(i)`).
+pub fn build_lsr_sim(net: &Network, per_hop: SimDuration) -> Simulation<LsrMsg> {
+    let mut sim = Simulation::new();
+    for n in net.nodes() {
+        let id = sim.add_actor(Box::new(LsrActor::new(n, net, per_hop)));
+        debug_assert_eq!(id.index(), n.index());
+    }
+    sim
+}
+
+/// Injects a link failure/recovery into a running simulation: both endpoints
+/// learn immediately; the lower-id endpoint originates the advertisement.
+///
+/// # Panics
+///
+/// Panics if `link` is not a link of `net`.
+pub fn inject_link_event(
+    sim: &mut Simulation<LsrMsg>,
+    net: &Network,
+    link: LinkId,
+    up: bool,
+    delay: SimDuration,
+) {
+    let l = net.link(link).expect("known link");
+    sim.inject(
+        ActorId(l.a.0),
+        delay,
+        LsrMsg::LinkEvent {
+            link,
+            up,
+            originate: true,
+        },
+    );
+    sim.inject(
+        ActorId(l.b.0),
+        delay,
+        LsrMsg::LinkEvent {
+            link,
+            up,
+            originate: false,
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgmc_topology::generate;
+
+    #[test]
+    fn failure_advertisement_reaches_everyone() {
+        let net = generate::grid(3, 3);
+        let mut sim = build_lsr_sim(&net, SimDuration::micros(10));
+        let link = net.link_between(NodeId(0), NodeId(1)).unwrap().id;
+        inject_link_event(&mut sim, &net, link, false, SimDuration::ZERO);
+        sim.run_to_quiescence();
+        // Exactly one flood originated; every other switch accepted it once.
+        assert_eq!(sim.counter_value(counters::FLOODS_ORIGINATED), 1);
+        assert_eq!(
+            sim.counter_value(counters::PACKETS_ACCEPTED),
+            (net.len() - 1) as u64
+        );
+        // Every switch recomputed routes exactly once (origin included).
+        assert_eq!(
+            sim.counter_value(counters::ROUTE_RECOMPUTES),
+            net.len() as u64
+        );
+    }
+
+    #[test]
+    fn duplicates_are_bounded_by_link_count() {
+        let net = generate::ring(6);
+        let mut sim = build_lsr_sim(&net, SimDuration::micros(10));
+        let link = net.link_between(NodeId(0), NodeId(1)).unwrap().id;
+        inject_link_event(&mut sim, &net, link, false, SimDuration::ZERO);
+        sim.run_to_quiescence();
+        let accepted = sim.counter_value(counters::PACKETS_ACCEPTED);
+        let dup = sim.counter_value(counters::PACKETS_DUPLICATE);
+        assert_eq!(accepted, 5);
+        // Each up link carries at most one copy in each direction.
+        assert!(dup <= 2 * net.up_links().count() as u64);
+    }
+
+    #[test]
+    fn repair_restores_routes() {
+        let net = generate::ring(5);
+        let mut sim = build_lsr_sim(&net, SimDuration::micros(10));
+        let link = net.link_between(NodeId(0), NodeId(1)).unwrap().id;
+        inject_link_event(&mut sim, &net, link, false, SimDuration::ZERO);
+        sim.run_to_quiescence();
+        inject_link_event(&mut sim, &net, link, true, SimDuration::micros(1));
+        sim.run_to_quiescence();
+        // Two floods total (failure + repair).
+        assert_eq!(sim.counter_value(counters::FLOODS_ORIGINATED), 2);
+        assert_eq!(
+            sim.counter_value(counters::PACKETS_ACCEPTED),
+            2 * (net.len() - 1) as u64
+        );
+    }
+}

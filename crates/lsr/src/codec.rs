@@ -1,0 +1,188 @@
+//! Binary wire format for flood packets and router LSAs.
+//!
+//! The simulator passes LSAs as in-memory values; this codec is the
+//! on-the-wire form a deployment would exchange, and doubles as a
+//! size-accounting tool (the paper's Experiment 1 quotes AAL-5 per-hop
+//! transmission times for ~50-byte packets — [`RouterLsa`] encodings land in
+//! that range for typical degrees).
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! FloodId      := origin:u32 seq:u64
+//! LinkAdv      := link:u32 neighbor:u32 cost:u64 up:u8
+//! RouterLsa    := origin:u32 seq:u64 n_links:u16 LinkAdv*
+//! ```
+
+use crate::lsa::{FloodId, LinkAdv, RouterLsa};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dgmc_topology::{LinkId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// A tag or flag byte held an unknown value.
+    BadTag(u8),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => f.write_str("buffer truncated mid-value"),
+            CodecError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Encodes a [`FloodId`].
+pub fn encode_flood_id(id: FloodId, out: &mut BytesMut) {
+    out.put_u32(id.origin.0);
+    out.put_u64(id.seq);
+}
+
+/// Decodes a [`FloodId`].
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] on short input.
+pub fn decode_flood_id(buf: &mut Bytes) -> Result<FloodId, CodecError> {
+    need(buf, 12)?;
+    Ok(FloodId {
+        origin: NodeId(buf.get_u32()),
+        seq: buf.get_u64(),
+    })
+}
+
+/// Encodes a [`RouterLsa`].
+pub fn encode_router_lsa(lsa: &RouterLsa, out: &mut BytesMut) {
+    out.put_u32(lsa.origin.0);
+    out.put_u64(lsa.seq);
+    out.put_u16(lsa.links.len() as u16);
+    for adv in &lsa.links {
+        out.put_u32(adv.link.0);
+        out.put_u32(adv.neighbor.0);
+        out.put_u64(adv.cost);
+        out.put_u8(u8::from(adv.up));
+    }
+}
+
+/// Decodes a [`RouterLsa`].
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] on short input; [`CodecError::BadTag`] on an
+/// invalid up/down flag.
+pub fn decode_router_lsa(buf: &mut Bytes) -> Result<RouterLsa, CodecError> {
+    need(buf, 14)?;
+    let origin = NodeId(buf.get_u32());
+    let seq = buf.get_u64();
+    let n = buf.get_u16() as usize;
+    let mut links = Vec::with_capacity(n);
+    for _ in 0..n {
+        need(buf, 17)?;
+        let link = LinkId(buf.get_u32());
+        let neighbor = NodeId(buf.get_u32());
+        let cost = buf.get_u64();
+        let up = match buf.get_u8() {
+            0 => false,
+            1 => true,
+            t => return Err(CodecError::BadTag(t)),
+        };
+        links.push(LinkAdv {
+            link,
+            neighbor,
+            cost,
+            up,
+        });
+    }
+    Ok(RouterLsa { origin, seq, links })
+}
+
+/// Convenience: one-shot encoding of a router LSA to a frozen buffer.
+pub fn router_lsa_bytes(lsa: &RouterLsa) -> Bytes {
+    let mut out = BytesMut::new();
+    encode_router_lsa(lsa, &mut out);
+    out.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgmc_topology::generate;
+
+    #[test]
+    fn flood_id_round_trip() {
+        let id = FloodId {
+            origin: NodeId(42),
+            seq: 0xDEAD_BEEF_CAFE,
+        };
+        let mut out = BytesMut::new();
+        encode_flood_id(id, &mut out);
+        assert_eq!(out.len(), 12);
+        let mut buf = out.freeze();
+        assert_eq!(decode_flood_id(&mut buf).unwrap(), id);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn router_lsa_round_trip() {
+        let net = generate::grid(3, 3);
+        for n in net.nodes() {
+            let lsa = RouterLsa::describe(&net, n, 7);
+            let mut buf = router_lsa_bytes(&lsa);
+            let back = decode_router_lsa(&mut buf).unwrap();
+            assert_eq!(back, lsa);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn truncated_inputs_error_cleanly() {
+        let net = generate::path(3);
+        let lsa = RouterLsa::describe(&net, NodeId(1), 1);
+        let full = router_lsa_bytes(&lsa);
+        for cut in 0..full.len() {
+            let mut buf = full.slice(0..cut);
+            assert_eq!(
+                decode_router_lsa(&mut buf),
+                Err(CodecError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_up_flag_is_rejected() {
+        let net = generate::path(2);
+        let lsa = RouterLsa::describe(&net, NodeId(0), 1);
+        let mut raw = BytesMut::from(&router_lsa_bytes(&lsa)[..]);
+        let last = raw.len() - 1;
+        raw[last] = 9; // corrupt the up flag
+        let mut buf = raw.freeze();
+        assert_eq!(decode_router_lsa(&mut buf), Err(CodecError::BadTag(9)));
+    }
+
+    #[test]
+    fn encoded_size_matches_paper_scale() {
+        // A degree-4 router LSA is 14 + 4*17 = 82 bytes — the tens-of-bytes
+        // regime the paper's AAL-5 timing numbers assume.
+        let net = generate::grid(3, 3);
+        let lsa = RouterLsa::describe(&net, NodeId(4), 1); // center, degree 4
+        assert_eq!(router_lsa_bytes(&lsa).len(), 14 + 4 * 17);
+    }
+}

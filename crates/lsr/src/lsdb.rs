@@ -1,0 +1,195 @@
+use crate::lsa::RouterLsa;
+use dgmc_topology::{LinkState, Network, NodeId};
+use std::collections::HashMap;
+
+/// The link-state database: the most recent router LSA from every switch.
+///
+/// From the database each switch derives its *local image* of the network —
+/// the paper's premise that "each switch maintains a complete local image of
+/// the network, which it uses to compute routing table entries".
+///
+/// # Examples
+///
+/// ```
+/// use dgmc_lsr::Lsdb;
+/// use dgmc_lsr::lsa::RouterLsa;
+/// use dgmc_topology::{generate, NodeId};
+///
+/// let net = generate::path(3);
+/// let mut db = Lsdb::new(3);
+/// for n in net.nodes() {
+///     assert!(db.install(RouterLsa::describe(&net, n, 1)));
+/// }
+/// assert!(db.local_image().is_connected());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Lsdb {
+    n_nodes: usize,
+    lsas: HashMap<NodeId, RouterLsa>,
+}
+
+impl Lsdb {
+    /// Creates an empty database for a network of `n_nodes` switches.
+    pub fn new(n_nodes: usize) -> Self {
+        Lsdb {
+            n_nodes,
+            lsas: HashMap::new(),
+        }
+    }
+
+    /// Number of switches the database is sized for.
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Installs `lsa` if it is newer than the stored one from the same
+    /// origin; returns `true` if the database changed.
+    pub fn install(&mut self, lsa: RouterLsa) -> bool {
+        match self.lsas.get(&lsa.origin) {
+            Some(old) if old.seq >= lsa.seq => false,
+            _ => {
+                self.lsas.insert(lsa.origin, lsa);
+                true
+            }
+        }
+    }
+
+    /// The stored LSA of `origin`, if any.
+    pub fn get(&self, origin: NodeId) -> Option<&RouterLsa> {
+        self.lsas.get(&origin)
+    }
+
+    /// Number of origins with a stored LSA.
+    pub fn len(&self) -> usize {
+        self.lsas.len()
+    }
+
+    /// Returns `true` if no LSAs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.lsas.is_empty()
+    }
+
+    /// Reconstructs the local image of the network.
+    ///
+    /// A link appears in the image when at least one endpoint advertises it;
+    /// it is *up* only when **no** advertising endpoint reports it down
+    /// (failures are learned from a single detector — DESIGN.md §6 — so one
+    /// "down" claim wins over a stale "up").
+    ///
+    /// Link ids in the image are freshly assigned and do **not** correspond
+    /// to ground-truth [`dgmc_topology::LinkId`]s; topology computations only
+    /// depend on endpoints and costs.
+    pub fn local_image(&self) -> Network {
+        let mut image = Network::with_nodes(self.n_nodes);
+        // (a, b) -> (cost, all_claims_up)
+        let mut claims: HashMap<(NodeId, NodeId), (u64, bool)> = HashMap::new();
+        for lsa in self.lsas.values() {
+            for adv in &lsa.links {
+                let (a, b) = if lsa.origin < adv.neighbor {
+                    (lsa.origin, adv.neighbor)
+                } else {
+                    (adv.neighbor, lsa.origin)
+                };
+                let entry = claims.entry((a, b)).or_insert((adv.cost, true));
+                entry.1 &= adv.up;
+            }
+        }
+        // Deterministic insertion order.
+        let mut sorted: Vec<_> = claims.into_iter().collect();
+        sorted.sort_by_key(|&((a, b), _)| (a, b));
+        for ((a, b), (cost, up)) in sorted {
+            if a.index() >= self.n_nodes || b.index() >= self.n_nodes {
+                continue;
+            }
+            let id = image.add_link(a, b, cost).expect("claims are deduplicated");
+            if !up {
+                image
+                    .set_link_state(id, LinkState::Down)
+                    .expect("just added");
+            }
+        }
+        image
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgmc_topology::{generate, LinkId};
+
+    fn full_db(net: &Network, seq: u64) -> Lsdb {
+        let mut db = Lsdb::new(net.len());
+        for n in net.nodes() {
+            db.install(RouterLsa::describe(net, n, seq));
+        }
+        db
+    }
+
+    #[test]
+    fn image_reconstructs_ground_truth_shape() {
+        let net = generate::grid(3, 3);
+        let db = full_db(&net, 1);
+        let image = db.local_image();
+        assert_eq!(image.len(), net.len());
+        assert_eq!(image.up_links().count(), net.up_links().count());
+        for l in net.up_links() {
+            let il = image.link_between(l.a, l.b).expect("link present");
+            assert_eq!(il.cost, l.cost);
+            assert!(il.is_up());
+        }
+    }
+
+    #[test]
+    fn stale_lsas_are_rejected() {
+        let net = generate::path(3);
+        let mut db = full_db(&net, 5);
+        let stale = RouterLsa::describe(&net, NodeId(0), 4);
+        assert!(!db.install(stale));
+        let equal = RouterLsa::describe(&net, NodeId(0), 5);
+        assert!(!db.install(equal));
+        let newer = RouterLsa::describe(&net, NodeId(0), 6);
+        assert!(db.install(newer));
+    }
+
+    #[test]
+    fn single_down_claim_wins() {
+        // Node 0 advertises link 0 down; node 1 still claims it up.
+        let mut net = generate::path(3);
+        let mut db = full_db(&net, 1);
+        net.set_link_state(LinkId(0), LinkState::Down).unwrap();
+        db.install(RouterLsa::describe(&net, NodeId(0), 2));
+        let image = db.local_image();
+        let l = image.link_between(NodeId(0), NodeId(1)).unwrap();
+        assert!(!l.is_up(), "one down claim must beat a stale up claim");
+        assert!(!image.is_connected());
+    }
+
+    #[test]
+    fn partial_database_yields_partial_image() {
+        let net = generate::ring(4);
+        let mut db = Lsdb::new(4);
+        db.install(RouterLsa::describe(&net, NodeId(0), 1));
+        let image = db.local_image();
+        // Node 0 advertises its two incident links only.
+        assert_eq!(image.up_links().count(), 2);
+        assert!(db.get(NodeId(0)).is_some());
+        assert!(db.get(NodeId(1)).is_none());
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn image_is_deterministic() {
+        let net = generate::grid(4, 4);
+        let db = full_db(&net, 1);
+        assert_eq!(db.local_image(), db.local_image());
+    }
+
+    #[test]
+    fn empty_db_yields_isolated_nodes() {
+        let db = Lsdb::new(3);
+        assert!(db.is_empty());
+        let image = db.local_image();
+        assert_eq!(image.len(), 3);
+        assert_eq!(image.link_count(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Graphviz DOT export for networks (debugging and documentation).
+
+use crate::Network;
+use std::fmt::Write as _;
+
+/// Renders the network as a Graphviz `graph` document.
+///
+/// Up links are solid and labeled with their cost; down links are dashed
+/// and gray. Feed the output to `dot -Tsvg` to visualize a topology.
+///
+/// # Examples
+///
+/// ```
+/// use dgmc_topology::{dot, generate};
+/// let net = generate::ring(3);
+/// let rendered = dot::to_dot(&net, "ring3");
+/// assert!(rendered.starts_with("graph ring3 {"));
+/// assert!(rendered.contains("n0 -- n1"));
+/// ```
+pub fn to_dot(net: &Network, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    for n in net.nodes() {
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", n.0, n.0);
+    }
+    for link in net.links() {
+        if link.is_up() {
+            let _ = writeln!(
+                out,
+                "  n{} -- n{} [label=\"{}\"];",
+                link.a.0, link.b.0, link.cost
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  n{} -- n{} [style=dashed color=gray];",
+                link.a.0, link.b.0
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the network with a highlighted edge set (e.g. an MC topology):
+/// highlighted edges are bold red, members get a filled style.
+pub fn to_dot_highlighted(
+    net: &Network,
+    name: &str,
+    highlight_edges: &[(crate::NodeId, crate::NodeId)],
+    highlight_nodes: &[crate::NodeId],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    for n in net.nodes() {
+        if highlight_nodes.contains(&n) {
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\" style=filled fillcolor=lightblue];",
+                n.0, n.0
+            );
+        } else {
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", n.0, n.0);
+        }
+    }
+    let is_hl = |a: crate::NodeId, b: crate::NodeId| {
+        highlight_edges
+            .iter()
+            .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    };
+    for link in net.up_links() {
+        if is_hl(link.a, link.b) {
+            let _ = writeln!(
+                out,
+                "  n{} -- n{} [color=red penwidth=2.5];",
+                link.a.0, link.b.0
+            );
+        } else {
+            let _ = writeln!(out, "  n{} -- n{} [color=gray70];", link.a.0, link.b.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, LinkId, LinkState, NodeId};
+
+    #[test]
+    fn dot_contains_all_links_and_costs() {
+        let net = generate::path(3);
+        let d = to_dot(&net, "p3");
+        assert!(d.contains("graph p3 {"));
+        assert!(d.contains("n0 -- n1 [label=\"1\"]"));
+        assert!(d.contains("n1 -- n2 [label=\"1\"]"));
+        assert!(d.ends_with("}\n"));
+    }
+
+    #[test]
+    fn down_links_render_dashed() {
+        let mut net = generate::path(3);
+        net.set_link_state(LinkId(0), LinkState::Down).unwrap();
+        let d = to_dot(&net, "g");
+        assert!(d.contains("style=dashed"));
+        let labeled_edges = d
+            .lines()
+            .filter(|l| l.contains("--") && l.contains("label="))
+            .count();
+        assert_eq!(labeled_edges, 1, "only the up link carries a cost label");
+    }
+
+    #[test]
+    fn highlighted_edges_and_members() {
+        let net = generate::ring(4);
+        let d = to_dot_highlighted(
+            &net,
+            "mc",
+            &[(NodeId(0), NodeId(1))],
+            &[NodeId(0), NodeId(1)],
+        );
+        assert_eq!(d.matches("penwidth=2.5").count(), 1);
+        assert_eq!(d.matches("fillcolor=lightblue").count(), 2);
+        assert!(d.matches("color=gray70").count() >= 3);
+    }
+}

@@ -1,0 +1,63 @@
+use crate::{LinkId, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or mutating a [`crate::Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A referenced node does not exist in the network.
+    UnknownNode(NodeId),
+    /// A referenced link does not exist in the network.
+    UnknownLink(LinkId),
+    /// A link was requested between a node and itself.
+    SelfLoop(NodeId),
+    /// A link between the two nodes already exists.
+    DuplicateLink(NodeId, NodeId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TopologyError::UnknownLink(l) => write!(f, "unknown link {l}"),
+            TopologyError::SelfLoop(n) => write!(f, "self-loop at {n} is not allowed"),
+            TopologyError::DuplicateLink(a, b) => {
+                write!(f, "link between {a} and {b} already exists")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        assert_eq!(
+            TopologyError::UnknownNode(NodeId(2)).to_string(),
+            "unknown node s2"
+        );
+        assert_eq!(
+            TopologyError::UnknownLink(LinkId(1)).to_string(),
+            "unknown link l1"
+        );
+        assert_eq!(
+            TopologyError::SelfLoop(NodeId(0)).to_string(),
+            "self-loop at s0 is not allowed"
+        );
+        assert_eq!(
+            TopologyError::DuplicateLink(NodeId(1), NodeId(2)).to_string(),
+            "link between s1 and s2 already exists"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<TopologyError>();
+    }
+}

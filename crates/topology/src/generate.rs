@@ -1,0 +1,387 @@
+//! Topology generators.
+//!
+//! The paper evaluates D-GMC on randomly generated graphs ("20 graphs were
+//! generated randomly for each network size"). We use the Waxman generator —
+//! the standard random-topology model of 1990s multicast studies (Waxman's
+//! dynamic Steiner work is cited by the paper) — plus deterministic
+//! structured topologies (ring, grid, star, complete, path) for unit tests.
+
+use crate::{Network, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Parameters of the Waxman random-graph model.
+///
+/// Nodes are placed uniformly at random in the unit square; a link joins `u`
+/// and `v` with probability `alpha * exp(-d(u,v) / (beta * L))` where `L` is
+/// the maximum possible distance. Larger `alpha` raises density everywhere;
+/// larger `beta` favors long links.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaxmanParams {
+    /// Average node degree to calibrate the density knob `alpha` to.
+    ///
+    /// Raw Waxman edge counts grow quadratically with `n`; the experiments
+    /// need the same sparse degree at every network size, so `alpha` is
+    /// derived per graph from this target (clamped so probabilities stay
+    /// valid).
+    pub target_avg_degree: f64,
+    /// Distance-decay knob in `(0, 1]`; larger values favor long links.
+    pub beta: f64,
+    /// Cost assigned to a link of Euclidean length `d` is
+    /// `1 + round(d * cost_scale)`.
+    pub cost_scale: f64,
+}
+
+impl Default for WaxmanParams {
+    /// Defaults (`target_avg_degree = 4`, `beta = 0.4`) give the sparse
+    /// WAN-like topologies typical of 1990s multicast studies.
+    fn default() -> Self {
+        WaxmanParams {
+            target_avg_degree: 4.0,
+            beta: 0.4,
+            cost_scale: 100.0,
+        }
+    }
+}
+
+/// Generates a connected Waxman random graph with `n` nodes.
+///
+/// If the raw Waxman draw is disconnected, the components are stitched
+/// together with links between their geometrically closest representatives
+/// (connectivity repair), so the result is always connected.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the parameters are outside `(0, 1]`.
+pub fn waxman<R: Rng + ?Sized>(rng: &mut R, n: usize, params: &WaxmanParams) -> Network {
+    assert!(n > 0, "waxman graph needs at least one node");
+    assert!(
+        params.beta > 0.0 && params.beta <= 1.0,
+        "beta must be in (0, 1]"
+    );
+    assert!(
+        params.target_avg_degree > 0.0,
+        "target average degree must be positive"
+    );
+    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let l = 2f64.sqrt();
+    // Calibrate alpha so the expected number of links hits the degree target:
+    // E[links] = alpha * sum(exp(-d/(beta*L))) and avg degree = 2 E[links] / n.
+    let mut weight_sum = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            weight_sum += (-dist(positions[i], positions[j]) / (params.beta * l)).exp();
+        }
+    }
+    let wanted_links = params.target_avg_degree * n as f64 / 2.0;
+    let alpha = if weight_sum > 0.0 {
+        (wanted_links / weight_sum).min(1.0)
+    } else {
+        0.0
+    };
+    let mut net = Network::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(positions[i], positions[j]);
+            let p = alpha * (-d / (params.beta * l)).exp();
+            if rng.gen::<f64>() < p {
+                let cost = 1 + (d * params.cost_scale).round() as u64;
+                net.add_link(NodeId(i as u32), NodeId(j as u32), cost)
+                    .expect("generated links are unique");
+            }
+        }
+    }
+    repair_connectivity(&mut net, &positions, params.cost_scale);
+    net
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Joins the connected components of `net` by adding links between the
+/// geometrically closest cross-component node pairs.
+fn repair_connectivity(net: &mut Network, positions: &[(f64, f64)], cost_scale: f64) {
+    loop {
+        let labels = crate::unionfind::component_labels(net);
+        let root = labels[0];
+        // Find the closest pair (inside, outside) across the component of node 0.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for (i, &li) in labels.iter().enumerate() {
+            if li != root {
+                continue;
+            }
+            for (j, &lj) in labels.iter().enumerate() {
+                if lj == root {
+                    continue;
+                }
+                let d = dist(positions[i], positions[j]);
+                if best.is_none_or(|(bd, _, _)| d < bd) {
+                    best = Some((d, i, j));
+                }
+            }
+        }
+        match best {
+            Some((d, i, j)) => {
+                let cost = 1 + (d * cost_scale).round() as u64;
+                net.add_link(NodeId(i as u32), NodeId(j as u32), cost)
+                    .expect("repair links join distinct components");
+            }
+            None => return, // single component
+        }
+    }
+}
+
+/// Generates a Barabási–Albert preferential-attachment graph: each new node
+/// attaches to `m` existing nodes with probability proportional to their
+/// degree, producing the heavy-tailed degree distributions of real
+/// internetworks (a robustness check against the Waxman model).
+///
+/// Link costs are uniform in `1..=max_cost`. The construction is connected
+/// by design.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `m == 0` or `max_cost == 0`.
+pub fn barabasi_albert<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize, max_cost: u64) -> Network {
+    assert!(n > 0, "graph needs at least one node");
+    assert!(m > 0, "attachment count must be positive");
+    assert!(max_cost > 0, "costs must be positive");
+    let mut net = Network::with_nodes(n);
+    // Degree-proportional sampling via the repeated-endpoints trick.
+    let mut endpoints: Vec<NodeId> = Vec::new();
+    let seed_size = (m + 1).min(n);
+    // Seed clique of m+1 nodes.
+    for i in 0..seed_size {
+        for j in (i + 1)..seed_size {
+            let cost = rng.gen_range(1..=max_cost);
+            net.add_link(NodeId(i as u32), NodeId(j as u32), cost)
+                .expect("seed links unique");
+            endpoints.push(NodeId(i as u32));
+            endpoints.push(NodeId(j as u32));
+        }
+    }
+    for v in seed_size..n {
+        let v = NodeId(v as u32);
+        let mut chosen: Vec<NodeId> = Vec::new();
+        let mut guard = 0;
+        while chosen.len() < m.min(v.index()) {
+            guard += 1;
+            let target = if endpoints.is_empty() || guard > 50 * m {
+                // Degenerate fallback: uniform choice.
+                NodeId(rng.gen_range(0..v.0))
+            } else {
+                endpoints[rng.gen_range(0..endpoints.len())]
+            };
+            if target != v && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+        }
+        for t in chosen {
+            let cost = rng.gen_range(1..=max_cost);
+            net.add_link(v, t, cost).expect("new node links unique");
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    net
+}
+
+/// A path `0 - 1 - ... - (n-1)` with unit link costs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn path(n: usize) -> Network {
+    assert!(n > 0, "path needs at least one node");
+    let mut net = Network::with_nodes(n);
+    for i in 1..n {
+        net.add_link(NodeId((i - 1) as u32), NodeId(i as u32), 1)
+            .expect("path links are unique");
+    }
+    net
+}
+
+/// A ring of `n >= 3` nodes with unit link costs.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Network {
+    assert!(n >= 3, "ring needs at least three nodes");
+    let mut net = path(n);
+    net.add_link(NodeId((n - 1) as u32), NodeId(0), 1)
+        .expect("closing link is unique");
+    net
+}
+
+/// A star with node 0 at the center and `n - 1` leaves, unit costs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn star(n: usize) -> Network {
+    assert!(n > 0, "star needs at least one node");
+    let mut net = Network::with_nodes(n);
+    for i in 1..n {
+        net.add_link(NodeId(0), NodeId(i as u32), 1)
+            .expect("star links are unique");
+    }
+    net
+}
+
+/// A `rows x cols` grid with unit link costs, nodes numbered row-major.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(rows: usize, cols: usize) -> Network {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let mut net = Network::with_nodes(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                net.add_link(id(r, c), id(r, c + 1), 1).expect("unique");
+            }
+            if r + 1 < rows {
+                net.add_link(id(r, c), id(r + 1, c), 1).expect("unique");
+            }
+        }
+    }
+    net
+}
+
+/// The complete graph on `n` nodes with unit link costs.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn complete(n: usize) -> Network {
+    assert!(n > 0, "complete graph needs at least one node");
+    let mut net = Network::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            net.add_link(NodeId(i as u32), NodeId(j as u32), 1)
+                .expect("unique");
+        }
+    }
+    net
+}
+
+/// Picks `k` distinct random nodes of `net`.
+///
+/// # Panics
+///
+/// Panics if `k > net.len()`.
+pub fn sample_nodes<R: Rng + ?Sized>(rng: &mut R, net: &Network, k: usize) -> Vec<NodeId> {
+    assert!(k <= net.len(), "cannot sample more nodes than exist");
+    let mut all: Vec<NodeId> = net.nodes().collect();
+    all.shuffle(rng);
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn waxman_is_connected_for_many_seeds() {
+        let params = WaxmanParams::default();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = waxman(&mut rng, 60, &params);
+            assert!(net.is_connected(), "seed {seed} produced disconnection");
+            assert_eq!(net.len(), 60);
+        }
+    }
+
+    #[test]
+    fn waxman_is_reproducible_per_seed() {
+        let params = WaxmanParams::default();
+        let a = waxman(&mut StdRng::seed_from_u64(42), 50, &params);
+        let b = waxman(&mut StdRng::seed_from_u64(42), 50, &params);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn waxman_degree_is_sparse_but_nontrivial() {
+        let params = WaxmanParams::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = waxman(&mut rng, 100, &params);
+        let deg = metrics::average_degree(&net);
+        assert!((2.0..=8.0).contains(&deg), "average degree {deg} out of band");
+    }
+
+    #[test]
+    fn waxman_single_node() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = waxman(&mut rng, 1, &WaxmanParams::default());
+        assert_eq!(net.len(), 1);
+        assert!(net.is_connected());
+    }
+
+    #[test]
+    fn barabasi_albert_is_connected_and_skewed() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let net = barabasi_albert(&mut rng, 80, 2, 10);
+        assert_eq!(net.len(), 80);
+        assert!(net.is_connected());
+        // Preferential attachment: the max degree far exceeds the mean.
+        let degrees: Vec<usize> = net.nodes().map(|n| net.degree(n)).collect();
+        let max = *degrees.iter().max().unwrap();
+        let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        assert!(max as f64 > 2.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn barabasi_albert_is_reproducible() {
+        let a = barabasi_albert(&mut StdRng::seed_from_u64(5), 40, 3, 5);
+        let b = barabasi_albert(&mut StdRng::seed_from_u64(5), 40, 3, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn barabasi_albert_tiny_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let one = barabasi_albert(&mut rng, 1, 2, 5);
+        assert_eq!(one.len(), 1);
+        let three = barabasi_albert(&mut rng, 3, 2, 5);
+        assert!(three.is_connected());
+    }
+
+    #[test]
+    fn structured_topologies_have_expected_shape() {
+        assert_eq!(metrics::hop_diameter(&path(5)), 4);
+        assert_eq!(metrics::hop_diameter(&ring(6)), 3);
+        assert_eq!(metrics::hop_diameter(&star(9)), 2);
+        assert_eq!(metrics::hop_diameter(&grid(3, 4)), 5);
+        assert_eq!(metrics::hop_diameter(&complete(7)), 1);
+        assert_eq!(grid(3, 4).len(), 12);
+        assert_eq!(complete(5).link_count(), 10);
+    }
+
+    #[test]
+    fn sample_nodes_returns_distinct_ids() {
+        let net = path(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked = sample_nodes(&mut rng, &net, 6);
+        assert_eq!(picked.len(), 6);
+        let mut sorted = picked.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6, "samples must be distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample more")]
+    fn sample_nodes_rejects_oversized_requests() {
+        let net = path(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        sample_nodes(&mut rng, &net, 4);
+    }
+}

@@ -1,0 +1,97 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a network switch (a node of the graph).
+///
+/// Switch addresses in the paper are the integers `0..n-1`; vector timestamps
+/// are indexed by them, so node ids are dense by construction.
+///
+/// # Examples
+///
+/// ```
+/// use dgmc_topology::NodeId;
+/// let a = NodeId(3);
+/// assert_eq!(a.index(), 3);
+/// assert_eq!(a.to_string(), "s3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` suitable for indexing dense per-node tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(v: usize) -> Self {
+        NodeId(v as u32)
+    }
+}
+
+/// Identifier of a point-to-point link.
+///
+/// Link ids are stable across [`crate::Network::set_link_state`] changes so a
+/// failed link can later be repaired and recognized as the same link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Returns the id as a `usize` suitable for indexing dense per-link tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl From<u32> for LinkId {
+    fn from(v: u32) -> Self {
+        LinkId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(NodeId(17).to_string(), "s17");
+        assert_eq!(NodeId(17).index(), 17);
+        assert_eq!(NodeId::from(4usize), NodeId(4));
+        assert_eq!(NodeId::from(9u32), NodeId(9));
+    }
+
+    #[test]
+    fn link_id_display_and_index() {
+        assert_eq!(LinkId(3).to_string(), "l3");
+        assert_eq!(LinkId(3).index(), 3);
+        assert_eq!(LinkId::from(8u32), LinkId(8));
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(LinkId(5) > LinkId(4));
+    }
+}

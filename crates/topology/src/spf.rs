@@ -1,0 +1,359 @@
+//! Shortest-path machinery: Dijkstra by link cost and BFS by hop count.
+//!
+//! Both algorithms are deterministic: ties are broken by node id, which the
+//! D-GMC protocol relies on so that switches computing from identical local
+//! images propose identical topologies (see DESIGN.md §3).
+
+use crate::{LinkId, Network, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source shortest-path computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpfTree {
+    /// The root of the computation.
+    pub root: NodeId,
+    /// `dist[v]` is the least cost from the root to `v`, or `None` if
+    /// unreachable.
+    pub dist: Vec<Option<u64>>,
+    /// `parent[v]` is the predecessor of `v` on its shortest path together
+    /// with the link used, or `None` for the root and unreachable nodes.
+    pub parent: Vec<Option<(NodeId, LinkId)>>,
+}
+
+impl SpfTree {
+    /// Cost of the shortest path to `v`, if reachable.
+    pub fn cost_to(&self, v: NodeId) -> Option<u64> {
+        self.dist.get(v.index()).copied().flatten()
+    }
+
+    /// Returns `true` if `v` is reachable from the root.
+    pub fn reaches(&self, v: NodeId) -> bool {
+        self.cost_to(v).is_some()
+    }
+
+    /// Reconstructs the node path from the root to `v` (inclusive).
+    ///
+    /// Returns `None` if `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reaches(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some((p, _)) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert!(
+            self.parent[path[0].index()].is_none(),
+            "path must start at a root/source"
+        );
+        Some(path)
+    }
+
+    /// Reconstructs the link path from the root to `v`.
+    ///
+    /// Returns `None` if `v` is unreachable; the root maps to an empty path.
+    pub fn links_to(&self, v: NodeId) -> Option<Vec<LinkId>> {
+        if !self.reaches(v) {
+            return None;
+        }
+        let mut links = Vec::new();
+        let mut cur = v;
+        while let Some((p, l)) = self.parent[cur.index()] {
+            links.push(l);
+            cur = p;
+        }
+        links.reverse();
+        Some(links)
+    }
+
+    /// The first hop (neighbor of the root) on the path to `v`, if any.
+    ///
+    /// Returns `None` for the root itself and for unreachable nodes.
+    pub fn first_hop(&self, v: NodeId) -> Option<NodeId> {
+        let path = self.path_to(v)?;
+        path.get(1).copied()
+    }
+}
+
+/// Computes the deterministic Dijkstra shortest-path tree rooted at `root`.
+///
+/// Only up links participate. Cost ties are broken toward the smaller
+/// predecessor node id and then the smaller link id, so two switches with the
+/// same network image compute identical trees.
+///
+/// # Panics
+///
+/// Panics if `root` is not a node of `net`.
+pub fn shortest_path_tree(net: &Network, root: NodeId) -> SpfTree {
+    assert!(net.contains_node(root), "unknown SPF root {root}");
+    let n = net.len();
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    let mut done = vec![false; n];
+    // (cost, node) min-heap; NodeId tie-break comes from the tuple ordering.
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    dist[root.index()] = Some(0);
+    heap.push(Reverse((0, root)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        for (v, link) in net.neighbors(u) {
+            let nd = d + link.cost;
+            let better = match dist[v.index()] {
+                None => true,
+                Some(old) if nd < old => true,
+                Some(old) if nd == old => {
+                    // Deterministic tie-break: prefer smaller (parent, link).
+                    match parent[v.index()] {
+                        Some((pu, pl)) => (u, link.id) < (pu, pl),
+                        None => true,
+                    }
+                }
+                _ => false,
+            };
+            if better {
+                dist[v.index()] = Some(nd);
+                parent[v.index()] = Some((u, link.id));
+                if !done[v.index()] {
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+    }
+    SpfTree { root, dist, parent }
+}
+
+/// Computes the deterministic multi-source Dijkstra forest of `sources`.
+///
+/// Every source has distance 0; `parent` edges lead back toward the nearest
+/// source. Used by Steiner heuristics that grow a tree toward the closest
+/// terminal. Tie-breaking matches [`shortest_path_tree`].
+///
+/// The returned tree's `root` field is the smallest source id.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty or contains an unknown node.
+pub fn shortest_path_forest(net: &Network, sources: &[NodeId]) -> SpfTree {
+    assert!(!sources.is_empty(), "forest needs at least one source");
+    let n = net.len();
+    let mut dist: Vec<Option<u64>> = vec![None; n];
+    let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    for &s in sources {
+        assert!(net.contains_node(s), "unknown forest source {s}");
+        dist[s.index()] = Some(0);
+        heap.push(Reverse((0, s)));
+    }
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        for (v, link) in net.neighbors(u) {
+            let nd = d + link.cost;
+            let better = match dist[v.index()] {
+                None => true,
+                Some(old) if nd < old => true,
+                Some(old) if nd == old => match parent[v.index()] {
+                    Some((pu, pl)) => (u, link.id) < (pu, pl),
+                    None => false, // v is itself a source; keep it rooted
+                },
+                _ => false,
+            };
+            if better {
+                dist[v.index()] = Some(nd);
+                parent[v.index()] = Some((u, link.id));
+                if !done[v.index()] {
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+    }
+    let root = *sources.iter().min().expect("non-empty");
+    SpfTree { root, dist, parent }
+}
+
+/// Computes hop distances from `root` over up links (BFS).
+///
+/// `None` marks unreachable nodes.
+///
+/// # Panics
+///
+/// Panics if `root` is not a node of `net`.
+pub fn hop_distances(net: &Network, root: NodeId) -> Vec<Option<u32>> {
+    assert!(net.contains_node(root), "unknown BFS root {root}");
+    let mut dist = vec![None; net.len()];
+    dist[root.index()] = Some(0);
+    let mut frontier = vec![root];
+    let mut d = 0u32;
+    while !frontier.is_empty() {
+        d += 1;
+        let mut next = Vec::new();
+        for u in frontier {
+            for (v, _) in net.neighbors(u) {
+                if dist[v.index()].is_none() {
+                    dist[v.index()] = Some(d);
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// All-pairs shortest-path costs via repeated Dijkstra.
+///
+/// `result[u][v]` is the least cost between `u` and `v` (`None` when
+/// disconnected). Quadratic in memory; intended for the few-hundred-switch
+/// networks of the paper.
+pub fn all_pairs_costs(net: &Network) -> Vec<Vec<Option<u64>>> {
+    net.nodes()
+        .map(|u| shortest_path_tree(net, u).dist)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    /// Square with a diagonal:
+    ///
+    /// ```text
+    /// 0 -1- 1
+    /// |   / |
+    /// 4  1  2
+    /// | /   |
+    /// 2 -1- 3
+    /// ```
+    fn diamond() -> Network {
+        NetworkBuilder::new(4)
+            .link(0, 1, 1)
+            .link(0, 2, 4)
+            .link(1, 2, 1)
+            .link(1, 3, 2)
+            .link(2, 3, 1)
+            .build()
+    }
+
+    #[test]
+    fn dijkstra_finds_cheapest_paths() {
+        let tree = shortest_path_tree(&diamond(), NodeId(0));
+        assert_eq!(tree.cost_to(NodeId(0)), Some(0));
+        assert_eq!(tree.cost_to(NodeId(1)), Some(1));
+        assert_eq!(tree.cost_to(NodeId(2)), Some(2), "via node 1, not direct");
+        assert_eq!(tree.cost_to(NodeId(3)), Some(3));
+        assert_eq!(
+            tree.path_to(NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn dijkstra_ties_break_deterministically() {
+        // Two equal-cost paths 0->1->3 and 0->2->3; the tie must go to the
+        // smaller parent id (1).
+        let net = NetworkBuilder::new(4)
+            .link(0, 1, 1)
+            .link(0, 2, 1)
+            .link(1, 3, 1)
+            .link(2, 3, 1)
+            .build();
+        let tree = shortest_path_tree(&net, NodeId(0));
+        assert_eq!(tree.parent[3].unwrap().0, NodeId(1));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_distance() {
+        let net = NetworkBuilder::new(3).link(0, 1, 1).build();
+        let tree = shortest_path_tree(&net, NodeId(0));
+        assert!(!tree.reaches(NodeId(2)));
+        assert_eq!(tree.path_to(NodeId(2)), None);
+        assert_eq!(tree.links_to(NodeId(2)), None);
+        assert_eq!(tree.first_hop(NodeId(2)), None);
+    }
+
+    #[test]
+    fn links_to_returns_link_sequence() {
+        let tree = shortest_path_tree(&diamond(), NodeId(0));
+        let links = tree.links_to(NodeId(2)).unwrap();
+        assert_eq!(links.len(), 2);
+        assert_eq!(tree.links_to(NodeId(0)).unwrap(), Vec::<LinkId>::new());
+    }
+
+    #[test]
+    fn first_hop_is_roots_neighbor() {
+        let tree = shortest_path_tree(&diamond(), NodeId(0));
+        assert_eq!(tree.first_hop(NodeId(3)), Some(NodeId(1)));
+        assert_eq!(tree.first_hop(NodeId(0)), None);
+    }
+
+    #[test]
+    fn hop_distances_ignore_costs() {
+        let net = diamond();
+        let hops = hop_distances(&net, NodeId(0));
+        assert_eq!(hops[0], Some(0));
+        assert_eq!(hops[1], Some(1));
+        assert_eq!(hops[2], Some(1), "direct link counts one hop despite cost");
+        assert_eq!(hops[3], Some(2));
+    }
+
+    #[test]
+    fn spf_skips_down_links() {
+        use crate::{LinkId, LinkState};
+        let mut net = diamond();
+        net.set_link_state(LinkId(0), LinkState::Down).unwrap(); // 0-1
+        let tree = shortest_path_tree(&net, NodeId(0));
+        assert_eq!(tree.cost_to(NodeId(1)), Some(5), "must detour via 2");
+    }
+
+    #[test]
+    fn forest_attaches_to_nearest_source() {
+        // Path 0-1-2-3-4 with sources {0, 4}: node 1 attaches to 0, node 3
+        // to 4; node 2 ties and keeps the smaller parent (1, reached from 0).
+        let net = NetworkBuilder::new(5)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .link(2, 3, 1)
+            .link(3, 4, 1)
+            .build();
+        let f = shortest_path_forest(&net, &[NodeId(0), NodeId(4)]);
+        assert_eq!(f.cost_to(NodeId(0)), Some(0));
+        assert_eq!(f.cost_to(NodeId(4)), Some(0));
+        assert_eq!(f.cost_to(NodeId(2)), Some(2));
+        assert_eq!(f.parent[1].unwrap().0, NodeId(0));
+        assert_eq!(f.parent[3].unwrap().0, NodeId(4));
+        assert_eq!(f.parent[2].unwrap().0, NodeId(1));
+        assert!(f.parent[0].is_none());
+        assert!(f.parent[4].is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn empty_forest_panics() {
+        let net = diamond();
+        shortest_path_forest(&net, &[]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn all_pairs_symmetry() {
+        let net = diamond();
+        let ap = all_pairs_costs(&net);
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(ap[u][v], ap[v][u]);
+            }
+            assert_eq!(ap[u][u], Some(0));
+        }
+    }
+}

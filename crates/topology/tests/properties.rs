@@ -1,0 +1,86 @@
+//! Property-based tests of the graph substrate.
+
+use dgmc_topology::{generate, metrics, spf, unionfind, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_waxman() -> impl Strategy<Value = dgmc_topology::Network> {
+    (2usize..60, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generate::waxman(&mut rng, n, &generate::WaxmanParams::default())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The generator's connectivity repair guarantees a single component.
+    #[test]
+    fn waxman_always_connected(net in arb_waxman()) {
+        prop_assert!(net.is_connected());
+        prop_assert_eq!(unionfind::components(&net), 1);
+    }
+
+    /// Dijkstra distances satisfy the triangle inequality over links:
+    /// dist(v) <= dist(u) + cost(u,v) for every up link (u,v).
+    #[test]
+    fn dijkstra_relaxed_everywhere(net in arb_waxman()) {
+        let tree = spf::shortest_path_tree(&net, NodeId(0));
+        for link in net.up_links() {
+            let (da, db) = (tree.cost_to(link.a).unwrap(), tree.cost_to(link.b).unwrap());
+            prop_assert!(db <= da + link.cost);
+            prop_assert!(da <= db + link.cost);
+        }
+    }
+
+    /// A reconstructed path's total link cost equals the reported distance.
+    #[test]
+    fn path_cost_matches_distance(net in arb_waxman()) {
+        let tree = spf::shortest_path_tree(&net, NodeId(0));
+        for v in net.nodes() {
+            let links = tree.links_to(v).unwrap();
+            let total: u64 = links
+                .iter()
+                .map(|&l| net.link(l).unwrap().cost)
+                .sum();
+            prop_assert_eq!(total, tree.cost_to(v).unwrap());
+        }
+    }
+
+    /// Shortest-path trees are deterministic: recomputation is identical.
+    #[test]
+    fn spf_is_deterministic(net in arb_waxman()) {
+        let a = spf::shortest_path_tree(&net, NodeId(1 % net.len() as u32));
+        let b = spf::shortest_path_tree(&net, NodeId(1 % net.len() as u32));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Hop distances are a lower bound on the number of links of any cost
+    /// path and the diameter bounds every eccentricity.
+    #[test]
+    fn hops_bound_paths(net in arb_waxman()) {
+        let tree = spf::shortest_path_tree(&net, NodeId(0));
+        let hops = spf::hop_distances(&net, NodeId(0));
+        let diam = metrics::hop_diameter(&net);
+        for v in net.nodes() {
+            let path_links = tree.links_to(v).unwrap().len() as u32;
+            prop_assert!(hops[v.index()].unwrap() <= path_links);
+            prop_assert!(metrics::hop_eccentricity(&net, v) <= diam);
+        }
+    }
+
+    /// All-pairs costs are symmetric and zero on the diagonal.
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn all_pairs_is_symmetric(net in arb_waxman()) {
+        let ap = spf::all_pairs_costs(&net);
+        let n = net.len();
+        for u in 0..n {
+            prop_assert_eq!(ap[u][u], Some(0));
+            for v in 0..n {
+                prop_assert_eq!(ap[u][v], ap[v][u]);
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! QoS admission scenario: the paper's argument for event-driven topology
+//! computation is that "an on-demand approach cannot be applied if quality
+//! of service (QoS) negotiation is needed prior to data transmission" —
+//! D-GMC installs topologies before data flows, so bandwidth can be
+//! negotiated per connection. This example admits video conferences onto a
+//! capacity-limited network until links saturate, watches trees detour
+//! around congested links, and reclaims capacity when a conference ends.
+//!
+//! Run with: `cargo run --release --example qos_admission`
+
+use dgmc::mctree::qos::{AdmissionError, CapacityPlan};
+use dgmc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let net = dgmc::topology::generate::waxman(
+        &mut rng,
+        40,
+        &dgmc::topology::generate::WaxmanParams::default(),
+    );
+    // Every link carries 100 Mbit/s; each conference wants 40 Mbit/s.
+    let mut plan = CapacityPlan::uniform(&net, 100);
+    let demand = 40;
+
+    let mut admitted = Vec::new();
+    let mut rejected = 0;
+    for conference in 1..=12u32 {
+        let members: BTreeSet<NodeId> =
+            dgmc::topology::generate::sample_nodes(&mut rng, &net, 4)
+                .into_iter()
+                .collect();
+        match plan.admit(&net, conference, &members, demand) {
+            Ok(tree) => {
+                println!(
+                    "conference {conference:>2}: ADMITTED, tree cost {} over {} links",
+                    tree.total_cost(&net).unwrap_or(0),
+                    tree.edge_count()
+                );
+                admitted.push(conference);
+            }
+            Err(AdmissionError::Infeasible { unspanned }) => {
+                println!(
+                    "conference {conference:>2}: REJECTED, no {demand} Mbit/s tree reaches {unspanned}"
+                );
+                rejected += 1;
+            }
+            Err(e) => println!("conference {conference:>2}: REJECTED ({e})"),
+        }
+    }
+    println!(
+        "{} conferences admitted, {rejected} rejected at capacity",
+        plan.admitted_count()
+    );
+    assert_eq!(admitted.len(), plan.admitted_count());
+
+    // The first conference hangs up; its bandwidth becomes available again.
+    let first = admitted[0];
+    plan.release(first);
+    println!("conference {first} ended; retrying one more admission...");
+    let members: BTreeSet<NodeId> = dgmc::topology::generate::sample_nodes(&mut rng, &net, 4)
+        .into_iter()
+        .collect();
+    match plan.admit(&net, 100, &members, demand) {
+        Ok(_) => println!("late conference ADMITTED into the reclaimed capacity"),
+        Err(e) => println!("late conference still rejected: {e}"),
+    }
+}

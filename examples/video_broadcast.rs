@@ -1,0 +1,100 @@
+//! Video broadcast scenario (the paper's asymmetric MC): a single station
+//! streams to a dynamic audience of receiver-only subscribers — the
+//! MOSPF/ATM point-to-multipoint use case, but maintained by one generic
+//! protocol with one computation per membership change.
+//!
+//! Run with: `cargo run --release --example video_broadcast`
+
+use dgmc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let net = dgmc::topology::generate::waxman(
+        &mut rng,
+        50,
+        &dgmc::topology::generate::WaxmanParams::default(),
+    );
+    let mut sim = build_dgmc_sim(
+        &net,
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    );
+    let mc = McId(3);
+    let station = NodeId(0);
+
+    // The broadcaster registers as the (only) sender.
+    sim.inject(
+        ActorId(station.0),
+        SimDuration::ZERO,
+        SwitchMsg::HostJoin {
+            mc,
+            mc_type: McType::Asymmetric,
+            role: Role::Sender,
+        },
+    );
+
+    // Viewers tune in over time...
+    let viewers = dgmc::topology::generate::sample_nodes(&mut rng, &net, 12);
+    for (i, v) in viewers.iter().enumerate() {
+        sim.inject(
+            ActorId(v.0),
+            SimDuration::millis(5 * (i as u64 + 1)),
+            SwitchMsg::HostJoin {
+                mc,
+                mc_type: McType::Asymmetric,
+                role: Role::Receiver,
+            },
+        );
+    }
+    sim.run_to_quiescence();
+    let consensus = check_consensus(&sim, mc).expect("broadcast tree converged");
+    println!(
+        "station {station} + {} viewers share a tree of {} edges",
+        consensus.members.len() - 1,
+        consensus.topology.as_ref().unwrap().edge_count()
+    );
+
+    // Stream a frame.
+    sim.inject(
+        ActorId(station.0),
+        SimDuration::millis(100),
+        SwitchMsg::SendData { mc, packet_id: 1 },
+    );
+    sim.run_to_quiescence();
+    let map = dgmc::protocol::convergence::delivery_map(&sim, mc, 1);
+    let received = viewers.iter().filter(|v| map[v] == 1).count();
+    println!("frame 1 delivered to {received}/{} viewers", viewers.len());
+    assert_eq!(received, viewers.len());
+
+    // ... and half of them tune out again; the tree shrinks incrementally.
+    for (i, v) in viewers.iter().take(viewers.len() / 2).enumerate() {
+        sim.inject(
+            ActorId(v.0),
+            SimDuration::millis(200 + 5 * i as u64),
+            SwitchMsg::HostLeave { mc },
+        );
+    }
+    sim.run_to_quiescence();
+    let consensus = check_consensus(&sim, mc).expect("still converged after churn");
+    println!(
+        "after churn: {} members, tree has {} edges",
+        consensus.members.len(),
+        consensus.topology.as_ref().unwrap().edge_count()
+    );
+
+    // Remaining viewers still get frames exactly once.
+    sim.inject(
+        ActorId(station.0),
+        SimDuration::millis(300),
+        SwitchMsg::SendData { mc, packet_id: 2 },
+    );
+    sim.run_to_quiescence();
+    let map = dgmc::protocol::convergence::delivery_map(&sim, mc, 2);
+    for v in viewers.iter().skip(viewers.len() / 2) {
+        assert_eq!(map[v], 1, "viewer {v} lost the stream");
+    }
+    println!("frame 2 delivered to all remaining viewers exactly once");
+}

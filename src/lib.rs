@@ -1,0 +1,53 @@
+//! # dgmc — facade crate of the D-GMC reproduction
+//!
+//! Reproduction of Huang & McKinley, *A Lightweight Protocol for Multipoint
+//! Connections under Link-State Routing* (ICDCS 1996). This crate re-exports
+//! the whole workspace under one roof; see the individual crates for the
+//! full APIs:
+//!
+//! * [`topology`] — network graphs, generators, shortest paths,
+//! * [`des`] — the discrete-event simulation kernel,
+//! * [`lsr`] — the OSPF-lite link-state routing substrate,
+//! * [`mctree`] — Steiner/source-tree topology algorithms,
+//! * [`protocol`] — the D-GMC protocol itself (timestamps, engine, switch),
+//! * [`baselines`] — brute-force LSR multicast, MOSPF and CBT comparators,
+//! * [`experiments`] — the harness regenerating the paper's Figures 6-8,
+//! * [`hierarchy`] — the two-level hierarchical extension (the paper's
+//!   stated ongoing work).
+//!
+//! # Examples
+//!
+//! ```
+//! use dgmc::prelude::*;
+//! use std::rc::Rc;
+//!
+//! let net = dgmc::topology::generate::ring(5);
+//! let mut sim = build_dgmc_sim(&net, DgmcConfig::computation_dominated(), Rc::new(SphStrategy::new()));
+//! sim.inject(ActorId(0), SimDuration::ZERO, SwitchMsg::HostJoin {
+//!     mc: McId(1), mc_type: McType::Symmetric, role: Role::SenderReceiver,
+//! });
+//! sim.run_to_quiescence();
+//! assert!(check_consensus(&sim, McId(1)).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dgmc_baselines as baselines;
+pub use dgmc_core as protocol;
+pub use dgmc_des as des;
+pub use dgmc_experiments as experiments;
+pub use dgmc_hierarchy as hierarchy;
+pub use dgmc_lsr as lsr;
+pub use dgmc_mctree as mctree;
+pub use dgmc_topology as topology;
+
+/// Everything needed to build and drive a D-GMC simulation.
+pub mod prelude {
+    pub use dgmc_core::convergence::check_consensus;
+    pub use dgmc_core::switch::{build_dgmc_sim, inject_link_event, DgmcConfig, DgmcSwitch, SwitchMsg};
+    pub use dgmc_core::{DgmcEngine, McEventKind, McId, McLsa, McTopology, McType, Role, Timestamp};
+    pub use dgmc_des::{ActorId, SimDuration, SimTime, Simulation};
+    pub use dgmc_mctree::{KmbStrategy, McAlgorithm, SphStrategy};
+    pub use dgmc_topology::{Network, NetworkBuilder, NodeId};
+}

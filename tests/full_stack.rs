@@ -1,0 +1,252 @@
+//! Cross-crate integration tests: multiple concurrent MCs, mixed types,
+//! protocol-versus-baseline tree equivalence, and failures mid-burst.
+
+use dgmc::baselines::brute_force::{self, BfMsg, BfSwitch};
+use dgmc::prelude::*;
+use dgmc::protocol::convergence;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+
+fn join_msg(mc: McId, mc_type: McType, role: Role) -> SwitchMsg {
+    SwitchMsg::HostJoin { mc, mc_type, role }
+}
+
+#[test]
+fn three_concurrent_connections_of_different_types() {
+    let net = dgmc::topology::generate::grid(5, 5);
+    let mut sim = build_dgmc_sim(
+        &net,
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    );
+    let conference = McId(1);
+    let feed = McId(2);
+    let logsvc = McId(3);
+    // All three MCs see interleaved joins at overlapping times.
+    for (i, n) in [0u32, 4, 20, 24].into_iter().enumerate() {
+        sim.inject(
+            ActorId(n),
+            SimDuration::micros(7 * i as u64),
+            join_msg(conference, McType::Symmetric, Role::SenderReceiver),
+        );
+    }
+    sim.inject(
+        ActorId(12),
+        SimDuration::micros(3),
+        join_msg(feed, McType::Asymmetric, Role::Sender),
+    );
+    for (i, n) in [2u32, 10, 22].into_iter().enumerate() {
+        sim.inject(
+            ActorId(n),
+            SimDuration::micros(11 * i as u64),
+            join_msg(feed, McType::Asymmetric, Role::Receiver),
+        );
+    }
+    for (i, n) in [6u32, 18].into_iter().enumerate() {
+        sim.inject(
+            ActorId(n),
+            SimDuration::micros(5 * i as u64),
+            join_msg(logsvc, McType::ReceiverOnly, Role::Receiver),
+        );
+    }
+    sim.run_to_quiescence();
+    // Each MC independently reaches consensus with a valid tree.
+    for (mc, members) in [(conference, 4), (feed, 4), (logsvc, 2)] {
+        let c = convergence::check_consensus(&sim, mc).unwrap_or_else(|e| panic!("{mc}: {e}"));
+        assert_eq!(c.members.len(), members, "{mc}");
+        let tree = c.topology.expect("tree installed");
+        assert_eq!(tree.validate(&net, tree.terminals()), Ok(()), "{mc}");
+    }
+    // Per-MC protocol activity proceeds independently: a packet in one MC
+    // does not reach members of another.
+    sim.inject(
+        ActorId(0),
+        SimDuration::millis(5),
+        SwitchMsg::SendData {
+            mc: conference,
+            packet_id: 9,
+        },
+    );
+    sim.run_to_quiescence();
+    assert_eq!(convergence::total_deliveries(&sim, conference, 9), 4);
+    assert_eq!(convergence::total_deliveries(&sim, feed, 9), 0);
+}
+
+#[test]
+fn dgmc_and_brute_force_install_comparable_trees() {
+    // Same members, same network: D-GMC's sequentially grown tree and the
+    // brute-force from-scratch tree both validly span the members; the
+    // incremental tree's cost stays within the known competitiveness band.
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = dgmc::topology::generate::waxman(
+        &mut rng,
+        40,
+        &dgmc::topology::generate::WaxmanParams::default(),
+    );
+    let members = dgmc::topology::generate::sample_nodes(&mut rng, &net, 6);
+    let mc = McId(1);
+
+    let mut sim = build_dgmc_sim(
+        &net,
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    );
+    let mut bf = brute_force::build_bf_sim(
+        &net,
+        SimDuration::micros(300),
+        SimDuration::micros(10),
+        Rc::new(SphStrategy::new()),
+    );
+    for (i, m) in members.iter().enumerate() {
+        sim.inject(
+            ActorId(m.0),
+            SimDuration::millis(i as u64),
+            join_msg(mc, McType::Symmetric, Role::SenderReceiver),
+        );
+        bf.inject(
+            ActorId(m.0),
+            SimDuration::millis(i as u64),
+            BfMsg::HostJoin {
+                mc,
+                role: Role::SenderReceiver,
+            },
+        );
+    }
+    sim.run_to_quiescence();
+    bf.run_to_quiescence();
+
+    let dgmc_tree = convergence::check_consensus(&sim, mc)
+        .unwrap()
+        .topology
+        .unwrap();
+    let bf_tree = bf
+        .actor_as::<BfSwitch>(ActorId(0))
+        .unwrap()
+        .installed(mc)
+        .cloned()
+        .unwrap();
+    let want: std::collections::BTreeSet<NodeId> = members.iter().copied().collect();
+    assert_eq!(dgmc_tree.validate(&net, &want), Ok(()));
+    assert_eq!(bf_tree.validate(&net, &want), Ok(()));
+    let dc = dgmc_tree.total_cost(&net).unwrap() as f64;
+    let bc = bf_tree.total_cost(&net).unwrap() as f64;
+    assert!(dc / bc < 2.0, "incremental tree within 2x: {dc} vs {bc}");
+}
+
+#[test]
+fn link_failure_in_the_middle_of_a_burst() {
+    // The nastiest interleaving: membership burst and a tree-link failure
+    // overlap. The protocol must still converge to a valid tree on the
+    // degraded network.
+    let net = dgmc::topology::generate::grid(4, 4);
+    let mut sim = build_dgmc_sim(
+        &net,
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    );
+    let mc = McId(1);
+    // Establish a tree along the top row.
+    for (i, n) in [0u32, 1, 2, 3].into_iter().enumerate() {
+        sim.inject(
+            ActorId(n),
+            SimDuration::millis(i as u64),
+            join_msg(mc, McType::Symmetric, Role::SenderReceiver),
+        );
+    }
+    sim.run_to_quiescence();
+    // Burst: two joins + cut the 1-2 link, all within 50us.
+    sim.inject(
+        ActorId(12),
+        SimDuration::micros(10),
+        join_msg(mc, McType::Symmetric, Role::SenderReceiver),
+    );
+    let link = net.link_between(NodeId(1), NodeId(2)).unwrap().id;
+    inject_link_event(&mut sim, &net, link, false, SimDuration::micros(20));
+    sim.inject(
+        ActorId(15),
+        SimDuration::micros(30),
+        join_msg(mc, McType::Symmetric, Role::SenderReceiver),
+    );
+    sim.run_to_quiescence();
+
+    let mut degraded = net.clone();
+    degraded
+        .set_link_state(link, dgmc::topology::LinkState::Down)
+        .unwrap();
+    let c = convergence::check_consensus(&sim, mc).unwrap();
+    assert_eq!(c.members.len(), 6);
+    let tree = c.topology.unwrap();
+    assert_eq!(tree.validate(&degraded, tree.terminals()), Ok(()));
+    assert!(!tree.contains_edge(NodeId(1), NodeId(2)));
+}
+
+#[test]
+fn rapid_rejoin_of_the_same_connection_id() {
+    // Destroy an MC completely, then recreate it under the same id: the
+    // fresh state must not be confused by the old incarnation.
+    let net = dgmc::topology::generate::ring(6);
+    let mut sim = build_dgmc_sim(
+        &net,
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    );
+    let mc = McId(4);
+    sim.inject(
+        ActorId(0),
+        SimDuration::ZERO,
+        join_msg(mc, McType::Symmetric, Role::SenderReceiver),
+    );
+    sim.inject(
+        ActorId(3),
+        SimDuration::millis(1),
+        join_msg(mc, McType::Symmetric, Role::SenderReceiver),
+    );
+    sim.run_to_quiescence();
+    sim.inject(ActorId(0), SimDuration::millis(2), SwitchMsg::HostLeave { mc });
+    sim.inject(ActorId(3), SimDuration::millis(3), SwitchMsg::HostLeave { mc });
+    sim.run_to_quiescence();
+    let destroyed = convergence::check_consensus(&sim, mc).unwrap();
+    assert!(destroyed.members.is_empty());
+    // Recreate with different members.
+    sim.inject(
+        ActorId(1),
+        SimDuration::millis(10),
+        join_msg(mc, McType::Symmetric, Role::SenderReceiver),
+    );
+    sim.inject(
+        ActorId(4),
+        SimDuration::millis(11),
+        join_msg(mc, McType::Symmetric, Role::SenderReceiver),
+    );
+    sim.run_to_quiescence();
+    let recreated = convergence::check_consensus(&sim, mc).unwrap();
+    assert_eq!(
+        recreated.members.keys().copied().collect::<Vec<_>>(),
+        vec![NodeId(1), NodeId(4)]
+    );
+    let tree = recreated.topology.unwrap();
+    assert_eq!(tree.validate(&net, tree.terminals()), Ok(()));
+}
+
+#[test]
+fn facade_prelude_is_sufficient_for_the_readme_snippet() {
+    // The README quickstart compiles and runs through the prelude alone.
+    let net = dgmc::topology::generate::ring(5);
+    let mut sim = build_dgmc_sim(
+        &net,
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    );
+    sim.inject(
+        ActorId(0),
+        SimDuration::ZERO,
+        SwitchMsg::HostJoin {
+            mc: McId(1),
+            mc_type: McType::Symmetric,
+            role: Role::SenderReceiver,
+        },
+    );
+    sim.run_to_quiescence();
+    assert!(check_consensus(&sim, McId(1)).is_ok());
+}
