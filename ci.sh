@@ -1,0 +1,17 @@
+#!/bin/sh
+# Offline CI gate: formatting, lints and the full test suite.
+# Run from the repository root. Fails fast on the first broken step.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace --offline -q
+
+echo "CI OK"

@@ -8,8 +8,21 @@
 //! both quantified here for the comparison experiments.
 
 use dgmc_mctree::McTopology;
+use dgmc_obs::MetricsRegistry;
 use dgmc_topology::{metrics, spf, Network, NodeId};
 use std::collections::BTreeSet;
+
+/// Metric names recorded by [`CbtTree::join_recorded`], designed to sit next
+/// to D-GMC's `dgmc.*` counters in one [`MetricsRegistry`] snapshot.
+pub mod metric_names {
+    /// Join requests sent toward the core (one per joining member).
+    pub const JOIN_REQUESTS: &str = "cbt.join_requests";
+    /// Total hops traveled by join requests (the signaling cost CBT pays
+    /// where flooding protocols pay a flood).
+    pub const JOIN_HOPS_TOTAL: &str = "cbt.join_hops_total";
+    /// Hops traveled by each individual join request.
+    pub const JOIN_HOPS: &str = "cbt.join_hops";
+}
 
 /// A core-based shared tree.
 ///
@@ -88,6 +101,23 @@ impl CbtTree {
                 break;
             }
         }
+        Some(hops)
+    }
+
+    /// Like [`CbtTree::join`], additionally recording the signaling cost
+    /// into `registry` ([`metric_names::JOIN_REQUESTS`] counter plus the
+    /// [`metric_names::JOIN_HOPS`] histogram), so CBT signaling and D-GMC
+    /// flood counts can be compared from the same registry.
+    pub fn join_recorded(
+        &mut self,
+        net: &Network,
+        member: NodeId,
+        registry: &mut MetricsRegistry,
+    ) -> Option<usize> {
+        let hops = self.join(net, member)?;
+        *registry.counter_slot(metric_names::JOIN_REQUESTS) += 1;
+        *registry.counter_slot(metric_names::JOIN_HOPS_TOTAL) += hops as u64;
+        registry.observe_named(metric_names::JOIN_HOPS, hops as u64);
         Some(hops)
     }
 
@@ -223,6 +253,20 @@ mod tests {
     }
 
     #[test]
+    fn join_recorded_counts_signaling_into_the_registry() {
+        let net = generate::path(5);
+        let mut cbt = CbtTree::new(NodeId(2));
+        let mut reg = MetricsRegistry::new();
+        assert_eq!(cbt.join_recorded(&net, NodeId(0), &mut reg), Some(2));
+        assert_eq!(cbt.join_recorded(&net, NodeId(4), &mut reg), Some(2));
+        assert_eq!(reg.counter_value(metric_names::JOIN_REQUESTS), 2);
+        assert_eq!(reg.counter_value(metric_names::JOIN_HOPS_TOTAL), 4);
+        let hops = reg.histogram_get(metric_names::JOIN_HOPS).unwrap();
+        assert_eq!(hops.count(), 2);
+        assert_eq!(hops.max(), 2);
+    }
+
+    #[test]
     fn best_core_centers_the_members() {
         let net = generate::path(7);
         let m = members(&[0, 6]);
@@ -259,9 +303,7 @@ mod tests {
         let m = members(&[0, 2, 4, 6]);
         let (cbt, _) = build_cbt(&net, NodeId(0), &m);
         let steiner = dgmc_mctree::algorithms::takahashi_matsuyama(&net, &m);
-        assert!(
-            cbt.traffic_concentration() >= dgmc_mctree::metrics::max_link_load(&steiner)
-        );
+        assert!(cbt.traffic_concentration() >= dgmc_mctree::metrics::max_link_load(&steiner));
     }
 
     #[test]

@@ -366,7 +366,11 @@ mod tests {
         sim.run_to_quiescence();
         let first = sim.counter_value(counters::COMPUTATIONS);
         // A new member joins: caches flush; the next datagram recomputes.
-        sim.inject(ActorId(2), SimDuration::millis(20), MospfMsg::HostJoin { group: G });
+        sim.inject(
+            ActorId(2),
+            SimDuration::millis(20),
+            MospfMsg::HostJoin { group: G },
+        );
         sim.run_to_quiescence();
         assert_eq!(
             sim.actor_as::<MospfRouter>(ActorId(0)).unwrap().cache_len(),
@@ -405,7 +409,9 @@ mod tests {
         assert_eq!(sim.counter_value(counters::COMPUTATIONS), 3);
         for leaf in 3..=5u32 {
             assert_eq!(
-                sim.actor_as::<MospfRouter>(ActorId(leaf)).unwrap().cache_len(),
+                sim.actor_as::<MospfRouter>(ActorId(leaf))
+                    .unwrap()
+                    .cache_len(),
                 0
             );
         }

@@ -14,9 +14,12 @@ fn bench_fig7(c: &mut Criterion) {
             let mut seed = 1_000u64;
             b.iter(|| {
                 seed += 1;
-                runner::run_seeded(n, seed, DgmcConfig::communication_dominated(), |rng, net| {
-                    workload::bursty(rng, net, &BurstParams::default())
-                })
+                runner::run_seeded(
+                    n,
+                    seed,
+                    DgmcConfig::communication_dominated(),
+                    |rng, net| workload::bursty(rng, net, &BurstParams::default()),
+                )
                 .expect("run converges")
             });
         });

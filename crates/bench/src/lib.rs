@@ -17,7 +17,10 @@ pub fn print_figure(spec: ExperimentSpec) {
     let quick = presets::quick(spec);
     let results = presets::run_experiment(&quick);
     println!();
-    println!("=== Reproduced rows (reduced scale: {} graphs/size) ===", quick.graphs_per_size);
+    println!(
+        "=== Reproduced rows (reduced scale: {} graphs/size) ===",
+        quick.graphs_per_size
+    );
     print!("{}", report::text_table(&results));
     println!("=== (full scale: cargo run --release -p dgmc-experiments --bin exp{{1,2,3}}) ===");
     println!();

@@ -86,10 +86,7 @@ fn switches(sim: &Simulation<SwitchMsg>) -> impl Iterator<Item = &DgmcSwitch> + 
 /// # Panics
 ///
 /// Panics if the simulation hosts non-[`DgmcSwitch`] actors.
-pub fn check_consensus(
-    sim: &Simulation<SwitchMsg>,
-    mc: McId,
-) -> Result<Consensus, ConsensusError> {
+pub fn check_consensus(sim: &Simulation<SwitchMsg>, mc: McId) -> Result<Consensus, ConsensusError> {
     let mut reference: Option<(&DgmcSwitch, bool)> = None;
     let mut consensus = Consensus {
         topology: None,
@@ -163,7 +160,11 @@ pub fn total_deliveries(sim: &Simulation<SwitchMsg>, mc: McId, packet_id: u64) -
 }
 
 /// Per-switch delivered copies of `(mc, packet_id)`.
-pub fn delivery_map(sim: &Simulation<SwitchMsg>, mc: McId, packet_id: u64) -> BTreeMap<NodeId, u32> {
+pub fn delivery_map(
+    sim: &Simulation<SwitchMsg>,
+    mc: McId,
+    packet_id: u64,
+) -> BTreeMap<NodeId, u32> {
     switches(sim)
         .map(|sw| (sw.id(), sw.delivered_copies(mc, packet_id)))
         .collect()

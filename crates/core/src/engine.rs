@@ -23,9 +23,19 @@
 use crate::state::{ComputationJob, McState, McSync};
 use crate::{McEventKind, McId, McLsa};
 use dgmc_mctree::{McAlgorithm, McType, Role};
+use dgmc_obs::{DecisionEvent, DecisionKind, MemberChange, SharedObserver, StampSnapshot};
 use dgmc_topology::{Network, NodeId};
 use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Copies a state's R/E/C vectors into an observability snapshot.
+fn snap(st: &McState) -> StampSnapshot {
+    StampSnapshot::new(
+        st.r.iter().map(|(_, v)| v).collect(),
+        st.e.iter().map(|(_, v)| v).collect(),
+        st.c.iter().map(|(_, v)| v).collect(),
+    )
+}
 
 /// An instruction emitted by the engine for its hosting actor.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +84,7 @@ pub struct DgmcEngine {
     n: usize,
     algorithm: Rc<dyn McAlgorithm>,
     states: BTreeMap<McId, McState>,
+    observer: SharedObserver,
 }
 
 impl DgmcEngine {
@@ -84,7 +95,22 @@ impl DgmcEngine {
             n,
             algorithm,
             states: BTreeMap::new(),
+            observer: SharedObserver::new(),
         }
+    }
+
+    /// Plugs in the decision-event observer (disabled by default).
+    ///
+    /// Typically a clone of the simulation's
+    /// [`dgmc_des::Simulation::observer`] handle, so every engine stamps
+    /// events with the shared simulated clock.
+    pub fn set_observer(&mut self, observer: SharedObserver) {
+        self.observer = observer;
+    }
+
+    /// The engine's decision-event observer handle.
+    pub fn observer(&self) -> &SharedObserver {
+        &self.observer
     }
 
     /// The owning switch.
@@ -118,11 +144,7 @@ impl DgmcEngine {
     pub fn mcs_using_link(&self, a: NodeId, b: NodeId) -> Vec<McId> {
         self.states
             .iter()
-            .filter(|(_, st)| {
-                st.installed
-                    .as_ref()
-                    .is_some_and(|t| t.contains_edge(a, b))
-            })
+            .filter(|(_, st)| st.installed.as_ref().is_some_and(|t| t.contains_edge(a, b)))
             .map(|(&mc, _)| mc)
             .collect()
     }
@@ -220,6 +242,19 @@ impl DgmcEngine {
                 st.e.merge_max(&sync.e);
                 st.e.merge_max(&sync.r);
                 actions.push(DgmcAction::Installed { mc: sync.mc });
+                let me = self.me;
+                let edges = st.installed.as_ref().map_or(0, |t| t.edge_count());
+                let by = st.c_source.unwrap_or(me);
+                self.observer.emit(|now| DecisionEvent {
+                    at_nanos: now,
+                    mc: sync.mc.0 as u64,
+                    switch: me.0,
+                    kind: DecisionKind::TopologyInstalled {
+                        source: by.0,
+                        edges,
+                    },
+                    stamps: snap(st),
+                });
             } else {
                 st.e.merge_max(&sync.e);
             }
@@ -249,6 +284,21 @@ impl DgmcEngine {
         st.e.incr(me);
         // Local bookkeeping of our own membership change.
         st.apply_membership(me, event);
+        let change = match event {
+            McEventKind::Join(_) => MemberChange::Join,
+            McEventKind::Leave => MemberChange::Leave,
+            McEventKind::Link | McEventKind::None => MemberChange::Link,
+        };
+        self.observer.emit(|now| DecisionEvent {
+            at_nanos: now,
+            mc: mc.0 as u64,
+            switch: me.0,
+            kind: DecisionKind::EventDetected {
+                member: me.0,
+                change,
+            },
+            stamps: snap(st),
+        });
         // Line 2: compute only with no known outstanding LSAs — and, under
         // CPU serialization, only when idle.
         if st.all_caught_up() && st.computing.is_none() && st.mailbox.is_empty() {
@@ -312,7 +362,10 @@ impl DgmcEngine {
     /// Panics if no computation is in flight for `mc`.
     pub fn on_computation_done(&mut self, mc: McId, image: &Network) -> Vec<DgmcAction> {
         let me = self.me;
-        let st = self.states.get_mut(&mc).expect("state exists while computing");
+        let st = self
+            .states
+            .get_mut(&mc)
+            .expect("state exists while computing");
         let job = st
             .computing
             .take()
@@ -326,6 +379,14 @@ impl DgmcEngine {
             let topology = self
                 .algorithm
                 .compute(image, &job.terminals, job.previous.as_ref());
+            let own_edges = topology.edge_count();
+            self.observer.emit(|now| DecisionEvent {
+                at_nanos: now,
+                mc: mc.0 as u64,
+                switch: me.0,
+                kind: DecisionKind::ProposalComputed { edges: own_edges },
+                stamps: snap(st),
+            });
             let lsa = McLsa {
                 source: me,
                 event: job.pending_event.unwrap_or(McEventKind::None),
@@ -335,6 +396,13 @@ impl DgmcEngine {
                 stamp: job.old_r.clone(),
             };
             actions.push(DgmcAction::Flood(lsa));
+            self.observer.emit(|now| DecisionEvent {
+                at_nanos: now,
+                mc: mc.0 as u64,
+                switch: me.0,
+                kind: DecisionKind::ProposalFlooded,
+                stamps: snap(st),
+            });
             if job.pending_event.is_none() {
                 // Fig. 5 line 24: bring E up to date.
                 st.e = st.r.clone();
@@ -348,19 +416,48 @@ impl DgmcEngine {
                 Some((_, stamp, source)) => *stamp != job.old_r || me < *source,
                 None => true,
             };
-            if own_wins {
+            if let Some((_, _, source)) = &job.stashed_candidate {
+                let (winner, loser) = if own_wins {
+                    (me, *source)
+                } else {
+                    (*source, me)
+                };
+                self.observer.emit(|now| DecisionEvent {
+                    at_nanos: now,
+                    mc: mc.0 as u64,
+                    switch: me.0,
+                    kind: DecisionKind::ConflictResolved {
+                        winner: winner.0,
+                        loser: loser.0,
+                    },
+                    stamps: snap(st),
+                });
+            }
+            let (installed_by, installed_edges) = if own_wins {
                 st.c = job.old_r;
                 st.c_source = Some(me);
                 st.installed = Some(topology);
+                (me, own_edges)
             } else {
-                let (topo, stamp, source) =
-                    job.stashed_candidate.clone().expect("checked above");
+                let (topo, stamp, source) = job.stashed_candidate.clone().expect("checked above");
+                let edges = topo.edge_count();
                 st.c = stamp;
                 st.c_source = Some(source);
                 st.installed = Some(topo);
-            }
+                (source, edges)
+            };
             st.make_proposal_flag = false;
             actions.push(DgmcAction::Installed { mc });
+            self.observer.emit(|now| DecisionEvent {
+                at_nanos: now,
+                mc: mc.0 as u64,
+                switch: me.0,
+                kind: DecisionKind::TopologyInstalled {
+                    source: installed_by.0,
+                    edges: installed_edges,
+                },
+                stamps: snap(st),
+            });
         } else {
             // The stashed candidate survives the withdrawal and competes in
             // the drain below (deviation from Fig. 5 line 29; DESIGN.md §3).
@@ -385,6 +482,13 @@ impl DgmcEngine {
                 }
             }
             actions.push(DgmcAction::Withdrawn { mc });
+            self.observer.emit(|now| DecisionEvent {
+                at_nanos: now,
+                mc: mc.0 as u64,
+                switch: me.0,
+                kind: DecisionKind::ProposalWithdrawn,
+                stamps: snap(st),
+            });
         }
         actions.extend(self.process_mailbox(mc, carry));
         actions
@@ -418,6 +522,7 @@ impl DgmcEngine {
             st.e.merge_max(&lsa.stamp);
             // Line 11: accept a proposal based on everything we expect.
             if lsa.stamp.dominates(&st.e) && lsa.proposal.is_some() {
+                let incumbent = candidate.as_ref().map(|(_, _, src)| *src);
                 let replace = match &candidate {
                     None => true,
                     Some((_, cand_stamp, cand_src)) => {
@@ -428,12 +533,37 @@ impl DgmcEngine {
                             || (lsa.stamp == *cand_stamp && lsa.source < *cand_src)
                     }
                 };
+                if let Some(loser_or_winner) = incumbent {
+                    // Two live proposals met: record the arbitration.
+                    let (winner, loser) = if replace {
+                        (lsa.source, loser_or_winner)
+                    } else {
+                        (loser_or_winner, lsa.source)
+                    };
+                    self.observer.emit(|now| DecisionEvent {
+                        at_nanos: now,
+                        mc: mc.0 as u64,
+                        switch: me.0,
+                        kind: DecisionKind::ConflictResolved {
+                            winner: winner.0,
+                            loser: loser.0,
+                        },
+                        stamps: snap(st),
+                    });
+                }
                 if replace {
                     candidate = Some((
                         lsa.proposal.clone().expect("checked above"),
                         lsa.stamp.clone(),
                         lsa.source,
                     ));
+                    self.observer.emit(|now| DecisionEvent {
+                        at_nanos: now,
+                        mc: mc.0 as u64,
+                        switch: me.0,
+                        kind: DecisionKind::ProposalAccepted { from: lsa.source.0 },
+                        stamps: snap(st),
+                    });
                 }
                 st.make_proposal_flag = false;
             } else if st.r.get(me) > lsa.stamp.get(me) {
@@ -465,10 +595,21 @@ impl DgmcEngine {
             let supersedes = stamp.strictly_dominates(&st.c)
                 || (stamp == st.c && st.c_source.is_none_or(|cur| source <= cur));
             if supersedes {
+                let edges = topology.edge_count();
                 st.c = stamp;
                 st.c_source = Some(source);
                 st.installed = Some(topology);
                 actions.push(DgmcAction::Installed { mc });
+                self.observer.emit(|now| DecisionEvent {
+                    at_nanos: now,
+                    mc: mc.0 as u64,
+                    switch: me.0,
+                    kind: DecisionKind::TopologyInstalled {
+                        source: source.0,
+                        edges,
+                    },
+                    stamps: snap(st),
+                });
             }
         }
         // MC destruction: drop state once the member list is empty and
@@ -634,7 +775,8 @@ mod tests {
         // A link event on 1-2 triggers EventHandler for the MC.
         let mut cut = net.clone();
         let l = cut.link_between(NodeId(1), NodeId(2)).unwrap().id;
-        cut.set_link_state(l, dgmc_topology::LinkState::Down).unwrap();
+        cut.set_link_state(l, dgmc_topology::LinkState::Down)
+            .unwrap();
         let actions = e0.local_link_event(NodeId(1), NodeId(2));
         assert_eq!(actions, vec![DgmcAction::StartComputation { mc: MC }]);
         // An event on an unused link does nothing.

@@ -3,11 +3,10 @@
 use crate::Timestamp;
 use dgmc_mctree::{McTopology, McType, Role};
 use dgmc_topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a multipoint connection (the `G` field of an MC LSA).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct McId(pub u32);
 
 impl fmt::Display for McId {
@@ -21,7 +20,7 @@ impl fmt::Display for McId {
 /// "`V` ∈ {join, leave, link, none} specifies an event from the source
 /// switch `S`." `None` marks *triggered* LSAs, which carry a proposal but no
 /// event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum McEventKind {
     /// The source switch joins the connection with the given role.
     Join(Role),
@@ -61,7 +60,7 @@ impl fmt::Display for McEventKind {
 /// `F` (the MC/non-MC flag) is represented structurally — this *is* the MC
 /// variant; router LSAs are the non-MC variant (see
 /// [`crate::switch::DgmcPayload`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct McLsa {
     /// `S`: the source switch of the advertisement.
     pub source: NodeId,
@@ -86,7 +85,11 @@ impl fmt::Display for McLsa {
             self.source,
             self.event,
             self.mc,
-            if self.proposal.is_some() { "yes" } else { "null" },
+            if self.proposal.is_some() {
+                "yes"
+            } else {
+                "null"
+            },
             self.stamp,
         )
     }

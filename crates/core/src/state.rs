@@ -3,7 +3,6 @@
 use crate::{McEventKind, McId, McLsa, Timestamp};
 use dgmc_mctree::{McTopology, McType, Role};
 use dgmc_topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// A topology proposal held as an installation candidate: the topology, its
@@ -38,7 +37,7 @@ pub struct ComputationJob {
 /// A per-MC state snapshot exchanged during database synchronization when a
 /// link comes up (the OSPF database-exchange analog; see
 /// [`crate::DgmcEngine::export_sync`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct McSync {
     /// The connection.
     pub mc: McId,

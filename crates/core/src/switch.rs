@@ -9,6 +9,7 @@ use dgmc_lsr::flood::Flooder;
 use dgmc_lsr::lsa::{FloodPacket, RouterLsa};
 use dgmc_lsr::{Lsdb, RoutingTable};
 use dgmc_mctree::{McAlgorithm, McType, Role};
+use dgmc_obs::SharedObserver;
 use dgmc_topology::{LinkId, Network, NodeId};
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -139,6 +140,23 @@ pub mod counters {
     pub const DATA_DELIVERED: &str = "dgmc.data_delivered";
 }
 
+/// Histogram names recorded by [`DgmcSwitch`] into the simulation's
+/// [`dgmc_obs::MetricsRegistry`].
+pub mod histograms {
+    /// Links fanned out per flood operation (MC and router LSAs alike).
+    pub const FLOOD_FANOUT: &str = "dgmc.flood_fanout";
+    /// Microseconds from a computation starting (`StartComputation`, the
+    /// proposal's birth) to a topology install at the same switch.
+    pub const INSTALL_LATENCY_US: &str = "dgmc.install_latency_us";
+    /// Withdrawn computations observed at a switch between consecutive
+    /// local membership events.
+    pub const WITHDRAWALS_PER_EVENT: &str = "dgmc.withdrawals_per_event";
+    /// Microseconds from the first measured-phase event to the last topology
+    /// install — the per-connection convergence time (recorded by the
+    /// experiment runner once per measured run).
+    pub const CONVERGENCE_US: &str = "dgmc.convergence_us";
+}
+
 /// Timing parameters of the simulated switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DgmcConfig {
@@ -185,6 +203,10 @@ pub struct DgmcSwitch {
     delivered: BTreeMap<(McId, u64), u32>,
     /// `true` while administratively failed: all traffic is dropped.
     failed: bool,
+    /// When the in-flight computation for each MC started (latency metric).
+    computation_started: BTreeMap<McId, SimTime>,
+    /// Withdrawals seen since the last local membership event.
+    withdrawn_since_event: u64,
 }
 
 impl std::fmt::Debug for DgmcSwitch {
@@ -228,7 +250,15 @@ impl DgmcSwitch {
             last_install: SimTime::ZERO,
             delivered: BTreeMap::new(),
             failed: false,
+            computation_started: BTreeMap::new(),
+            withdrawn_since_event: 0,
         }
+    }
+
+    /// Attaches the shared decision-event observer (forwarded to the
+    /// protocol engine, which does the emitting).
+    pub fn set_observer(&mut self, observer: SharedObserver) {
+        self.engine.set_observer(observer);
     }
 
     /// The switch id.
@@ -278,12 +308,19 @@ impl DgmcSwitch {
             .map(|&(_, n, ..)| n)
     }
 
-    fn flood(&mut self, ctx: &mut Ctx<'_, SwitchMsg>, payload: DgmcPayload, except: Option<LinkId>) {
+    fn flood(
+        &mut self,
+        ctx: &mut Ctx<'_, SwitchMsg>,
+        payload: DgmcPayload,
+        except: Option<LinkId>,
+    ) {
         let packet = self.flooder.originate(payload);
+        let mut fanout = 0u64;
         for (link, neighbor) in self.up_links() {
             if Some(link) == except {
                 continue;
             }
+            fanout += 1;
             ctx.send(
                 ActorId(neighbor.0),
                 self.config.per_hop,
@@ -293,6 +330,8 @@ impl DgmcSwitch {
                 },
             );
         }
+        ctx.metrics()
+            .observe_named(histograms::FLOOD_FANOUT, fanout);
     }
 
     fn relay(
@@ -325,17 +364,36 @@ impl DgmcSwitch {
                 }
                 DgmcAction::StartComputation { mc } => {
                     ctx.counter(counters::COMPUTATIONS).incr();
+                    self.computation_started.entry(mc).or_insert(ctx.now());
                     ctx.schedule_self(self.config.tc, SwitchMsg::ComputationDone { mc });
                 }
-                DgmcAction::Installed { mc: _ } => {
+                DgmcAction::Installed { mc } => {
                     ctx.counter(counters::INSTALLS).incr();
                     self.last_install = ctx.now();
+                    if let Some(started) = self.computation_started.remove(&mc) {
+                        let latency = ctx.now() - started;
+                        ctx.metrics().observe_named(
+                            histograms::INSTALL_LATENCY_US,
+                            latency.as_nanos() / 1_000,
+                        );
+                    }
                 }
                 DgmcAction::Withdrawn { mc: _ } => {
                     ctx.counter(counters::WITHDRAWN).incr();
+                    self.withdrawn_since_event += 1;
                 }
             }
         }
+    }
+
+    /// A new local membership event starts a fresh withdrawal episode:
+    /// record how many withdrawals the previous one cost.
+    fn close_event_episode(&mut self, ctx: &mut Ctx<'_, SwitchMsg>) {
+        ctx.metrics().observe_named(
+            histograms::WITHDRAWALS_PER_EVENT,
+            self.withdrawn_since_event,
+        );
+        self.withdrawn_since_event = 0;
     }
 
     fn refresh_image(&mut self) {
@@ -346,10 +404,7 @@ impl DgmcSwitch {
     fn deliver_locally(&mut self, ctx: &mut Ctx<'_, SwitchMsg>, data: &DataMsg) {
         if self.engine.is_member(data.mc) {
             ctx.counter(counters::DATA_DELIVERED).incr();
-            *self
-                .delivered
-                .entry((data.mc, data.packet_id))
-                .or_insert(0) += 1;
+            *self.delivered.entry((data.mc, data.packet_id)).or_insert(0) += 1;
         }
     }
 
@@ -485,6 +540,7 @@ impl Actor<SwitchMsg> for DgmcSwitch {
                 let actions = self.engine.local_join(mc, mc_type, role);
                 if !actions.is_empty() {
                     ctx.counter(counters::MEMBER_EVENTS).incr();
+                    self.close_event_episode(ctx);
                 }
                 self.execute(ctx, actions);
             }
@@ -492,6 +548,7 @@ impl Actor<SwitchMsg> for DgmcSwitch {
                 let actions = self.engine.local_leave(mc);
                 if !actions.is_empty() {
                     ctx.counter(counters::MEMBER_EVENTS).incr();
+                    self.close_event_episode(ctx);
                 }
                 self.execute(ctx, actions);
             }
@@ -597,12 +654,11 @@ pub fn build_dgmc_sim(
 ) -> Simulation<SwitchMsg> {
     let mut sim = Simulation::new();
     for n in net.nodes() {
-        let id = sim.add_actor(Box::new(DgmcSwitch::new(
-            n,
-            net,
-            config,
-            Rc::clone(&algorithm),
-        )));
+        let mut switch = DgmcSwitch::new(n, net, config, Rc::clone(&algorithm));
+        // Every engine stamps decisions with the simulation's shared clock;
+        // observation stays a no-op until a sink is attached on the handle.
+        switch.set_observer(sim.observer().clone());
+        let id = sim.add_actor(Box::new(switch));
         debug_assert_eq!(id.index(), n.index());
     }
     sim

@@ -1,5 +1,4 @@
 use dgmc_topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -28,7 +27,7 @@ use std::fmt;
 /// let m = a.merged_max(&b);
 /// assert!(m.dominates(&a) && m.dominates(&b));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Timestamp(Vec<u64>);
 
 impl Timestamp {

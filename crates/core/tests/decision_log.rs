@@ -1,0 +1,236 @@
+//! The protocol decision log observed end-to-end: a small D-GMC deployment
+//! with an attached [`DecisionLog`], exercising the JSONL export, the
+//! conflict-resolution events and the on-failure timeline dump.
+
+use dgmc_core::switch::{build_dgmc_sim, DgmcConfig, SwitchMsg};
+use dgmc_core::{convergence, McId, McType, Role};
+use dgmc_des::{ActorId, RunOutcome, SimDuration, Simulation};
+use dgmc_mctree::SphStrategy;
+use dgmc_obs::{DecisionLogHandle, TimelineDumpGuard};
+use dgmc_topology::generate;
+use std::rc::Rc;
+
+const MC: McId = McId(1);
+
+fn join(sim: &mut Simulation<SwitchMsg>, node: u32, delay: SimDuration) {
+    sim.inject(
+        ActorId(node),
+        delay,
+        SwitchMsg::HostJoin {
+            mc: MC,
+            mc_type: McType::Symmetric,
+            role: Role::SenderReceiver,
+        },
+    );
+}
+
+fn leave(sim: &mut Simulation<SwitchMsg>, node: u32, delay: SimDuration) {
+    sim.inject(ActorId(node), delay, SwitchMsg::HostLeave { mc: MC });
+}
+
+/// A 3-switch path with the decision log attached from the start.
+fn observed_sim(capacity: usize) -> (Simulation<SwitchMsg>, DecisionLogHandle) {
+    let net = generate::path(3);
+    let mut sim = build_dgmc_sim(
+        &net,
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    );
+    sim.set_event_budget(1_000_000);
+    let log = sim.observer().attach_log(capacity);
+    (sim, log)
+}
+
+fn kinds(log: &DecisionLogHandle) -> Vec<&'static str> {
+    log.borrow().iter().map(|e| e.kind.name()).collect()
+}
+
+#[test]
+fn join_and_leave_produce_a_golden_jsonl_stream() {
+    let (mut sim, log) = observed_sim(256);
+    join(&mut sim, 0, SimDuration::ZERO);
+    sim.run_to_quiescence();
+    join(&mut sim, 2, SimDuration::ZERO);
+    sim.run_to_quiescence();
+    leave(&mut sim, 2, SimDuration::ZERO);
+    assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+    convergence::check_consensus(&sim, MC).unwrap();
+
+    let jsonl = log.borrow().to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), log.borrow().len());
+    // The very first decision is the join detected at switch 0, before any
+    // flooding: R advanced for switch 0 only, nothing installed yet.
+    assert_eq!(
+        lines[0],
+        r#"{"at_ns":0,"mc":1,"switch":0,"kind":"EventDetected","member":0,"change":"join","r":[1,0,0],"e":[1,0,0],"c":[0,0,0]}"#
+    );
+    // Every line is a self-contained JSON object carrying the stamp vectors.
+    for line in &lines {
+        assert!(line.starts_with(r#"{"at_ns":"#), "{line}");
+        assert!(line.contains(r#""kind":""#), "{line}");
+        assert!(line.contains(r#""r":["#), "{line}");
+        assert!(line.contains(r#""c":["#), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+    }
+    // Three isolated events, each fully processed: detect → compute → flood
+    // → install (at the detecting switch and at the two remote switches).
+    let ks = kinds(&log);
+    assert_eq!(ks.iter().filter(|k| **k == "EventDetected").count(), 3);
+    assert_eq!(ks.iter().filter(|k| **k == "ProposalComputed").count(), 3);
+    assert_eq!(ks.iter().filter(|k| **k == "ProposalFlooded").count(), 3);
+    assert!(ks.iter().filter(|k| **k == "TopologyInstalled").count() >= 3);
+    assert_eq!(ks.iter().filter(|k| **k == "ProposalWithdrawn").count(), 0);
+    assert_eq!(log.borrow().dropped(), 0);
+}
+
+#[test]
+fn concurrent_proposals_log_conflict_resolution() {
+    // The concurrent-proposal race, driven deterministically at the engine:
+    // while switch 0 computes for its own join, equal-stamp proposals from
+    // switches 1 and 2 arrive. The mailbox drain arbitrates the two remote
+    // competitors, and the recomputation then arbitrates the survivor
+    // against switch 0's own proposal — both ConflictResolved sites fire.
+    use dgmc_core::{DgmcAction, DgmcEngine, McEventKind, McLsa, McTopology, Timestamp};
+    use dgmc_topology::NodeId;
+    use std::collections::BTreeSet;
+
+    let net = generate::path(3);
+    let mut engine = DgmcEngine::new(NodeId(0), 3, Rc::new(SphStrategy::new()));
+    let obs = dgmc_obs::SharedObserver::new();
+    let log = obs.attach_log(64);
+    engine.set_observer(obs.clone());
+
+    let actions = engine.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+    assert_eq!(actions, vec![DgmcAction::StartComputation { mc: MC }]);
+
+    // Both remote switches joined, heard of all three events and flooded
+    // proposals with the identical full stamp [1, 1, 1].
+    let full_stamp = Timestamp::from_components(vec![1, 1, 1]);
+    let proposal = {
+        let terminals: BTreeSet<NodeId> = [NodeId(0), NodeId(1), NodeId(2)].into();
+        let mut t = McTopology::new(terminals);
+        t.insert_edge(NodeId(0), NodeId(1));
+        t.insert_edge(NodeId(1), NodeId(2));
+        t
+    };
+    obs.set_now(1_000);
+    for source in [1u32, 2] {
+        engine.on_mc_lsa(McLsa {
+            source: NodeId(source),
+            event: McEventKind::Join(Role::SenderReceiver),
+            mc: MC,
+            mc_type: McType::Symmetric,
+            proposal: Some(proposal.clone()),
+            stamp: full_stamp.clone(),
+        });
+    }
+    // ...plus a withdrawal announcement switch 2 sent before it had heard
+    // of our join: the sender misses a local event, so the drain below sets
+    // the make-proposal flag again and the accepted candidate gets stashed
+    // into the recomputation instead of installed directly.
+    engine.on_mc_lsa(McLsa {
+        source: NodeId(2),
+        event: McEventKind::None,
+        mc: MC,
+        mc_type: McType::Symmetric,
+        proposal: None,
+        stamp: Timestamp::from_components(vec![0, 0, 1]),
+    });
+
+    // Tc elapses: the own proposal is stale (two events arrived meanwhile),
+    // the drain accepts switch 1's proposal and arbitrates switch 2's away.
+    obs.set_now(2_000);
+    engine.on_computation_done(MC, &net);
+    // The recomputation completes with the survivor stashed: equal stamps,
+    // switch 0 < switch 1, so the own proposal deterministically wins.
+    obs.set_now(3_000);
+    engine.on_computation_done(MC, &net);
+
+    let ks = kinds(&log);
+    assert_eq!(
+        ks,
+        vec![
+            "EventDetected",
+            "ProposalWithdrawn",
+            "ProposalAccepted",
+            "ConflictResolved",
+            "ProposalComputed",
+            "ProposalFlooded",
+            "ConflictResolved",
+            "TopologyInstalled",
+        ],
+        "{ks:?}"
+    );
+    let conflicts: Vec<(u32, u32)> = log
+        .borrow()
+        .iter()
+        .filter_map(|e| match e.kind {
+            dgmc_obs::DecisionKind::ConflictResolved { winner, loser } => Some((winner, loser)),
+            _ => None,
+        })
+        .collect();
+    // Drain: switch 1 beats switch 2 (equal stamps, smaller id). Completion:
+    // switch 0's own proposal beats the stashed survivor from switch 1.
+    assert_eq!(conflicts, vec![(1, 2), (0, 1)]);
+    // The JSONL line for the drain arbitration, stamps included.
+    let jsonl = log.borrow().to_jsonl();
+    assert!(
+        jsonl.contains(
+            r#"{"at_ns":2000,"mc":1,"switch":0,"kind":"ConflictResolved","winner":1,"loser":2,"r":[1,1,1],"e":[1,1,1],"c":[0,0,0]}"#
+        ),
+        "{jsonl}"
+    );
+}
+
+#[test]
+fn ring_eviction_keeps_the_newest_decisions() {
+    let (mut sim, log) = observed_sim(4);
+    for i in 0..3 {
+        join(&mut sim, i, SimDuration::millis(10 * u64::from(i)));
+    }
+    assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+    let total = log.borrow().len() as u64 + log.borrow().dropped();
+    assert_eq!(log.borrow().len(), 4, "capacity bounds the log");
+    assert!(log.borrow().dropped() > 0, "older decisions were evicted");
+    let timeline = log.borrow().timeline(4);
+    assert!(
+        timeline.contains(&format!("{} earlier decision(s) omitted", total - 4)),
+        "{timeline}"
+    );
+}
+
+#[test]
+fn failing_run_dumps_a_readable_timeline() {
+    // The acceptance scenario: an e2e assertion fails and the last-N
+    // decision timeline explains what the protocol did. Concurrent joins on
+    // a shared path force accepted *and* withdrawn proposals into the log.
+    let (mut sim, log) = observed_sim(512);
+    join(&mut sim, 0, SimDuration::ZERO);
+    join(&mut sim, 1, SimDuration::ZERO);
+    join(&mut sim, 2, SimDuration::ZERO);
+    assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+
+    let guard = TimelineDumpGuard::new(log.clone(), 64, "decision_log e2e");
+    let dump = guard.render();
+    // The dump names the decisions with their timestamp snapshots — exactly
+    // what a failing assertion needs on stderr.
+    assert!(
+        dump.contains("decision timeline (decision_log e2e"),
+        "{dump}"
+    );
+    assert!(dump.contains("ProposalAccepted"), "{dump}");
+    assert!(dump.contains("ProposalWithdrawn"), "{dump}");
+    assert!(dump.contains("R=["), "{dump}");
+    assert!(dump.contains("C=["), "{dump}");
+    assert!(dump.contains("--- end timeline ---"), "{dump}");
+
+    // And the guard actually fires on panic: the unwinding drop prints the
+    // same dump to stderr (observed here only as "the panic propagates").
+    let log2 = log.clone();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        let _guard = TimelineDumpGuard::new(log2, 8, "deliberate failure");
+        panic!("deliberate e2e failure to exercise the dump");
+    }));
+    assert!(caught.is_err());
+}

@@ -64,7 +64,10 @@ fn transit_node_failure_reroutes_the_tree() {
     join(&mut sim, 0, SimDuration::ZERO);
     join(&mut sim, 2, SimDuration::millis(1));
     sim.run_to_quiescence();
-    let before = convergence::check_consensus(&sim, MC).unwrap().topology.unwrap();
+    let before = convergence::check_consensus(&sim, MC)
+        .unwrap()
+        .topology
+        .unwrap();
     assert!(before.touches(NodeId(1)), "tree uses transit node 1");
 
     inject_node_event(&mut sim, &net, NodeId(1), false, SimDuration::millis(2));
@@ -85,7 +88,10 @@ fn transit_node_failure_reroutes_the_tree() {
     sim.inject(
         ActorId(0),
         SimDuration::millis(50),
-        SwitchMsg::SendData { mc: MC, packet_id: 5 },
+        SwitchMsg::SendData {
+            mc: MC,
+            packet_id: 5,
+        },
     );
     sim.run_to_quiescence();
     assert_eq!(convergence::delivery_map(&sim, MC, 5)[&NodeId(2)], 1);
@@ -105,7 +111,11 @@ fn revived_node_resynchronizes_missed_membership() {
     sim.run_to_quiescence();
     // Membership changes while 8 is down.
     join(&mut sim, 6, SimDuration::millis(10));
-    sim.inject(ActorId(2), SimDuration::millis(20), SwitchMsg::HostLeave { mc: MC });
+    sim.inject(
+        ActorId(2),
+        SimDuration::millis(20),
+        SwitchMsg::HostLeave { mc: MC },
+    );
     sim.run_to_quiescence();
     // The dead switch missed both events.
     let dead = sim.actor_as::<DgmcSwitch>(ActorId(8)).unwrap();
@@ -131,8 +141,16 @@ fn revived_node_learns_destroyed_mcs() {
     sim.run_to_quiescence();
     inject_node_event(&mut sim, &net, NodeId(4), false, SimDuration::millis(2));
     sim.run_to_quiescence();
-    sim.inject(ActorId(0), SimDuration::millis(10), SwitchMsg::HostLeave { mc: MC });
-    sim.inject(ActorId(2), SimDuration::millis(20), SwitchMsg::HostLeave { mc: MC });
+    sim.inject(
+        ActorId(0),
+        SimDuration::millis(10),
+        SwitchMsg::HostLeave { mc: MC },
+    );
+    sim.inject(
+        ActorId(2),
+        SimDuration::millis(20),
+        SwitchMsg::HostLeave { mc: MC },
+    );
     sim.run_to_quiescence();
     assert!(sim
         .actor_as::<DgmcSwitch>(ActorId(4))
@@ -184,7 +202,10 @@ fn failed_switch_drops_data() {
     sim.inject(
         ActorId(0),
         SimDuration::millis(10),
-        SwitchMsg::SendData { mc: MC, packet_id: 1 },
+        SwitchMsg::SendData {
+            mc: MC,
+            packet_id: 1,
+        },
     );
     sim.run_to_quiescence();
     assert_eq!(convergence::delivery_map(&sim, MC, 1)[&NodeId(2)], 0);

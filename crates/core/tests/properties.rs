@@ -111,7 +111,11 @@ impl Cluster {
         let mut budget = 100_000;
         let mut k = 0;
         loop {
-            let c = if choices.is_empty() { 0 } else { choices[k % choices.len()] };
+            let c = if choices.is_empty() {
+                0
+            } else {
+                choices[k % choices.len()]
+            };
             k += 1;
             if !self.step(c) {
                 return;

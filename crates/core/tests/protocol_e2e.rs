@@ -340,8 +340,8 @@ fn randomized_bursts_always_converge() {
         }
         let outcome = sim.run_to_quiescence();
         assert_eq!(outcome, RunOutcome::Quiescent, "seed {seed} diverged");
-        let c = convergence::check_consensus(&sim, MC)
-            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let c =
+            convergence::check_consensus(&sim, MC).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         members.sort_unstable();
         let got: Vec<u32> = c.members.keys().map(|n| n.0).collect();
         assert_eq!(got, members, "seed {seed} membership mismatch");
@@ -372,8 +372,7 @@ fn delay_bounded_strategy_runs_live_in_the_protocol() {
     let c = convergence::check_consensus(&sim, MC).unwrap();
     let tree = c.topology.unwrap();
     assert_eq!(tree.validate(&net, tree.terminals()), Ok(()));
-    let delays =
-        dgmc_mctree::metrics::tree_path_costs(&tree, &net, NodeId(0)).expect("tree valid");
+    let delays = dgmc_mctree::metrics::tree_path_costs(&tree, &net, NodeId(0)).expect("tree valid");
     for m in [0u32, 4, 7] {
         assert!(
             delays[&NodeId(m)] <= bound,

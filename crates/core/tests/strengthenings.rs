@@ -30,7 +30,10 @@ fn lsa(source: u32, event: McEventKind, stamp: &Timestamp, proposal: Option<McTo
 fn tree(edges: &[(u32, u32)], terminals: &[u32]) -> McTopology {
     McTopology::from_edges(
         edges.iter().map(|&(a, b)| (NodeId(a), NodeId(b))),
-        terminals.iter().map(|&t| NodeId(t)).collect::<BTreeSet<_>>(),
+        terminals
+            .iter()
+            .map(|&t| NodeId(t))
+            .collect::<BTreeSet<_>>(),
     )
 }
 
@@ -94,7 +97,12 @@ fn stashed_candidate_survives_a_withdrawn_computation() {
 
     // All three queue: the engine is mid-computation.
     assert!(e0
-        .on_mc_lsa(lsa(3, McEventKind::Join(Role::SenderReceiver), &stale3, None))
+        .on_mc_lsa(lsa(
+            3,
+            McEventKind::Join(Role::SenderReceiver),
+            &stale3,
+            None
+        ))
         .is_empty());
     assert!(e0
         .on_mc_lsa(lsa(
@@ -105,7 +113,12 @@ fn stashed_candidate_survives_a_withdrawn_computation() {
         ))
         .is_empty());
     assert!(e0
-        .on_mc_lsa(lsa(4, McEventKind::Join(Role::SenderReceiver), &stale4, None))
+        .on_mc_lsa(lsa(
+            4,
+            McEventKind::Join(Role::SenderReceiver),
+            &stale4,
+            None
+        ))
         .is_empty());
 
     // Completion: withdrawn (mailbox non-empty); the drain accepts the
@@ -115,8 +128,9 @@ fn stashed_candidate_survives_a_withdrawn_computation() {
     assert!(done.contains(&DgmcAction::Withdrawn { mc: MC }));
     assert!(done.contains(&DgmcAction::StartComputation { mc: MC }));
     let job = e0.state(MC).unwrap().computing.clone().expect("computing");
-    let (stash_tree, stash_stamp, stash_src) =
-        job.stashed_candidate.expect("candidate stashed, not nulled");
+    let (stash_tree, stash_stamp, stash_src) = job
+        .stashed_candidate
+        .expect("candidate stashed, not nulled");
     assert_eq!(stash_src, NodeId(2));
     assert_eq!(stash_tree, candidate_tree);
     assert_eq!(stash_stamp, full2);

@@ -70,7 +70,10 @@ fn duplicates_appear_on_cyclic_topologies() {
     );
     sim.run_to_quiescence();
     assert_eq!(sim.counter_value(counters::MC_LSAS), 4);
-    assert!(sim.counter_value(counters::DUPLICATES) >= 1, "ring loops back");
+    assert!(
+        sim.counter_value(counters::DUPLICATES) >= 1,
+        "ring loops back"
+    );
 }
 
 #[test]
@@ -92,7 +95,11 @@ fn data_for_unknown_mc_is_dropped_silently() {
 #[test]
 fn leave_from_non_member_switch_is_a_noop() {
     let mut sim = sim_path(3);
-    sim.inject(ActorId(2), SimDuration::ZERO, SwitchMsg::HostLeave { mc: MC });
+    sim.inject(
+        ActorId(2),
+        SimDuration::ZERO,
+        SwitchMsg::HostLeave { mc: MC },
+    );
     sim.run_to_quiescence();
     assert_eq!(sim.counter_value(counters::MEMBER_EVENTS), 0);
     assert_eq!(sim.counter_value(counters::FLOODINGS), 0);
@@ -156,16 +163,27 @@ fn data_between_installs_uses_latest_tree() {
         );
     }
     sim.run_to_quiescence();
-    sim.inject(ActorId(2), SimDuration::millis(10), SwitchMsg::HostLeave { mc: MC });
+    sim.inject(
+        ActorId(2),
+        SimDuration::millis(10),
+        SwitchMsg::HostLeave { mc: MC },
+    );
     sim.run_to_quiescence();
     sim.inject(
         ActorId(0),
         SimDuration::millis(20),
-        SwitchMsg::SendData { mc: MC, packet_id: 3 },
+        SwitchMsg::SendData {
+            mc: MC,
+            packet_id: 3,
+        },
     );
     sim.run_to_quiescence();
     let ex_member = sim.actor_as::<DgmcSwitch>(ActorId(2)).unwrap();
-    assert_eq!(ex_member.delivered_copies(MC, 3), 0, "ex-member hears nothing");
+    assert_eq!(
+        ex_member.delivered_copies(MC, 3),
+        0,
+        "ex-member hears nothing"
+    );
     let sender = sim.actor_as::<DgmcSwitch>(ActorId(0)).unwrap();
     assert_eq!(sender.delivered_copies(MC, 3), 1, "sender still a member");
 }

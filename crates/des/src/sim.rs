@@ -1,8 +1,9 @@
 use crate::stats::CounterHandle;
 use crate::trace::{TraceBuffer, TraceEvent};
 use crate::{SimDuration, SimTime};
+use dgmc_obs::{MetricsRegistry, SharedObserver};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
 
 /// Identifier of an actor registered with a [`Simulation`].
@@ -103,7 +104,7 @@ pub struct Ctx<'a, M> {
     self_id: ActorId,
     queue: &'a mut BinaryHeap<Reverse<Scheduled<M>>>,
     seq: &'a mut u64,
-    counters: &'a mut HashMap<String, u64>,
+    metrics: &'a mut MetricsRegistry,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -152,9 +153,15 @@ impl<'a, M> Ctx<'a, M> {
     /// Returns a handle to the named simulation-wide counter.
     ///
     /// Counters are created on first use and readable after the run through
-    /// [`Simulation::counter_value`].
+    /// [`Simulation::counter_value`]. The name is interned once by the
+    /// registry; repeat lookups do not allocate.
     pub fn counter(&mut self, name: &str) -> CounterHandle<'_> {
-        CounterHandle::new(self.counters, name)
+        CounterHandle::from_slot(self.metrics.counter_slot(name))
+    }
+
+    /// The simulation-wide metrics registry (counters and histograms).
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        self.metrics
     }
 }
 
@@ -168,7 +175,8 @@ pub struct Simulation<M> {
     queue: BinaryHeap<Reverse<Scheduled<M>>>,
     seq: u64,
     now: SimTime,
-    counters: HashMap<String, u64>,
+    metrics: MetricsRegistry,
+    observer: SharedObserver,
     events_processed: u64,
     event_budget: u64,
     trace: Option<(TraceBuffer, Labeler<M>)>,
@@ -199,7 +207,8 @@ impl<M> Simulation<M> {
             queue: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
-            counters: HashMap::new(),
+            metrics: MetricsRegistry::new(),
+            observer: SharedObserver::new(),
             events_processed: 0,
             event_budget: u64::MAX,
             trace: None,
@@ -266,17 +275,38 @@ impl<M> Simulation<M> {
 
     /// Reads a counter's value (0 if the counter was never touched).
     pub fn counter_value(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.metrics.counter_value(name)
     }
 
-    /// Immutable view of every counter.
-    pub fn counters(&self) -> &HashMap<String, u64> {
-        &self.counters
+    /// Snapshot of every counter, sorted by name.
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.metrics.counters_map()
     }
 
-    /// Resets all counters to zero (the values, not the registry).
+    /// Read access to the metrics registry (counters and histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Mutable access to the metrics registry between runs.
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// The decision-event observer shared with protocol actors.
+    ///
+    /// Disabled (single-branch no-op) until a sink is attached, e.g. via
+    /// [`dgmc_obs::SharedObserver::attach_log`]. The engine keeps its clock
+    /// in sync with simulated time during [`Simulation::run_until`]. Actors
+    /// receive a clone of this handle when they are built — see
+    /// the D-GMC switch layer for the pattern.
+    pub fn observer(&self) -> &SharedObserver {
+        &self.observer
+    }
+
+    /// Resets all counters and histograms to zero (values, not names).
     pub fn reset_counters(&mut self) {
-        self.counters.clear();
+        self.metrics.reset();
     }
 
     /// Grants read access to a registered actor between runs.
@@ -338,6 +368,7 @@ impl<M> Simulation<M> {
             let Reverse(scheduled) = self.queue.pop().expect("peeked");
             debug_assert!(scheduled.at >= self.now, "event from the past");
             self.now = scheduled.at;
+            self.observer.set_now(self.now.as_nanos());
             self.events_processed += 1;
             if let Some((buf, labeler)) = &mut self.trace {
                 buf.push(TraceEvent {
@@ -361,7 +392,7 @@ impl<M> Simulation<M> {
                 self_id: scheduled.env.to,
                 queue: &mut self.queue,
                 seq: &mut self.seq,
-                counters: &mut self.counters,
+                metrics: &mut self.metrics,
             };
             actor.handle(&mut ctx, scheduled.env);
             self.actors[idx] = Some(actor);

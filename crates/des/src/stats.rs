@@ -5,26 +5,20 @@
 //! half-width), and [`CounterHandle`] backs the named event counters the
 //! protocol actors bump during simulation.
 
-use std::collections::HashMap;
-
 /// Mutable handle to a named simulation counter.
 ///
-/// Obtained through [`crate::Ctx::counter`]; the handle borrows the counter
-/// table for the duration of one update.
+/// Obtained through [`crate::Ctx::counter`]; the handle borrows one interned
+/// slot of the simulation's [`dgmc_obs::MetricsRegistry`] for the duration
+/// of one update, so bumping an existing counter neither hashes twice nor
+/// allocates.
 #[derive(Debug)]
 pub struct CounterHandle<'a> {
     slot: &'a mut u64,
 }
 
 impl<'a> CounterHandle<'a> {
-    pub(crate) fn new(table: &'a mut HashMap<String, u64>, name: &str) -> Self {
-        // entry() without allocating when the counter already exists.
-        if !table.contains_key(name) {
-            table.insert(name.to_owned(), 0);
-        }
-        CounterHandle {
-            slot: table.get_mut(name).expect("just inserted"),
-        }
+    pub(crate) fn from_slot(slot: &'a mut u64) -> Self {
+        CounterHandle { slot }
     }
 
     /// Adds one to the counter.
@@ -287,9 +281,9 @@ impl Histogram {
 /// of freedom (so that ±t covers 95%).
 fn t_value_975(df: usize) -> f64 {
     const TABLE: [f64; 30] = [
-        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
-        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
-        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
     ];
     match df {
         0 => f64::INFINITY,

@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
@@ -12,9 +11,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub};
 /// assert_eq!(t - SimTime::ZERO, SimDuration::micros(10));
 /// assert!(t > SimTime::ZERO);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -79,9 +76,7 @@ impl Sub<SimTime> for SimTime {
 /// assert_eq!(SimDuration::micros(2) * 3, SimDuration::micros(6));
 /// assert_eq!(SimDuration::millis(1).as_nanos(), 1_000_000);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -221,7 +216,10 @@ mod tests {
     #[test]
     fn display_in_microseconds() {
         assert_eq!(SimDuration::micros(1500).to_string(), "1500.000us");
-        assert_eq!((SimTime::ZERO + SimDuration::nanos(500)).to_string(), "0.500us");
+        assert_eq!(
+            (SimTime::ZERO + SimDuration::nanos(500)).to_string(),
+            "0.500us"
+        );
     }
 
     #[test]

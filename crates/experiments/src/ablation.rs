@@ -13,7 +13,7 @@ use crate::workload::{self, BurstParams};
 use dgmc_core::switch::DgmcConfig;
 use dgmc_des::stats::Tally;
 use dgmc_des::SimDuration;
-use dgmc_mctree::{algorithms, McAlgorithm, KmbStrategy, SphStrategy};
+use dgmc_mctree::{algorithms, KmbStrategy, McAlgorithm, SphStrategy};
 use dgmc_topology::generate;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -39,8 +39,14 @@ pub fn strategy_ablation(n: usize, graphs: usize, seed: u64) -> (StrategyArm, St
     for g in 0..graphs {
         let s = seed.wrapping_add(g as u64);
         for (arm, alg) in [
-            (&mut sph_arm, Rc::new(SphStrategy::new()) as Rc<dyn McAlgorithm>),
-            (&mut kmb_arm, Rc::new(KmbStrategy::new()) as Rc<dyn McAlgorithm>),
+            (
+                &mut sph_arm,
+                Rc::new(SphStrategy::new()) as Rc<dyn McAlgorithm>,
+            ),
+            (
+                &mut kmb_arm,
+                Rc::new(KmbStrategy::new()) as Rc<dyn McAlgorithm>,
+            ),
         ] {
             let mut rng = StdRng::seed_from_u64(s);
             let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
@@ -62,7 +68,9 @@ pub fn strategy_ablation(n: usize, graphs: usize, seed: u64) -> (StrategyArm, St
 pub fn incremental_quality(n: usize, steps: usize, seed: u64) -> Tally {
     let mut rng = StdRng::seed_from_u64(seed);
     let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
-    let initial: BTreeSet<_> = generate::sample_nodes(&mut rng, &net, 5).into_iter().collect();
+    let initial: BTreeSet<_> = generate::sample_nodes(&mut rng, &net, 5)
+        .into_iter()
+        .collect();
     let mut tree = algorithms::takahashi_matsuyama(&net, &initial);
     let mut members = initial;
     let mut tally = Tally::new();
@@ -131,7 +139,12 @@ pub fn burst_sweep(n: usize, bursts: &[usize], graphs: usize, seed: u64) -> Vec<
                 &wl,
                 Rc::new(SphStrategy::new()),
             ) {
-                record(&mut row.proposals, &mut row.floodings, &mut row.convergence, &m);
+                record(
+                    &mut row.proposals,
+                    &mut row.floodings,
+                    &mut row.convergence,
+                    &m,
+                );
             }
         }
         rows.push(row);
@@ -174,7 +187,12 @@ pub fn timing_sweep(n: usize, tcs_micros: &[u64], graphs: usize, seed: u64) -> V
             let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
             let wl = workload::bursty(&mut rng, &net, &BurstParams::default());
             if let Ok(m) = run_dgmc(&net, config, &wl, Rc::new(SphStrategy::new())) {
-                record(&mut row.proposals, &mut row.floodings, &mut row.convergence, &m);
+                record(
+                    &mut row.proposals,
+                    &mut row.floodings,
+                    &mut row.convergence,
+                    &m,
+                );
             }
         }
         rows.push(row);
@@ -289,7 +307,10 @@ mod tests {
     fn burst_sweep_scales_with_conflicts() {
         let rows = burst_sweep(20, &[1, 8], 2, 9);
         assert_eq!(rows.len(), 2);
-        assert!((rows[0].proposals.mean() - 1.0).abs() < 0.01, "single event is conflict-free");
+        assert!(
+            (rows[0].proposals.mean() - 1.0).abs() < 0.01,
+            "single event is conflict-free"
+        );
         assert!(rows[1].proposals.mean() >= rows[0].proposals.mean());
     }
 

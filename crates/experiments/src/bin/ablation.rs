@@ -35,7 +35,11 @@ fn main() {
 
     println!();
     println!("== (c) Burst-size sweep (n={n}) ==");
-    let bursts: &[usize] = if quick { &[1, 5, 10] } else { &[1, 5, 10, 20, 30] };
+    let bursts: &[usize] = if quick {
+        &[1, 5, 10]
+    } else {
+        &[1, 5, 10, 20, 30]
+    };
     for row in ablation::burst_sweep(n, bursts, graphs, 0xAB3) {
         println!(
             "burst {:>3}: proposals/event {:.2} ±{:.2}, floodings/event {:.2}, convergence {:.1} rounds",
@@ -88,7 +92,11 @@ fn main() {
 
     println!();
     println!("== (g) Timing regime sweep: Tc at fixed 10us per-hop (n={n}) ==");
-    let tcs: &[u64] = if quick { &[10, 300] } else { &[10, 50, 100, 300, 1000] };
+    let tcs: &[u64] = if quick {
+        &[10, 300]
+    } else {
+        &[10, 50, 100, 300, 1000]
+    };
     for row in ablation::timing_sweep(n, tcs, graphs, 0xAB4) {
         println!(
             "Tc {:>5}us: proposals/event {:.2}, floodings/event {:.2}, convergence {:.1} rounds",

@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p dgmc-experiments --bin compare [--quick]`
 
-use dgmc_experiments::compare;
+use dgmc_experiments::{compare, report};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -20,4 +20,13 @@ fn main() {
     println!("== CBT shared trees vs D-GMC Steiner trees ==");
     let cbt_rows = compare::compare_cbt(&sizes, graphs, 0xBEEF);
     print!("{}", compare::cbt_table(&cbt_rows));
+    println!();
+    println!("== D-GMC floods vs CBT join signaling (shared metrics registry) ==");
+    let registry = compare::signaling_registry(&sizes, graphs, 0xCB7);
+    print!("{}", compare::signaling_summary(&registry));
+    match report::write_metrics_snapshot("results", "compare", "D-GMC vs CBT signaling", &registry)
+    {
+        Ok(path) => eprintln!("metrics snapshot: {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics snapshot: {e}"),
+    }
 }

@@ -20,6 +20,10 @@ fn main() {
             row.floodings.mean()
         );
     });
+    match report::write_metrics_snapshot("results", "exp3", &results.name, &results.metrics) {
+        Ok(path) => eprintln!("metrics snapshot: {}", path.display()),
+        Err(e) => eprintln!("failed to write metrics snapshot: {e}"),
+    }
     if args.iter().any(|a| a == "--csv") {
         print!("{}", report::csv(&results));
     } else {

@@ -7,15 +7,15 @@ use dgmc_core::switch::DgmcConfig;
 use dgmc_core::{McId, McType, Role};
 use dgmc_des::stats::Tally;
 use dgmc_des::{ActorId, SimDuration};
-use dgmc_hierarchy::switch::{build_hier_sim, counters, HierMsg};
 use dgmc_hierarchy::backbone::Backbone;
+use dgmc_hierarchy::switch::{build_hier_sim, counters, HierMsg};
 use dgmc_hierarchy::{scope, AreaMap, HierarchicalMc};
 use dgmc_mctree::algorithms;
 use dgmc_topology::{generate, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::rc::Rc;
 use std::collections::BTreeSet;
+use std::rc::Rc;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -94,10 +94,8 @@ fn main() {
                 continue;
             };
             let flat = algorithms::takahashi_matsuyama(&net, &members);
-            if let (Some(hc), Some(fc)) = (
-                hier.topology().total_cost(&net),
-                flat.total_cost(&net),
-            ) {
+            if let (Some(hc), Some(fc)) = (hier.topology().total_cost(&net), flat.total_cost(&net))
+            {
                 if fc > 0 {
                     ratio.record(hc as f64 / fc as f64);
                 }

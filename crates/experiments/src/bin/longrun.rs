@@ -9,7 +9,10 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (n, events) = if quick { (30, 100) } else { (100, 500) };
     println!("== Long-run churn: n={n}, {events} membership events ==");
-    for (label, gap) in [("sparse (50ms mean gap)", 50u64), ("tight (2ms mean gap)", 2)] {
+    for (label, gap) in [
+        ("sparse (50ms mean gap)", 50u64),
+        ("tight (2ms mean gap)", 2),
+    ] {
         match longrun::churn_run(n, events, gap, events / 10, 0x10E6) {
             Ok(r) => println!(
                 "{label}: {} checkpoints OK, {:.2} proposals/event, {:.2} floodings/event, final tree competitiveness {:.3}, max MC states/switch {}",

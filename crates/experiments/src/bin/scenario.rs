@@ -38,8 +38,7 @@ fn main() {
     for (mc, consensus) in &report.consensus {
         match consensus {
             Ok(c) => {
-                let members: Vec<String> =
-                    c.members.keys().map(|n| n.to_string()).collect();
+                let members: Vec<String> = c.members.keys().map(|n| n.to_string()).collect();
                 println!(
                     "{mc}: consensus OK, members [{}], tree edges {}",
                     members.join(", "),

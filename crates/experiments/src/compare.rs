@@ -234,9 +234,10 @@ pub fn compare_cbt(sizes: &[usize], graphs_per_size: usize, seed: u64) -> Vec<Cb
                 row.concentration_ratio
                     .record(tree.traffic_concentration() as f64 / sconc as f64);
             }
-            if let (Some(worst), Some(best)) =
-                (cbt::worst_core(&net, &members), cbt::best_core(&net, &members))
-            {
+            if let (Some(worst), Some(best)) = (
+                cbt::worst_core(&net, &members),
+                cbt::best_core(&net, &members),
+            ) {
                 let ecc = |c: NodeId| -> f64 {
                     let spt = dgmc_topology::spf::shortest_path_tree(&net, c);
                     members
@@ -254,6 +255,90 @@ pub fn compare_cbt(sizes: &[usize], graphs_per_size: usize, seed: u64) -> Vec<Cb
         rows.push(row);
     }
     rows
+}
+
+/// Runs D-GMC and CBT over the *same* membership sequences and returns one
+/// [`MetricsRegistry`] holding both protocols' signaling costs: D-GMC's
+/// `dgmc.*` flood counters and histograms merged from the simulation, CBT's
+/// `cbt.join_*` metrics recorded by [`CbtTree::join_recorded`]. Having both
+/// in one registry makes the flood-vs-join-hops comparison a single snapshot
+/// (written by the `compare` bin as `results/compare.metrics.json`).
+///
+/// [`CbtTree::join_recorded`]: cbt::CbtTree::join_recorded
+pub fn signaling_registry(
+    sizes: &[usize],
+    graphs_per_size: usize,
+    seed: u64,
+) -> dgmc_obs::MetricsRegistry {
+    let mut registry = dgmc_obs::MetricsRegistry::new();
+    for &n in sizes {
+        for g in 0..graphs_per_size {
+            let run_seed = seed
+                .wrapping_mul(424_243)
+                .wrapping_add((n as u64) << 19)
+                .wrapping_add(g as u64);
+            let mut rng = StdRng::seed_from_u64(run_seed);
+            let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
+            let wl = workload::sparse(&mut rng, &net, &SparseParams::default());
+            if wl.events.is_empty() {
+                continue;
+            }
+
+            // D-GMC: measured-phase counters straight from the simulation's
+            // registry.
+            let mut sim = build_dgmc_sim(
+                &net,
+                DgmcConfig::computation_dominated(),
+                Rc::new(SphStrategy::new()),
+            );
+            for (i, m) in wl.initial_members.iter().enumerate() {
+                sim.inject(
+                    ActorId(m.0),
+                    SimDuration::millis(200) * i as u64,
+                    SwitchMsg::HostJoin {
+                        mc: MC,
+                        mc_type: McType::Symmetric,
+                        role: Role::SenderReceiver,
+                    },
+                );
+            }
+            sim.run_to_quiescence();
+            sim.reset_counters();
+            for e in &wl.events {
+                let msg = if e.join {
+                    SwitchMsg::HostJoin {
+                        mc: MC,
+                        mc_type: McType::Symmetric,
+                        role: Role::SenderReceiver,
+                    }
+                } else {
+                    SwitchMsg::HostLeave { mc: MC }
+                };
+                sim.inject(ActorId(e.node.0), e.at, msg);
+            }
+            sim.run_to_quiescence();
+            registry.merge(sim.metrics());
+
+            // CBT: replay the same membership sequence as join requests
+            // toward the best core; only the measured-phase joins count.
+            let warm: BTreeSet<NodeId> = wl.initial_members.iter().copied().collect();
+            let Some(core) = cbt::best_core(&net, &warm) else {
+                continue;
+            };
+            let mut tree = cbt::CbtTree::new(core);
+            for &m in &warm {
+                tree.join(&net, m);
+            }
+            for e in &wl.events {
+                if e.join {
+                    tree.join_recorded(&net, e.node, &mut registry);
+                } else {
+                    tree.leave(e.node);
+                }
+            }
+        }
+    }
+    registry
 }
 
 /// Renders a protocol comparison table.
@@ -282,6 +367,45 @@ pub fn protocol_table(rows: &[ProtocolRow]) -> String {
             r.dgmc_floodings.mean(),
             r.bf_floodings.mean(),
             r.mospf_floodings.mean()
+        );
+    }
+    out
+}
+
+/// Renders the shared-registry signaling comparison produced by
+/// [`signaling_registry`].
+pub fn signaling_summary(registry: &dgmc_obs::MetricsRegistry) -> String {
+    use dgmc_core::switch::histograms;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "D-GMC: {} floods, {} computations",
+        registry.counter_value(dgmc_counters::FLOODINGS),
+        registry.counter_value(dgmc_counters::COMPUTATIONS),
+    );
+    if let Some(fanout) = registry.histogram_get(histograms::FLOOD_FANOUT) {
+        let _ = writeln!(
+            out,
+            "       flood fan-out p50 {} p90 {} (of {} floods measured)",
+            fanout.quantile(0.5),
+            fanout.quantile(0.9),
+            fanout.count()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "CBT:   {} join requests, {} hops total",
+        registry.counter_value(cbt::metric_names::JOIN_REQUESTS),
+        registry.counter_value(cbt::metric_names::JOIN_HOPS_TOTAL),
+    );
+    if let Some(hops) = registry.histogram_get(cbt::metric_names::JOIN_HOPS) {
+        let _ = writeln!(
+            out,
+            "       join hops p50 {} p90 {} max {}",
+            hops.quantile(0.5),
+            hops.quantile(0.9),
+            hops.max()
         );
     }
     out
@@ -340,10 +464,24 @@ mod tests {
         let rows = compare_cbt(&[30], 3, 3);
         let r = &rows[0];
         assert!(r.cbt_join_hops.mean() > 0.0);
-        assert!(r.cost_ratio.mean() >= 0.9, "shared tree can't be much cheaper");
+        assert!(
+            r.cost_ratio.mean() >= 0.9,
+            "shared tree can't be much cheaper"
+        );
         assert!(r.core_delay_ratio.mean() >= 1.0);
         let table = cbt_table(&rows);
         assert!(table.contains("30"));
+    }
+
+    #[test]
+    fn signaling_registry_holds_both_protocols() {
+        let reg = signaling_registry(&[20], 2, 5);
+        assert!(reg.counter_value(dgmc_counters::FLOODINGS) > 0);
+        assert!(reg.counter_value(cbt::metric_names::JOIN_REQUESTS) > 0);
+        let summary = signaling_summary(&reg);
+        assert!(summary.contains("D-GMC:"), "{summary}");
+        assert!(summary.contains("CBT:"), "{summary}");
+        assert!(summary.contains("join hops p50"), "{summary}");
     }
 
     #[test]

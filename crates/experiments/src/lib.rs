@@ -27,8 +27,8 @@ pub mod longrun;
 pub mod multi_mc;
 pub mod presets;
 pub mod recovery;
-pub mod robustness;
-pub mod scenario;
 pub mod report;
+pub mod robustness;
 pub mod runner;
+pub mod scenario;
 pub mod workload;

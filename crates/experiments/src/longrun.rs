@@ -87,7 +87,10 @@ pub fn churn_run(
     sim.set_event_budget(2_000_000_000);
     let mut members: Vec<NodeId> = Vec::new();
     // Seed three members.
-    for (i, m) in generate::sample_nodes(&mut rng, &net, 3).into_iter().enumerate() {
+    for (i, m) in generate::sample_nodes(&mut rng, &net, 3)
+        .into_iter()
+        .enumerate()
+    {
         sim.inject(
             ActorId(m.0),
             SimDuration::millis(10 * i as u64),
@@ -116,8 +119,7 @@ pub fn churn_run(
             let node = members.swap_remove(idx);
             sim.inject(ActorId(node.0), gap, SwitchMsg::HostLeave { mc: MC });
         } else {
-            let candidates: Vec<NodeId> =
-                net.nodes().filter(|x| !members.contains(x)).collect();
+            let candidates: Vec<NodeId> = net.nodes().filter(|x| !members.contains(x)).collect();
             let Some(&node) = candidates.as_slice().choose(&mut rng) else {
                 continue;
             };
@@ -146,8 +148,8 @@ pub fn churn_run(
             checkpoints += 1;
         }
     }
-    let final_competitiveness = consensus_tree(&sim)
-        .and_then(|tree| dgmc_mctree::metrics::competitiveness(&tree, &net));
+    let final_competitiveness =
+        consensus_tree(&sim).and_then(|tree| dgmc_mctree::metrics::competitiveness(&tree, &net));
     let max_states_per_switch = (0..n as u32)
         .map(|i| {
             sim.actor_as::<DgmcSwitch>(ActorId(i))

@@ -7,6 +7,7 @@ use crate::workload::{self, BurstParams, SparseParams, Workload};
 use dgmc_core::switch::DgmcConfig;
 use dgmc_des::stats::Tally;
 use dgmc_mctree::SphStrategy;
+use dgmc_obs::MetricsRegistry;
 use dgmc_topology::{generate, Network};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -109,6 +110,9 @@ pub struct ExperimentResults {
     pub name: String,
     /// One row per network size.
     pub rows: Vec<SizeRow>,
+    /// All per-run metric registries merged into one snapshot (see
+    /// [`crate::report::write_metrics_snapshot`]).
+    pub metrics: MetricsRegistry,
 }
 
 fn make_workload(kind: &WorkloadKind, rng: &mut StdRng, net: &Network) -> Workload {
@@ -129,6 +133,7 @@ pub fn run_experiment_with(
     mut progress: impl FnMut(&SizeRow),
 ) -> ExperimentResults {
     let mut rows = Vec::new();
+    let mut metrics = MetricsRegistry::new();
     for &n in &spec.sizes {
         let mut row = SizeRow {
             n,
@@ -144,7 +149,10 @@ pub fn run_experiment_with(
             let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
             let workload = make_workload(&spec.workload, &mut rng, &net);
             match run_dgmc(&net, spec.config, &workload, Rc::new(SphStrategy::new())) {
-                Ok(m) => record(&mut row, &m),
+                Ok(m) => {
+                    record(&mut row, &m);
+                    metrics.merge(&m.registry);
+                }
                 Err(_) => row.failures += 1,
             }
         }
@@ -154,6 +162,7 @@ pub fn run_experiment_with(
     ExperimentResults {
         name: spec.name.to_owned(),
         rows,
+        metrics,
     }
 }
 
@@ -210,5 +219,17 @@ mod tests {
         assert_eq!(row.failures, 0);
         assert_eq!(row.proposals.len(), 3);
         assert!(row.proposals.mean() >= 1.0);
+        // The merged metrics snapshot covers every successful run.
+        use dgmc_core::switch::{counters, histograms};
+        assert!(results.metrics.counter_value(counters::COMPUTATIONS) > 0);
+        assert_eq!(
+            results
+                .metrics
+                .histogram_get(histograms::CONVERGENCE_US)
+                .unwrap()
+                .count(),
+            3,
+            "one convergence sample per successful run"
+        );
     }
 }

@@ -3,7 +3,9 @@
 //! link/nodal events". This module measures how quickly a multipoint
 //! connection recovers from the failure of a link its tree uses.
 
-use dgmc_core::switch::{build_dgmc_sim, inject_link_event, inject_node_event, DgmcConfig, SwitchMsg};
+use dgmc_core::switch::{
+    build_dgmc_sim, inject_link_event, inject_node_event, DgmcConfig, SwitchMsg,
+};
 use dgmc_core::{convergence, McId, McType, Role};
 use dgmc_des::stats::Tally;
 use dgmc_des::{ActorId, RunOutcome, SimDuration};
@@ -181,7 +183,11 @@ mod tests {
     fn link_recovery_takes_a_few_rounds() {
         let rows = recovery_sweep(&[25], 3, 5);
         let row = &rows[0];
-        assert!(!row.link_recovery_rounds.is_empty(), "skipped {}", row.skipped);
+        assert!(
+            !row.link_recovery_rounds.is_empty(),
+            "skipped {}",
+            row.skipped
+        );
         let mean = row.link_recovery_rounds.mean();
         assert!(mean > 0.0 && mean < 20.0, "recovery {mean} rounds");
     }

@@ -3,7 +3,9 @@
 
 use crate::presets::{ExperimentResults, SizeRow};
 use dgmc_des::stats::Tally;
+use dgmc_obs::{JsonValue, MetricsRegistry};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 fn cell(t: &Tally) -> String {
     if t.is_empty() {
@@ -62,6 +64,42 @@ fn push_csv(out: &mut String, row: &SizeRow, metric: &str, t: &Tally) {
     );
 }
 
+/// Stable-schema JSON snapshot of an experiment's merged metrics registry.
+///
+/// Schema (`dgmc.metrics/1`): a single object with `schema`, `experiment`
+/// and `metrics` keys, where `metrics` is the registry snapshot
+/// (`{"counters": {...}, "histograms": {...}}`, keys sorted). Consumers can
+/// key on `schema` to detect breaking changes.
+pub fn metrics_snapshot(name: &str, metrics: &MetricsRegistry) -> String {
+    let mut line = JsonValue::obj(vec![
+        ("schema", JsonValue::Str("dgmc.metrics/1".to_owned())),
+        ("experiment", JsonValue::Str(name.to_owned())),
+        ("metrics", metrics.to_json()),
+    ])
+    .to_json();
+    line.push('\n');
+    line
+}
+
+/// Writes a [`metrics_snapshot`] to `<dir>/<slug>.metrics.json` (creating
+/// `dir` if needed) and returns the path written.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating the directory or writing the file.
+pub fn write_metrics_snapshot(
+    dir: impl AsRef<Path>,
+    slug: &str,
+    name: &str,
+    metrics: &MetricsRegistry,
+) -> std::io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{slug}.metrics.json"));
+    std::fs::write(&path, metrics_snapshot(name, metrics))?;
+    Ok(path)
+}
+
 /// Renders one metric of the results as an ASCII chart (one bar per network
 /// size), the terminal stand-in for the paper's figures.
 ///
@@ -107,9 +145,13 @@ mod tests {
         };
         row.proposals.extend([1.0, 2.0, 3.0]);
         row.floodings.extend([2.0, 2.0]);
+        let mut metrics = MetricsRegistry::new();
+        *metrics.counter_slot("dgmc.computations") += 6;
+        metrics.observe_named("dgmc.convergence_us", 1500);
         ExperimentResults {
             name: "demo".into(),
             rows: vec![row],
+            metrics,
         }
     }
 
@@ -137,6 +179,7 @@ mod tests {
         let results = ExperimentResults {
             name: "demo".into(),
             rows: vec![low, high],
+            metrics: MetricsRegistry::new(),
         };
         let chart = ascii_chart(&results, "proposals", 20);
         let lines: Vec<&str> = chart.lines().collect();
@@ -151,6 +194,28 @@ mod tests {
     #[should_panic(expected = "unknown metric")]
     fn ascii_chart_rejects_unknown_metric() {
         ascii_chart(&sample_results(), "nope", 10);
+    }
+
+    #[test]
+    fn metrics_snapshot_has_stable_schema() {
+        let results = sample_results();
+        let snap = metrics_snapshot(&results.name, &results.metrics);
+        assert!(snap.starts_with(
+            r#"{"schema":"dgmc.metrics/1","experiment":"demo","metrics":{"counters":{"dgmc.computations":6},"histograms":{"dgmc.convergence_us":"#
+        ));
+        assert!(snap.ends_with("}\n"));
+    }
+
+    #[test]
+    fn write_metrics_snapshot_creates_dir_and_file() {
+        let dir = std::env::temp_dir().join("dgmc-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let results = sample_results();
+        let path = write_metrics_snapshot(&dir, "demo", &results.name, &results.metrics).unwrap();
+        assert_eq!(path, dir.join("demo.metrics.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, metrics_snapshot(&results.name, &results.metrics));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

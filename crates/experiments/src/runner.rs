@@ -1,10 +1,11 @@
 //! Executes one simulation scenario and extracts the paper's metrics.
 
 use crate::workload::Workload;
-use dgmc_core::switch::{build_dgmc_sim, counters, DgmcConfig, SwitchMsg};
+use dgmc_core::switch::{build_dgmc_sim, counters, histograms, DgmcConfig, SwitchMsg};
 use dgmc_core::{convergence, McId, McType, Role};
 use dgmc_des::{ActorId, RunOutcome, SimDuration};
 use dgmc_mctree::McAlgorithm;
+use dgmc_obs::MetricsRegistry;
 use dgmc_topology::{metrics, Network};
 use std::rc::Rc;
 
@@ -27,6 +28,10 @@ pub struct RunMetrics {
     pub convergence_rounds: Option<f64>,
     /// The flooding diameter `Tf` used for the round conversion.
     pub tf: SimDuration,
+    /// Full metrics snapshot of the measured phase (all protocol counters
+    /// plus the flood fan-out, install latency, withdrawals-per-event and
+    /// convergence histograms).
+    pub registry: MetricsRegistry,
 }
 
 impl RunMetrics {
@@ -143,6 +148,12 @@ pub fn run_dgmc(
     } else {
         Some((last - start).ratio(round))
     };
+    if last >= start {
+        sim.metrics_mut().observe_named(
+            histograms::CONVERGENCE_US,
+            (last - start).as_nanos() / 1_000,
+        );
+    }
     Ok(RunMetrics {
         events: injected,
         computations: sim.counter_value(counters::COMPUTATIONS),
@@ -150,6 +161,7 @@ pub fn run_dgmc(
         withdrawn: sim.counter_value(counters::WITHDRAWN),
         convergence_rounds,
         tf,
+        registry: sim.metrics().clone(),
     })
 }
 
@@ -184,12 +196,9 @@ mod tests {
 
     #[test]
     fn sparse_run_has_unit_overhead() {
-        let m = run_seeded(
-            30,
-            1,
-            DgmcConfig::computation_dominated(),
-            |rng, net| workload::sparse(rng, net, &SparseParams::default()),
-        )
+        let m = run_seeded(30, 1, DgmcConfig::computation_dominated(), |rng, net| {
+            workload::sparse(rng, net, &SparseParams::default())
+        })
         .unwrap();
         assert!(m.events > 0);
         assert!((m.proposals_per_event() - 1.0).abs() < 1e-9);
@@ -200,12 +209,9 @@ mod tests {
 
     #[test]
     fn bursty_run_converges_with_bounded_overhead() {
-        let m = run_seeded(
-            30,
-            2,
-            DgmcConfig::computation_dominated(),
-            |rng, net| workload::bursty(rng, net, &BurstParams::default()),
-        )
+        let m = run_seeded(30, 2, DgmcConfig::computation_dominated(), |rng, net| {
+            workload::bursty(rng, net, &BurstParams::default())
+        })
         .unwrap();
         assert!(m.events > 0);
         // The paper's headline: computational overhead stays small even in
@@ -217,15 +223,37 @@ mod tests {
 
     #[test]
     fn wan_timing_also_converges() {
-        let m = run_seeded(
-            30,
-            3,
-            DgmcConfig::communication_dominated(),
-            |rng, net| workload::bursty(rng, net, &BurstParams::default()),
-        )
+        let m = run_seeded(30, 3, DgmcConfig::communication_dominated(), |rng, net| {
+            workload::bursty(rng, net, &BurstParams::default())
+        })
         .unwrap();
         assert!(m.events > 0);
         assert!(m.proposals_per_event() >= 1.0);
+    }
+
+    #[test]
+    fn run_metrics_carry_a_metrics_snapshot() {
+        let m = run_seeded(30, 2, DgmcConfig::computation_dominated(), |rng, net| {
+            workload::bursty(rng, net, &BurstParams::default())
+        })
+        .unwrap();
+        assert_eq!(
+            m.registry.counter_value(counters::COMPUTATIONS),
+            m.computations
+        );
+        assert_eq!(m.registry.counter_value(counters::FLOODINGS), m.floodings);
+        let fanout = m.registry.histogram_get(histograms::FLOOD_FANOUT).unwrap();
+        assert!(fanout.count() > 0, "floods were measured");
+        let latency = m
+            .registry
+            .histogram_get(histograms::INSTALL_LATENCY_US)
+            .unwrap();
+        assert!(latency.count() > 0, "installs were measured");
+        let convergence = m
+            .registry
+            .histogram_get(histograms::CONVERGENCE_US)
+            .unwrap();
+        assert_eq!(convergence.count(), 1, "one measured phase, one sample");
     }
 
     #[test]
@@ -237,6 +265,7 @@ mod tests {
             withdrawn: 0,
             convergence_rounds: None,
             tf: SimDuration::ZERO,
+            registry: MetricsRegistry::new(),
         };
         assert_eq!(m.proposals_per_event(), 0.0);
         assert_eq!(m.floodings_per_event(), 0.0);

@@ -273,9 +273,12 @@ fn parse_usize(tok: &str, line: usize) -> Result<usize, ScenarioError> {
 #[derive(Debug)]
 pub struct ScenarioReport {
     /// Per-MC consensus results, in id order.
-    pub consensus: Vec<(McId, Result<convergence::Consensus, convergence::ConsensusError>)>,
-    /// Simulation counters.
-    pub counters: std::collections::HashMap<String, u64>,
+    pub consensus: Vec<(
+        McId,
+        Result<convergence::Consensus, convergence::ConsensusError>,
+    )>,
+    /// Simulation counters, sorted by name.
+    pub counters: std::collections::BTreeMap<String, u64>,
     /// Delivery counts per (mc, packet, member).
     pub deliveries: Vec<(McId, u64, NodeId, u32)>,
     /// Whether the run fully drained.
@@ -363,7 +366,7 @@ pub fn run(scenario: &Scenario) -> ScenarioReport {
     }
     ScenarioReport {
         consensus,
-        counters: sim.counters().clone(),
+        counters: sim.counters(),
         deliveries,
         quiescent,
     }
@@ -428,7 +431,10 @@ send 0 @20ms id=7
         assert!(parse(dup).unwrap_err().message.contains("already declared"));
 
         let unknown = "net ring 5\nfrob 1 @0ms";
-        assert!(parse(unknown).unwrap_err().message.contains("unknown directive"));
+        assert!(parse(unknown)
+            .unwrap_err()
+            .message
+            .contains("unknown directive"));
 
         let no_link = "net path 4\ncut 0 3 @1ms";
         assert!(parse(no_link).unwrap_err().message.contains("no link"));
@@ -447,10 +453,7 @@ send 0 @10ms id=3 mc=5
         let report = run(&s);
         assert!(report.quiescent);
         assert_eq!(report.consensus.len(), 2, "two MCs tracked");
-        let ok = report
-            .consensus
-            .iter()
-            .all(|(_, c)| c.is_ok());
+        let ok = report.consensus.iter().all(|(_, c)| c.is_ok());
         assert!(ok);
         assert!(report
             .deliveries

@@ -160,8 +160,7 @@ pub fn sparse<R: Rng + ?Sized>(rng: &mut R, net: &Network, params: &SparseParams
                 join: false,
             });
         } else {
-            let candidates: Vec<NodeId> =
-                net.nodes().filter(|n| !members.contains(n)).collect();
+            let candidates: Vec<NodeId> = net.nodes().filter(|n| !members.contains(n)).collect();
             let Some(&node) = candidates.as_slice().choose(rng) else {
                 continue;
             };
@@ -246,8 +245,16 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic_per_seed() {
-        let w1 = bursty(&mut StdRng::seed_from_u64(7), &net(), &BurstParams::default());
-        let w2 = bursty(&mut StdRng::seed_from_u64(7), &net(), &BurstParams::default());
+        let w1 = bursty(
+            &mut StdRng::seed_from_u64(7),
+            &net(),
+            &BurstParams::default(),
+        );
+        let w2 = bursty(
+            &mut StdRng::seed_from_u64(7),
+            &net(),
+            &BurstParams::default(),
+        );
         assert_eq!(w1.events, w2.events);
         assert_eq!(w1.initial_members, w2.initial_members);
     }

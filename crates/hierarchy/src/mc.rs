@@ -145,7 +145,11 @@ impl HierarchicalMc {
         for (a, b) in bb_tree.edges() {
             let path = backbone.expand(a, b).expect("backbone edges expand");
             for w in path.windows(2) {
-                let e = if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+                let e = if w[0] < w[1] {
+                    (w[0], w[1])
+                } else {
+                    (w[1], w[0])
+                };
                 union.insert(e);
             }
         }
@@ -282,7 +286,10 @@ mod tests {
         let hc = hier.topology().total_cost(&net).unwrap() as f64;
         let fc = flat.total_cost(&net).unwrap() as f64;
         assert!(hc / fc <= 2.0, "hierarchical {hc} vs flat {fc}");
-        assert!(hc >= fc * 0.99, "hierarchical cannot beat the flat heuristic by magic");
+        assert!(
+            hc >= fc * 0.99,
+            "hierarchical cannot beat the flat heuristic by magic"
+        );
     }
 
     #[test]

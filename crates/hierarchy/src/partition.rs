@@ -1,12 +1,11 @@
 //! Area partitioning of a flat network.
 
 use dgmc_topology::{Network, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// Identifier of a routing area (an OSPF area / PNNI peer group).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AreaId(pub u16);
 
 impl fmt::Display for AreaId {
@@ -28,7 +27,7 @@ impl fmt::Display for AreaId {
 /// assert_eq!(map.area_count(), 4);
 /// assert!(map.borders(&net).len() >= 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AreaMap {
     area_of: Vec<AreaId>,
     n_areas: usize,
@@ -55,9 +54,7 @@ impl AreaMap {
                 }
                 let d = seeds
                     .iter()
-                    .map(|&s| {
-                        dgmc_topology::spf::hop_distances(net, s)[cand.index()].unwrap_or(0)
-                    })
+                    .map(|&s| dgmc_topology::spf::hop_distances(net, s)[cand.index()].unwrap_or(0))
                     .min()
                     .unwrap_or(0);
                 if best.is_none_or(|(bd, bn)| d > bd || (d == bd && cand < bn)) {

@@ -316,11 +316,7 @@ impl HierSwitch {
             return;
         };
         let bb_member = bb.is_member(mc);
-        let mc_type = self
-            .mc_types
-            .get(&mc)
-            .copied()
-            .unwrap_or(McType::Symmetric);
+        let mc_type = self.mc_types.get(&mc).copied().unwrap_or(McType::Symmetric);
         if area_has_members && !bb_member {
             let actions = bb.local_join(mc, mc_type, Role::Receiver);
             self.execute(ctx, Level::Backbone, actions);
@@ -346,11 +342,7 @@ impl HierSwitch {
         // Relay-join only in areas that actually participate: the relay's
         // purpose is to make the member area's tree span the attachment.
         let participates = self.area_has_host_members(mc);
-        let mc_type = self
-            .mc_types
-            .get(&mc)
-            .copied()
-            .unwrap_or(McType::Symmetric);
+        let mc_type = self.mc_types.get(&mc).copied().unwrap_or(McType::Symmetric);
         if cross_area && participates && !am_area_member {
             let actions = self.area_engine.local_join(mc, mc_type, Role::Receiver);
             self.execute(ctx, Level::Area, actions);
@@ -363,10 +355,7 @@ impl HierSwitch {
     fn deliver_locally(&mut self, ctx: &mut Ctx<'_, HierMsg>, data: &HierData) {
         if self.host_member.contains(&data.mc) {
             ctx.counter(counters::DATA_DELIVERED).incr();
-            *self
-                .delivered
-                .entry((data.mc, data.packet_id))
-                .or_insert(0) += 1;
+            *self.delivered.entry((data.mc, data.packet_id)).or_insert(0) += 1;
         }
     }
 
@@ -396,12 +385,7 @@ impl HierSwitch {
         tree.neighbors_in(self.me)
             .into_iter()
             .filter(|&n| Some(n) != except)
-            .filter_map(|n| {
-                self.bb_neighbors
-                    .iter()
-                    .find(|&&(nb, _)| nb == n)
-                    .copied()
-            })
+            .filter_map(|n| self.bb_neighbors.iter().find(|&&(nb, _)| nb == n).copied())
             .collect()
     }
 
@@ -479,7 +463,6 @@ impl HierSwitch {
             }
         }
     }
-
 }
 
 impl Actor<HierMsg> for HierSwitch {

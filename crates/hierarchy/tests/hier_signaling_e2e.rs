@@ -37,19 +37,22 @@ fn join(sim: &mut Simulation<HierMsg>, node: NodeId, delay_ms: u64) {
 }
 
 fn switch(sim: &Simulation<HierMsg>, n: NodeId) -> &HierSwitch {
-    sim.actor_as::<HierSwitch>(ActorId(n.0)).expect("HierSwitch")
+    sim.actor_as::<HierSwitch>(ActorId(n.0))
+        .expect("HierSwitch")
 }
 
 /// Area-level consensus among the switches of one area.
 fn area_consensus(sim: &Simulation<HierMsg>, map: &AreaMap, area: AreaId) -> bool {
     let switches = map.switches_in(area);
-    let reference = switch(sim, switches[0]).area_engine().state(MC).map(|st| {
-        (st.installed.clone(), st.members.clone(), st.c.clone())
-    });
+    let reference = switch(sim, switches[0])
+        .area_engine()
+        .state(MC)
+        .map(|st| (st.installed.clone(), st.members.clone(), st.c.clone()));
     switches.iter().all(|&s| {
-        let st = switch(sim, s).area_engine().state(MC).map(|st| {
-            (st.installed.clone(), st.members.clone(), st.c.clone())
-        });
+        let st = switch(sim, s)
+            .area_engine()
+            .state(MC)
+            .map(|st| (st.installed.clone(), st.members.clone(), st.c.clone()));
         st == reference
     })
 }
@@ -232,7 +235,11 @@ fn randomized_multi_area_churn_converges() {
             members.push(m);
             join(&mut sim, m, 20 * i as u64);
         }
-        assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent, "seed {seed}");
+        assert_eq!(
+            sim.run_to_quiescence(),
+            RunOutcome::Quiescent,
+            "seed {seed}"
+        );
         // Random leaves for half of them.
         let mut leavers = members.clone();
         leavers.shuffle(&mut rng);
@@ -244,7 +251,11 @@ fn randomized_multi_area_churn_converges() {
                 HierMsg::HostLeave { mc: MC },
             );
         }
-        assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent, "seed {seed}");
+        assert_eq!(
+            sim.run_to_quiescence(),
+            RunOutcome::Quiescent,
+            "seed {seed}"
+        );
         let remaining: Vec<NodeId> = members
             .into_iter()
             .filter(|m| !leavers.contains(m))

@@ -1,11 +1,10 @@
 //! Link-state advertisement types.
 
 use dgmc_topology::{LinkId, LinkState, Network, NodeId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One incident link as described by its endpoint's router LSA.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LinkAdv {
     /// Stable link identifier.
     pub link: LinkId,
@@ -22,7 +21,7 @@ pub struct LinkAdv {
 /// This is the non-MC LSA of the paper ("the exact format of link/nodal event
 /// descriptions is defined by the underlying unicast LSR protocol"); higher
 /// sequence numbers supersede lower ones.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouterLsa {
     /// The advertising switch.
     pub origin: NodeId,
@@ -73,7 +72,7 @@ impl fmt::Display for RouterLsa {
 /// Globally unique identifier of one flooding operation.
 ///
 /// Duplicate suppression during flooding is keyed on this id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FloodId {
     /// The switch that initiated the flood.
     pub origin: NodeId,
@@ -88,7 +87,7 @@ impl fmt::Display for FloodId {
 }
 
 /// A payload in flight during a flooding operation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FloodPacket<P> {
     /// Identity of the flooding operation this packet belongs to.
     pub id: FloodId,

@@ -245,12 +245,10 @@ mod tests {
         let mut n0 = LsrNode::new(NodeId(0), &net);
         let link01 = net.link_between(NodeId(0), NodeId(1)).unwrap().id;
         let actions = n0.local_link_event(link01, false);
-        let packet = actions
-            .iter()
-            .find_map(|a| match a {
-                LsrAction::Send { packet, .. } => Some(packet.clone()),
-                _ => None,
-            });
+        let packet = actions.iter().find_map(|a| match a {
+            LsrAction::Send { packet, .. } => Some(packet.clone()),
+            _ => None,
+        });
         // n0's only up link was... none: link01 was its single link. Then no
         // Send was emitted; craft the packet manually instead.
         let packet = packet.unwrap_or_else(|| FloodPacket {
@@ -281,9 +279,7 @@ mod tests {
         };
         let arrival = net.link_between(NodeId(1), NodeId(2)).unwrap().id;
         let actions = n2.on_packet(stale, Some(arrival));
-        assert!(actions
-            .iter()
-            .all(|a| matches!(a, LsrAction::Send { .. })));
+        assert!(actions.iter().all(|a| matches!(a, LsrAction::Send { .. })));
         assert!(!actions.is_empty());
     }
 

@@ -1,8 +1,7 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The three multipoint-connection types of the paper (Section 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum McType {
     /// Every member both sends and receives (teleconference); the optimal
     /// topology is a minimum Steiner tree over the members.
@@ -31,7 +30,7 @@ impl fmt::Display for McType {
 ///
 /// Symmetric MCs treat every member as [`Role::SenderReceiver`];
 /// receiver-only MCs treat every member as [`Role::Receiver`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Role {
     /// Sends into the connection only.
     Sender,
@@ -55,7 +54,10 @@ impl Role {
     /// Merges two roles (a host may register as sender and receiver
     /// separately behind the same ingress switch).
     pub fn merge(self, other: Role) -> Role {
-        match (self.sends() || other.sends(), self.receives() || other.receives()) {
+        match (
+            self.sends() || other.sends(),
+            self.receives() || other.receives(),
+        ) {
             (true, true) => Role::SenderReceiver,
             (true, false) => Role::Sender,
             (false, true) => Role::Receiver,

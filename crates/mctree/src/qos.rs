@@ -39,7 +39,9 @@ impl fmt::Display for AdmissionError {
             AdmissionError::Infeasible { unspanned } => {
                 write!(f, "no residual-capacity tree spans terminal {unspanned}")
             }
-            AdmissionError::AlreadyAdmitted => f.write_str("connection already holds a reservation"),
+            AdmissionError::AlreadyAdmitted => {
+                f.write_str("connection already holds a reservation")
+            }
             AdmissionError::EmptyMembership => f.write_str("cannot admit an empty member set"),
         }
     }

@@ -1,5 +1,4 @@
 use dgmc_topology::{Network, NodeId};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
@@ -26,7 +25,7 @@ use std::fmt;
 /// assert!(t.is_tree());
 /// assert_eq!(t.neighbors_in(NodeId(1)), vec![NodeId(0), NodeId(2)]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct McTopology {
     edges: BTreeSet<(NodeId, NodeId)>,
     terminals: BTreeSet<NodeId>,
@@ -166,7 +165,10 @@ impl McTopology {
 
     /// Degree of `n` within the topology.
     pub fn degree_in(&self, n: NodeId) -> usize {
-        self.edges.iter().filter(|&&(a, b)| a == n || b == n).count()
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == n || b == n)
+            .count()
     }
 
     /// Returns `true` if the topology has neither edges nor terminals.

@@ -1,0 +1,278 @@
+//! Typed protocol decision events.
+//!
+//! Each event captures one decision the D-GMC engine made — detecting a
+//! membership event, computing/flooding/accepting/withdrawing a proposal,
+//! resolving a conflict between concurrent proposals, or installing a
+//! topology — together with the simulated instant and a compact snapshot of
+//! the R/E/C vector timestamps at that moment.
+
+use crate::json::JsonValue;
+use std::fmt;
+
+/// Compact copy of the three D-GMC vector timestamps (R ≥ E ≥ C invariant
+/// notwithstanding: R counts events received, E events heard of, C the
+/// stamp of the current topology).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StampSnapshot {
+    /// Received-events vector (`R` in the paper).
+    pub r: Vec<u64>,
+    /// Heard-of-events vector (`E`).
+    pub e: Vec<u64>,
+    /// Current-topology stamp (`C`).
+    pub c: Vec<u64>,
+}
+
+impl StampSnapshot {
+    /// Builds a snapshot from the three component vectors.
+    pub fn new(r: Vec<u64>, e: Vec<u64>, c: Vec<u64>) -> StampSnapshot {
+        StampSnapshot { r, e, c }
+    }
+
+    /// An empty snapshot (for events where stamps are not meaningful).
+    pub fn empty() -> StampSnapshot {
+        StampSnapshot {
+            r: Vec::new(),
+            e: Vec::new(),
+            c: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for StampSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R={:?} E={:?} C={:?}", self.r, self.e, self.c)
+    }
+}
+
+/// The flavor of a locally detected connection event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberChange {
+    /// A host joined through the detecting switch.
+    Join,
+    /// A host left through the detecting switch.
+    Leave,
+    /// A link/nodal change forced a topology event.
+    Link,
+}
+
+impl MemberChange {
+    /// Stable lowercase name (used as the JSON `change` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            MemberChange::Join => "join",
+            MemberChange::Leave => "leave",
+            MemberChange::Link => "link",
+        }
+    }
+}
+
+/// What kind of decision was made, with decision-specific detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// A membership or link event was detected locally.
+    EventDetected {
+        /// The switch where the event was detected.
+        member: u32,
+        /// What changed.
+        change: MemberChange,
+    },
+    /// A topology computation finished and produced a proposal.
+    ProposalComputed {
+        /// Number of edges in the proposed multipoint topology.
+        edges: usize,
+    },
+    /// A proposal (or event notification) was flooded in an MC LSA.
+    ProposalFlooded,
+    /// A remote proposal was accepted as the current candidate.
+    ProposalAccepted {
+        /// The switch whose proposal was accepted.
+        from: u32,
+    },
+    /// A locally computed proposal was withdrawn as stale.
+    ProposalWithdrawn,
+    /// Two concurrent proposals for the same events were arbitrated.
+    ConflictResolved {
+        /// The switch whose proposal won the tie-break.
+        winner: u32,
+        /// The switch whose proposal was discarded.
+        loser: u32,
+    },
+    /// A topology became the installed one for the connection.
+    TopologyInstalled {
+        /// The switch that computed the installed topology.
+        source: u32,
+        /// Number of edges in the installed topology.
+        edges: usize,
+    },
+}
+
+impl DecisionKind {
+    /// Stable name of the variant (used as the JSON `kind` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecisionKind::EventDetected { .. } => "EventDetected",
+            DecisionKind::ProposalComputed { .. } => "ProposalComputed",
+            DecisionKind::ProposalFlooded => "ProposalFlooded",
+            DecisionKind::ProposalAccepted { .. } => "ProposalAccepted",
+            DecisionKind::ProposalWithdrawn => "ProposalWithdrawn",
+            DecisionKind::ConflictResolved { .. } => "ConflictResolved",
+            DecisionKind::TopologyInstalled { .. } => "TopologyInstalled",
+        }
+    }
+}
+
+impl fmt::Display for DecisionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecisionKind::EventDetected { member, change } => {
+                write!(f, "EventDetected({} sw{member})", change.name())
+            }
+            DecisionKind::ProposalComputed { edges } => {
+                write!(f, "ProposalComputed({edges} edges)")
+            }
+            DecisionKind::ProposalFlooded => write!(f, "ProposalFlooded"),
+            DecisionKind::ProposalAccepted { from } => {
+                write!(f, "ProposalAccepted(from sw{from})")
+            }
+            DecisionKind::ProposalWithdrawn => write!(f, "ProposalWithdrawn"),
+            DecisionKind::ConflictResolved { winner, loser } => {
+                write!(f, "ConflictResolved(sw{winner} over sw{loser})")
+            }
+            DecisionKind::TopologyInstalled { source, edges } => {
+                write!(f, "TopologyInstalled(by sw{source}, {edges} edges)")
+            }
+        }
+    }
+}
+
+/// One protocol decision, stamped with simulated time and R/E/C context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecisionEvent {
+    /// Simulated instant in nanoseconds.
+    pub at_nanos: u64,
+    /// The multipoint connection the decision concerns.
+    pub mc: u64,
+    /// The switch that made the decision.
+    pub switch: u32,
+    /// What was decided.
+    pub kind: DecisionKind,
+    /// R/E/C vector timestamps at decision time.
+    pub stamps: StampSnapshot,
+}
+
+impl DecisionEvent {
+    /// Renders as one compact JSON object (one JSONL line, no newline).
+    pub fn to_json(&self) -> String {
+        let mut pairs = vec![
+            ("at_ns", JsonValue::U64(self.at_nanos)),
+            ("mc", JsonValue::U64(self.mc)),
+            ("switch", JsonValue::U64(self.switch as u64)),
+            ("kind", JsonValue::Str(self.kind.name().to_owned())),
+        ];
+        match &self.kind {
+            DecisionKind::EventDetected { member, change } => {
+                pairs.push(("member", JsonValue::U64(*member as u64)));
+                pairs.push(("change", JsonValue::Str(change.name().to_owned())));
+            }
+            DecisionKind::ProposalComputed { edges } => {
+                pairs.push(("edges", JsonValue::U64(*edges as u64)));
+            }
+            DecisionKind::ProposalFlooded | DecisionKind::ProposalWithdrawn => {}
+            DecisionKind::ProposalAccepted { from } => {
+                pairs.push(("from", JsonValue::U64(*from as u64)));
+            }
+            DecisionKind::ConflictResolved { winner, loser } => {
+                pairs.push(("winner", JsonValue::U64(*winner as u64)));
+                pairs.push(("loser", JsonValue::U64(*loser as u64)));
+            }
+            DecisionKind::TopologyInstalled { source, edges } => {
+                pairs.push(("source", JsonValue::U64(*source as u64)));
+                pairs.push(("edges", JsonValue::U64(*edges as u64)));
+            }
+        }
+        pairs.push(("r", JsonValue::u64_array(&self.stamps.r)));
+        pairs.push(("e", JsonValue::u64_array(&self.stamps.e)));
+        pairs.push(("c", JsonValue::u64_array(&self.stamps.c)));
+        JsonValue::obj(pairs).to_json()
+    }
+}
+
+impl fmt::Display for DecisionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12.3}us] sw{} mc{} {:<36} {}",
+            self.at_nanos as f64 / 1_000.0,
+            self.switch,
+            self.mc,
+            self.kind.to_string(),
+            self.stamps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecisionEvent {
+        DecisionEvent {
+            at_nanos: 42_000,
+            mc: 7,
+            switch: 1,
+            kind: DecisionKind::ProposalAccepted { from: 2 },
+            stamps: StampSnapshot::new(vec![1, 2, 0], vec![1, 2, 0], vec![0, 0, 0]),
+        }
+    }
+
+    #[test]
+    fn json_line_is_stable_and_typed() {
+        assert_eq!(
+            sample().to_json(),
+            r#"{"at_ns":42000,"mc":7,"switch":1,"kind":"ProposalAccepted","from":2,"r":[1,2,0],"e":[1,2,0],"c":[0,0,0]}"#
+        );
+    }
+
+    #[test]
+    fn display_shows_time_kind_and_stamps() {
+        let line = sample().to_string();
+        assert!(line.contains("42.000us"), "{line}");
+        assert!(line.contains("ProposalAccepted(from sw2)"), "{line}");
+        assert!(line.contains("R=[1, 2, 0]"), "{line}");
+    }
+
+    #[test]
+    fn every_kind_has_a_stable_name() {
+        let kinds = [
+            DecisionKind::EventDetected {
+                member: 0,
+                change: MemberChange::Join,
+            },
+            DecisionKind::ProposalComputed { edges: 3 },
+            DecisionKind::ProposalFlooded,
+            DecisionKind::ProposalAccepted { from: 1 },
+            DecisionKind::ProposalWithdrawn,
+            DecisionKind::ConflictResolved {
+                winner: 0,
+                loser: 1,
+            },
+            DecisionKind::TopologyInstalled {
+                source: 0,
+                edges: 2,
+            },
+        ];
+        let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "EventDetected",
+                "ProposalComputed",
+                "ProposalFlooded",
+                "ProposalAccepted",
+                "ProposalWithdrawn",
+                "ConflictResolved",
+                "TopologyInstalled",
+            ]
+        );
+    }
+}

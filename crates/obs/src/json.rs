@@ -1,0 +1,139 @@
+//! A tiny hand-rolled JSON value and writer.
+//!
+//! The observability layer exports JSONL decision logs and metric snapshots
+//! without pulling in a serialization dependency. Object keys keep insertion
+//! order so exports are byte-stable across runs — golden tests depend on it.
+
+use std::fmt;
+
+/// An owned JSON value with insertion-ordered object keys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the common case for counters and timestamps).
+    U64(u64),
+    /// A float; non-finite values render as `null`.
+    F64(f64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience: an object from key/value pairs, keeping order.
+    pub fn obj(pairs: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Convenience: an array of unsigned integers.
+    pub fn u64_array(values: &[u64]) -> JsonValue {
+        JsonValue::Arr(values.iter().map(|&v| JsonValue::U64(v)).collect())
+    }
+
+    /// Renders as compact JSON (no whitespace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(v) => {
+                use fmt::Write;
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::F64(v) => {
+                use fmt::Write;
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_with_ordered_keys() {
+        let v = JsonValue::obj(vec![
+            ("b", JsonValue::U64(2)),
+            ("a", JsonValue::u64_array(&[1, 0])),
+            ("s", JsonValue::Str("x\"y".into())),
+            ("f", JsonValue::F64(1.5)),
+            ("n", JsonValue::Null),
+            ("t", JsonValue::Bool(true)),
+        ]);
+        assert_eq!(
+            v.to_json(),
+            r#"{"b":2,"a":[1,0],"s":"x\"y","f":1.5,"n":null,"t":true}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let v = JsonValue::Str("a\nb\u{1}".into());
+        assert_eq!(v.to_json(), "\"a\\nb\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(JsonValue::F64(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::F64(f64::INFINITY).to_json(), "null");
+    }
+}

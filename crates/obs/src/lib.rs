@@ -1,0 +1,52 @@
+//! Dependency-free observability for the D-GMC protocol stack.
+//!
+//! Three pillars, all allocation-conscious and deterministic:
+//!
+//! 1. **Protocol decision log** — a typed, bounded stream of
+//!    [`DecisionEvent`]s ([`DecisionKind::EventDetected`],
+//!    [`DecisionKind::ProposalComputed`], [`DecisionKind::ProposalFlooded`],
+//!    [`DecisionKind::ProposalAccepted`], [`DecisionKind::ProposalWithdrawn`],
+//!    [`DecisionKind::ConflictResolved`], [`DecisionKind::TopologyInstalled`])
+//!    emitted by the protocol engine through the pluggable [`Observer`]
+//!    trait. The default is disabled: emission costs one branch.
+//! 2. **Metrics registry** — [`MetricsRegistry`] with interned counter keys
+//!    and fixed-bucket power-of-two [`Histogram`]s, replacing stringly-typed
+//!    per-run counter tables.
+//! 3. **Export and rendering** — JSONL writers for the decision log and
+//!    metric snapshots ([`JsonValue`]), plus a human-readable timeline dump
+//!    ([`DecisionLog::timeline`], [`TimelineDumpGuard`]) for failing tests.
+//!
+//! # Example
+//!
+//! ```
+//! use dgmc_obs::{DecisionEvent, DecisionKind, DecisionLog, SharedObserver, StampSnapshot};
+//!
+//! let obs = SharedObserver::new();
+//! let log = DecisionLog::shared(16);
+//! obs.attach(log.clone());
+//! obs.set_now(42_000);
+//! obs.emit(|now| DecisionEvent {
+//!     at_nanos: now,
+//!     mc: 7,
+//!     switch: 0,
+//!     kind: DecisionKind::ProposalFlooded,
+//!     stamps: StampSnapshot::new(vec![1, 0], vec![1, 0], vec![0, 0]),
+//! });
+//! assert_eq!(log.borrow().len(), 1);
+//! assert!(log.borrow().timeline(8).contains("ProposalFlooded"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod json;
+mod log;
+mod metrics;
+mod observer;
+
+pub use event::{DecisionEvent, DecisionKind, MemberChange, StampSnapshot};
+pub use json::JsonValue;
+pub use log::{DecisionLog, DecisionLogHandle, TimelineDumpGuard};
+pub use metrics::{CounterId, Histogram, HistogramId, MetricsRegistry};
+pub use observer::{NoopObserver, Observer, SharedObserver};

@@ -1,0 +1,246 @@
+//! Bounded decision log, timeline rendering and JSONL export.
+
+use crate::event::DecisionEvent;
+use crate::observer::Observer;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::Path;
+use std::rc::Rc;
+
+/// A capacity-bounded ring of [`DecisionEvent`]s, oldest evicted first.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionLog {
+    capacity: usize,
+    events: VecDeque<DecisionEvent>,
+    dropped: u64,
+}
+
+/// Shared handle to a [`DecisionLog`]; this is what implements [`Observer`],
+/// so the same log can be attached to a [`crate::SharedObserver`] and kept
+/// by the test for inspection.
+pub type DecisionLogHandle = Rc<RefCell<DecisionLog>>;
+
+impl DecisionLog {
+    /// Creates a log retaining the `capacity` most recent decisions.
+    pub fn new(capacity: usize) -> DecisionLog {
+        DecisionLog {
+            capacity,
+            events: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Creates a shared handle suitable for
+    /// [`SharedObserver::attach`](crate::SharedObserver::attach).
+    pub fn shared(capacity: usize) -> DecisionLogHandle {
+        Rc::new(RefCell::new(DecisionLog::new(capacity)))
+    }
+
+    /// Records a decision, evicting the oldest when full.
+    pub fn push(&mut self, event: DecisionEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Number of retained decisions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Decisions evicted (or rejected by a zero-capacity log) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained decisions, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &DecisionEvent> + '_ {
+        self.events.iter()
+    }
+
+    /// Renders the last `last_n` decisions as a human-readable timeline.
+    ///
+    /// This is what failing end-to-end tests print: one line per decision
+    /// with simulated time, switch, connection, kind and R/E/C stamps.
+    pub fn timeline(&self, last_n: usize) -> String {
+        let skip = self.events.len().saturating_sub(last_n);
+        let mut out = String::new();
+        if skip > 0 || self.dropped > 0 {
+            out.push_str(&format!(
+                "... {} earlier decision(s) omitted ({} evicted from ring)\n",
+                skip as u64 + self.dropped,
+                self.dropped
+            ));
+        }
+        for event in self.events.iter().skip(skip) {
+            out.push_str(&event.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders every retained decision as JSONL (one object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for event in &self.events {
+            out.push_str(&event.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL rendering to `path`, creating parent directories.
+    pub fn write_jsonl(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_jsonl().as_bytes())
+    }
+}
+
+impl Observer for DecisionLogHandle {
+    fn record(&mut self, event: DecisionEvent) {
+        self.borrow_mut().push(event);
+    }
+}
+
+/// Prints a decision timeline to stderr if the current thread panics.
+///
+/// Tests hold one of these across the assertion-heavy section; on a clean
+/// pass it is silent, on failure the last `last_n` protocol decisions are
+/// dumped so the failing run can be diagnosed without re-instrumenting.
+pub struct TimelineDumpGuard {
+    log: DecisionLogHandle,
+    last_n: usize,
+    label: String,
+}
+
+impl TimelineDumpGuard {
+    /// Guards `log`, dumping up to `last_n` decisions labeled `label`.
+    pub fn new(
+        log: DecisionLogHandle,
+        last_n: usize,
+        label: impl Into<String>,
+    ) -> TimelineDumpGuard {
+        TimelineDumpGuard {
+            log,
+            last_n,
+            label: label.into(),
+        }
+    }
+
+    /// The rendering that would be printed on panic (exposed for tests).
+    pub fn render(&self) -> String {
+        format!(
+            "--- decision timeline ({}, last {} of {}) ---\n{}--- end timeline ---\n",
+            self.label,
+            self.last_n.min(self.log.borrow().len()),
+            self.log.borrow().len(),
+            self.log.borrow().timeline(self.last_n)
+        )
+    }
+}
+
+impl Drop for TimelineDumpGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("{}", self.render());
+        }
+    }
+}
+
+impl std::fmt::Debug for TimelineDumpGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimelineDumpGuard")
+            .field("last_n", &self.last_n)
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DecisionKind, StampSnapshot};
+
+    fn ev(at: u64, kind: DecisionKind) -> DecisionEvent {
+        DecisionEvent {
+            at_nanos: at,
+            mc: 3,
+            switch: 2,
+            kind,
+            stamps: StampSnapshot::new(vec![1], vec![1], vec![0]),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut log = DecisionLog::new(2);
+        for i in 0..5 {
+            log.push(ev(i * 1_000, DecisionKind::ProposalFlooded));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let at: Vec<u64> = log.iter().map(|e| e.at_nanos).collect();
+        assert_eq!(at, vec![3_000, 4_000]);
+    }
+
+    #[test]
+    fn timeline_limits_and_reports_omissions() {
+        let mut log = DecisionLog::new(8);
+        for i in 0..4 {
+            log.push(ev(i, DecisionKind::ProposalFlooded));
+        }
+        let t = log.timeline(2);
+        assert!(t.starts_with("... 2 earlier decision(s) omitted"));
+        assert_eq!(t.matches("ProposalFlooded").count(), 2);
+        let full = log.timeline(10);
+        assert_eq!(full.matches("ProposalFlooded").count(), 4);
+        assert!(!full.contains("omitted"));
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_event() {
+        let mut log = DecisionLog::new(8);
+        log.push(ev(1, DecisionKind::ProposalAccepted { from: 0 }));
+        log.push(ev(2, DecisionKind::ProposalWithdrawn));
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(r#""kind":"ProposalAccepted""#));
+        assert!(lines[1].contains(r#""kind":"ProposalWithdrawn""#));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn guard_renders_label_and_tail() {
+        let log = DecisionLog::shared(8);
+        log.borrow_mut().push(ev(
+            5_000,
+            DecisionKind::ConflictResolved {
+                winner: 0,
+                loser: 1,
+            },
+        ));
+        let guard = TimelineDumpGuard::new(log, 16, "unit");
+        let text = guard.render();
+        assert!(text.contains("decision timeline (unit"));
+        assert!(text.contains("ConflictResolved(sw0 over sw1)"));
+    }
+}

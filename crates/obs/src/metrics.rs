@@ -1,0 +1,475 @@
+//! Interned-key counters and fixed-bucket histograms.
+//!
+//! The registry replaces ad-hoc `HashMap<String, u64>` counter tables: hot
+//! paths intern a name once (getting a copyable [`CounterId`] /
+//! [`HistogramId`]) and afterwards update a plain `u64` slot, so steady-state
+//! counting never hashes or allocates. Name-keyed convenience methods remain
+//! for cold paths and for tests.
+
+use crate::json::JsonValue;
+use std::collections::{BTreeMap, HashMap};
+
+/// Interned handle to one counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
+
+/// Interned handle to one histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramId(u32);
+
+/// A fixed-bucket histogram of `u64` samples.
+///
+/// Bucket 0 holds the value `0`; bucket `k ≥ 1` holds values in
+/// `[2^(k-1), 2^k)`. Sixty-five buckets therefore cover the whole `u64`
+/// range with no configuration and no allocation after creation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+const BUCKETS: usize = 65;
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Upper bound (inclusive) of bucket `index`.
+    fn bucket_upper(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`0.0 ..= 1.0`).
+    ///
+    /// The bound makes the estimate conservative: the true quantile is never
+    /// above the returned value by construction of the bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(upper_bound_inclusive, count)` pairs.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_upper(i), n))
+            .collect()
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        *self = Histogram::default();
+    }
+
+    /// Folds every sample of `other` into `self` (bucket-wise; exact for
+    /// count, sum, min and max).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Snapshot as a JSON object (stable key order).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("count", JsonValue::U64(self.count)),
+            ("min", JsonValue::U64(self.min())),
+            ("max", JsonValue::U64(self.max)),
+            ("mean", JsonValue::F64(self.mean())),
+            ("p50", JsonValue::U64(self.quantile(0.50))),
+            ("p90", JsonValue::U64(self.quantile(0.90))),
+            ("p99", JsonValue::U64(self.quantile(0.99))),
+            (
+                "buckets",
+                JsonValue::Arr(
+                    self.buckets()
+                        .into_iter()
+                        .map(|(le, n)| {
+                            JsonValue::obj(vec![
+                                ("le", JsonValue::U64(le)),
+                                ("n", JsonValue::U64(n)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The registry: interned counters plus named histograms.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    // PartialEq is implemented manually (by name → value) so two registries
+    // that interned the same metrics in different orders still compare equal.
+    counter_names: Vec<String>,
+    counter_values: Vec<u64>,
+    counter_index: HashMap<String, u32>,
+    histogram_names: Vec<String>,
+    histograms: Vec<Histogram>,
+    histogram_index: HashMap<String, u32>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Interns `name`, returning a copyable handle. Idempotent.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(&id) = self.counter_index.get(name) {
+            return CounterId(id);
+        }
+        let id = self.counter_values.len() as u32;
+        self.counter_names.push(name.to_owned());
+        self.counter_values.push(0);
+        self.counter_index.insert(name.to_owned(), id);
+        CounterId(id)
+    }
+
+    /// Adds 1 to an interned counter.
+    pub fn incr(&mut self, id: CounterId) {
+        self.counter_values[id.0 as usize] += 1;
+    }
+
+    /// Adds `n` to an interned counter.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        self.counter_values[id.0 as usize] += n;
+    }
+
+    /// Mutable slot for an interned counter (for handle-style increments).
+    pub fn counter_slot(&mut self, name: &str) -> &mut u64 {
+        let id = self.counter(name);
+        &mut self.counter_values[id.0 as usize]
+    }
+
+    /// Current value of a counter by id.
+    pub fn counter_get(&self, id: CounterId) -> u64 {
+        self.counter_values[id.0 as usize]
+    }
+
+    /// Current value of a counter by name (0 when never interned).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counter_index
+            .get(name)
+            .map_or(0, |&id| self.counter_values[id as usize])
+    }
+
+    /// All counters as a sorted name → value map (for reports and
+    /// determinism comparisons).
+    pub fn counters_map(&self) -> BTreeMap<String, u64> {
+        self.counter_names
+            .iter()
+            .cloned()
+            .zip(self.counter_values.iter().copied())
+            .collect()
+    }
+
+    /// Interns a histogram by name. Idempotent.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        if let Some(&id) = self.histogram_index.get(name) {
+            return HistogramId(id);
+        }
+        let id = self.histograms.len() as u32;
+        self.histogram_names.push(name.to_owned());
+        self.histograms.push(Histogram::new());
+        self.histogram_index.insert(name.to_owned(), id);
+        HistogramId(id)
+    }
+
+    /// Records `value` into an interned histogram.
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0 as usize].record(value);
+    }
+
+    /// Records `value` into a histogram by name (interning if needed).
+    pub fn observe_named(&mut self, name: &str, value: u64) {
+        let id = self.histogram(name);
+        self.observe(id, value);
+    }
+
+    /// Read access to a histogram by name.
+    pub fn histogram_get(&self, name: &str) -> Option<&Histogram> {
+        self.histogram_index
+            .get(name)
+            .map(|&id| &self.histograms[id as usize])
+    }
+
+    /// Histogram names in registration order.
+    pub fn histogram_names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.histogram_names.iter().map(String::as_str)
+    }
+
+    /// Zeroes every counter and clears every histogram, keeping the interned
+    /// names (ids stay valid).
+    pub fn reset(&mut self) {
+        for value in &mut self.counter_values {
+            *value = 0;
+        }
+        for histogram in &mut self.histograms {
+            histogram.reset();
+        }
+    }
+
+    /// Folds every counter and histogram of `other` into `self`, matching by
+    /// name and interning names `self` has not seen yet. Used to aggregate
+    /// the registries of many independent runs into one snapshot.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, &value) in other.counter_names.iter().zip(&other.counter_values) {
+            let id = self.counter(name);
+            self.counter_values[id.0 as usize] += value;
+        }
+        for (name, histogram) in other.histogram_names.iter().zip(&other.histograms) {
+            let id = self.histogram(name);
+            self.histograms[id.0 as usize].merge(histogram);
+        }
+    }
+
+    /// Full snapshot as a JSON object:
+    /// `{"counters": {...}, "histograms": {...}}` with sorted counter keys.
+    pub fn to_json(&self) -> JsonValue {
+        let counters = JsonValue::Obj(
+            self.counters_map()
+                .into_iter()
+                .map(|(name, value)| (name, JsonValue::U64(value)))
+                .collect(),
+        );
+        let mut hist_pairs: Vec<(String, JsonValue)> = self
+            .histogram_names
+            .iter()
+            .zip(&self.histograms)
+            .map(|(name, histogram)| (name.clone(), histogram.to_json()))
+            .collect();
+        hist_pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        JsonValue::Obj(vec![
+            ("counters".to_owned(), counters),
+            ("histograms".to_owned(), JsonValue::Obj(hist_pairs)),
+        ])
+    }
+}
+
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &MetricsRegistry) -> bool {
+        if self.counters_map() != other.counters_map() {
+            return false;
+        }
+        let by_name = |reg: &MetricsRegistry| -> BTreeMap<String, Histogram> {
+            reg.histogram_names
+                .iter()
+                .cloned()
+                .zip(reg.histograms.iter().cloned())
+                .collect()
+        };
+        by_name(self) == by_name(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_counts() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("dgmc.floodings");
+        let again = reg.counter("dgmc.floodings");
+        assert_eq!(a, again);
+        reg.incr(a);
+        reg.add(a, 4);
+        assert_eq!(reg.counter_get(a), 5);
+        assert_eq!(reg.counter_value("dgmc.floodings"), 5);
+        assert_eq!(reg.counter_value("never.seen"), 0);
+    }
+
+    #[test]
+    fn counter_slot_supports_handle_style_updates() {
+        let mut reg = MetricsRegistry::new();
+        *reg.counter_slot("x") += 3;
+        *reg.counter_slot("x") += 1;
+        assert_eq!(reg.counter_value("x"), 4);
+    }
+
+    #[test]
+    fn counters_map_is_sorted_by_name() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("z");
+        reg.counter("a");
+        let keys: Vec<String> = reg.counters_map().into_keys().collect();
+        assert_eq!(keys, vec!["a".to_owned(), "z".to_owned()]);
+    }
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        // 0 -> le 0; 1,1 -> le 1; 3 -> le 3; 4 -> le 7; 100 -> le 127.
+        assert_eq!(h.buckets(), vec![(0, 1), (1, 2), (3, 1), (7, 1), (127, 1)]);
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.quantile(1.0), 100); // clamped to observed max
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn reset_keeps_ids_valid() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("c");
+        let h = reg.histogram("h");
+        reg.incr(c);
+        reg.observe(h, 9);
+        reg.reset();
+        assert_eq!(reg.counter_get(c), 0);
+        assert_eq!(reg.histogram_get("h").unwrap().count(), 0);
+        reg.incr(c);
+        reg.observe(h, 2);
+        assert_eq!(reg.counter_get(c), 1);
+        assert_eq!(reg.histogram_get("h").unwrap().max(), 2);
+    }
+
+    #[test]
+    fn merge_aggregates_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        *a.counter_slot("shared") += 2;
+        a.observe_named("lat", 4);
+        let mut b = MetricsRegistry::new();
+        *b.counter_slot("shared") += 3;
+        *b.counter_slot("only_b") += 1;
+        b.observe_named("lat", 100);
+        b.observe_named("fanout", 2);
+        a.merge(&b);
+        assert_eq!(a.counter_value("shared"), 5);
+        assert_eq!(a.counter_value("only_b"), 1);
+        let lat = a.histogram_get("lat").unwrap();
+        assert_eq!(lat.count(), 2);
+        assert_eq!(lat.min(), 4);
+        assert_eq!(lat.max(), 100);
+        assert_eq!(a.histogram_get("fanout").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn equality_ignores_interning_order() {
+        let mut a = MetricsRegistry::new();
+        a.counter("x");
+        *a.counter_slot("y") += 1;
+        a.observe_named("h", 3);
+        let mut b = MetricsRegistry::new();
+        b.observe_named("h", 3);
+        *b.counter_slot("y") += 1;
+        b.counter("x");
+        assert_eq!(a, b);
+        *b.counter_slot("y") += 1;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn json_snapshot_shape_is_stable() {
+        let mut reg = MetricsRegistry::new();
+        let b = reg.counter("b");
+        reg.add(b, 2);
+        let a = reg.counter("a");
+        reg.add(a, 1);
+        reg.observe_named("lat", 8);
+        let json = reg.to_json().to_json();
+        assert!(json.starts_with(r#"{"counters":{"a":1,"b":2},"histograms":{"lat":"#));
+        assert!(json.contains(r#""count":1"#));
+        assert!(json.contains(r#""p50":8"#));
+    }
+}

@@ -63,7 +63,9 @@ pub fn waxman<R: Rng + ?Sized>(rng: &mut R, n: usize, params: &WaxmanParams) -> 
         params.target_avg_degree > 0.0,
         "target average degree must be positive"
     );
-    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let l = 2f64.sqrt();
     // Calibrate alpha so the expected number of links hits the degree target:
     // E[links] = alpha * sum(exp(-d/(beta*L))) and avg degree = 2 E[links] / n.
@@ -314,7 +316,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let net = waxman(&mut rng, 100, &params);
         let deg = metrics::average_degree(&net);
-        assert!((2.0..=8.0).contains(&deg), "average degree {deg} out of band");
+        assert!(
+            (2.0..=8.0).contains(&deg),
+            "average degree {deg} out of band"
+        );
     }
 
     #[test]

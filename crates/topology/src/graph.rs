@@ -1,10 +1,8 @@
 use crate::{LinkId, NodeId, TopologyError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Operational state of a link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum LinkState {
     /// The link carries traffic.
     #[default]
@@ -12,7 +10,6 @@ pub enum LinkState {
     /// The link has failed; it is ignored by routing but keeps its identity.
     Down,
 }
-
 
 impl fmt::Display for LinkState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -24,7 +21,7 @@ impl fmt::Display for LinkState {
 }
 
 /// A bidirectional point-to-point link between two switches.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Link {
     /// Stable identifier of the link.
     pub id: LinkId,
@@ -84,7 +81,7 @@ impl Link {
 /// assert_eq!(net.link(l).unwrap().cost, 10);
 /// assert!(net.is_connected());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Network {
     links: Vec<Link>,
     /// adjacency\[node\] = link ids incident to node (up and down links alike).

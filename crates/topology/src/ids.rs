@@ -1,4 +1,3 @@
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a network switch (a node of the graph).
@@ -14,7 +13,7 @@ use std::fmt;
 /// assert_eq!(a.index(), 3);
 /// assert_eq!(a.to_string(), "s3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -47,7 +46,7 @@ impl From<usize> for NodeId {
 ///
 /// Link ids are stable across [`crate::Network::set_link_state`] changes so a
 /// failed link can later be repaired and recognized as the same link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub u32);
 
 impl LinkId {

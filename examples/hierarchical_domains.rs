@@ -29,15 +29,11 @@ fn main() {
         "flood scope per event: flat {} switches; hierarchical {} (intra-area) / {} (cross-area)",
         intra.flat, intra.hierarchical, cross.hierarchical
     );
-    println!(
-        "intra-area events shrink {:.1}x",
-        intra.reduction()
-    );
+    println!("intra-area events shrink {:.1}x", intra.reduction());
 
     // A cross-area videoconference: members in three different corners.
     let members: BTreeSet<NodeId> = [NodeId(0), NodeId(11), NodeId(132), NodeId(77)].into();
-    let mc = HierarchicalMc::compute(&net, &map, &backbone, &members)
-        .expect("members reachable");
+    let mc = HierarchicalMc::compute(&net, &map, &backbone, &members).expect("members reachable");
     let tree = mc.topology();
     println!(
         "cross-area MC spans {} areas via attachments {:?}",

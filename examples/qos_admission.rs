@@ -28,10 +28,9 @@ fn main() {
     let mut admitted = Vec::new();
     let mut rejected = 0;
     for conference in 1..=12u32 {
-        let members: BTreeSet<NodeId> =
-            dgmc::topology::generate::sample_nodes(&mut rng, &net, 4)
-                .into_iter()
-                .collect();
+        let members: BTreeSet<NodeId> = dgmc::topology::generate::sample_nodes(&mut rng, &net, 4)
+            .into_iter()
+            .collect();
         match plan.admit(&net, conference, &members, demand) {
             Ok(tree) => {
                 println!(

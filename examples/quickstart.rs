@@ -24,6 +24,11 @@ fn main() {
         Rc::new(SphStrategy::new()),
     );
 
+    // Attach the protocol decision log: every detect/compute/flood/install
+    // decision is recorded with its R/E/C timestamps (bounded ring, so a
+    // long run keeps only the newest decisions).
+    let decisions = sim.observer().attach_log(256);
+
     // Three corners join a teleconference-style symmetric MC.
     let mc = McId(1);
     for (i, corner) in [0u32, 3, 12].into_iter().enumerate() {
@@ -57,6 +62,10 @@ fn main() {
         sim.counter_value(dgmc::protocol::switch::counters::COMPUTATIONS),
         sim.counter_value(dgmc::protocol::switch::counters::FLOODINGS),
     );
+
+    // How the protocol got there, decision by decision.
+    println!("\ndecision log (last 12 of {}):", decisions.borrow().len());
+    print!("{}", decisions.borrow().timeline(12));
 
     // Send a data packet from one member; it reaches the others exactly once.
     sim.inject(

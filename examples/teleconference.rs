@@ -25,6 +25,10 @@ fn main() {
     );
     let mc = McId(7);
 
+    // Record every install decision so we can reconstruct, per MC, when the
+    // conference topology actually landed at each switch.
+    let decisions = sim.observer().attach_log(4096);
+
     // Ten participants all "dial in" within a 100us window.
     let participants = dgmc::topology::generate::sample_nodes(&mut rng, &net, 10);
     println!("participants: {participants:?}");
@@ -59,6 +63,49 @@ fn main() {
         computations as f64 / events as f64,
         floodings as f64 / events as f64,
     );
+
+    // Per-MC convergence timeline, reconstructed from the decision log:
+    // each winning proposal shown as one install wave sweeping the network.
+    println!("\nconvergence timeline for MC {}:", mc.0);
+    let log = decisions.borrow();
+    // (source switch, edge count) -> (first install us, last install us, #switches)
+    let mut waves: std::collections::BTreeMap<(u32, usize), (u64, u64, usize)> =
+        std::collections::BTreeMap::new();
+    for e in log.iter().filter(|e| e.mc == u64::from(mc.0)) {
+        if let dgmc::obs::DecisionKind::TopologyInstalled { edges, source } = e.kind {
+            let t = e.at_nanos / 1_000;
+            waves
+                .entry((source, edges))
+                .and_modify(|(_, last, count)| {
+                    *last = t;
+                    *count += 1;
+                })
+                .or_insert((t, t, 1));
+        }
+    }
+    let mut waves: Vec<_> = waves.into_iter().collect();
+    waves.sort_by_key(|&(_, (first, ..))| first);
+    for ((source, edges), (first, last, count)) in waves {
+        println!(
+            "  t={first:>6}us..{last:>6}us  proposal by switch {source:>2} ({edges:>2} edges) installed at {count} switch(es)"
+        );
+    }
+    drop(log);
+
+    // Proposal-to-install latency, straight from the metrics registry the
+    // switches feed during the run.
+    if let Some(h) = sim
+        .metrics()
+        .histogram_get(dgmc::protocol::switch::histograms::INSTALL_LATENCY_US)
+    {
+        println!(
+            "proposal-to-install latency: {} installs, p50 {}us, p90 {}us, max {}us",
+            h.count(),
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.max()
+        );
+    }
 
     // Everyone speaks once; everyone else hears exactly one copy.
     for (k, p) in participants.iter().enumerate() {

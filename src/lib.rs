@@ -9,6 +9,8 @@
 //! * [`des`] — the discrete-event simulation kernel,
 //! * [`lsr`] — the OSPF-lite link-state routing substrate,
 //! * [`mctree`] — Steiner/source-tree topology algorithms,
+//! * [`obs`] — the dependency-free observability layer (decision log,
+//!   metrics registry, JSONL export),
 //! * [`protocol`] — the D-GMC protocol itself (timestamps, engine, switch),
 //! * [`baselines`] — brute-force LSR multicast, MOSPF and CBT comparators,
 //! * [`experiments`] — the harness regenerating the paper's Figures 6-8,
@@ -40,13 +42,18 @@ pub use dgmc_experiments as experiments;
 pub use dgmc_hierarchy as hierarchy;
 pub use dgmc_lsr as lsr;
 pub use dgmc_mctree as mctree;
+pub use dgmc_obs as obs;
 pub use dgmc_topology as topology;
 
 /// Everything needed to build and drive a D-GMC simulation.
 pub mod prelude {
     pub use dgmc_core::convergence::check_consensus;
-    pub use dgmc_core::switch::{build_dgmc_sim, inject_link_event, DgmcConfig, DgmcSwitch, SwitchMsg};
-    pub use dgmc_core::{DgmcEngine, McEventKind, McId, McLsa, McTopology, McType, Role, Timestamp};
+    pub use dgmc_core::switch::{
+        build_dgmc_sim, inject_link_event, DgmcConfig, DgmcSwitch, SwitchMsg,
+    };
+    pub use dgmc_core::{
+        DgmcEngine, McEventKind, McId, McLsa, McTopology, McType, Role, Timestamp,
+    };
     pub use dgmc_des::{ActorId, SimDuration, SimTime, Simulation};
     pub use dgmc_mctree::{KmbStrategy, McAlgorithm, SphStrategy};
     pub use dgmc_topology::{Network, NetworkBuilder, NodeId};

@@ -4,9 +4,9 @@
 use dgmc::experiments::workload::{self, BurstParams};
 use dgmc::experiments::{presets, runner};
 use dgmc::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
-fn run_once(seed: u64) -> (HashMap<String, u64>, Option<McTopology>) {
+fn run_once(seed: u64) -> (BTreeMap<String, u64>, Option<McTopology>) {
     use dgmc::protocol::convergence;
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -46,8 +46,10 @@ fn run_once(seed: u64) -> (HashMap<String, u64>, Option<McTopology>) {
         sim.inject(ActorId(e.node.0), e.at, msg);
     }
     sim.run_to_quiescence();
-    let topo = convergence::check_consensus(&sim, McId(1)).unwrap().topology;
-    (sim.counters().clone(), topo)
+    let topo = convergence::check_consensus(&sim, McId(1))
+        .unwrap()
+        .topology;
+    (sim.counters(), topo)
 }
 
 #[test]
@@ -63,19 +65,13 @@ fn identical_seeds_reproduce_every_counter_and_tree() {
 
 #[test]
 fn run_seeded_is_reproducible() {
-    let a = runner::run_seeded(
-        30,
-        7,
-        DgmcConfig::communication_dominated(),
-        |rng, net| workload::bursty(rng, net, &BurstParams::default()),
-    )
+    let a = runner::run_seeded(30, 7, DgmcConfig::communication_dominated(), |rng, net| {
+        workload::bursty(rng, net, &BurstParams::default())
+    })
     .unwrap();
-    let b = runner::run_seeded(
-        30,
-        7,
-        DgmcConfig::communication_dominated(),
-        |rng, net| workload::bursty(rng, net, &BurstParams::default()),
-    )
+    let b = runner::run_seeded(30, 7, DgmcConfig::communication_dominated(), |rng, net| {
+        workload::bursty(rng, net, &BurstParams::default())
+    })
     .unwrap();
     assert_eq!(a, b);
 }
@@ -89,8 +85,5 @@ fn experiment_sweeps_are_reproducible() {
     let r2 = presets::run_experiment(&spec);
     assert_eq!(r1.rows[0].proposals.mean(), r2.rows[0].proposals.mean());
     assert_eq!(r1.rows[0].floodings.mean(), r2.rows[0].floodings.mean());
-    assert_eq!(
-        r1.rows[0].convergence.mean(),
-        r2.rows[0].convergence.mean()
-    );
+    assert_eq!(r1.rows[0].convergence.mean(), r2.rows[0].convergence.mean());
 }

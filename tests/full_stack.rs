@@ -203,8 +203,16 @@ fn rapid_rejoin_of_the_same_connection_id() {
         join_msg(mc, McType::Symmetric, Role::SenderReceiver),
     );
     sim.run_to_quiescence();
-    sim.inject(ActorId(0), SimDuration::millis(2), SwitchMsg::HostLeave { mc });
-    sim.inject(ActorId(3), SimDuration::millis(3), SwitchMsg::HostLeave { mc });
+    sim.inject(
+        ActorId(0),
+        SimDuration::millis(2),
+        SwitchMsg::HostLeave { mc },
+    );
+    sim.inject(
+        ActorId(3),
+        SimDuration::millis(3),
+        SwitchMsg::HostLeave { mc },
+    );
     sim.run_to_quiescence();
     let destroyed = convergence::check_consensus(&sim, mc).unwrap();
     assert!(destroyed.members.is_empty());

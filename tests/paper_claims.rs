@@ -10,12 +10,9 @@ fn claim_normal_traffic_has_minimal_overhead() {
     // "In normal periods ... both ratios are very close to [the minimum],
     // demonstrating the minimal overhead imposed by the protocol."
     for seed in 0..5 {
-        let m = runner::run_seeded(
-            40,
-            seed,
-            DgmcConfig::computation_dominated(),
-            |rng, net| workload::sparse(rng, net, &SparseParams::default()),
-        )
+        let m = runner::run_seeded(40, seed, DgmcConfig::computation_dominated(), |rng, net| {
+            workload::sparse(rng, net, &SparseParams::default())
+        })
         .unwrap();
         assert_eq!(m.proposals_per_event(), 1.0, "seed {seed}");
         assert_eq!(m.floodings_per_event(), 1.0, "seed {seed}");
@@ -28,12 +25,9 @@ fn claim_bursty_overhead_stays_bounded() {
     // [per event] during the bursty period for all cases" and "fewer than
     // 5 advertisements per event" (Experiment 1 regime).
     for seed in 10..15 {
-        let m = runner::run_seeded(
-            60,
-            seed,
-            DgmcConfig::computation_dominated(),
-            |rng, net| workload::bursty(rng, net, &BurstParams::default()),
-        )
+        let m = runner::run_seeded(60, seed, DgmcConfig::computation_dominated(), |rng, net| {
+            workload::bursty(rng, net, &BurstParams::default())
+        })
         .unwrap();
         assert!(
             m.proposals_per_event() < 5.0,
@@ -59,12 +53,9 @@ fn claim_wan_regime_computes_more_but_converges_faster_in_rounds() {
     let mut wan_rounds = 0.0;
     let runs = 5;
     for seed in 0..runs {
-        let lan = runner::run_seeded(
-            60,
-            seed,
-            DgmcConfig::computation_dominated(),
-            |rng, net| workload::bursty(rng, net, &BurstParams::default()),
-        )
+        let lan = runner::run_seeded(60, seed, DgmcConfig::computation_dominated(), |rng, net| {
+            workload::bursty(rng, net, &BurstParams::default())
+        })
         .unwrap();
         let wan = runner::run_seeded(
             60,
@@ -98,7 +89,10 @@ fn claim_dgmc_beats_brute_force_and_mospf() {
     let rows = compare::compare_protocols(&[30], 3, 99);
     let r = &rows[0];
     assert!((r.dgmc_computations.mean() - 1.0).abs() < 0.01);
-    assert!((r.bf_computations.mean() - 30.0).abs() < 0.01, "brute force = n");
+    assert!(
+        (r.bf_computations.mean() - 30.0).abs() < 0.01,
+        "brute force = n"
+    );
     assert!(r.mospf_computations.mean() > 2.0, "MOSPF = on-tree routers");
     assert!(r.dgmc_computations.mean() < r.mospf_computations.mean());
     assert!(r.mospf_computations.mean() < r.bf_computations.mean());

@@ -1,0 +1,172 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset used by `crates/bench`: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Instead of criterion's
+//! statistical machinery it runs a short warm-up, then a fixed number of
+//! timed batches, and prints the median ns/iter — enough to compare orders
+//! of magnitude between runs of `cargo bench` offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level bench driver handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples_wanted: self.sample_size,
+            median_ns: 0.0,
+        };
+        f(&mut bencher, input);
+        println!(
+            "bench {:<40} {:>12.1} ns/iter",
+            format!("{}/{}", self.name, id.label),
+            bencher.median_ns
+        );
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b));
+    }
+
+    /// Ends the group (upstream renders summaries here; a no-op for us).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to every benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples_wanted: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median over several batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up + batch sizing: aim for batches of at least ~1 ms.
+        let started = Instant::now();
+        black_box(routine());
+        let once = started.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+
+        let mut samples: Vec<f64> = (0..self.samples_wanted)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..per_batch {
+                    black_box(routine());
+                }
+                t.elapsed().as_nanos() as f64 / per_batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting benchmarked work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles bench functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_addition(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("add", 4), &4u64, |b, &n| {
+            b.iter(|| n + 1);
+        });
+        group.bench_function(BenchmarkId::from_parameter("plain"), |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_addition);
+
+    #[test]
+    fn harness_runs_and_times() {
+        benches();
+    }
+}
