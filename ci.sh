@@ -14,4 +14,7 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test =="
 cargo test --workspace --offline -q
 
+echo "== explorer smoke (fixed seeds, fault-injected invariant check) =="
+cargo run --offline -q --release -p dgmc-experiments --bin explore -- --seeds 25 --fail-fast
+
 echo "CI OK"

@@ -118,6 +118,16 @@ impl DgmcEngine {
         self.me
     }
 
+    /// Engine-level quiescence probe: `true` when no connection has queued
+    /// LSAs or an in-flight computation. At simulation quiescence every
+    /// engine must be quiet — the invariant suite treats leftovers as
+    /// un-withdrawn proposals.
+    pub fn is_quiet(&self) -> bool {
+        self.states
+            .values()
+            .all(|st| st.mailbox.is_empty() && st.computing.is_none())
+    }
+
     /// Read access to the state of connection `mc`, if allocated.
     pub fn state(&self, mc: McId) -> Option<&McState> {
         self.states.get(&mc)

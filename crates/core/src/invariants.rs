@@ -1,0 +1,337 @@
+//! Reusable protocol invariant suite for quiescent simulations.
+//!
+//! The schedule explorer (DESIGN.md §8) runs a seeded scenario to
+//! quiescence and then asks this module whether the protocol kept its
+//! promises. Four invariants are checked per multipoint connection, over
+//! the *live* (non-crashed) switches:
+//!
+//! * **`agreement`** — every live switch that knows the MC installed the
+//!   identical topology, agrees on the `C` timestamp and on the member
+//!   list, and no live switch is missing state others hold.
+//! * **`stamps`** — per switch, `E >= R` and `E >= C` component-wise
+//!   always, and at quiescence `R == E` (nothing announced remains
+//!   undelivered).
+//! * **`settled`** — no switch still holds queued LSAs or an in-flight
+//!   computation: every proposal was either installed or withdrawn.
+//! * **`tree`** — the installed topology is acyclic, uses only up links of
+//!   the network, and spans exactly the member set.
+//!
+//! Each violation is also emitted as a
+//! [`DecisionKind::InvariantViolated`] event through the simulation's
+//! observer, so a replay with a decision log attached places the failure
+//! on the protocol timeline.
+
+use crate::switch::{DgmcSwitch, SwitchMsg};
+use crate::{McId, McState};
+use dgmc_des::{ActorId, Simulation};
+use dgmc_obs::{DecisionEvent, DecisionKind, StampSnapshot};
+use dgmc_topology::{Network, NodeId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One broken invariant, localized to an MC and (where meaningful) a
+/// switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Stable invariant name: `agreement`, `stamps`, `settled` or `tree`.
+    pub invariant: &'static str,
+    /// The connection the violation concerns.
+    pub mc: McId,
+    /// The offending switch, when the violation is per-switch.
+    pub switch: Option<NodeId>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on {}", self.invariant, self.mc)?;
+        if let Some(sw) = self.switch {
+            write!(f, " at {sw}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+fn live_switches(sim: &Simulation<SwitchMsg>) -> Vec<&DgmcSwitch> {
+    (0..sim.actor_count() as u32)
+        .map(|i| {
+            sim.actor_as::<DgmcSwitch>(ActorId(i))
+                .expect("all actors are DgmcSwitch")
+        })
+        .filter(|sw| !sw.is_failed())
+        .collect()
+}
+
+fn per_switch_checks(sw: &DgmcSwitch, mc: McId, st: &McState, out: &mut Vec<InvariantViolation>) {
+    if !st.invariant_holds() {
+        out.push(InvariantViolation {
+            invariant: "stamps",
+            mc,
+            switch: Some(sw.id()),
+            detail: format!(
+                "E >= R / E >= C violated (R={} E={} C={})",
+                st.r, st.e, st.c
+            ),
+        });
+    }
+    if !st.all_caught_up() {
+        out.push(InvariantViolation {
+            invariant: "stamps",
+            mc,
+            switch: Some(sw.id()),
+            detail: format!("R != E at quiescence (R={} E={})", st.r, st.e),
+        });
+    }
+    if !st.mailbox.is_empty() {
+        out.push(InvariantViolation {
+            invariant: "settled",
+            mc,
+            switch: Some(sw.id()),
+            detail: format!("{} LSA(s) still queued at quiescence", st.mailbox.len()),
+        });
+    }
+    if st.computing.is_some() {
+        out.push(InvariantViolation {
+            invariant: "settled",
+            mc,
+            switch: Some(sw.id()),
+            detail: "topology computation still in flight at quiescence".into(),
+        });
+    }
+}
+
+fn agreement_checks(
+    reference: (&DgmcSwitch, &McState),
+    sw: &DgmcSwitch,
+    st: &McState,
+    mc: McId,
+    out: &mut Vec<InvariantViolation>,
+) {
+    let (ref_sw, ref_st) = reference;
+    if st.installed != ref_st.installed {
+        out.push(InvariantViolation {
+            invariant: "agreement",
+            mc,
+            switch: Some(sw.id()),
+            detail: format!("installed topology differs from {}'s", ref_sw.id()),
+        });
+    }
+    if st.c != ref_st.c {
+        out.push(InvariantViolation {
+            invariant: "agreement",
+            mc,
+            switch: Some(sw.id()),
+            detail: format!(
+                "C stamp {} differs from {}'s {}",
+                st.c,
+                ref_sw.id(),
+                ref_st.c
+            ),
+        });
+    }
+    if st.members != ref_st.members {
+        out.push(InvariantViolation {
+            invariant: "agreement",
+            mc,
+            switch: Some(sw.id()),
+            detail: format!("member list differs from {}'s", ref_sw.id()),
+        });
+    }
+}
+
+fn tree_checks(
+    reference: (&DgmcSwitch, &McState),
+    net: &Network,
+    mc: McId,
+    out: &mut Vec<InvariantViolation>,
+) {
+    let (ref_sw, ref_st) = reference;
+    // An MC whose last member left is torn down; whatever state remains
+    // before deletion has nothing to span.
+    if ref_st.members.is_empty() {
+        return;
+    }
+    let terminals = ref_st.terminals();
+    let Some(topo) = ref_st.installed.as_ref() else {
+        out.push(InvariantViolation {
+            invariant: "tree",
+            mc,
+            switch: Some(ref_sw.id()),
+            detail: format!(
+                "no topology installed for {} member(s)",
+                ref_st.members.len()
+            ),
+        });
+        return;
+    };
+    if let Err(err) = topo.validate(net, &terminals) {
+        out.push(InvariantViolation {
+            invariant: "tree",
+            mc,
+            switch: Some(ref_sw.id()),
+            detail: err.to_string(),
+        });
+    }
+    if topo.terminals() != &terminals {
+        out.push(InvariantViolation {
+            invariant: "tree",
+            mc,
+            switch: Some(ref_sw.id()),
+            detail: "tree terminal set differs from the member set".into(),
+        });
+    }
+}
+
+/// Checks the full invariant suite over all MCs known to any live switch.
+///
+/// Intended to run at quiescence (after [`Simulation::run_to_quiescence`]
+/// returned `Quiescent`); the `stamps`/`settled` invariants are quiescence
+/// properties and will report transient states as violations if called
+/// mid-run. `net` must reflect the link states the run ended with.
+///
+/// Every violation found is also emitted through the simulation's observer
+/// as a [`DecisionKind::InvariantViolated`] event.
+///
+/// # Panics
+///
+/// Panics if the simulation hosts non-[`DgmcSwitch`] actors.
+pub fn check_invariants(sim: &Simulation<SwitchMsg>, net: &Network) -> Vec<InvariantViolation> {
+    let live = live_switches(sim);
+    let mut mcs: BTreeSet<McId> = BTreeSet::new();
+    for sw in &live {
+        mcs.extend(sw.engine().mc_ids());
+    }
+    let mut out = Vec::new();
+    for &mc in &mcs {
+        let mut reference: Option<(&DgmcSwitch, &McState)> = None;
+        for sw in &live {
+            let Some(st) = sw.engine().state(mc) else {
+                out.push(InvariantViolation {
+                    invariant: "agreement",
+                    mc,
+                    switch: Some(sw.id()),
+                    detail: "has no state for an MC other live switches know".into(),
+                });
+                continue;
+            };
+            per_switch_checks(sw, mc, st, &mut out);
+            match reference {
+                None => reference = Some((sw, st)),
+                Some(r) => agreement_checks(r, sw, st, mc, &mut out),
+            }
+        }
+        if let Some(r) = reference {
+            tree_checks(r, net, mc, &mut out);
+        }
+    }
+    for v in &out {
+        sim.observer().emit(|now| DecisionEvent {
+            at_nanos: now,
+            mc: v.mc.0 as u64,
+            switch: v.switch.map_or(u32::MAX, |n| n.0),
+            kind: DecisionKind::InvariantViolated {
+                invariant: v.invariant.to_string(),
+            },
+            stamps: StampSnapshot::empty(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switch::{build_dgmc_sim, DgmcConfig};
+    use crate::McType;
+    use dgmc_des::SimDuration;
+    use dgmc_mctree::{Role, SphStrategy};
+    use dgmc_topology::generate;
+    use std::rc::Rc;
+
+    fn joined_ring() -> (dgmc_topology::Network, Simulation<SwitchMsg>) {
+        let net = generate::ring(5);
+        let mut sim = build_dgmc_sim(
+            &net,
+            DgmcConfig::computation_dominated(),
+            Rc::new(SphStrategy::new()),
+        );
+        for (i, node) in [0u32, 2, 4].into_iter().enumerate() {
+            sim.inject(
+                ActorId(node),
+                SimDuration::millis(i as u64),
+                SwitchMsg::HostJoin {
+                    mc: McId(1),
+                    mc_type: McType::Symmetric,
+                    role: Role::SenderReceiver,
+                },
+            );
+        }
+        sim.run_to_quiescence();
+        (net, sim)
+    }
+
+    #[test]
+    fn healthy_quiescent_run_upholds_every_invariant() {
+        let (net, sim) = joined_ring();
+        let violations = check_invariants(&sim, &net);
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+    }
+
+    #[test]
+    fn violations_render_with_mc_and_switch() {
+        let v = InvariantViolation {
+            invariant: "tree",
+            mc: McId(3),
+            switch: Some(NodeId(2)),
+            detail: "topology contains a cycle".into(),
+        };
+        assert_eq!(
+            v.to_string(),
+            "tree on mc3 at s2: topology contains a cycle"
+        );
+        let global = InvariantViolation {
+            invariant: "agreement",
+            mc: McId(1),
+            switch: None,
+            detail: "split brain".into(),
+        };
+        assert_eq!(global.to_string(), "agreement on mc1: split brain");
+    }
+
+    #[test]
+    fn violations_are_mirrored_onto_the_decision_log() {
+        let (net, sim) = joined_ring();
+        let log = sim.observer().attach_log(64);
+        let violations = check_invariants(&sim, &net);
+        assert!(violations.is_empty());
+        // Force a violation by validating against a network where one
+        // installed tree edge is administratively down.
+        let (a, b) = sim
+            .actor_as::<DgmcSwitch>(ActorId(0))
+            .unwrap()
+            .engine()
+            .installed(McId(1))
+            .unwrap()
+            .edges()
+            .next()
+            .unwrap();
+        let mut degraded = net.clone();
+        let down = degraded.link_between(a, b).unwrap().id;
+        degraded
+            .set_link_state(down, dgmc_topology::LinkState::Down)
+            .unwrap();
+        let violations = check_invariants(&sim, &degraded);
+        assert!(
+            violations.iter().any(|v| v.invariant == "tree"),
+            "expected a tree violation: {violations:?}"
+        );
+        let events = log.borrow();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(&e.kind, DecisionKind::InvariantViolated { invariant } if invariant == "tree")),
+            "violation not mirrored to the log"
+        );
+    }
+}

@@ -52,6 +52,7 @@
 
 pub mod codec;
 pub mod convergence;
+pub mod invariants;
 pub mod switch;
 
 mod engine;

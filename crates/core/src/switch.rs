@@ -271,6 +271,12 @@ impl DgmcSwitch {
         &self.engine
     }
 
+    /// `true` while the switch is administratively failed (crashed): it
+    /// drops all traffic and is excluded from invariant checking.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
     /// The unicast routing table.
     pub fn routes(&self) -> &RoutingTable {
         &self.routes

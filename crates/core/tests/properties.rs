@@ -218,6 +218,68 @@ proptest! {
     }
 }
 
+/// Random bounded fault plans: recovered loss, duplication and jitter in
+/// sane ranges (`hard_loss` stays 0 — genuine drops legitimately break the
+/// protocol's reliable-flooding assumption and are covered by the mutation
+/// tests instead).
+fn fault_plan_strategy() -> impl Strategy<Value = dgmc_des::FaultPlan> {
+    // Probabilities in per-mille steps: the vendored proptest only has
+    // integer range strategies.
+    (0u64..300, 0u64..300, 0u64..100).prop_map(|(loss_pm, dup_pm, jitter_us)| {
+        dgmc_des::FaultPlan::uniform(dgmc_des::LinkFaults {
+            loss: loss_pm as f64 / 1000.0,
+            hard_loss: 0.0,
+            duplicate: dup_pm as f64 / 1000.0,
+            jitter: dgmc_des::SimDuration::micros(jitter_us),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Under any bounded fault plan and fault seed, a join burst on a small
+    /// topology drains and the full invariant suite holds at quiescence.
+    #[test]
+    fn bounded_fault_plans_uphold_the_invariant_suite(
+        plan in fault_plan_strategy(),
+        fault_seed in any::<u64>(),
+        topology_choice in 0usize..3,
+        joiners in prop::collection::btree_set(0u32..5, 2..4),
+    ) {
+        use dgmc_core::invariants;
+        use dgmc_core::switch::{build_dgmc_sim, DgmcConfig, SwitchMsg};
+        use dgmc_des::{ActorId, FaultyNet, RunOutcome, SimDuration};
+
+        let net = match topology_choice {
+            0 => generate::ring(5),
+            1 => generate::grid(3, 3),
+            _ => generate::ring(7),
+        };
+        let mut sim = build_dgmc_sim(
+            &net,
+            DgmcConfig::computation_dominated(),
+            Rc::new(SphStrategy::new()),
+        );
+        sim.set_event_budget(10_000_000);
+        sim.set_net_model(FaultyNet::new(plan, fault_seed));
+        for (i, &j) in joiners.iter().enumerate() {
+            sim.inject(
+                ActorId(j),
+                SimDuration::millis(5) * i as u64,
+                SwitchMsg::HostJoin {
+                    mc: MC,
+                    mc_type: McType::Symmetric,
+                    role: Role::SenderReceiver,
+                },
+            );
+        }
+        prop_assert_eq!(sim.run_to_quiescence(), RunOutcome::Quiescent);
+        let violations = invariants::check_invariants(&sim, &net);
+        prop_assert!(violations.is_empty(), "violations: {:?}", violations);
+    }
+}
+
 #[test]
 fn timestamp_partial_order_laws() {
     // Deterministic sanity companion to the proptests above.

@@ -1,0 +1,312 @@
+//! Seeded schedule exploration with replayable failure bundles.
+//!
+//! Deterministic simulation testing in the Helmy-style systematic-testing
+//! tradition: a *scenario* is a pure function of a seed (topology, workload,
+//! fault plan and every network-model coin flip all derive from it), so
+//! running the scenario across N seeds explores N distinct schedules, and
+//! any failing schedule is reproduced exactly by re-running its seed.
+//!
+//! This module is protocol-agnostic: [`explore`] drives a caller-supplied
+//! closure from seed to [`SeedOutcome`] and aggregates an [`ExploreReport`];
+//! [`ReproBundle`] packages a failing seed together with the fault-plan JSON
+//! and the tail of the decision timeline into one self-contained JSON file.
+//! The D-GMC scenario assembly and the protocol invariant suite live in the
+//! `dgmc-core`/`dgmc-experiments` crates.
+
+use dgmc_obs::JsonValue;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What seed range to run and how to react to failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// First seed checked.
+    pub start_seed: u64,
+    /// Number of consecutive seeds checked.
+    pub seeds: u64,
+    /// Stop at the first failing seed instead of completing the sweep.
+    pub fail_fast: bool,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            start_seed: 0,
+            seeds: 100,
+            fail_fast: false,
+        }
+    }
+}
+
+/// One invariant violation observed in a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable name of the violated invariant.
+    pub invariant: String,
+    /// Human-readable specifics (which switches, which stamps, ...).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// The result of checking one seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedOutcome {
+    /// The seed that produced this schedule.
+    pub seed: u64,
+    /// All invariant violations found (empty = the seed passed).
+    pub violations: Vec<Violation>,
+}
+
+impl SeedOutcome {
+    /// A passing outcome.
+    pub fn pass(seed: u64) -> SeedOutcome {
+        SeedOutcome {
+            seed,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Whether the seed upheld every invariant.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Aggregated result of a seed sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExploreReport {
+    /// Seeds actually run (smaller than requested under `fail_fast`).
+    pub checked: u64,
+    /// The failing outcomes, in seed order.
+    pub failures: Vec<SeedOutcome>,
+}
+
+impl ExploreReport {
+    /// Whether every checked seed passed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The first failing seed, if any.
+    pub fn first_failing_seed(&self) -> Option<u64> {
+        self.failures.first().map(|f| f.seed)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        match self.first_failing_seed() {
+            None => format!("{} seeds checked, all invariants held", self.checked),
+            Some(seed) => format!(
+                "{} seeds checked, {} failed (first failing seed {seed})",
+                self.checked,
+                self.failures.len()
+            ),
+        }
+    }
+}
+
+/// Runs `run` over the configured seed range and aggregates the outcomes.
+///
+/// The closure owns the scenario: everything it does must derive from the
+/// seed it is given, or failures will not replay.
+pub fn explore(config: &ExploreConfig, mut run: impl FnMut(u64) -> SeedOutcome) -> ExploreReport {
+    let mut report = ExploreReport::default();
+    for seed in config.start_seed..config.start_seed.saturating_add(config.seeds) {
+        let outcome = run(seed);
+        debug_assert_eq!(outcome.seed, seed, "scenario must report its own seed");
+        report.checked += 1;
+        if !outcome.passed() {
+            report.failures.push(outcome);
+            if config.fail_fast {
+                break;
+            }
+        }
+    }
+    report
+}
+
+/// A minimized, self-contained description of one failing run.
+///
+/// Contains everything needed to reproduce and diagnose the failure: the
+/// seed (the schedule *is* the seed), the fault plan that was derived from
+/// it, the violations, the tail of the decision timeline from a re-run with
+/// the observer attached, and the one replay command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproBundle {
+    /// The failing seed.
+    pub seed: u64,
+    /// Name of the scenario that failed.
+    pub scenario: String,
+    /// The fault plan of the failing run, as rendered JSON.
+    pub plan: JsonValue,
+    /// The invariant violations.
+    pub violations: Vec<Violation>,
+    /// Rendered tail (oldest first) of the decision-event timeline.
+    pub timeline: Vec<String>,
+    /// One-command replay hint.
+    pub replay: String,
+}
+
+impl ReproBundle {
+    /// Renders the bundle as one pretty-enough JSON object.
+    pub fn to_json(&self) -> String {
+        let violations = self
+            .violations
+            .iter()
+            .map(|v| {
+                JsonValue::obj(vec![
+                    ("invariant", JsonValue::Str(v.invariant.clone())),
+                    ("detail", JsonValue::Str(v.detail.clone())),
+                ])
+            })
+            .collect();
+        let timeline = self
+            .timeline
+            .iter()
+            .map(|line| JsonValue::Str(line.clone()))
+            .collect();
+        JsonValue::obj(vec![
+            ("seed", JsonValue::U64(self.seed)),
+            ("scenario", JsonValue::Str(self.scenario.clone())),
+            ("replay", JsonValue::Str(self.replay.clone())),
+            ("violations", JsonValue::Arr(violations)),
+            ("fault_plan", self.plan.clone()),
+            ("timeline", JsonValue::Arr(timeline)),
+        ])
+        .to_json()
+    }
+
+    /// Writes the bundle to `dir/repro-seed-<seed>.json`, creating `dir` if
+    /// needed, and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("repro-seed-{}.json", self.seed));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Renders a human-readable failure report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "scenario '{}' failed at seed {}\nreplay: {}\n",
+            self.scenario, self.seed, self.replay
+        ));
+        for v in &self.violations {
+            out.push_str(&format!("  violated {v}\n"));
+        }
+        if !self.timeline.is_empty() {
+            out.push_str("decision timeline (tail):\n");
+            for line in &self.timeline {
+                out.push_str("  ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fail(seed: u64) -> SeedOutcome {
+        SeedOutcome {
+            seed,
+            violations: vec![Violation {
+                invariant: "agreement".into(),
+                detail: format!("seed {seed} diverged"),
+            }],
+        }
+    }
+
+    #[test]
+    fn explore_checks_the_whole_range_and_collects_failures() {
+        let config = ExploreConfig {
+            start_seed: 10,
+            seeds: 5,
+            fail_fast: false,
+        };
+        let mut seen = Vec::new();
+        let report = explore(&config, |seed| {
+            seen.push(seed);
+            if seed % 2 == 0 {
+                fail(seed)
+            } else {
+                SeedOutcome::pass(seed)
+            }
+        });
+        assert_eq!(seen, vec![10, 11, 12, 13, 14]);
+        assert_eq!(report.checked, 5);
+        assert_eq!(report.first_failing_seed(), Some(10));
+        assert_eq!(report.failures.len(), 3);
+        assert!(!report.passed());
+        assert!(report.summary().contains("first failing seed 10"));
+    }
+
+    #[test]
+    fn fail_fast_stops_at_the_first_failure() {
+        let config = ExploreConfig {
+            start_seed: 0,
+            seeds: 100,
+            fail_fast: true,
+        };
+        let report = explore(&config, |seed| {
+            if seed == 3 {
+                fail(seed)
+            } else {
+                SeedOutcome::pass(seed)
+            }
+        });
+        assert_eq!(report.checked, 4, "stopped right after seed 3");
+        assert_eq!(report.first_failing_seed(), Some(3));
+    }
+
+    #[test]
+    fn all_passing_sweep_summarizes_cleanly() {
+        let report = explore(&ExploreConfig::default(), SeedOutcome::pass);
+        assert!(report.passed());
+        assert_eq!(report.checked, 100);
+        assert!(report.summary().contains("all invariants held"));
+    }
+
+    #[test]
+    fn bundle_round_trips_to_disk() {
+        let bundle = ReproBundle {
+            seed: 77,
+            scenario: "chaos".into(),
+            plan: JsonValue::obj(vec![("loss", JsonValue::F64(0.1))]),
+            violations: vec![Violation {
+                invariant: "tree".into(),
+                detail: "cycle at sw3".into(),
+            }],
+            timeline: vec!["[1.000us] sw0 mc1 ProposalFlooded".into()],
+            replay: "cargo run --bin explore -- --seed 77".into(),
+        };
+        let json = bundle.to_json();
+        assert!(json.contains(r#""seed":77"#), "{json}");
+        assert!(json.contains(r#""fault_plan":{"loss":0.1}"#), "{json}");
+        assert!(json.contains("ProposalFlooded"), "{json}");
+        let dir = std::env::temp_dir().join(format!("dgmc-explorer-{}", std::process::id()));
+        let path = bundle.write(&dir).unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), json);
+        assert!(path.ends_with("repro-seed-77.json"));
+        let rendered = bundle.render();
+        assert!(rendered.contains("failed at seed 77"));
+        assert!(rendered.contains("violated tree: cycle at sw3"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

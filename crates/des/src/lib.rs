@@ -8,7 +8,11 @@
 //! * an event queue with deterministic FIFO tie-breaking ([`Simulation`]),
 //! * message-passing actors ([`Actor`]) addressed by [`ActorId`],
 //! * named counters and statistical tallies with 95% confidence intervals
-//!   ([`stats`]), matching how the paper reports its figures.
+//!   ([`stats`]), matching how the paper reports its figures,
+//! * seeded fault injection on the delivery path ([`net`]: loss,
+//!   duplication, jitter, link flaps, node outages) and a seed-sweeping
+//!   schedule-exploration harness with replayable repro bundles
+//!   ([`explorer`]).
 //!
 //! # Examples
 //!
@@ -39,8 +43,14 @@
 mod sim;
 mod time;
 
+pub mod explorer;
+pub mod net;
 pub mod stats;
 pub mod trace;
 
-pub use sim::{Actor, ActorId, Ctx, Envelope, RunOutcome, Simulation};
+pub use net::{
+    Delivery, DeliveryKind, FaultPlan, FaultyNet, LinkFaults, LinkFlap, NetModel, NodeOutage,
+};
+pub use sim::{net_counters, Actor, ActorId, Ctx, Envelope, RunOutcome, Simulation};
 pub use time::{SimDuration, SimTime};
+pub use trace::NetStats;

@@ -1,0 +1,552 @@
+//! Fault injection on the message-delivery path.
+//!
+//! A [`NetModel`] sits between [`crate::Ctx::send`] and the event queue:
+//! every actor-to-actor message is routed through it and may be delayed,
+//! duplicated, retransmitted or dropped. Timers
+//! ([`crate::Ctx::schedule_self`]) and externally injected events bypass the
+//! model — they are not network traffic.
+//!
+//! [`FaultyNet`] is the standard implementation: a declarative [`FaultPlan`]
+//! (per-link loss, duplication, jitter, plus scheduled link flaps and node
+//! outages carried for the scenario harness) driven by a seeded
+//! [`rand::rngs::StdRng`], so a run's entire fault schedule is a pure
+//! function of `(plan, seed)` and any failure replays from its seed.
+//!
+//! Two loss regimes are distinguished on purpose. D-GMC assumes reliable
+//! flooding (the paper's LSAs ride OSPF-style flooding with link-level
+//! acknowledgment), so [`LinkFaults::loss`] models loss *recovered* by
+//! retransmission: the message arrives late — after
+//! [`FaultPlan::retransmit_after`] per lost attempt — but always arrives.
+//! [`LinkFaults::hard_loss`] genuinely discards messages; non-zero values
+//! break the protocol's delivery assumption and are used by mutation checks
+//! to prove the invariant suite can catch real divergence.
+//!
+//! [`FaultyNet`] preserves per-directed-link FIFO: copies between the same
+//! ordered pair of actors never overtake each other (a head-of-line clamp on
+//! the delivery instant). Same-origin LSAs therefore keep their order along
+//! every path — reordering happens *across* links and paths, which is where
+//! the protocol's concurrent-proposal machinery is exercised.
+
+use crate::{ActorId, SimDuration, SimTime};
+use dgmc_obs::JsonValue;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Provenance of one scheduled copy of a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryKind {
+    /// The message, delivered on the first attempt.
+    Original,
+    /// The message, delivered after this many lost attempts were recovered
+    /// by link-level retransmission.
+    Retransmit(u32),
+    /// An injected extra copy.
+    Duplicate,
+}
+
+/// One copy of a message the network will deliver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// Total delay from the send instant.
+    pub delay: SimDuration,
+    /// How this copy came to be.
+    pub kind: DeliveryKind,
+}
+
+/// A hook on every actor-to-actor message send.
+///
+/// Returning an empty vector drops the message; more than one entry
+/// duplicates it. Implementations must be deterministic for reproducibility:
+/// seed any randomness explicitly.
+pub trait NetModel {
+    /// Decides the fate of one message sent `from → to` at `now`, whose
+    /// fault-free delivery delay would be `base`.
+    fn route(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        now: SimTime,
+        base: SimDuration,
+    ) -> Vec<Delivery>;
+}
+
+/// Fault probabilities and delay noise applied to one (directed) link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaults {
+    /// Per-attempt loss probability, recovered by link-level retransmission:
+    /// the message arrives [`FaultPlan::retransmit_after`] later per lost
+    /// attempt, but always arrives.
+    pub loss: f64,
+    /// Probability the message is genuinely dropped, with no recovery.
+    /// D-GMC assumes reliable flooding, so non-zero values are expected to
+    /// break invariants — used by mutation checks.
+    pub hard_loss: f64,
+    /// Probability one extra copy is delivered.
+    pub duplicate: f64,
+    /// Maximum uniform extra delay added to every copy.
+    pub jitter: SimDuration,
+}
+
+impl LinkFaults {
+    /// A fault-free link (zero probabilities, zero jitter).
+    pub fn none() -> LinkFaults {
+        LinkFaults {
+            loss: 0.0,
+            hard_loss: 0.0,
+            duplicate: 0.0,
+            jitter: SimDuration::ZERO,
+        }
+    }
+
+    fn assert_valid(&self) {
+        for (name, p) in [
+            ("loss", self.loss),
+            ("hard_loss", self.hard_loss),
+            ("duplicate", self.duplicate),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "fault probability {name}={p} out of [0, 1]"
+            );
+        }
+    }
+
+    fn to_json(self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("loss", JsonValue::F64(self.loss)),
+            ("hard_loss", JsonValue::F64(self.hard_loss)),
+            ("duplicate", JsonValue::F64(self.duplicate)),
+            ("jitter_ns", JsonValue::U64(self.jitter.as_nanos())),
+        ])
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::none()
+    }
+}
+
+/// A scheduled link flap, in time relative to the scenario's fault phase.
+///
+/// The network model itself does not apply flaps — they are ground-truth
+/// topology events injected by the scenario harness (via the protocol's
+/// link-event path). They live in the plan so a repro bundle fully describes
+/// the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFlap {
+    /// One endpoint of the flapped link.
+    pub a: u32,
+    /// The other endpoint.
+    pub b: u32,
+    /// When the link goes down.
+    pub down_at: SimDuration,
+    /// When it comes back up (must be after `down_at`).
+    pub up_at: SimDuration,
+}
+
+/// A scheduled node crash/restart window (same conventions as [`LinkFlap`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeOutage {
+    /// The crashing node.
+    pub node: u32,
+    /// When the node crashes.
+    pub down_at: SimDuration,
+    /// When it restarts (must be after `down_at`).
+    pub up_at: SimDuration,
+}
+
+/// A declarative description of everything injected into one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Faults applied to every directed link without an override.
+    pub default: LinkFaults,
+    /// Per-link overrides, keyed by the unordered endpoint pair
+    /// `(min(a, b), max(a, b))` — both directions of the link get them.
+    pub overrides: BTreeMap<(u32, u32), LinkFaults>,
+    /// Extra delay of one link-level retransmission round.
+    pub retransmit_after: SimDuration,
+    /// Cap on recovered retransmission rounds per message.
+    pub max_retries: u32,
+    /// Link flaps the scenario harness will inject.
+    pub flaps: Vec<LinkFlap>,
+    /// Node crash/restart windows the scenario harness will inject.
+    pub outages: Vec<NodeOutage>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing at all.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            default: LinkFaults::none(),
+            overrides: BTreeMap::new(),
+            retransmit_after: SimDuration::micros(20),
+            max_retries: 5,
+            flaps: Vec::new(),
+            outages: Vec::new(),
+        }
+    }
+
+    /// A uniform plan: the same faults on every link, no flaps or outages.
+    pub fn uniform(faults: LinkFaults) -> FaultPlan {
+        FaultPlan {
+            default: faults,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// The faults applied between `from` and `to`.
+    pub fn faults_between(&self, from: ActorId, to: ActorId) -> LinkFaults {
+        let key = (from.0.min(to.0), from.0.max(to.0));
+        self.overrides.get(&key).copied().unwrap_or(self.default)
+    }
+
+    /// Renders the plan as a JSON value (for repro bundles).
+    pub fn to_json(&self) -> JsonValue {
+        let overrides = self
+            .overrides
+            .iter()
+            .map(|(&(a, b), f)| {
+                JsonValue::obj(vec![
+                    ("a", JsonValue::U64(a as u64)),
+                    ("b", JsonValue::U64(b as u64)),
+                    ("faults", f.to_json()),
+                ])
+            })
+            .collect();
+        let flaps = self
+            .flaps
+            .iter()
+            .map(|fl| {
+                JsonValue::obj(vec![
+                    ("a", JsonValue::U64(fl.a as u64)),
+                    ("b", JsonValue::U64(fl.b as u64)),
+                    ("down_at_ns", JsonValue::U64(fl.down_at.as_nanos())),
+                    ("up_at_ns", JsonValue::U64(fl.up_at.as_nanos())),
+                ])
+            })
+            .collect();
+        let outages = self
+            .outages
+            .iter()
+            .map(|o| {
+                JsonValue::obj(vec![
+                    ("node", JsonValue::U64(o.node as u64)),
+                    ("down_at_ns", JsonValue::U64(o.down_at.as_nanos())),
+                    ("up_at_ns", JsonValue::U64(o.up_at.as_nanos())),
+                ])
+            })
+            .collect();
+        JsonValue::obj(vec![
+            ("default", self.default.to_json()),
+            ("overrides", JsonValue::Arr(overrides)),
+            (
+                "retransmit_after_ns",
+                JsonValue::U64(self.retransmit_after.as_nanos()),
+            ),
+            ("max_retries", JsonValue::U64(self.max_retries as u64)),
+            ("flaps", JsonValue::Arr(flaps)),
+            ("outages", JsonValue::Arr(outages)),
+        ])
+    }
+
+    fn assert_valid(&self) {
+        self.default.assert_valid();
+        for f in self.overrides.values() {
+            f.assert_valid();
+        }
+        for fl in &self.flaps {
+            assert!(fl.down_at < fl.up_at, "flap must come back up after down");
+        }
+        for o in &self.outages {
+            assert!(o.down_at < o.up_at, "outage must end after it starts");
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// The standard [`NetModel`]: a [`FaultPlan`] driven by a seeded RNG.
+///
+/// Per-directed-link FIFO is enforced with a head-of-line clamp: a copy is
+/// never scheduled earlier than the previously scheduled copy on the same
+/// `(from, to)` pair, and the queue's FIFO tie-break preserves order among
+/// equal instants.
+#[derive(Debug)]
+pub struct FaultyNet {
+    plan: FaultPlan,
+    rng: StdRng,
+    /// Per directed pair: the latest delivery instant scheduled so far.
+    next_free: BTreeMap<(u32, u32), SimTime>,
+}
+
+impl FaultyNet {
+    /// Creates the model; the fault schedule is a pure function of
+    /// `(plan, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any plan probability is outside `[0, 1]` or any flap/outage
+    /// window is empty.
+    pub fn new(plan: FaultPlan, seed: u64) -> FaultyNet {
+        plan.assert_valid();
+        FaultyNet {
+            plan,
+            rng: StdRng::seed_from_u64(seed),
+            next_free: BTreeMap::new(),
+        }
+    }
+
+    /// The plan this model executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    fn jitter(&mut self, max: SimDuration) -> SimDuration {
+        if max.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::nanos(self.rng.gen_range(0..=max.as_nanos()))
+        }
+    }
+
+    /// Clamps `at` to the pair's FIFO horizon and advances the horizon.
+    fn clamp(&mut self, from: ActorId, to: ActorId, at: SimTime) -> SimTime {
+        let slot = self.next_free.entry((from.0, to.0)).or_insert(at);
+        let clamped = at.max(*slot);
+        *slot = clamped;
+        clamped
+    }
+}
+
+impl NetModel for FaultyNet {
+    fn route(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        now: SimTime,
+        base: SimDuration,
+    ) -> Vec<Delivery> {
+        let faults = self.plan.faults_between(from, to);
+        let mut out = Vec::with_capacity(1);
+        if faults.hard_loss > 0.0 && self.rng.gen_bool(faults.hard_loss) {
+            return out;
+        }
+        let mut retries = 0u32;
+        while faults.loss > 0.0 && retries < self.plan.max_retries && self.rng.gen_bool(faults.loss)
+        {
+            retries += 1;
+        }
+        let delay = base + self.jitter(faults.jitter) + self.plan.retransmit_after * retries as u64;
+        let at = self.clamp(from, to, now + delay);
+        out.push(Delivery {
+            delay: at - now,
+            kind: if retries > 0 {
+                DeliveryKind::Retransmit(retries)
+            } else {
+                DeliveryKind::Original
+            },
+        });
+        if faults.duplicate > 0.0 && self.rng.gen_bool(faults.duplicate) {
+            let extra = base + self.jitter(faults.jitter);
+            let dup_at = self.clamp(from, to, now + extra);
+            out.push(Delivery {
+                delay: dup_at - now,
+                kind: DeliveryKind::Duplicate,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: SimDuration = SimDuration::ZERO;
+
+    fn route_once(net: &mut FaultyNet, now_us: u64) -> Vec<Delivery> {
+        net.route(
+            ActorId(0),
+            ActorId(1),
+            SimTime::ZERO + SimDuration::micros(now_us),
+            SimDuration::micros(10),
+        )
+    }
+
+    #[test]
+    fn fault_free_plan_is_transparent() {
+        let mut net = FaultyNet::new(FaultPlan::none(), 1);
+        let d = route_once(&mut net, 0);
+        assert_eq!(
+            d,
+            vec![Delivery {
+                delay: SimDuration::micros(10),
+                kind: DeliveryKind::Original,
+            }]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let plan = FaultPlan::uniform(LinkFaults {
+            loss: 0.3,
+            hard_loss: 0.1,
+            duplicate: 0.3,
+            jitter: SimDuration::micros(50),
+        });
+        let mut a = FaultyNet::new(plan.clone(), 42);
+        let mut b = FaultyNet::new(plan, 42);
+        for i in 0..200 {
+            assert_eq!(route_once(&mut a, i), route_once(&mut b, i));
+        }
+    }
+
+    #[test]
+    fn hard_loss_one_drops_everything() {
+        let mut net = FaultyNet::new(
+            FaultPlan::uniform(LinkFaults {
+                hard_loss: 1.0,
+                ..LinkFaults::none()
+            }),
+            7,
+        );
+        for i in 0..20 {
+            assert!(route_once(&mut net, i).is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicate_one_always_produces_two_copies() {
+        let mut net = FaultyNet::new(
+            FaultPlan::uniform(LinkFaults {
+                duplicate: 1.0,
+                ..LinkFaults::none()
+            }),
+            7,
+        );
+        let d = route_once(&mut net, 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].kind, DeliveryKind::Original);
+        assert_eq!(d[1].kind, DeliveryKind::Duplicate);
+    }
+
+    #[test]
+    fn recovered_loss_adds_retransmission_rounds() {
+        let mut plan = FaultPlan::uniform(LinkFaults {
+            loss: 1.0,
+            ..LinkFaults::none()
+        });
+        plan.retransmit_after = SimDuration::micros(100);
+        plan.max_retries = 3;
+        let mut net = FaultyNet::new(plan, 7);
+        let d = route_once(&mut net, 0);
+        // loss = 1.0 exhausts every retry, then delivers anyway.
+        assert_eq!(d.len(), 1, "recovered loss still delivers");
+        assert_eq!(d[0].kind, DeliveryKind::Retransmit(3));
+        assert_eq!(d[0].delay, SimDuration::micros(10 + 300));
+    }
+
+    #[test]
+    fn per_directed_link_fifo_is_preserved_under_jitter() {
+        let plan = FaultPlan::uniform(LinkFaults {
+            loss: 0.4,
+            duplicate: 0.3,
+            jitter: SimDuration::micros(500),
+            ..LinkFaults::none()
+        });
+        let mut net = FaultyNet::new(plan, 99);
+        let mut last = SimTime::ZERO;
+        for i in 0..300 {
+            let now = SimTime::ZERO + SimDuration::micros(i * 3);
+            for d in net.route(ActorId(4), ActorId(9), now, SimDuration::micros(10)) {
+                let at = now + d.delay;
+                assert!(at >= last, "copy scheduled before its predecessor");
+                last = at;
+            }
+        }
+    }
+
+    #[test]
+    fn independent_pairs_do_not_clamp_each_other() {
+        let plan = FaultPlan::uniform(LinkFaults {
+            jitter: SimDuration::micros(500),
+            ..LinkFaults::none()
+        });
+        let mut net = FaultyNet::new(plan, 3);
+        // Build up a large horizon on (0 -> 1)...
+        for i in 0..50 {
+            let now = SimTime::ZERO + SimDuration::nanos(i);
+            net.route(ActorId(0), ActorId(1), now, BASE);
+        }
+        // ...the reverse direction is unaffected by it.
+        let d = net.route(ActorId(1), ActorId(0), SimTime::ZERO, BASE);
+        assert!(d[0].delay <= SimDuration::micros(500));
+    }
+
+    #[test]
+    fn overrides_select_by_unordered_pair() {
+        let mut plan = FaultPlan::none();
+        plan.overrides.insert(
+            (1, 2),
+            LinkFaults {
+                hard_loss: 1.0,
+                ..LinkFaults::none()
+            },
+        );
+        let mut net = FaultyNet::new(plan, 5);
+        // Both directions of the overridden link drop.
+        assert!(net
+            .route(ActorId(1), ActorId(2), SimTime::ZERO, BASE)
+            .is_empty());
+        assert!(net
+            .route(ActorId(2), ActorId(1), SimTime::ZERO, BASE)
+            .is_empty());
+        // Other links use the (fault-free) default.
+        assert_eq!(
+            net.route(ActorId(0), ActorId(1), SimTime::ZERO, BASE).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn plan_renders_as_json() {
+        let mut plan = FaultPlan::uniform(LinkFaults {
+            loss: 0.25,
+            ..LinkFaults::none()
+        });
+        plan.flaps.push(LinkFlap {
+            a: 0,
+            b: 3,
+            down_at: SimDuration::micros(5),
+            up_at: SimDuration::micros(9),
+        });
+        plan.outages.push(NodeOutage {
+            node: 2,
+            down_at: SimDuration::micros(1),
+            up_at: SimDuration::micros(2),
+        });
+        let json = plan.to_json().to_json();
+        assert!(json.contains(r#""loss":0.25"#), "{json}");
+        assert!(json.contains(r#""flaps":[{"a":0,"b":3"#), "{json}");
+        assert!(json.contains(r#""outages":[{"node":2"#), "{json}");
+        assert!(json.contains(r#""max_retries":5"#), "{json}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn invalid_probability_is_rejected() {
+        let _ = FaultyNet::new(
+            FaultPlan::uniform(LinkFaults {
+                loss: 1.5,
+                ..LinkFaults::none()
+            }),
+            0,
+        );
+    }
+}

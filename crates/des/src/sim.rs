@@ -1,7 +1,10 @@
+use crate::net::{DeliveryKind, NetModel};
 use crate::stats::CounterHandle;
-use crate::trace::{TraceBuffer, TraceEvent};
+use crate::trace::{NetStats, TraceBuffer, TraceEvent};
 use crate::{SimDuration, SimTime};
-use dgmc_obs::{MetricsRegistry, SharedObserver};
+use dgmc_obs::{
+    DecisionEvent, DecisionKind, FaultKind, MetricsRegistry, SharedObserver, StampSnapshot,
+};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 use std::fmt;
@@ -105,6 +108,21 @@ pub struct Ctx<'a, M> {
     queue: &'a mut BinaryHeap<Reverse<Scheduled<M>>>,
     seq: &'a mut u64,
     metrics: &'a mut MetricsRegistry,
+    net: Option<&'a mut (dyn NetModel + 'static)>,
+    net_stats: &'a mut NetStats,
+    observer: &'a SharedObserver,
+}
+
+/// Counter names bumped by the simulator when a network model is installed.
+pub mod net_counters {
+    /// Actor-to-actor sends routed through the model.
+    pub const SENT: &str = "net.sent";
+    /// Messages hard-dropped by the model.
+    pub const DROPPED: &str = "net.dropped";
+    /// Extra copies injected by the model.
+    pub const DUPLICATED: &str = "net.duplicated";
+    /// Recovered retransmission rounds (late deliveries, not extra copies).
+    pub const RETRANSMITS: &str = "net.retransmits";
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -118,36 +136,83 @@ impl<'a, M> Ctx<'a, M> {
         self.self_id
     }
 
-    /// Schedules `msg` for delivery to `to` after `delay`, sent by the
-    /// current actor.
-    pub fn send(&mut self, to: ActorId, delay: SimDuration, msg: M) {
+    fn push(&mut self, to: ActorId, from: Option<ActorId>, delay: SimDuration, msg: M) {
         let at = self.now + delay;
         *self.seq += 1;
         self.queue.push(Reverse(Scheduled {
             at,
             seq: *self.seq,
-            env: Envelope {
-                to,
-                from: Some(self.self_id),
-                msg,
-            },
+            env: Envelope { to, from, msg },
         }));
     }
 
+    fn emit_fault(&mut self, fault: FaultKind, to: ActorId) {
+        let from = self.self_id;
+        self.observer.emit(|now| DecisionEvent {
+            at_nanos: now,
+            mc: 0,
+            switch: from.0,
+            kind: DecisionKind::FaultInjected { fault, peer: to.0 },
+            stamps: StampSnapshot::empty(),
+        });
+    }
+
+    /// Schedules `msg` for delivery to `to` after `delay`, sent by the
+    /// current actor.
+    ///
+    /// When a [`NetModel`] is installed on the simulation (see
+    /// [`Simulation::set_net_model`]), the message is routed through it and
+    /// may be delayed, duplicated, retransmitted or dropped; the model's
+    /// verdict is mirrored into the [`net_counters`] metrics, the
+    /// simulation-wide [`NetStats`], and `FaultInjected` decision events.
+    pub fn send(&mut self, to: ActorId, delay: SimDuration, msg: M)
+    where
+        M: Clone,
+    {
+        let Some(model) = self.net.as_deref_mut() else {
+            self.push(to, Some(self.self_id), delay, msg);
+            return;
+        };
+        let deliveries = model.route(self.self_id, to, self.now, delay);
+        self.net_stats.sent += 1;
+        *self.metrics.counter_slot(net_counters::SENT) += 1;
+        if deliveries.is_empty() {
+            self.net_stats.dropped += 1;
+            *self.metrics.counter_slot(net_counters::DROPPED) += 1;
+            self.emit_fault(FaultKind::Drop, to);
+            return;
+        }
+        let mut msg = Some(msg);
+        let last = deliveries.len() - 1;
+        for (i, d) in deliveries.into_iter().enumerate() {
+            match d.kind {
+                DeliveryKind::Original => {}
+                DeliveryKind::Retransmit(rounds) => {
+                    self.net_stats.retransmits += rounds as u64;
+                    *self.metrics.counter_slot(net_counters::RETRANSMITS) += rounds as u64;
+                    self.emit_fault(FaultKind::Retransmit, to);
+                }
+                DeliveryKind::Duplicate => {
+                    self.net_stats.duplicated += 1;
+                    *self.metrics.counter_slot(net_counters::DUPLICATED) += 1;
+                    self.emit_fault(FaultKind::Duplicate, to);
+                }
+            }
+            self.net_stats.delivered += 1;
+            let m = if i == last {
+                msg.take().expect("last delivery consumes the message")
+            } else {
+                msg.as_ref().expect("message present until last").clone()
+            };
+            self.push(to, Some(self.self_id), d.delay, m);
+        }
+    }
+
     /// Schedules a timer: `msg` is delivered back to the current actor after
-    /// `delay` with `from == None`.
+    /// `delay` with `from == None`. Timers are not network traffic and
+    /// bypass any installed [`NetModel`].
     pub fn schedule_self(&mut self, delay: SimDuration, msg: M) {
-        let at = self.now + delay;
-        *self.seq += 1;
-        self.queue.push(Reverse(Scheduled {
-            at,
-            seq: *self.seq,
-            env: Envelope {
-                to: self.self_id,
-                from: None,
-                msg,
-            },
-        }));
+        self.push(self.self_id, None, delay, msg);
     }
 
     /// Returns a handle to the named simulation-wide counter.
@@ -180,6 +245,8 @@ pub struct Simulation<M> {
     events_processed: u64,
     event_budget: u64,
     trace: Option<(TraceBuffer, Labeler<M>)>,
+    net: Option<Box<dyn NetModel>>,
+    net_stats: NetStats,
 }
 
 impl<M> fmt::Debug for Simulation<M> {
@@ -212,7 +279,29 @@ impl<M> Simulation<M> {
             events_processed: 0,
             event_budget: u64::MAX,
             trace: None,
+            net: None,
+            net_stats: NetStats::default(),
         }
+    }
+
+    /// Installs a network model on the actor-to-actor delivery path.
+    ///
+    /// Every subsequent [`Ctx::send`] is routed through it; timers and
+    /// [`Simulation::inject`] are unaffected. See [`crate::net`].
+    pub fn set_net_model(&mut self, model: impl NetModel + 'static) {
+        self.net = Some(Box::new(model));
+    }
+
+    /// Removes the network model; delivery reverts to the exact requested
+    /// delays.
+    pub fn clear_net_model(&mut self) {
+        self.net = None;
+    }
+
+    /// Message accounting across the network model (all zeros when no model
+    /// was ever installed).
+    pub fn net_stats(&self) -> &NetStats {
+        &self.net_stats
     }
 
     /// Caps the total number of events the engine will process, as a
@@ -393,6 +482,9 @@ impl<M> Simulation<M> {
                 queue: &mut self.queue,
                 seq: &mut self.seq,
                 metrics: &mut self.metrics,
+                net: self.net.as_deref_mut(),
+                net_stats: &mut self.net_stats,
+                observer: &self.observer,
             };
             actor.handle(&mut ctx, scheduled.env);
             self.actors[idx] = Some(actor);

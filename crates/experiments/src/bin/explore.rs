@@ -1,0 +1,117 @@
+//! Seeded schedule explorer: runs the chaos scenario (loss, duplication,
+//! jitter, link flaps, node crashes) across a range of seeds and checks the
+//! protocol invariant suite at quiescence. Any failing seed is re-run with
+//! the decision log attached and written out as a self-contained repro
+//! bundle.
+//!
+//! Usage:
+//!   cargo run -p dgmc-experiments --bin explore -- --seeds 100
+//!   cargo run -p dgmc-experiments --bin explore -- --seeds 25 --fail-fast
+//!   cargo run -p dgmc-experiments --bin explore -- --seed 42   # replay one
+//!
+//! Flags: `--seeds N` (default 100), `--start N`, `--fail-fast`, `--seed X`
+//! (replay one seed verbosely instead of sweeping), `--nodes N`,
+//! `--loss P`, `--hard-loss P`, `--duplicate P`, `--jitter-us N`,
+//! `--flaps N`, `--crashes N`, `--timeline N`, `--out DIR` (default
+//! `results`). Exits non-zero if any checked seed fails.
+
+use dgmc_des::explorer::ExploreConfig;
+use dgmc_des::SimDuration;
+use dgmc_experiments::explore::{self, ExploreParams};
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
+    let Some(raw) = value else {
+        eprintln!("missing value for {flag}");
+        std::process::exit(2);
+    };
+    match raw.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("invalid value {raw:?} for {flag}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ExploreConfig::default();
+    let mut params = ExploreParams::default();
+    let mut replay_seed: Option<u64> = None;
+    let mut out_dir = "results".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args.get(i + 1);
+        match flag {
+            "--fail-fast" => {
+                config.fail_fast = true;
+                i += 1;
+                continue;
+            }
+            "--seeds" => config.seeds = parse(flag, value),
+            "--start" => config.start_seed = parse(flag, value),
+            "--seed" => replay_seed = Some(parse(flag, value)),
+            "--nodes" => params.nodes = parse(flag, value),
+            "--loss" => params.loss = parse(flag, value),
+            "--hard-loss" => params.hard_loss = parse(flag, value),
+            "--duplicate" => params.duplicate = parse(flag, value),
+            "--jitter-us" => params.jitter = SimDuration::micros(parse(flag, value)),
+            "--flaps" => params.flaps = parse(flag, value),
+            "--crashes" => params.crashes = parse(flag, value),
+            "--timeline" => params.timeline = parse(flag, value),
+            "--out" => out_dir = parse(flag, value),
+            _ => {
+                eprintln!("unknown flag {flag}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    if let Some(seed) = replay_seed {
+        // Verbose single-seed replay: the diagnosis path of a repro bundle.
+        let run = explore::run_scenario(seed, &params, Some(params.timeline));
+        if run.outcome.passed() {
+            println!(
+                "seed {seed} passed: all invariants held ({})",
+                run.net_stats
+            );
+            return;
+        }
+        let bundle = explore::repro_bundle(seed, &params);
+        print!("{}", bundle.render());
+        match bundle.write(&out_dir) {
+            Ok(path) => eprintln!("repro bundle: {}", path.display()),
+            Err(e) => eprintln!("failed to write repro bundle: {e}"),
+        }
+        std::process::exit(1);
+    }
+
+    eprintln!(
+        "exploring {} seed(s) from {} on {}-node networks \
+         (loss {}, hard-loss {}, duplicate {}, jitter {}us, {} flap(s), {} crash(es))",
+        config.seeds,
+        config.start_seed,
+        params.nodes,
+        params.loss,
+        params.hard_loss,
+        params.duplicate,
+        params.jitter.as_nanos() / 1_000,
+        params.flaps,
+        params.crashes,
+    );
+    let report = explore::explore_run(&config, &params);
+    for failure in &report.failures {
+        let bundle = explore::repro_bundle(failure.seed, &params);
+        eprint!("{}", bundle.render());
+        match bundle.write(&out_dir) {
+            Ok(path) => eprintln!("repro bundle: {}", path.display()),
+            Err(e) => eprintln!("failed to write repro bundle: {e}"),
+        }
+    }
+    println!("{}", report.summary());
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}

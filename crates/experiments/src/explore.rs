@@ -1,0 +1,443 @@
+//! D-GMC scenario assembly for the seeded schedule explorer.
+//!
+//! One *chaos scenario* is a pure function of a seed: the seed derives the
+//! Waxman network, the bursty membership workload, the fault plan (loss,
+//! duplication, jitter, plus connectivity-safe link flaps and node
+//! crash/restart windows) and every coin flip of the network model. Running
+//! the scenario to quiescence and applying
+//! [`dgmc_core::invariants::check_invariants`] turns each seed into a
+//! pass/fail verdict; [`explore_run`] sweeps seed ranges and
+//! [`repro_bundle`] re-runs a failing seed with the decision log attached
+//! to produce a self-contained repro file (DESIGN.md §8).
+
+use crate::runner::EXPERIMENT_MC;
+use crate::workload::{self, BurstParams, Workload};
+use dgmc_core::invariants;
+use dgmc_core::switch::{
+    build_dgmc_sim, inject_link_event, inject_node_event, DgmcConfig, SwitchMsg,
+};
+use dgmc_core::{McType, Role};
+use dgmc_des::explorer::{self, ExploreConfig, ExploreReport, ReproBundle, SeedOutcome, Violation};
+use dgmc_des::{
+    ActorId, FaultPlan, FaultyNet, LinkFaults, LinkFlap, NetStats, NodeOutage, RunOutcome,
+    SimDuration, Simulation,
+};
+use dgmc_mctree::SphStrategy;
+use dgmc_topology::{generate, LinkState, Network, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// Decorrelates the network-model RNG stream from the scenario RNG stream
+/// (same seed, different golden-ratio-xored domain).
+const NET_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Event budget per seed: far above any converging run on explorer-sized
+/// networks, so exhaustion means livelock, not a tight limit.
+const EVENT_BUDGET: u64 = 50_000_000;
+
+/// Knobs of the chaos scenario (everything *except* the seed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExploreParams {
+    /// Network size.
+    pub nodes: usize,
+    /// Protocol timing regime.
+    pub config: DgmcConfig,
+    /// Recovered per-attempt loss probability on every link.
+    pub loss: f64,
+    /// Genuine drop probability (0 for correctness sweeps; non-zero values
+    /// violate D-GMC's reliable-flooding assumption and are the mutation
+    /// check proving the invariant suite detects real divergence).
+    pub hard_loss: f64,
+    /// Duplication probability on every link.
+    pub duplicate: f64,
+    /// Maximum per-message jitter.
+    pub jitter: SimDuration,
+    /// Connectivity-safe link flaps injected per run.
+    pub flaps: usize,
+    /// Safe node crash/restart windows injected per run.
+    pub crashes: usize,
+    /// Decision-timeline tail length carried into repro bundles.
+    pub timeline: usize,
+}
+
+impl Default for ExploreParams {
+    fn default() -> Self {
+        ExploreParams {
+            nodes: 16,
+            config: DgmcConfig::computation_dominated(),
+            loss: 0.05,
+            hard_loss: 0.0,
+            duplicate: 0.05,
+            jitter: SimDuration::micros(40),
+            flaps: 1,
+            crashes: 1,
+            timeline: 48,
+        }
+    }
+}
+
+impl ExploreParams {
+    /// The replay command reproducing seed `seed` under these parameters.
+    pub fn replay_command(&self, seed: u64) -> String {
+        format!(
+            "cargo run -p dgmc-experiments --bin explore -- --seed {seed} --nodes {} \
+             --loss {} --hard-loss {} --duplicate {} --jitter-us {} --flaps {} --crashes {}",
+            self.nodes,
+            self.loss,
+            self.hard_loss,
+            self.duplicate,
+            self.jitter.as_nanos() / 1_000,
+            self.flaps,
+            self.crashes,
+        )
+    }
+}
+
+/// Everything a seed derives before the simulation starts.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The network under test.
+    pub net: Network,
+    /// The membership workload.
+    pub workload: Workload,
+    /// The derived fault plan.
+    pub plan: FaultPlan,
+}
+
+/// The full result of one scenario run (the explorer itself only needs the
+/// outcome; replays also want the plan, the timeline and the traffic stats).
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// Pass/fail verdict with violations.
+    pub outcome: SeedOutcome,
+    /// The fault plan the seed derived.
+    pub plan: FaultPlan,
+    /// Rendered decision-timeline tail (empty unless a log was requested).
+    pub timeline: Vec<String>,
+    /// Delivery-path accounting of the run.
+    pub net_stats: NetStats,
+}
+
+/// Derives the scenario (network, workload, fault plan) from a seed.
+pub fn build_scenario(seed: u64, params: &ExploreParams) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = generate::waxman(&mut rng, params.nodes, &generate::WaxmanParams::default());
+    let workload = workload::bursty(&mut rng, &net, &BurstParams::default());
+    let plan = build_plan(&mut rng, &net, &workload, params);
+    Scenario {
+        net,
+        workload,
+        plan,
+    }
+}
+
+/// Picks connectivity-safe flaps and crashes and staggers them over
+/// disjoint windows, so no two injected outages overlap and each one was
+/// individually checked to keep the (remaining) network connected — the
+/// protocol is entitled to diverge on a partitioned network, and the
+/// explorer must not report that as a protocol bug.
+fn build_plan(
+    rng: &mut StdRng,
+    net: &Network,
+    workload: &Workload,
+    params: &ExploreParams,
+) -> FaultPlan {
+    let mut plan = FaultPlan::uniform(LinkFaults {
+        loss: params.loss,
+        hard_loss: params.hard_loss,
+        duplicate: params.duplicate,
+        jitter: params.jitter,
+    });
+    let mut window = 0u64;
+    let mut next_window = || {
+        let w = window;
+        window += 1;
+        (
+            SimDuration::millis(1 + 4 * w),
+            SimDuration::millis(3 + 4 * w),
+        )
+    };
+
+    // Flap only links whose loss keeps the network connected.
+    let mut links: Vec<_> = net.links().map(|l| (l.id, l.a, l.b)).collect();
+    links.shuffle(rng);
+    for &(id, a, b) in links.iter() {
+        if plan.flaps.len() >= params.flaps {
+            break;
+        }
+        let mut degraded = net.clone();
+        if degraded.set_link_state(id, LinkState::Down).is_err() || !degraded.is_connected() {
+            continue;
+        }
+        let (down_at, up_at) = next_window();
+        plan.flaps.push(LinkFlap {
+            a: a.0,
+            b: b.0,
+            down_at,
+            up_at,
+        });
+    }
+
+    // Crash only switches that host no membership (neither warm-up members
+    // nor workload events touch them) and whose loss keeps the survivors
+    // connected.
+    let mut hosts: BTreeSet<NodeId> = workload.initial_members.iter().copied().collect();
+    hosts.extend(workload.events.iter().map(|e| e.node));
+    let mut nodes: Vec<NodeId> = net.nodes().filter(|n| !hosts.contains(n)).collect();
+    nodes.shuffle(rng);
+    for &node in nodes.iter() {
+        if plan.outages.len() >= params.crashes {
+            break;
+        }
+        let mut degraded = net.clone();
+        for l in net.links().filter(|l| l.a == node || l.b == node) {
+            let _ = degraded.set_link_state(l.id, LinkState::Down);
+        }
+        let labels = dgmc_topology::unionfind::component_labels(&degraded);
+        let mut survivor_labels: Vec<usize> = degraded
+            .nodes()
+            .filter(|&x| x != node)
+            .map(|x| labels[x.index()])
+            .collect();
+        survivor_labels.dedup();
+        if survivor_labels.len() != 1 {
+            continue;
+        }
+        let (down_at, up_at) = next_window();
+        plan.outages.push(NodeOutage {
+            node: node.0,
+            down_at,
+            up_at,
+        });
+    }
+    plan
+}
+
+fn liveness_violation(stage: &str) -> Violation {
+    Violation {
+        invariant: "liveness".into(),
+        detail: format!("event budget exhausted during the {stage} phase (livelock)"),
+    }
+}
+
+fn inject_measured_phase(sim: &mut Simulation<SwitchMsg>, scenario: &Scenario) {
+    for e in &scenario.workload.events {
+        let msg = if e.join {
+            SwitchMsg::HostJoin {
+                mc: EXPERIMENT_MC,
+                mc_type: McType::Symmetric,
+                role: Role::SenderReceiver,
+            }
+        } else {
+            SwitchMsg::HostLeave { mc: EXPERIMENT_MC }
+        };
+        sim.inject(ActorId(e.node.0), e.at, msg);
+    }
+    for flap in &scenario.plan.flaps {
+        let link = scenario
+            .net
+            .link_between(NodeId(flap.a), NodeId(flap.b))
+            .expect("flapped link exists")
+            .id;
+        inject_link_event(sim, &scenario.net, link, false, flap.down_at);
+        inject_link_event(sim, &scenario.net, link, true, flap.up_at);
+    }
+    for outage in &scenario.plan.outages {
+        inject_node_event(
+            sim,
+            &scenario.net,
+            NodeId(outage.node),
+            false,
+            outage.down_at,
+        );
+        inject_node_event(sim, &scenario.net, NodeId(outage.node), true, outage.up_at);
+    }
+}
+
+/// Runs one seed to quiescence and checks the invariant suite.
+///
+/// `timeline` asks for the decision log: `Some(n)` attaches a ring of `n`
+/// decisions and returns its rendered tail (used by replays; the sweep path
+/// passes `None` and pays nothing for observability).
+pub fn run_scenario(seed: u64, params: &ExploreParams, timeline: Option<usize>) -> ScenarioRun {
+    let scenario = build_scenario(seed, params);
+    let mut sim = build_dgmc_sim(&scenario.net, params.config, Rc::new(SphStrategy::new()));
+    sim.set_event_budget(EVENT_BUDGET);
+    let log = timeline.map(|cap| sim.observer().attach_log(cap.max(1)));
+    sim.set_net_model(FaultyNet::new(scenario.plan.clone(), seed ^ NET_SEED_SALT));
+
+    let mut violations = Vec::new();
+    // Warm-up: initial members join, well separated.
+    for (i, m) in scenario.workload.initial_members.iter().enumerate() {
+        sim.inject(
+            ActorId(m.0),
+            SimDuration::millis(10) * i as u64,
+            SwitchMsg::HostJoin {
+                mc: EXPERIMENT_MC,
+                mc_type: McType::Symmetric,
+                role: Role::SenderReceiver,
+            },
+        );
+    }
+    if sim.run_to_quiescence() != RunOutcome::Quiescent {
+        violations.push(liveness_violation("warm-up"));
+    } else {
+        // Measured phase: the membership burst plus the scheduled flaps and
+        // crash windows, all injected up front; every outage is restored
+        // before quiescence, so the pristine network is the end state.
+        inject_measured_phase(&mut sim, &scenario);
+        if sim.run_to_quiescence() != RunOutcome::Quiescent {
+            violations.push(liveness_violation("measured"));
+        } else {
+            violations.extend(
+                invariants::check_invariants(&sim, &scenario.net)
+                    .into_iter()
+                    .map(|v| Violation {
+                        invariant: v.invariant.into(),
+                        detail: v.to_string(),
+                    }),
+            );
+        }
+    }
+    let timeline = log.map_or_else(Vec::new, |log| {
+        let log = log.borrow();
+        let skip = log.len().saturating_sub(params.timeline);
+        log.iter().skip(skip).map(|e| e.to_string()).collect()
+    });
+    ScenarioRun {
+        outcome: SeedOutcome { seed, violations },
+        plan: scenario.plan,
+        timeline,
+        net_stats: *sim.net_stats(),
+    }
+}
+
+/// The sweep-path entry: seed in, verdict out, no observability overhead.
+pub fn run_seed(seed: u64, params: &ExploreParams) -> SeedOutcome {
+    run_scenario(seed, params, None).outcome
+}
+
+/// Sweeps the configured seed range.
+pub fn explore_run(config: &ExploreConfig, params: &ExploreParams) -> ExploreReport {
+    explorer::explore(config, |seed| run_seed(seed, params))
+}
+
+/// Re-runs a failing seed with the decision log attached and packages the
+/// minimized repro: seed, fault-plan JSON, violations, timeline tail and
+/// the one-command replay line.
+pub fn repro_bundle(seed: u64, params: &ExploreParams) -> ReproBundle {
+    let run = run_scenario(seed, params, Some(params.timeline));
+    ReproBundle {
+        seed,
+        scenario: format!("chaos-n{}", params.nodes),
+        plan: run.plan.to_json(),
+        violations: run.outcome.violations,
+        timeline: run.timeline,
+        replay: params.replay_command(seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExploreParams {
+        ExploreParams {
+            nodes: 12,
+            ..ExploreParams::default()
+        }
+    }
+
+    #[test]
+    fn scenarios_are_pure_functions_of_the_seed() {
+        let params = quick();
+        let a = build_scenario(11, &params);
+        let b = build_scenario(11, &params);
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.workload.events, b.workload.events);
+        assert_eq!(a.net.len(), b.net.len());
+        let c = build_scenario(12, &params);
+        assert!(c.plan != a.plan || c.workload.events != a.workload.events);
+    }
+
+    #[test]
+    fn derived_plans_respect_the_requested_fault_counts() {
+        let params = quick();
+        for seed in 0..5 {
+            let s = build_scenario(seed, &params);
+            assert!(s.plan.flaps.len() <= params.flaps);
+            assert!(s.plan.outages.len() <= params.crashes);
+            assert_eq!(s.plan.default.loss, params.loss);
+            // Crashed nodes never host membership.
+            let hosts: BTreeSet<u32> = s
+                .workload
+                .initial_members
+                .iter()
+                .map(|n| n.0)
+                .chain(s.workload.events.iter().map(|e| e.node.0))
+                .collect();
+            for o in &s.plan.outages {
+                assert!(!hosts.contains(&o.node), "seed {seed} crashes a member");
+            }
+        }
+    }
+
+    #[test]
+    fn default_chaos_passes_a_short_sweep() {
+        let config = ExploreConfig {
+            start_seed: 0,
+            seeds: 5,
+            fail_fast: false,
+        };
+        let report = explore_run(&config, &quick());
+        assert!(
+            report.passed(),
+            "default plan must uphold invariants: {:?}",
+            report.failures
+        );
+        assert_eq!(report.checked, 5);
+    }
+
+    #[test]
+    fn chaos_runs_actually_exercise_the_fault_path() {
+        let run = run_scenario(3, &quick(), None);
+        assert!(run.outcome.passed(), "{:?}", run.outcome.violations);
+        assert!(run.net_stats.sent > 0);
+        assert!(
+            run.net_stats.retransmits > 0 || run.net_stats.duplicated > 0,
+            "faults configured but none fired: {}",
+            run.net_stats
+        );
+        assert!(run.net_stats.reconciles(), "{}", run.net_stats);
+    }
+
+    #[test]
+    fn hard_loss_mutation_is_caught_and_replays_deterministically() {
+        let params = ExploreParams {
+            hard_loss: 0.3,
+            ..quick()
+        };
+        let config = ExploreConfig {
+            start_seed: 0,
+            seeds: 10,
+            fail_fast: true,
+        };
+        let report = explore_run(&config, &params);
+        let seed = report
+            .first_failing_seed()
+            .expect("30% hard loss must break an assumption within 10 seeds");
+        let again = run_seed(seed, &params);
+        assert_eq!(
+            report.failures[0].violations, again.violations,
+            "failing seed must reproduce identically"
+        );
+        let bundle = repro_bundle(seed, &params);
+        assert_eq!(bundle.seed, seed);
+        assert!(!bundle.violations.is_empty());
+        assert!(!bundle.timeline.is_empty(), "replay carries a timeline");
+        assert!(bundle.replay.contains(&format!("--seed {seed}")));
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod ablation;
 pub mod compare;
+pub mod explore;
 pub mod longrun;
 pub mod multi_mc;
 pub mod presets;

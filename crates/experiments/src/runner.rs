@@ -2,8 +2,8 @@
 
 use crate::workload::Workload;
 use dgmc_core::switch::{build_dgmc_sim, counters, histograms, DgmcConfig, SwitchMsg};
-use dgmc_core::{convergence, McId, McType, Role};
-use dgmc_des::{ActorId, RunOutcome, SimDuration};
+use dgmc_core::{convergence, invariants, McId, McType, Role};
+use dgmc_des::{ActorId, FaultPlan, FaultyNet, RunOutcome, SimDuration};
 use dgmc_mctree::McAlgorithm;
 use dgmc_obs::MetricsRegistry;
 use dgmc_topology::{metrics, Network};
@@ -71,6 +71,8 @@ pub enum RunError {
     Diverged,
     /// Switches disagreed after quiescence.
     NoConsensus(convergence::ConsensusError),
+    /// A fault-injected run broke the protocol invariant suite.
+    InvariantViolated(Vec<String>),
 }
 
 impl std::fmt::Display for RunError {
@@ -78,6 +80,9 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Diverged => f.write_str("simulation exhausted its event budget"),
             RunError::NoConsensus(e) => write!(f, "no consensus after quiescence: {e}"),
+            RunError::InvariantViolated(v) => {
+                write!(f, "invariant violations after quiescence: {}", v.join("; "))
+            }
         }
     }
 }
@@ -98,8 +103,42 @@ pub fn run_dgmc(
     workload: &Workload,
     algorithm: Rc<dyn McAlgorithm>,
 ) -> Result<RunMetrics, RunError> {
+    run_dgmc_inner(net, config, workload, algorithm, None)
+}
+
+/// [`run_dgmc`] with seeded fault injection on the delivery path: every
+/// message is routed through a [`FaultyNet`] built from `(plan, fault_seed)`,
+/// and after the measured phase the full protocol invariant suite
+/// ([`invariants::check_invariants`]) is verified on top of the consensus
+/// check.
+///
+/// # Errors
+///
+/// As [`run_dgmc`], plus [`RunError::InvariantViolated`] if the faults broke
+/// the protocol.
+pub fn run_dgmc_faulty(
+    net: &Network,
+    config: DgmcConfig,
+    workload: &Workload,
+    algorithm: Rc<dyn McAlgorithm>,
+    plan: &FaultPlan,
+    fault_seed: u64,
+) -> Result<RunMetrics, RunError> {
+    run_dgmc_inner(net, config, workload, algorithm, Some((plan, fault_seed)))
+}
+
+fn run_dgmc_inner(
+    net: &Network,
+    config: DgmcConfig,
+    workload: &Workload,
+    algorithm: Rc<dyn McAlgorithm>,
+    faults: Option<(&FaultPlan, u64)>,
+) -> Result<RunMetrics, RunError> {
     let mut sim = build_dgmc_sim(net, config, algorithm);
     sim.set_event_budget(200_000_000);
+    if let Some((plan, fault_seed)) = faults {
+        sim.set_net_model(FaultyNet::new(plan.clone(), fault_seed));
+    }
     // Warm-up: initial members join well separated.
     let settle = SimDuration::millis(200);
     for (i, &m) in workload.initial_members.iter().enumerate() {
@@ -139,6 +178,14 @@ pub fn run_dgmc(
         return Err(RunError::Diverged);
     }
     convergence::check_consensus(&sim, EXPERIMENT_MC).map_err(RunError::NoConsensus)?;
+    if faults.is_some() {
+        let violations = invariants::check_invariants(&sim, net);
+        if !violations.is_empty() {
+            return Err(RunError::InvariantViolated(
+                violations.iter().map(|v| v.to_string()).collect(),
+            ));
+        }
+    }
 
     let tf = config.per_hop * u64::from(metrics::flooding_diameter_hops(net));
     let round = tf + config.tc;
@@ -254,6 +301,40 @@ mod tests {
             .histogram_get(histograms::CONVERGENCE_US)
             .unwrap();
         assert_eq!(convergence.count(), 1, "one measured phase, one sample");
+    }
+
+    #[test]
+    fn faulty_runs_converge_and_reproduce_bit_for_bit() {
+        use dgmc_des::{net_counters, FaultPlan, LinkFaults};
+        use rand::SeedableRng;
+        let faulty = |seed: u64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let net = dgmc_topology::generate::waxman(
+                &mut rng,
+                25,
+                &dgmc_topology::generate::WaxmanParams::default(),
+            );
+            let wl = workload::bursty(&mut rng, &net, &BurstParams::default());
+            let plan = FaultPlan::uniform(LinkFaults {
+                loss: 0.1,
+                hard_loss: 0.0,
+                duplicate: 0.1,
+                jitter: SimDuration::micros(20),
+            });
+            run_dgmc_faulty(
+                &net,
+                DgmcConfig::computation_dominated(),
+                &wl,
+                Rc::new(dgmc_mctree::SphStrategy::new()),
+                &plan,
+                seed ^ 0x55,
+            )
+            .unwrap()
+        };
+        let a = faulty(4);
+        let b = faulty(4);
+        assert_eq!(a, b, "same seed, same metrics, same registry");
+        assert!(a.registry.counter_value(net_counters::SENT) > 0);
     }
 
     #[test]

@@ -66,6 +66,29 @@ impl MemberChange {
     }
 }
 
+/// The flavor of a fault injected on the message-delivery path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A message was dropped and will never arrive (hard loss).
+    Drop,
+    /// An extra copy of a message was scheduled.
+    Duplicate,
+    /// A message was lost and recovered by link-level retransmission
+    /// (arrives late but arrives).
+    Retransmit,
+}
+
+impl FaultKind {
+    /// Stable lowercase name (used as the JSON `fault` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Retransmit => "retransmit",
+        }
+    }
+}
+
 /// What kind of decision was made, with decision-specific detail.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecisionKind {
@@ -104,6 +127,21 @@ pub enum DecisionKind {
         /// Number of edges in the installed topology.
         edges: usize,
     },
+    /// The network model injected a fault on a message in flight.
+    ///
+    /// Emitted by the simulator (`switch` is the sender), so `mc` is 0 and
+    /// the stamp snapshot is empty.
+    FaultInjected {
+        /// What was done to the message.
+        fault: FaultKind,
+        /// The intended recipient.
+        peer: u32,
+    },
+    /// A protocol invariant failed during post-quiescence checking.
+    InvariantViolated {
+        /// Stable name of the violated invariant.
+        invariant: String,
+    },
 }
 
 impl DecisionKind {
@@ -117,6 +155,8 @@ impl DecisionKind {
             DecisionKind::ProposalWithdrawn => "ProposalWithdrawn",
             DecisionKind::ConflictResolved { .. } => "ConflictResolved",
             DecisionKind::TopologyInstalled { .. } => "TopologyInstalled",
+            DecisionKind::FaultInjected { .. } => "FaultInjected",
+            DecisionKind::InvariantViolated { .. } => "InvariantViolated",
         }
     }
 }
@@ -140,6 +180,12 @@ impl fmt::Display for DecisionKind {
             }
             DecisionKind::TopologyInstalled { source, edges } => {
                 write!(f, "TopologyInstalled(by sw{source}, {edges} edges)")
+            }
+            DecisionKind::FaultInjected { fault, peer } => {
+                write!(f, "FaultInjected({} toward a{peer})", fault.name())
+            }
+            DecisionKind::InvariantViolated { invariant } => {
+                write!(f, "InvariantViolated({invariant})")
             }
         }
     }
@@ -188,6 +234,13 @@ impl DecisionEvent {
             DecisionKind::TopologyInstalled { source, edges } => {
                 pairs.push(("source", JsonValue::U64(*source as u64)));
                 pairs.push(("edges", JsonValue::U64(*edges as u64)));
+            }
+            DecisionKind::FaultInjected { fault, peer } => {
+                pairs.push(("fault", JsonValue::Str(fault.name().to_owned())));
+                pairs.push(("peer", JsonValue::U64(*peer as u64)));
+            }
+            DecisionKind::InvariantViolated { invariant } => {
+                pairs.push(("invariant", JsonValue::Str(invariant.clone())));
             }
         }
         pairs.push(("r", JsonValue::u64_array(&self.stamps.r)));
@@ -260,6 +313,13 @@ mod tests {
                 source: 0,
                 edges: 2,
             },
+            DecisionKind::FaultInjected {
+                fault: FaultKind::Drop,
+                peer: 3,
+            },
+            DecisionKind::InvariantViolated {
+                invariant: "agreement".into(),
+            },
         ];
         let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(
@@ -272,7 +332,32 @@ mod tests {
                 "ProposalWithdrawn",
                 "ConflictResolved",
                 "TopologyInstalled",
+                "FaultInjected",
+                "InvariantViolated",
             ]
         );
+    }
+
+    #[test]
+    fn fault_and_invariant_events_render_their_detail() {
+        let fault = DecisionEvent {
+            kind: DecisionKind::FaultInjected {
+                fault: FaultKind::Retransmit,
+                peer: 5,
+            },
+            stamps: StampSnapshot::empty(),
+            ..sample()
+        };
+        assert!(fault.to_json().contains(r#""fault":"retransmit","peer":5"#));
+        assert!(fault.to_string().contains("FaultInjected(retransmit"));
+        let inv = DecisionEvent {
+            kind: DecisionKind::InvariantViolated {
+                invariant: "stamps".into(),
+            },
+            stamps: StampSnapshot::empty(),
+            ..sample()
+        };
+        assert!(inv.to_json().contains(r#""invariant":"stamps""#));
+        assert!(inv.to_string().contains("InvariantViolated(stamps)"));
     }
 }

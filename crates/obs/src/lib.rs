@@ -45,7 +45,7 @@ mod log;
 mod metrics;
 mod observer;
 
-pub use event::{DecisionEvent, DecisionKind, MemberChange, StampSnapshot};
+pub use event::{DecisionEvent, DecisionKind, FaultKind, MemberChange, StampSnapshot};
 pub use json::JsonValue;
 pub use log::{DecisionLog, DecisionLogHandle, TimelineDumpGuard};
 pub use metrics::{CounterId, Histogram, HistogramId, MetricsRegistry};

@@ -77,6 +77,36 @@ fn run_seeded_is_reproducible() {
 }
 
 #[test]
+fn metrics_snapshots_are_byte_identical_across_same_seed_runs() {
+    use dgmc::experiments::report;
+    let base = std::env::temp_dir().join(format!("dgmc-determinism-{}", std::process::id()));
+    let run = |sub: &str| {
+        let m = runner::run_seeded(30, 7, DgmcConfig::computation_dominated(), |rng, net| {
+            workload::bursty(rng, net, &BurstParams::default())
+        })
+        .unwrap();
+        let rendered = report::metrics_snapshot("determinism", &m.registry);
+        let path = report::write_metrics_snapshot(
+            base.join(sub),
+            "determinism",
+            "determinism",
+            &m.registry,
+        )
+        .unwrap();
+        (rendered, std::fs::read(path).unwrap())
+    };
+    let (r1, bytes1) = run("a");
+    let (r2, bytes2) = run("b");
+    assert_eq!(r1, r2, "rendered snapshot must match exactly");
+    assert_eq!(
+        bytes1, bytes2,
+        "written *.metrics.json files must be byte-identical"
+    );
+    assert_eq!(r1.into_bytes(), bytes1, "file content is the rendering");
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
 fn experiment_sweeps_are_reproducible() {
     let mut spec = presets::quick(presets::experiment1());
     spec.sizes = vec![20];
