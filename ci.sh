@@ -17,4 +17,17 @@ cargo test --workspace --offline -q
 echo "== explorer smoke (fixed seeds, fault-injected invariant check) =="
 cargo run --offline -q --release -p dgmc-experiments --bin explore -- --seeds 25 --fail-fast
 
+echo "== SPF cache smoke bench (emits BENCH_pr3.json) =="
+DGMC_BENCH_SMOKE=1 cargo bench --offline -q -p dgmc-bench --bench cache
+test -s BENCH_pr3.json || { echo "BENCH_pr3.json missing or empty"; exit 1; }
+
+echo "== fig6 preset exposes the cache hit-rate counter =="
+cargo run --offline -q --release -p dgmc-experiments --bin exp1 -- --quick >/dev/null
+grep -q '"spf_cache.hits":' results/exp1.metrics.json || {
+    echo "spf_cache.hits counter absent from results/exp1.metrics.json"
+    exit 1
+}
+hits=$(sed -n 's/.*"spf_cache.hits":\([0-9]*\).*/\1/p' results/exp1.metrics.json)
+[ "${hits:-0}" -gt 0 ] || { echo "spf_cache.hits is zero for the fig6 preset"; exit 1; }
+
 echo "CI OK"

@@ -1,0 +1,228 @@
+//! PR3 cache benchmark: epoch-versioned SPF cache versus from-scratch
+//! recompute, self-timed and exported as `BENCH_pr3.json`.
+//!
+//! Two kinds of measurement, both on the paper's evaluation scenarios:
+//!
+//! * **Event hot path** — the per-event work every switch performs after a
+//!   membership event on a converged 100-node image: recompute the unicast
+//!   routing table and the MC topology proposal. Uncached, each of the `n`
+//!   switches runs its own Dijkstras; cached, the first switch's SPF runs
+//!   serve all others (identical image ⇒ identical digest).
+//! * **Full simulation** — end-to-end `fig6`/`fig7` runs (bursty workload,
+//!   both timing regimes) with the shared cache on versus disabled, as a
+//!   sanity check that the cache also pays for itself in the whole harness.
+//!
+//! The vendored criterion shim has no data export, so this bench times with
+//! `std::time::Instant` directly and writes its own JSON. Set
+//! `DGMC_BENCH_SMOKE=1` for a reduced-sample CI run.
+
+use dgmc_core::switch::DgmcConfig;
+use dgmc_experiments::runner;
+use dgmc_experiments::workload::{self, BurstParams};
+use dgmc_lsr::RoutingTable;
+use dgmc_mctree::{McAlgorithm, SphStrategy};
+use dgmc_topology::{generate, Network, NodeId, SpfCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Scenario {
+    name: &'static str,
+    samples: usize,
+    uncached_nanos: u128,
+    cached_nanos: u128,
+    hits: u64,
+    misses: u64,
+}
+
+impl Scenario {
+    fn speedup(&self) -> f64 {
+        if self.cached_nanos == 0 {
+            f64::INFINITY
+        } else {
+            self.uncached_nanos as f64 / self.cached_nanos as f64
+        }
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One converged event step: every switch recomputes its routing table and
+/// its topology proposal for the same image and terminal set.
+fn event_step(net: &Network, terminals: &BTreeSet<NodeId>, cache: &SpfCache) -> u64 {
+    let strategy = SphStrategy::new();
+    let mut acc = 0u64;
+    for me in net.nodes() {
+        let routes = RoutingTable::compute_with(net, me, cache);
+        acc = acc.wrapping_add(routes.cost(NodeId(0)).unwrap_or(0));
+        let tree = strategy.compute_with(net, terminals, None, cache);
+        acc = acc.wrapping_add(tree.edge_count() as u64);
+    }
+    acc
+}
+
+fn bench_event_path(n: usize, k: usize, samples: usize) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(0xE5E7);
+    let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
+    let terminals: BTreeSet<NodeId> = {
+        let mut t = BTreeSet::new();
+        while t.len() < k {
+            t.insert(NodeId(rng.gen_range(0..n as u32)));
+        }
+        t
+    };
+    let mut uncached_nanos = 0u128;
+    let mut cached_nanos = 0u128;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let mut sink = 0u64;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let base = event_step(&net, &terminals, &SpfCache::disabled());
+        uncached_nanos += start.elapsed().as_nanos();
+
+        // Fresh cache per sample: the cold misses are part of the cost.
+        let cache = SpfCache::new();
+        let start = Instant::now();
+        let cached = event_step(&net, &terminals, &cache);
+        cached_nanos += start.elapsed().as_nanos();
+        assert_eq!(cached, base, "cached event step diverged");
+        sink = sink.wrapping_add(base).wrapping_add(cached);
+        let stats = cache.stats();
+        hits += stats.hits;
+        misses += stats.misses;
+    }
+    std::hint::black_box(sink);
+    Scenario {
+        name: if n >= 100 {
+            "event_path_n100"
+        } else {
+            "event_path_smoke"
+        },
+        samples,
+        uncached_nanos,
+        cached_nanos,
+        hits,
+        misses,
+    }
+}
+
+fn bench_full_run(name: &'static str, n: usize, config: DgmcConfig, samples: usize) -> Scenario {
+    let mut uncached_nanos = 0u128;
+    let mut cached_nanos = 0u128;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for seed in 1..=samples as u64 {
+        let wl =
+            |rng: &mut StdRng, net: &Network| workload::bursty(rng, net, &BurstParams::default());
+        let start = Instant::now();
+        let a = runner::run_seeded_with_cache(n, seed, config, wl, SpfCache::disabled())
+            .expect("uncached run converges");
+        uncached_nanos += start.elapsed().as_nanos();
+
+        let cache = SpfCache::new();
+        let start = Instant::now();
+        let b = runner::run_seeded_with_cache(n, seed, config, wl, cache.clone())
+            .expect("cached run converges");
+        cached_nanos += start.elapsed().as_nanos();
+        assert_eq!(a.computations, b.computations, "cache changed the protocol");
+        assert_eq!(a.floodings, b.floodings, "cache changed the protocol");
+        let stats = cache.stats();
+        hits += stats.hits;
+        misses += stats.misses;
+    }
+    Scenario {
+        name,
+        samples,
+        uncached_nanos,
+        cached_nanos,
+        hits,
+        misses,
+    }
+}
+
+fn write_json(scenarios: &[Scenario]) -> String {
+    let mut out = String::from(
+        "{\n  \"schema\": \"dgmc.bench/1\",\n  \"bench\": \"pr3_spf_cache\",\n  \"scenarios\": [\n",
+    );
+    for (i, s) in scenarios.iter().enumerate() {
+        let sep = if i + 1 == scenarios.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"samples\": {}, \"uncached_ms\": {:.3}, \"cached_ms\": {:.3}, \"speedup\": {:.2}, \"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate\": {:.4}}}{}",
+            s.name,
+            s.samples,
+            s.uncached_nanos as f64 / 1e6,
+            s.cached_nanos as f64 / 1e6,
+            s.speedup(),
+            s.hits,
+            s.misses,
+            s.hit_rate(),
+            sep
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::var_os("DGMC_BENCH_SMOKE").is_some();
+    let (n, samples) = if smoke { (40, 1) } else { (100, 5) };
+    let mut scenarios = vec![bench_event_path(n, 10, samples.max(3))];
+    let (fig6, fig7) = if smoke {
+        (
+            bench_full_run("fig6_smoke", n, DgmcConfig::computation_dominated(), 1),
+            bench_full_run("fig7_smoke", n, DgmcConfig::communication_dominated(), 1),
+        )
+    } else {
+        (
+            bench_full_run("fig6_n100", n, DgmcConfig::computation_dominated(), samples),
+            bench_full_run(
+                "fig7_n100",
+                n,
+                DgmcConfig::communication_dominated(),
+                samples,
+            ),
+        )
+    };
+    scenarios.push(fig6);
+    scenarios.push(fig7);
+
+    for s in &scenarios {
+        println!(
+            "{:<18} uncached {:>9.2} ms  cached {:>9.2} ms  speedup {:>6.2}x  hit-rate {:.1}% ({} hits / {} misses)",
+            s.name,
+            s.uncached_nanos as f64 / 1e6,
+            s.cached_nanos as f64 / 1e6,
+            s.speedup(),
+            s.hit_rate() * 100.0,
+            s.hits,
+            s.misses
+        );
+    }
+    let json = write_json(&scenarios);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json");
+    std::fs::write(path, &json).expect("write BENCH_pr3.json");
+    println!("wrote {path}");
+    let event = &scenarios[0];
+    assert!(
+        event.hits > 0,
+        "cache saw no hits on the event path — wiring broken"
+    );
+    if !smoke {
+        assert!(
+            event.speedup() >= 2.0,
+            "event-path speedup {:.2}x below the 2x acceptance bar",
+            event.speedup()
+        );
+    }
+}

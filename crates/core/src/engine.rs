@@ -24,7 +24,7 @@ use crate::state::{ComputationJob, McState, McSync};
 use crate::{McEventKind, McId, McLsa};
 use dgmc_mctree::{McAlgorithm, McType, Role};
 use dgmc_obs::{DecisionEvent, DecisionKind, MemberChange, SharedObserver, StampSnapshot};
-use dgmc_topology::{Network, NodeId};
+use dgmc_topology::{Network, NodeId, SpfCache};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -85,6 +85,7 @@ pub struct DgmcEngine {
     algorithm: Rc<dyn McAlgorithm>,
     states: BTreeMap<McId, McState>,
     observer: SharedObserver,
+    spf_cache: SpfCache,
 }
 
 impl DgmcEngine {
@@ -96,7 +97,23 @@ impl DgmcEngine {
             algorithm,
             states: BTreeMap::new(),
             observer: SharedObserver::new(),
+            spf_cache: SpfCache::new(),
         }
+    }
+
+    /// Plugs in a (typically simulation-wide shared) SPF computation cache.
+    ///
+    /// Every engine gets a private cache by default; sharing one handle
+    /// across engines lets switches holding identical images reuse each
+    /// other's shortest-path trees. Purely an optimization — computed
+    /// topologies are identical either way.
+    pub fn set_spf_cache(&mut self, cache: SpfCache) {
+        self.spf_cache = cache;
+    }
+
+    /// The engine's SPF cache handle.
+    pub fn spf_cache(&self) -> &SpfCache {
+        &self.spf_cache
     }
 
     /// Plugs in the decision-event observer (disabled by default).
@@ -288,6 +305,9 @@ impl DgmcEngine {
     fn event_handler(&mut self, mc: McId, event: McEventKind) -> Vec<DgmcAction> {
         debug_assert!(event.is_event(), "EventHandler takes real events");
         let me = self.me;
+        // Private invariant, not a recoverable race: every caller allocates
+        // the state in the same tool round (unlike on_computation_done, whose
+        // signal can cross a deletion).
         let st = self.states.get_mut(&mc).expect("state allocated by caller");
         // Line 1: R[x] += 1; E[x] += 1.
         st.r.incr(me);
@@ -367,28 +387,45 @@ impl DgmcEngine {
     /// Completes the in-flight computation for `mc` (`Tc` elapsed), then
     /// drains whatever queued up meanwhile.
     ///
-    /// # Panics
-    ///
-    /// Panics if no computation is in flight for `mc`.
+    /// A completion signal for a connection without state (deleted by a
+    /// concurrent withdraw/leave) or without an in-flight computation is a
+    /// benign race: it is ignored as a no-op, visible in the decision log as
+    /// [`DecisionKind::StaleCompletion`].
     pub fn on_computation_done(&mut self, mc: McId, image: &Network) -> Vec<DgmcAction> {
         let me = self.me;
-        let st = self
-            .states
-            .get_mut(&mc)
-            .expect("state exists while computing");
-        let job = st
-            .computing
-            .take()
-            .expect("on_computation_done without a computation");
+        let Some(st) = self.states.get_mut(&mc) else {
+            self.observer.emit(|now| DecisionEvent {
+                at_nanos: now,
+                mc: mc.0 as u64,
+                switch: me.0,
+                kind: DecisionKind::StaleCompletion,
+                stamps: StampSnapshot::empty(),
+            });
+            return Vec::new();
+        };
+        let Some(job) = st.computing.take() else {
+            let stamps = snap(st);
+            self.observer.emit(|now| DecisionEvent {
+                at_nanos: now,
+                mc: mc.0 as u64,
+                switch: me.0,
+                kind: DecisionKind::StaleCompletion,
+                stamps,
+            });
+            return Vec::new();
+        };
         // Fig. 4 line 6 / Fig. 5 line 22: still valid iff nothing arrived
         // during the computation and R did not advance (local events).
         let fresh = st.mailbox.is_empty() && st.r == job.old_r;
         let mut actions = Vec::new();
         let mut carry: Option<crate::state::Candidate> = None;
         if fresh {
-            let topology = self
-                .algorithm
-                .compute(image, &job.terminals, job.previous.as_ref());
+            let topology = self.algorithm.compute_with(
+                image,
+                &job.terminals,
+                job.previous.as_ref(),
+                &self.spf_cache,
+            );
             let own_edges = topology.edge_count();
             self.observer.emit(|now| DecisionEvent {
                 at_nanos: now,
@@ -836,6 +873,41 @@ mod tests {
         assert_eq!(e0.installed(MC), e1.installed(MC));
         assert!(e0.state(MC).unwrap().all_caught_up());
         assert!(e1.state(MC).unwrap().all_caught_up());
+    }
+
+    #[test]
+    fn stale_completion_is_a_logged_noop() {
+        // The withdraw race: a Tc timer fires for a connection whose state
+        // was concurrently deleted (or whose computation already finished).
+        // Historically both cases panicked the whole simulation.
+        let net = generate::ring(4);
+        let mut e0 = engine(0, 4);
+        let log = e0.observer().attach_log(64);
+
+        // Completion for a connection this engine never knew: no-op.
+        assert!(e0.on_computation_done(MC, &net).is_empty());
+
+        // Join, complete, then a duplicate completion with state present but
+        // no computation in flight: no-op, state untouched.
+        e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        e0.on_computation_done(MC, &net);
+        let before = e0.state(MC).unwrap().clone();
+        assert!(e0.on_computation_done(MC, &net).is_empty());
+        assert_eq!(e0.state(MC).unwrap(), &before);
+
+        // The full race end-to-end: last member leaves while nothing is in
+        // flight -> state deleted by the drain -> a stale timer fires.
+        e0.local_leave(MC);
+        e0.on_computation_done(MC, &net);
+        assert!(e0.state(MC).is_none(), "leave deleted the state");
+        assert!(e0.on_computation_done(MC, &net).is_empty());
+
+        let stale = log
+            .borrow()
+            .iter()
+            .filter(|ev| matches!(ev.kind, DecisionKind::StaleCompletion))
+            .count();
+        assert_eq!(stale, 3, "every ignored completion is decision-logged");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use dgmc_lsr::lsa::{FloodPacket, RouterLsa};
 use dgmc_lsr::{Lsdb, RoutingTable};
 use dgmc_mctree::{McAlgorithm, McType, Role};
 use dgmc_obs::SharedObserver;
-use dgmc_topology::{LinkId, Network, NodeId};
+use dgmc_topology::{LinkId, Network, NodeId, SpfCache, SpfCacheStats};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -138,6 +138,12 @@ pub mod counters {
     pub const ROUTER_FLOODS: &str = "dgmc.router_floods";
     /// Data packets delivered to member hosts.
     pub const DATA_DELIVERED: &str = "dgmc.data_delivered";
+    /// SPF computations answered from the epoch-versioned cache.
+    pub const SPF_CACHE_HITS: &str = "spf_cache.hits";
+    /// SPF computations that ran Dijkstra (cache miss).
+    pub const SPF_CACHE_MISSES: &str = "spf_cache.misses";
+    /// Cache generations evicted because the image kept changing.
+    pub const SPF_CACHE_INVALIDATIONS: &str = "spf_cache.invalidations";
 }
 
 /// Histogram names recorded by [`DgmcSwitch`] into the simulation's
@@ -155,6 +161,10 @@ pub mod histograms {
     /// install — the per-connection convergence time (recorded by the
     /// experiment runner once per measured run).
     pub const CONVERGENCE_US: &str = "dgmc.convergence_us";
+    /// Nodes settled per cache-missing SPF run — the deterministic
+    /// compute-work histogram (simulated work, not wall-clock, so that
+    /// metrics stay byte-identical across hosts and cache configurations).
+    pub const SPF_SETTLED_PER_COMPUTE: &str = "spf_cache.settled_per_compute";
 }
 
 /// Timing parameters of the simulated switch.
@@ -197,6 +207,7 @@ pub struct DgmcSwitch {
     incident: Vec<(LinkId, NodeId, u64, bool)>,
     next_router_seq: u64,
     engine: DgmcEngine,
+    spf_cache: SpfCache,
     image: Network,
     last_install: SimTime,
     /// (mc, packet_id) -> copies delivered to the local host.
@@ -226,17 +237,31 @@ impl DgmcSwitch {
         config: DgmcConfig,
         algorithm: Rc<dyn McAlgorithm>,
     ) -> DgmcSwitch {
+        Self::new_with_cache(me, net, config, algorithm, SpfCache::new())
+    }
+
+    /// [`new`](Self::new) with an explicit SPF cache, so the warm-start
+    /// routing computation already shares work with sibling switches.
+    pub fn new_with_cache(
+        me: NodeId,
+        net: &Network,
+        config: DgmcConfig,
+        algorithm: Rc<dyn McAlgorithm>,
+        spf_cache: SpfCache,
+    ) -> DgmcSwitch {
         let mut lsdb = Lsdb::new(net.len());
         for n in net.nodes() {
             lsdb.install(RouterLsa::describe(net, n, 0));
         }
         let image = lsdb.local_image();
-        let routes = RoutingTable::compute(&image, me);
+        let routes = RoutingTable::compute_with(&image, me, &spf_cache);
         let incident = net
             .links()
             .filter(|l| l.a == me || l.b == me)
             .map(|l| (l.id, l.other(me), l.cost, l.is_up()))
             .collect();
+        let mut engine = DgmcEngine::new(me, net.len(), algorithm);
+        engine.set_spf_cache(spf_cache.clone());
         DgmcSwitch {
             me,
             config,
@@ -245,7 +270,8 @@ impl DgmcSwitch {
             routes,
             incident,
             next_router_seq: 1,
-            engine: DgmcEngine::new(me, net.len(), algorithm),
+            engine,
+            spf_cache,
             image,
             last_install: SimTime::ZERO,
             delivered: BTreeMap::new(),
@@ -259,6 +285,19 @@ impl DgmcSwitch {
     /// protocol engine, which does the emitting).
     pub fn set_observer(&mut self, observer: SharedObserver) {
         self.engine.set_observer(observer);
+    }
+
+    /// Replaces the switch's SPF cache, typically with one shared by every
+    /// switch of the simulation: identical local images hash to the same
+    /// digest, so SPF work done by one switch is reused by all others.
+    pub fn set_spf_cache(&mut self, cache: SpfCache) {
+        self.engine.set_spf_cache(cache.clone());
+        self.spf_cache = cache;
+    }
+
+    /// The SPF cache used for routing-table and MC topology computations.
+    pub fn spf_cache(&self) -> &SpfCache {
+        &self.spf_cache
     }
 
     /// The switch id.
@@ -402,9 +441,32 @@ impl DgmcSwitch {
         self.withdrawn_since_event = 0;
     }
 
-    fn refresh_image(&mut self) {
+    fn refresh_image(&mut self, ctx: &mut Ctx<'_, SwitchMsg>) {
+        let before = self.spf_cache.stats();
         self.image = self.lsdb.local_image();
-        self.routes = RoutingTable::compute(&self.image, self.me);
+        self.routes = RoutingTable::compute_with(&self.image, self.me, &self.spf_cache);
+        self.record_spf_delta(ctx, before);
+    }
+
+    /// Publishes the cache activity caused by one handler step into the
+    /// simulation's metrics. Only deterministic quantities are recorded
+    /// (hit/miss/invalidation counts and settled-node work); wall-clock
+    /// nanoseconds stay out of the registry so `metrics.json` is
+    /// byte-identical across hosts and runs.
+    fn record_spf_delta(&mut self, ctx: &mut Ctx<'_, SwitchMsg>, before: SpfCacheStats) {
+        let after = self.spf_cache.stats();
+        ctx.counter(counters::SPF_CACHE_HITS)
+            .add(after.hits - before.hits);
+        ctx.counter(counters::SPF_CACHE_MISSES)
+            .add(after.misses - before.misses);
+        ctx.counter(counters::SPF_CACHE_INVALIDATIONS)
+            .add(after.invalidations - before.invalidations);
+        if after.misses > before.misses {
+            ctx.metrics().observe_named(
+                histograms::SPF_SETTLED_PER_COMPUTE,
+                after.settled_nodes - before.settled_nodes,
+            );
+        }
     }
 
     fn deliver_locally(&mut self, ctx: &mut Ctx<'_, SwitchMsg>, data: &DataMsg) {
@@ -532,7 +594,7 @@ impl Actor<SwitchMsg> for DgmcSwitch {
                 match packet.payload {
                     DgmcPayload::Router(lsa) => {
                         if self.lsdb.install(lsa) {
-                            self.refresh_image();
+                            self.refresh_image(ctx);
                         }
                     }
                     DgmcPayload::Mc(lsa) => {
@@ -600,7 +662,7 @@ impl Actor<SwitchMsg> for DgmcSwitch {
                     };
                     self.next_router_seq += 1;
                     self.lsdb.install(lsa.clone());
-                    self.refresh_image();
+                    self.refresh_image(ctx);
                     ctx.counter(counters::ROUTER_FLOODS).incr();
                     self.flood(ctx, DgmcPayload::Router(lsa), None);
                     // ...then the k MC LSAs for affected connections.
@@ -610,7 +672,9 @@ impl Actor<SwitchMsg> for DgmcSwitch {
                 }
             }
             SwitchMsg::ComputationDone { mc } => {
+                let before = self.spf_cache.stats();
                 let actions = self.engine.on_computation_done(mc, &self.image);
+                self.record_spf_delta(ctx, before);
                 self.execute(ctx, actions);
             }
             SwitchMsg::SendData { mc, packet_id } => {
@@ -637,7 +701,7 @@ impl Actor<SwitchMsg> for DgmcSwitch {
                     changed |= self.lsdb.install(lsa);
                 }
                 if changed {
-                    self.refresh_image();
+                    self.refresh_image(ctx);
                 }
                 let actions = self.engine.import_sync(mc_states);
                 self.execute(ctx, actions);
@@ -652,15 +716,30 @@ impl Actor<SwitchMsg> for DgmcSwitch {
 
 /// Builds a simulation with one [`DgmcSwitch`] per node of `net`.
 ///
-/// Actor ids equal node ids.
+/// Actor ids equal node ids. All switches share one [`SpfCache`]: local
+/// images are content-addressed, so while images agree (the common case —
+/// floods converge fast) one switch's SPF run serves every other switch and
+/// every terminal of every connection.
 pub fn build_dgmc_sim(
     net: &Network,
     config: DgmcConfig,
     algorithm: Rc<dyn McAlgorithm>,
 ) -> Simulation<SwitchMsg> {
+    build_dgmc_sim_with_cache(net, config, algorithm, SpfCache::new())
+}
+
+/// [`build_dgmc_sim`] with an explicit shared [`SpfCache`] — pass
+/// [`SpfCache::disabled`] to measure the uncached from-scratch baseline.
+pub fn build_dgmc_sim_with_cache(
+    net: &Network,
+    config: DgmcConfig,
+    algorithm: Rc<dyn McAlgorithm>,
+    cache: SpfCache,
+) -> Simulation<SwitchMsg> {
     let mut sim = Simulation::new();
     for n in net.nodes() {
-        let mut switch = DgmcSwitch::new(n, net, config, Rc::clone(&algorithm));
+        let mut switch =
+            DgmcSwitch::new_with_cache(n, net, config, Rc::clone(&algorithm), cache.clone());
         // Every engine stamps decisions with the simulation's shared clock;
         // observation stays a no-op until a sink is attached on the handle.
         switch.set_observer(sim.observer().clone());

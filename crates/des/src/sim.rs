@@ -199,6 +199,8 @@ impl<'a, M> Ctx<'a, M> {
                 }
             }
             self.net_stats.delivered += 1;
+            // Unwrap audit: `msg` is Some until the `i == last` arm takes it,
+            // and the loop ends there — structural invariant, not a race.
             let m = if i == last {
                 msg.take().expect("last delivery consumes the message")
             } else {
@@ -454,6 +456,8 @@ impl<M> Simulation<M> {
             if at > horizon {
                 return RunOutcome::HorizonReached;
             }
+            // Unwrap audit: the peek above returned Some and nothing popped
+            // since (single-threaded loop) — structural invariant.
             let Reverse(scheduled) = self.queue.pop().expect("peeked");
             debug_assert!(scheduled.at >= self.now, "event from the past");
             self.now = scheduled.at;

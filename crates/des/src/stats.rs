@@ -207,15 +207,32 @@ impl Histogram {
     /// Records one non-negative observation (negatives clamp to zero).
     pub fn record(&mut self, x: f64) {
         let x = x.max(0.0);
-        let idx = if x < self.first_bucket {
-            0
-        } else {
-            let ratio = x / self.first_bucket;
-            (ratio.log2().floor() as usize + 1).min(self.counts.len() - 1)
-        };
+        let idx = self.bucket_index(x);
         self.counts[idx] += 1;
         self.total += 1;
         self.max_seen = self.max_seen.max(x);
+    }
+
+    /// Index of the bucket covering `x`, comparing against the exact bucket
+    /// boundaries `first * 2^i`.
+    ///
+    /// Doubling an f64 is exact, so the comparisons are too. The previous
+    /// `(x / first).log2().floor()` formulation rounded the quotient at
+    /// boundary values when `first` is not a power of two (e.g.
+    /// `0.6 / 0.3 == 1.9999999999999998`), filing boundary samples one
+    /// bucket low.
+    fn bucket_index(&self, x: f64) -> usize {
+        let last = self.counts.len() - 1;
+        if x < self.first_bucket || last == 0 {
+            return 0;
+        }
+        let mut upper = self.first_bucket * 2.0;
+        let mut idx = 1;
+        while x >= upper && idx < last {
+            upper *= 2.0;
+            idx += 1;
+        }
+        idx
     }
 
     /// Number of observations.
@@ -378,6 +395,51 @@ mod tests {
         assert!(h.percentile(1.0) >= h.percentile(0.5));
         let buckets: Vec<_> = h.buckets().collect();
         assert_eq!(buckets[0], (1.0, 3), "three sub-1 values");
+    }
+
+    #[test]
+    fn histogram_boundary_values_land_in_the_upper_bucket() {
+        // Bucket i covers [first*2^(i-1), first*2^i): a sample exactly on a
+        // boundary belongs to the bucket above it. With first = 0.3 the old
+        // log2-based indexing returned 1.9999999999999998 for 0.6/0.3 and
+        // filed the sample one bucket low.
+        for first in [0.3, 0.7, 1.0, 2.5] {
+            let buckets = 10;
+            let mut h = Histogram::new(first, buckets);
+            let mut boundary = first;
+            for i in 1..buckets {
+                h.record(boundary); // == first * 2^(i-1), exact
+                let counts: Vec<_> = h.buckets().collect();
+                assert_eq!(
+                    counts.last().unwrap(),
+                    &(first * 2f64.powi(i as i32), 1),
+                    "boundary {boundary} (first {first}) misbucketed"
+                );
+                boundary *= 2.0;
+            }
+            // Just below each boundary stays in the lower bucket.
+            let mut h = Histogram::new(first, buckets);
+            let below = first * (1.0 - f64::EPSILON);
+            h.record(below);
+            assert_eq!(h.buckets().next().unwrap(), (first, 1));
+        }
+    }
+
+    #[test]
+    fn histogram_regression_first_point_three() {
+        let mut h = Histogram::new(0.3, 8);
+        h.record(0.6);
+        // 0.6 ∈ [0.6, 1.2) -> the bucket with upper bound 1.2.
+        assert_eq!(h.buckets().next().unwrap(), (0.3 * 4.0, 1));
+    }
+
+    #[test]
+    fn histogram_single_bucket_takes_everything() {
+        let mut h = Histogram::new(1.0, 1);
+        h.record(0.5);
+        h.record(123.0);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.buckets().next().unwrap(), (1.0, 2));
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! Executes one simulation scenario and extracts the paper's metrics.
 
 use crate::workload::Workload;
-use dgmc_core::switch::{build_dgmc_sim, counters, histograms, DgmcConfig, SwitchMsg};
+use dgmc_core::switch::{build_dgmc_sim_with_cache, counters, histograms, DgmcConfig, SwitchMsg};
 use dgmc_core::{convergence, invariants, McId, McType, Role};
 use dgmc_des::{ActorId, FaultPlan, FaultyNet, RunOutcome, SimDuration};
 use dgmc_mctree::McAlgorithm;
 use dgmc_obs::MetricsRegistry;
-use dgmc_topology::{metrics, Network};
+use dgmc_topology::{metrics, Network, SpfCache};
 use std::rc::Rc;
 
 /// The connection id used by all experiment runs.
@@ -103,7 +103,24 @@ pub fn run_dgmc(
     workload: &Workload,
     algorithm: Rc<dyn McAlgorithm>,
 ) -> Result<RunMetrics, RunError> {
-    run_dgmc_inner(net, config, workload, algorithm, None)
+    run_dgmc_inner(net, config, workload, algorithm, None, SpfCache::new())
+}
+
+/// [`run_dgmc`] with an explicit shared [`SpfCache`] — pass
+/// [`SpfCache::disabled`] to measure the uncached from-scratch baseline
+/// (metrics are identical either way; only wall-clock differs).
+///
+/// # Errors
+///
+/// As [`run_dgmc`].
+pub fn run_dgmc_with_cache(
+    net: &Network,
+    config: DgmcConfig,
+    workload: &Workload,
+    algorithm: Rc<dyn McAlgorithm>,
+    cache: SpfCache,
+) -> Result<RunMetrics, RunError> {
+    run_dgmc_inner(net, config, workload, algorithm, None, cache)
 }
 
 /// [`run_dgmc`] with seeded fault injection on the delivery path: every
@@ -124,7 +141,14 @@ pub fn run_dgmc_faulty(
     plan: &FaultPlan,
     fault_seed: u64,
 ) -> Result<RunMetrics, RunError> {
-    run_dgmc_inner(net, config, workload, algorithm, Some((plan, fault_seed)))
+    run_dgmc_inner(
+        net,
+        config,
+        workload,
+        algorithm,
+        Some((plan, fault_seed)),
+        SpfCache::new(),
+    )
 }
 
 fn run_dgmc_inner(
@@ -133,8 +157,9 @@ fn run_dgmc_inner(
     workload: &Workload,
     algorithm: Rc<dyn McAlgorithm>,
     faults: Option<(&FaultPlan, u64)>,
+    cache: SpfCache,
 ) -> Result<RunMetrics, RunError> {
-    let mut sim = build_dgmc_sim(net, config, algorithm);
+    let mut sim = build_dgmc_sim_with_cache(net, config, algorithm, cache);
     sim.set_event_budget(200_000_000);
     if let Some((plan, fault_seed)) = faults {
         sim.set_net_model(FaultyNet::new(plan.clone(), fault_seed));
@@ -220,6 +245,18 @@ pub fn run_seeded(
     config: DgmcConfig,
     make_workload: impl Fn(&mut rand::rngs::StdRng, &Network) -> Workload,
 ) -> Result<RunMetrics, RunError> {
+    run_seeded_with_cache(n, seed, config, make_workload, SpfCache::new())
+}
+
+/// [`run_seeded`] with an explicit shared [`SpfCache`]; the
+/// cached-versus-uncached benchmark drives both arms through this.
+pub fn run_seeded_with_cache(
+    n: usize,
+    seed: u64,
+    config: DgmcConfig,
+    make_workload: impl Fn(&mut rand::rngs::StdRng, &Network) -> Workload,
+    cache: SpfCache,
+) -> Result<RunMetrics, RunError> {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let net = dgmc_topology::generate::waxman(
@@ -228,11 +265,12 @@ pub fn run_seeded(
         &dgmc_topology::generate::WaxmanParams::default(),
     );
     let workload = make_workload(&mut rng, &net);
-    run_dgmc(
+    run_dgmc_with_cache(
         &net,
         config,
         &workload,
         Rc::new(dgmc_mctree::SphStrategy::new()),
+        cache,
     )
 }
 
@@ -335,6 +373,46 @@ mod tests {
         let b = faulty(4);
         assert_eq!(a, b, "same seed, same metrics, same registry");
         assert!(a.registry.counter_value(net_counters::SENT) > 0);
+    }
+
+    #[test]
+    fn shared_cache_is_hit_but_protocol_neutral() {
+        let run = |cache| {
+            run_seeded_with_cache(
+                30,
+                2,
+                DgmcConfig::computation_dominated(),
+                |rng, net| workload::bursty(rng, net, &BurstParams::default()),
+                cache,
+            )
+            .unwrap()
+        };
+        let cached = run(SpfCache::new());
+        let uncached = run(SpfCache::disabled());
+        // The cache serves real lookups during the measured phase...
+        assert!(cached.registry.counter_value(counters::SPF_CACHE_HITS) > 0);
+        assert_eq!(uncached.registry.counter_value(counters::SPF_CACHE_HITS), 0);
+        // ...without perturbing a single protocol-level quantity.
+        assert_eq!(cached.events, uncached.events);
+        assert_eq!(cached.computations, uncached.computations);
+        assert_eq!(cached.floodings, uncached.floodings);
+        assert_eq!(cached.withdrawn, uncached.withdrawn);
+        assert_eq!(cached.convergence_rounds, uncached.convergence_rounds);
+        for name in [
+            counters::COMPUTATIONS,
+            counters::FLOODINGS,
+            counters::INSTALLS,
+            counters::WITHDRAWN,
+            counters::MEMBER_EVENTS,
+            counters::MC_LSAS,
+            counters::DUPLICATES,
+        ] {
+            assert_eq!(
+                cached.registry.counter_value(name),
+                uncached.registry.counter_value(name),
+                "{name} diverged under caching"
+            );
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use dgmc_topology::{spf, Network, NodeId};
+use dgmc_topology::{spf, Network, NodeId, SpfCache};
 
 /// A unicast routing table: next hop and cost toward every destination.
 ///
@@ -31,7 +31,21 @@ impl RoutingTable {
     ///
     /// Panics if `me` is not a node of `image`.
     pub fn compute(image: &Network, me: NodeId) -> RoutingTable {
-        let tree = spf::shortest_path_tree(image, me);
+        Self::from_tree(image, me, &spf::shortest_path_tree(image, me))
+    }
+
+    /// [`compute`](Self::compute) through an [`SpfCache`], sharing the SPF
+    /// run with the MC topology algorithms and other switches holding the
+    /// same image. Result identical to `compute`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not a node of `image`.
+    pub fn compute_with(image: &Network, me: NodeId, cache: &SpfCache) -> RoutingTable {
+        Self::from_tree(image, me, &cache.tree(image, me))
+    }
+
+    fn from_tree(image: &Network, me: NodeId, tree: &spf::SpfTree) -> RoutingTable {
         let next_hop = image.nodes().map(|v| tree.first_hop(v)).collect();
         let cost = image.nodes().map(|v| tree.cost_to(v)).collect();
         RoutingTable { me, next_hop, cost }
@@ -112,6 +126,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cached_compute_matches_from_scratch() {
+        use dgmc_topology::SpfCache;
+        let mut net = generate::grid(3, 3);
+        let cache = SpfCache::new();
+        for n in net.nodes() {
+            assert_eq!(
+                RoutingTable::compute_with(&net, n, &cache),
+                RoutingTable::compute(&net, n)
+            );
+        }
+        net.set_link_state(LinkId(0), LinkState::Down).unwrap();
+        for n in net.nodes() {
+            assert_eq!(
+                RoutingTable::compute_with(&net, n, &cache),
+                RoutingTable::compute(&net, n)
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 18, "one SPF per (switch, image)");
+        // A second switch with the same image shares the entry.
+        RoutingTable::compute_with(&net, NodeId(0), &cache);
+        assert_eq!(cache.stats().hits, 1);
     }
 
     #[test]

@@ -9,9 +9,16 @@
 //! for further study, and [`crate::McTopology::validate`] flags such
 //! topologies as disconnected.
 
+//! Every heuristic comes in two forms: the historical signature computing
+//! from scratch, and a `*_with` variant taking an
+//! [`SpfCache`](dgmc_topology::SpfCache) that memoizes the underlying
+//! Dijkstra runs across terminals, MCs and engines. Both produce identical
+//! results; the plain form simply runs over a throwaway disabled cache.
+
 use crate::McTopology;
-use dgmc_topology::{spf, unionfind::UnionFind, Network, NodeId};
+use dgmc_topology::{spf, unionfind::UnionFind, Network, NodeId, SpfCache};
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 /// The shortest-path (Takahashi–Matsuyama) Steiner heuristic.
 ///
@@ -33,6 +40,15 @@ use std::collections::{BTreeMap, BTreeSet};
 /// assert_eq!(tree.edge_count(), 3);
 /// ```
 pub fn takahashi_matsuyama(net: &Network, terminals: &BTreeSet<NodeId>) -> McTopology {
+    takahashi_matsuyama_with(net, terminals, &SpfCache::disabled())
+}
+
+/// [`takahashi_matsuyama`] with memoized shortest-path forests.
+pub fn takahashi_matsuyama_with(
+    net: &Network,
+    terminals: &BTreeSet<NodeId>,
+    cache: &SpfCache,
+) -> McTopology {
     let mut result = McTopology::new(terminals.clone());
     let Some(&start) = terminals.iter().next() else {
         return result;
@@ -42,7 +58,7 @@ pub fn takahashi_matsuyama(net: &Network, terminals: &BTreeSet<NodeId>) -> McTop
     let mut remaining: BTreeSet<NodeId> = terminals.iter().copied().skip(1).collect();
     while !remaining.is_empty() {
         let sources: Vec<NodeId> = in_tree.iter().copied().collect();
-        let forest = spf::shortest_path_forest(net, &sources);
+        let forest = cache.forest(net, &sources);
         // Nearest remaining terminal; ties to the smaller id (BTreeSet order).
         let next = remaining
             .iter()
@@ -75,15 +91,19 @@ pub fn takahashi_matsuyama(net: &Network, terminals: &BTreeSet<NodeId>) -> McTop
 ///
 /// Fully deterministic; ties break by node/edge ids.
 pub fn kmb(net: &Network, terminals: &BTreeSet<NodeId>) -> McTopology {
+    kmb_with(net, terminals, &SpfCache::disabled())
+}
+
+/// [`kmb`] with memoized per-terminal shortest-path trees — the heuristic's
+/// dominant cost (one full Dijkstra per terminal per invocation).
+pub fn kmb_with(net: &Network, terminals: &BTreeSet<NodeId>, cache: &SpfCache) -> McTopology {
     let mut result = McTopology::new(terminals.clone());
     if terminals.len() < 2 {
         return result;
     }
     let terms: Vec<NodeId> = terminals.iter().copied().collect();
-    let trees: BTreeMap<NodeId, spf::SpfTree> = terms
-        .iter()
-        .map(|&t| (t, spf::shortest_path_tree(net, t)))
-        .collect();
+    let trees: BTreeMap<NodeId, Rc<spf::SpfTree>> =
+        terms.iter().map(|&t| (t, cache.tree(net, t))).collect();
 
     // Step 2: Kruskal on the terminal distance graph.
     let mut pairs: Vec<(u64, NodeId, NodeId)> = Vec::new();
@@ -160,7 +180,21 @@ pub fn kmb(net: &Network, terminals: &BTreeSet<NodeId>) -> McTopology {
 ///
 /// Panics if `root` is not a node of `net`.
 pub fn pruned_spt(net: &Network, root: NodeId, terminals: &BTreeSet<NodeId>) -> McTopology {
-    let tree = spf::shortest_path_tree(net, root);
+    pruned_spt_with(net, root, terminals, &SpfCache::disabled())
+}
+
+/// [`pruned_spt`] with a memoized root tree.
+///
+/// # Panics
+///
+/// Panics if `root` is not a node of `net`.
+pub fn pruned_spt_with(
+    net: &Network,
+    root: NodeId,
+    terminals: &BTreeSet<NodeId>,
+    cache: &SpfCache,
+) -> McTopology {
+    let tree = cache.tree(net, root);
     let mut all_terminals = terminals.clone();
     all_terminals.insert(root);
     let mut result = McTopology::new(all_terminals);
@@ -197,7 +231,27 @@ pub fn delay_bounded(
     terminals: &BTreeSet<NodeId>,
     bound: u64,
 ) -> Result<McTopology, NodeId> {
-    let root_spt = spf::shortest_path_tree(net, root);
+    delay_bounded_with(net, root, terminals, bound, &SpfCache::disabled())
+}
+
+/// [`delay_bounded`] with memoized trees and forests.
+///
+/// # Errors
+///
+/// Returns the first terminal whose *shortest possible* delay from `root`
+/// already exceeds `bound` (the request is infeasible).
+///
+/// # Panics
+///
+/// Panics if `root` is not a node of `net`.
+pub fn delay_bounded_with(
+    net: &Network,
+    root: NodeId,
+    terminals: &BTreeSet<NodeId>,
+    bound: u64,
+    cache: &SpfCache,
+) -> Result<McTopology, NodeId> {
+    let root_spt = cache.tree(net, root);
     // Feasibility check up front.
     let mut order: Vec<(u64, NodeId)> = Vec::new();
     for &t in terminals {
@@ -221,7 +275,7 @@ pub fn delay_bounded(
         }
         // Cheapest attachment to the current tree.
         let sources: Vec<NodeId> = delay.keys().copied().collect();
-        let forest = spf::shortest_path_forest(net, &sources);
+        let forest = cache.forest(net, &sources);
         let attach_ok = forest.path_to(t).and_then(|path| {
             let attach = path[0];
             let extra = forest.cost_to(t)?;
@@ -311,6 +365,16 @@ fn extract_tree(
 /// result is the singleton tree at `joining`; if the image offers no path
 /// the terminal stays isolated.
 pub fn greedy_join(net: &Network, tree: &McTopology, joining: NodeId) -> McTopology {
+    greedy_join_with(net, tree, joining, &SpfCache::disabled())
+}
+
+/// [`greedy_join`] with a memoized forest from the tree's nodes.
+pub fn greedy_join_with(
+    net: &Network,
+    tree: &McTopology,
+    joining: NodeId,
+    cache: &SpfCache,
+) -> McTopology {
     let mut result = tree.clone();
     let mut terminals = tree.terminals().clone();
     terminals.insert(joining);
@@ -319,7 +383,7 @@ pub fn greedy_join(net: &Network, tree: &McTopology, joining: NodeId) -> McTopol
         return result;
     }
     let sources: Vec<NodeId> = tree.nodes().into_iter().collect();
-    let forest = spf::shortest_path_forest(net, &sources);
+    let forest = cache.forest(net, &sources);
     if let Some(path) = forest.path_to(joining) {
         for w in path.windows(2) {
             result.insert_edge(w[0], w[1]);

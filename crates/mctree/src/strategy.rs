@@ -1,5 +1,5 @@
 use crate::{algorithms, McTopology};
-use dgmc_topology::{Network, NodeId};
+use dgmc_topology::{Network, NodeId, SpfCache};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -17,13 +17,31 @@ use std::fmt;
 /// because every switch computes the same topology from the same image.
 pub trait McAlgorithm: fmt::Debug {
     /// Computes a topology spanning `terminals` over the image `net`,
-    /// optionally starting from the `previous` installed topology.
+    /// optionally starting from the `previous` installed topology, memoizing
+    /// shortest-path work in `cache`.
+    ///
+    /// The cache is an optimization only: for a fixed image and terminal set
+    /// the result must be identical whatever the cache contains (shared,
+    /// fresh or disabled), since protocol consensus depends on every switch
+    /// proposing the same topology.
+    fn compute_with(
+        &self,
+        net: &Network,
+        terminals: &BTreeSet<NodeId>,
+        previous: Option<&McTopology>,
+        cache: &SpfCache,
+    ) -> McTopology;
+
+    /// [`compute_with`](Self::compute_with) over a throwaway, disabled cache
+    /// (from-scratch computation; the historical entry point).
     fn compute(
         &self,
         net: &Network,
         terminals: &BTreeSet<NodeId>,
         previous: Option<&McTopology>,
-    ) -> McTopology;
+    ) -> McTopology {
+        self.compute_with(net, terminals, previous, &SpfCache::disabled())
+    }
 
     /// Short human-readable strategy name (for reports).
     fn name(&self) -> &'static str;
@@ -48,11 +66,12 @@ impl SphStrategy {
 }
 
 impl McAlgorithm for SphStrategy {
-    fn compute(
+    fn compute_with(
         &self,
         net: &Network,
         terminals: &BTreeSet<NodeId>,
         previous: Option<&McTopology>,
+        cache: &SpfCache,
     ) -> McTopology {
         if let Some(prev) = previous {
             let mut tree = prev.clone();
@@ -62,14 +81,14 @@ impl McAlgorithm for SphStrategy {
                 tree = algorithms::greedy_leave(&tree, gone);
             }
             for &new in terminals.difference(prev.terminals()) {
-                tree = algorithms::greedy_join(net, &tree, new);
+                tree = algorithms::greedy_join_with(net, &tree, new, cache);
             }
             if tree.validate(net, terminals).is_ok() {
                 return tree;
             }
             // Adverse network change: fall through to a from-scratch build.
         }
-        algorithms::takahashi_matsuyama(net, terminals)
+        algorithms::takahashi_matsuyama_with(net, terminals, cache)
     }
 
     fn name(&self) -> &'static str {
@@ -92,13 +111,14 @@ impl KmbStrategy {
 }
 
 impl McAlgorithm for KmbStrategy {
-    fn compute(
+    fn compute_with(
         &self,
         net: &Network,
         terminals: &BTreeSet<NodeId>,
         _previous: Option<&McTopology>,
+        cache: &SpfCache,
     ) -> McTopology {
-        algorithms::kmb(net, terminals)
+        algorithms::kmb_with(net, terminals, cache)
     }
 
     fn name(&self) -> &'static str {
@@ -131,19 +151,20 @@ impl DelayBoundedStrategy {
 }
 
 impl McAlgorithm for DelayBoundedStrategy {
-    fn compute(
+    fn compute_with(
         &self,
         net: &Network,
         terminals: &BTreeSet<NodeId>,
         _previous: Option<&McTopology>,
+        cache: &SpfCache,
     ) -> McTopology {
         let Some(&root) = terminals.iter().next() else {
             return McTopology::empty();
         };
         let others: BTreeSet<NodeId> = terminals.iter().copied().skip(1).collect();
-        match algorithms::delay_bounded(net, root, &others, self.bound) {
+        match algorithms::delay_bounded_with(net, root, &others, self.bound, cache) {
             Ok(tree) => tree,
-            Err(_) => algorithms::takahashi_matsuyama(net, terminals),
+            Err(_) => algorithms::takahashi_matsuyama_with(net, terminals, cache),
         }
     }
 

@@ -158,3 +158,37 @@ proptest! {
         prop_assert_eq!(total, expect);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Strategies produce identical topologies through a shared warm cache
+    /// and through from-scratch computation — the equivalence the protocol's
+    /// consensus relies on once engines share an `SpfCache`.
+    #[test]
+    fn cached_strategies_match_from_scratch((net, terminals) in arb_case()) {
+        use dgmc_mctree::DelayBoundedStrategy;
+        use dgmc_topology::SpfCache;
+        let cache = SpfCache::new();
+        let strategies: [&dyn McAlgorithm; 3] = [
+            &SphStrategy::new(),
+            &KmbStrategy::new(),
+            &DelayBoundedStrategy::new(dgmc_topology::metrics::cost_diameter(&net)),
+        ];
+        for strategy in strategies {
+            let scratch = strategy.compute(&net, &terminals, None);
+            // Twice through the same cache: the second pass runs warm.
+            let cold = strategy.compute_with(&net, &terminals, None, &cache);
+            let warm = strategy.compute_with(&net, &terminals, None, &cache);
+            prop_assert_eq!(&scratch, &cold, "{} cold", strategy.name());
+            prop_assert_eq!(&scratch, &warm, "{} warm", strategy.name());
+            // Incremental path: previous tree plus one member delta.
+            let mut more = terminals.clone();
+            more.insert(NodeId((terminals.len() % net.len()) as u32));
+            let inc_scratch = strategy.compute(&net, &more, Some(&scratch));
+            let inc_cached = strategy.compute_with(&net, &more, Some(&scratch), &cache);
+            prop_assert_eq!(&inc_scratch, &inc_cached, "{} incremental", strategy.name());
+        }
+        prop_assert!(cache.stats().hits > 0, "warm passes must hit the cache");
+    }
+}

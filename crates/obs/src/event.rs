@@ -142,6 +142,10 @@ pub enum DecisionKind {
         /// Stable name of the violated invariant.
         invariant: String,
     },
+    /// A computation-done signal arrived for a connection that no longer has
+    /// that computation — e.g. its state was concurrently deleted by a
+    /// withdraw/leave race. The signal was ignored as a no-op.
+    StaleCompletion,
 }
 
 impl DecisionKind {
@@ -157,6 +161,7 @@ impl DecisionKind {
             DecisionKind::TopologyInstalled { .. } => "TopologyInstalled",
             DecisionKind::FaultInjected { .. } => "FaultInjected",
             DecisionKind::InvariantViolated { .. } => "InvariantViolated",
+            DecisionKind::StaleCompletion => "StaleCompletion",
         }
     }
 }
@@ -187,6 +192,7 @@ impl fmt::Display for DecisionKind {
             DecisionKind::InvariantViolated { invariant } => {
                 write!(f, "InvariantViolated({invariant})")
             }
+            DecisionKind::StaleCompletion => write!(f, "StaleCompletion"),
         }
     }
 }
@@ -223,7 +229,9 @@ impl DecisionEvent {
             DecisionKind::ProposalComputed { edges } => {
                 pairs.push(("edges", JsonValue::U64(*edges as u64)));
             }
-            DecisionKind::ProposalFlooded | DecisionKind::ProposalWithdrawn => {}
+            DecisionKind::ProposalFlooded
+            | DecisionKind::ProposalWithdrawn
+            | DecisionKind::StaleCompletion => {}
             DecisionKind::ProposalAccepted { from } => {
                 pairs.push(("from", JsonValue::U64(*from as u64)));
             }
@@ -320,6 +328,7 @@ mod tests {
             DecisionKind::InvariantViolated {
                 invariant: "agreement".into(),
             },
+            DecisionKind::StaleCompletion,
         ];
         let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(
@@ -334,6 +343,7 @@ mod tests {
                 "TopologyInstalled",
                 "FaultInjected",
                 "InvariantViolated",
+                "StaleCompletion",
             ]
         );
     }

@@ -398,6 +398,63 @@ mod tests {
     }
 
     #[test]
+    fn extreme_samples_stay_in_bounds() {
+        // bucket_of(u64::MAX) == 64 — the last of the 65 buckets, not OOB.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 63);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.buckets(), vec![(u64::MAX, 3)]);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn low_quantiles_never_undershoot_the_min() {
+        // The conservative bucket-upper estimate must stay within the
+        // observed [min, max] even for q near (or at) 0.
+        let mut h = Histogram::new();
+        for v in [100u64, 150, 200, 1 << 40] {
+            h.record(v);
+        }
+        for q in [0.0, 1e-9, 0.01, 0.25, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q);
+            assert!(est >= h.min(), "quantile({q}) = {est} < min {}", h.min());
+            assert!(est <= h.max(), "quantile({q}) = {est} > max {}", h.max());
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn bucket_of_and_bucket_upper_are_inverses(v in proptest::prelude::any::<u64>()) {
+            let index = Histogram::bucket_of(v);
+            proptest::prop_assert!(index < BUCKETS);
+            // The bucket's upper bound covers the value...
+            proptest::prop_assert!(Histogram::bucket_upper(index) >= v);
+            // ...and the previous bucket's does not (v == 0 sits in bucket 0,
+            // which has no predecessor).
+            if index > 0 {
+                proptest::prop_assert!(Histogram::bucket_upper(index - 1) < v);
+            }
+        }
+
+        #[test]
+        fn quantiles_bracket_all_samples(values in proptest::collection::vec(proptest::prelude::any::<u64>(), 1..50)) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let lo = *values.iter().min().unwrap();
+            let hi = *values.iter().max().unwrap();
+            for q in [0.0, 0.5, 0.9, 1.0] {
+                let est = h.quantile(q);
+                proptest::prop_assert!(est >= lo && est <= hi);
+            }
+        }
+    }
+
+    #[test]
     fn empty_histogram_is_well_defined() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);

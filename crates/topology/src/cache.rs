@@ -1,0 +1,416 @@
+//! Epoch-versioned memoization of shortest-path computations.
+//!
+//! D-GMC recomputes the MC topology from scratch at every event on every
+//! switch, yet during convergence all switches hold byte-identical local
+//! images — so nearly every Dijkstra run repeats work some switch already
+//! did. [`SpfCache`] memoizes [`SpfTree`]s keyed by the network's
+//! content [`digest`](Network::digest) plus the computation's sources, so
+//! results are shared
+//!
+//! 1. across the k terminals of one KMB invocation,
+//! 2. across all MCs computed on one engine, and
+//! 3. across engines in the simulator whenever their images agree.
+//!
+//! The handle is cheaply cloneable (`Rc`-backed); clones share one store, the
+//! natural shape for the single-threaded deterministic simulator. Staleness
+//! is detected purely by keying: a mutated network has a new digest, so old
+//! entries simply stop being hit, and the cache retires whole digest
+//! generations (least-recently used first) once more than
+//! [`SpfCache::GENERATIONS`] distinct digests are live. Retired trees whose
+//! `Rc` is no longer shared donate their `dist`/`parent` vectors back to a
+//! pool, and the Dijkstra `done`/heap arenas are reused across runs, so cache
+//! misses allocate nothing steady-state.
+//!
+//! Correctness contract: `cache.tree(net, r)` is byte-identical to
+//! [`spf::shortest_path_tree`]`(net, r)` and `cache.forest(net, s)` to
+//! [`spf::shortest_path_forest`]`(net, s)` — pinned by property tests. The
+//! protocol's consensus depends on identical images yielding identical
+//! trees, which content-addressed keying preserves by construction.
+
+use crate::spf::{self, DijkstraScratch, SpfTree};
+use crate::{LinkId, Network, NodeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Aggregate counters of one [`SpfCache`].
+///
+/// Everything except `miss_nanos` is a deterministic function of the
+/// (deterministic) computation sequence, and therefore safe to export into
+/// the metrics registry without breaking byte-identical `metrics.json` runs.
+/// `miss_nanos` is wall-clock time and must stay out of serialized metrics;
+/// it exists for the benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpfCacheStats {
+    /// Requests answered from the store.
+    pub hits: u64,
+    /// Requests that ran Dijkstra (including every request on a disabled
+    /// cache).
+    pub misses: u64,
+    /// Digest generations retired to bound memory.
+    pub invalidations: u64,
+    /// Total nodes settled by miss computations — the deterministic work
+    /// metric ("how much Dijkstra actually ran").
+    pub settled_nodes: u64,
+    /// Wall-clock nanoseconds spent inside miss computations. Bench-only;
+    /// never export into deterministic metrics.
+    pub miss_nanos: u64,
+}
+
+/// Memoized results for one network digest.
+#[derive(Debug, Default)]
+struct Generation {
+    /// root -> single-source tree.
+    trees: HashMap<NodeId, Rc<SpfTree>>,
+    /// sorted sources -> multi-source forest.
+    forests: HashMap<Box<[NodeId]>, Rc<SpfTree>>,
+    /// Logical timestamp of the last lookup touching this generation.
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    enabled: bool,
+    generations: HashMap<u64, Generation>,
+    tick: u64,
+    stats: SpfCacheStats,
+    scratch: DijkstraScratch,
+    dist_pool: Vec<Vec<Option<u64>>>,
+    parent_pool: Vec<Vec<Option<(NodeId, LinkId)>>>,
+}
+
+impl Inner {
+    fn new(enabled: bool) -> Inner {
+        Inner {
+            enabled,
+            generations: HashMap::new(),
+            tick: 0,
+            stats: SpfCacheStats::default(),
+            scratch: DijkstraScratch::default(),
+            dist_pool: Vec::new(),
+            parent_pool: Vec::new(),
+        }
+    }
+
+    /// Runs Dijkstra with pooled arenas, charging a miss to the stats.
+    fn compute(
+        &mut self,
+        net: &Network,
+        sources: &[NodeId],
+        keep_sources_rooted: bool,
+        root: NodeId,
+    ) -> SpfTree {
+        let mut dist = self.dist_pool.pop().unwrap_or_default();
+        let mut parent = self.parent_pool.pop().unwrap_or_default();
+        let start = Instant::now();
+        let settled = spf::run_dijkstra(
+            net,
+            sources,
+            keep_sources_rooted,
+            &mut dist,
+            &mut parent,
+            &mut self.scratch,
+        );
+        self.stats.miss_nanos += start.elapsed().as_nanos() as u64;
+        self.stats.misses += 1;
+        self.stats.settled_nodes += settled as u64;
+        SpfTree { root, dist, parent }
+    }
+
+    /// Generation for `digest`, created on demand, with `last_used` refreshed.
+    fn generation(&mut self, digest: u64) -> &mut Generation {
+        self.tick += 1;
+        let tick = self.tick;
+        let generation = self.generations.entry(digest).or_default();
+        generation.last_used = tick;
+        generation
+    }
+
+    /// Retires least-recently-used generations beyond the capacity,
+    /// harvesting unshared trees' vectors back into the pools.
+    fn enforce_capacity(&mut self) {
+        while self.generations.len() > SpfCache::GENERATIONS {
+            // Min by (last_used, digest): deterministic regardless of map
+            // iteration order.
+            let victim = self
+                .generations
+                .iter()
+                .map(|(&digest, generation)| (generation.last_used, digest))
+                .min()
+                .map(|(_, digest)| digest)
+                .expect("non-empty above capacity");
+            let generation = self.generations.remove(&victim).expect("just found");
+            self.stats.invalidations += 1;
+            let trees = generation
+                .trees
+                .into_values()
+                .chain(generation.forests.into_values());
+            for tree in trees {
+                if let Some(tree) = Rc::into_inner(tree) {
+                    self.dist_pool.push(tree.dist);
+                    self.parent_pool.push(tree.parent);
+                }
+            }
+        }
+    }
+}
+
+/// Shared, epoch-versioned cache of [`SpfTree`] computations.
+///
+/// See the [module docs](self) for the design. Clones share the same store:
+///
+/// ```
+/// use dgmc_topology::{spf, NetworkBuilder, NodeId, SpfCache};
+///
+/// let net = NetworkBuilder::new(3).link(0, 1, 1).link(1, 2, 1).build();
+/// let cache = SpfCache::new();
+/// let a = cache.tree(&net, NodeId(0));
+/// let b = cache.clone().tree(&net, NodeId(0)); // hit, same allocation
+/// assert!(std::rc::Rc::ptr_eq(&a, &b));
+/// assert_eq!(*a, spf::shortest_path_tree(&net, NodeId(0)));
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpfCache {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Default for SpfCache {
+    fn default() -> SpfCache {
+        SpfCache::new()
+    }
+}
+
+impl SpfCache {
+    /// Maximum number of distinct network digests kept live. During
+    /// convergence one digest dominates; a link event briefly adds a second
+    /// while images disagree, so a small capacity suffices.
+    pub const GENERATIONS: usize = 4;
+
+    /// A new, enabled cache.
+    pub fn new() -> SpfCache {
+        SpfCache {
+            inner: Rc::new(RefCell::new(Inner::new(true))),
+        }
+    }
+
+    /// A cache that never memoizes: every request recomputes (still through
+    /// the pooled arenas, still counted as a miss). Used as the from-scratch
+    /// baseline in benches and by the uncached compatibility wrappers.
+    pub fn disabled() -> SpfCache {
+        SpfCache {
+            inner: Rc::new(RefCell::new(Inner::new(false))),
+        }
+    }
+
+    /// `true` unless built with [`SpfCache::disabled`].
+    pub fn is_enabled(&self) -> bool {
+        self.inner.borrow().enabled
+    }
+
+    /// Single-source shortest-path tree, equal to
+    /// [`spf::shortest_path_tree`]`(net, root)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a node of `net`.
+    pub fn tree(&self, net: &Network, root: NodeId) -> Rc<SpfTree> {
+        assert!(net.contains_node(root), "unknown SPF root {root}");
+        let inner = &mut *self.inner.borrow_mut();
+        if !inner.enabled {
+            return Rc::new(inner.compute(net, &[root], false, root));
+        }
+        let digest = net.digest();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(generation) = inner.generations.get_mut(&digest) {
+            generation.last_used = tick;
+            if let Some(tree) = generation.trees.get(&root) {
+                let tree = Rc::clone(tree);
+                inner.stats.hits += 1;
+                return tree;
+            }
+        }
+        let tree = Rc::new(inner.compute(net, &[root], false, root));
+        inner
+            .generation(digest)
+            .trees
+            .insert(root, Rc::clone(&tree));
+        inner.enforce_capacity();
+        tree
+    }
+
+    /// Multi-source shortest-path forest, equal to
+    /// [`spf::shortest_path_forest`]`(net, sources)`.
+    ///
+    /// The memo key is order-insensitive (the forest depends only on the
+    /// source *set*), so permutations of the same sources share one entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` is empty or contains an unknown node.
+    pub fn forest(&self, net: &Network, sources: &[NodeId]) -> Rc<SpfTree> {
+        assert!(!sources.is_empty(), "forest needs at least one source");
+        for &s in sources {
+            assert!(net.contains_node(s), "unknown forest source {s}");
+        }
+        let root = *sources.iter().min().expect("non-empty");
+        let inner = &mut *self.inner.borrow_mut();
+        if !inner.enabled {
+            return Rc::new(inner.compute(net, sources, true, root));
+        }
+        let mut key: Vec<NodeId> = sources.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        let key: Box<[NodeId]> = key.into();
+        let digest = net.digest();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(generation) = inner.generations.get_mut(&digest) {
+            generation.last_used = tick;
+            if let Some(tree) = generation.forests.get(&key) {
+                let tree = Rc::clone(tree);
+                inner.stats.hits += 1;
+                return tree;
+            }
+        }
+        let tree = Rc::new(inner.compute(net, sources, true, root));
+        inner
+            .generation(digest)
+            .forests
+            .insert(key, Rc::clone(&tree));
+        inner.enforce_capacity();
+        tree
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> SpfCacheStats {
+        self.inner.borrow().stats
+    }
+
+    /// Zeroes the counters (entries stay).
+    pub fn reset_stats(&self) {
+        self.inner.borrow_mut().stats = SpfCacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LinkState, NetworkBuilder};
+
+    fn diamond() -> Network {
+        NetworkBuilder::new(4)
+            .link(0, 1, 1)
+            .link(0, 2, 4)
+            .link(1, 2, 1)
+            .link(1, 3, 2)
+            .link(2, 3, 1)
+            .build()
+    }
+
+    #[test]
+    fn tree_hits_and_matches_from_scratch() {
+        let net = diamond();
+        let cache = SpfCache::new();
+        let first = cache.tree(&net, NodeId(0));
+        assert_eq!(*first, spf::shortest_path_tree(&net, NodeId(0)));
+        let second = cache.tree(&net, NodeId(0));
+        assert!(Rc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.settled_nodes, 4);
+        // A clone shares the store.
+        cache.clone().tree(&net, NodeId(0));
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn mutation_changes_key_and_forces_recompute() {
+        let mut net = diamond();
+        let cache = SpfCache::new();
+        cache.tree(&net, NodeId(0));
+        net.set_link_state(LinkId(0), LinkState::Down).unwrap();
+        let detour = cache.tree(&net, NodeId(0));
+        assert_eq!(*detour, spf::shortest_path_tree(&net, NodeId(0)));
+        assert_eq!(detour.cost_to(NodeId(1)), Some(5));
+        assert_eq!(cache.stats().misses, 2);
+        // Repairing the link restores the original digest: old entry hits.
+        net.set_link_state(LinkId(0), LinkState::Up).unwrap();
+        cache.tree(&net, NodeId(0));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn identical_content_shares_across_instances() {
+        // Two independently built but identical networks (the cross-engine
+        // shared-image case) reuse one entry.
+        let a = diamond();
+        let b = diamond();
+        let cache = SpfCache::new();
+        let ta = cache.tree(&a, NodeId(2));
+        let tb = cache.tree(&b, NodeId(2));
+        assert!(Rc::ptr_eq(&ta, &tb));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn forest_key_is_order_insensitive() {
+        let net = diamond();
+        let cache = SpfCache::new();
+        let f1 = cache.forest(&net, &[NodeId(3), NodeId(0)]);
+        let f2 = cache.forest(&net, &[NodeId(0), NodeId(3)]);
+        assert!(Rc::ptr_eq(&f1, &f2));
+        assert_eq!(
+            *f1,
+            spf::shortest_path_forest(&net, &[NodeId(3), NodeId(0)])
+        );
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn disabled_cache_never_memoizes_but_stays_equal() {
+        let net = diamond();
+        let cache = SpfCache::disabled();
+        assert!(!cache.is_enabled());
+        let a = cache.tree(&net, NodeId(1));
+        let b = cache.tree(&net, NodeId(1));
+        assert!(!Rc::ptr_eq(&a, &b));
+        assert_eq!(*a, *b);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 2));
+    }
+
+    #[test]
+    fn generations_are_capped_and_counted() {
+        let mut net = diamond();
+        let cache = SpfCache::new();
+        // Each additional downed link is a distinct digest: 6 generations
+        // (all-up plus five prefixes) against a capacity of 4.
+        cache.tree(&net, NodeId(0));
+        for link in 0..5 {
+            net.set_link_state(LinkId(link), LinkState::Down).unwrap();
+            cache.tree(&net, NodeId(0));
+        }
+        assert_eq!(cache.stats().invalidations, 2);
+        // The still-live digest keeps hitting.
+        let before = cache.stats().hits;
+        cache.tree(&net, NodeId(0));
+        assert_eq!(cache.stats().hits, before + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SPF root")]
+    fn tree_rejects_unknown_root() {
+        let cache = SpfCache::new();
+        cache.tree(&diamond(), NodeId(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one source")]
+    fn forest_rejects_empty_sources() {
+        let cache = SpfCache::new();
+        cache.forest(&diamond(), &[]);
+    }
+}

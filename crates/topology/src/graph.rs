@@ -81,11 +81,42 @@ impl Link {
 /// assert_eq!(net.link(l).unwrap().cost, 10);
 /// assert!(net.is_connected());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Network {
     links: Vec<Link>,
     /// adjacency\[node\] = link ids incident to node (up and down links alike).
     adjacency: Vec<Vec<LinkId>>,
+    /// Monotonic mutation counter; see [`Network::epoch`].
+    epoch: u64,
+    /// XOR accumulator of per-link fingerprints; see [`Network::digest`].
+    link_acc: u64,
+}
+
+/// Equality is content equality (nodes, links, adjacency); the mutation
+/// history tracked by [`Network::epoch`] does not participate, so a network
+/// whose link went down and back up still equals its untouched clone.
+impl PartialEq for Network {
+    fn eq(&self, other: &Self) -> bool {
+        self.links == other.links && self.adjacency == other.adjacency
+    }
+}
+
+/// SplitMix64 finalizer used to fingerprint links for [`Network::digest`].
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-independent fingerprint of one link's full identity. The link id
+/// participates so that two networks with the same shape but different id
+/// assignments hash differently (cached `SpfTree`s embed `LinkId`s).
+fn link_fingerprint(l: &Link) -> u64 {
+    let mut h = mix(l.id.index() as u64);
+    h = mix(h ^ (((l.a.index() as u64) << 32) | l.b.index() as u64));
+    h = mix(h ^ l.cost);
+    mix(h ^ l.is_up() as u64)
 }
 
 impl Network {
@@ -99,7 +130,31 @@ impl Network {
         Network {
             links: Vec::new(),
             adjacency: vec![Vec::new(); n],
+            epoch: 0,
+            link_acc: 0,
         }
+    }
+
+    /// Monotonic mutation counter: bumped by every call that changes the
+    /// network's content ([`add_node`](Self::add_node),
+    /// [`add_link`](Self::add_link), and state-changing
+    /// [`set_link_state`](Self::set_link_state)). A cached computation keyed
+    /// on a given epoch is stale iff the epoch moved. Cloning preserves the
+    /// epoch; redundant `set_link_state` calls do not bump it.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Order-independent content digest.
+    ///
+    /// Two networks with identical nodes, links (including [`LinkId`]
+    /// assignment, costs and up/down states) have equal digests regardless of
+    /// how they were built — a link that went down and back up restores the
+    /// original digest. [`SpfCache`](crate::SpfCache) keys shared results on
+    /// this value so engines whose local images agree byte-for-byte reuse each
+    /// other's shortest-path trees.
+    pub fn digest(&self) -> u64 {
+        mix(self.adjacency.len() as u64 ^ 0xD1B5_4A32_D192_ED03) ^ self.link_acc
     }
 
     /// Number of switches.
@@ -115,6 +170,7 @@ impl Network {
     /// Adds a new isolated switch and returns its id.
     pub fn add_node(&mut self) -> NodeId {
         self.adjacency.push(Vec::new());
+        self.epoch += 1;
         NodeId((self.adjacency.len() - 1) as u32)
     }
 
@@ -154,6 +210,8 @@ impl Network {
         });
         self.adjacency[a.index()].push(id);
         self.adjacency[b.index()].push(id);
+        self.link_acc ^= link_fingerprint(&self.links[id.index()]);
+        self.epoch += 1;
         Ok(id)
     }
 
@@ -186,7 +244,14 @@ impl Network {
             .links
             .get_mut(id.index())
             .ok_or(TopologyError::UnknownLink(id))?;
-        Ok(std::mem::replace(&mut link.state, state))
+        let prev = link.state;
+        if prev != state {
+            let old_fp = link_fingerprint(link);
+            link.state = state;
+            self.link_acc ^= old_fp ^ link_fingerprint(&self.links[id.index()]);
+            self.epoch += 1;
+        }
+        Ok(prev)
     }
 
     /// Number of links incident to `n` that are currently up.
@@ -386,6 +451,60 @@ mod tests {
         let net = path3();
         let ids: Vec<NodeId> = net.nodes().collect();
         assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_content_mutation() {
+        let mut net = Network::with_nodes(2);
+        let e0 = net.epoch();
+        net.add_node();
+        assert_eq!(net.epoch(), e0 + 1);
+        let l = net.add_link(NodeId(0), NodeId(1), 3).unwrap();
+        assert_eq!(net.epoch(), e0 + 2);
+        net.set_link_state(l, LinkState::Down).unwrap();
+        assert_eq!(net.epoch(), e0 + 3);
+        // Redundant state write: content unchanged, epoch untouched.
+        net.set_link_state(l, LinkState::Down).unwrap();
+        assert_eq!(net.epoch(), e0 + 3);
+        // Failed mutations leave the epoch alone.
+        net.add_link(NodeId(0), NodeId(1), 9).unwrap_err();
+        assert_eq!(net.epoch(), e0 + 3);
+        // Clones carry the epoch.
+        assert_eq!(net.clone().epoch(), net.epoch());
+    }
+
+    #[test]
+    fn digest_is_content_addressed() {
+        let build = || {
+            NetworkBuilder::new(4)
+                .link(0, 1, 1)
+                .link(1, 2, 2)
+                .link(2, 3, 3)
+                .build()
+        };
+        let a = build();
+        let mut b = build();
+        assert_eq!(a.digest(), b.digest());
+
+        // Down then up restores content, digest and equality — but not epoch.
+        b.set_link_state(LinkId(1), LinkState::Down).unwrap();
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a, b);
+        b.set_link_state(LinkId(1), LinkState::Up).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a, b);
+        assert_ne!(a.epoch(), b.epoch());
+
+        // Differing cost, state or node count all change the digest.
+        let cheaper = NetworkBuilder::new(4)
+            .link(0, 1, 1)
+            .link(1, 2, 2)
+            .link(2, 3, 2)
+            .build();
+        assert_ne!(a.digest(), cheaper.digest());
+        let mut more_nodes = build();
+        more_nodes.add_node();
+        assert_ne!(a.digest(), more_nodes.digest());
     }
 
     #[test]

@@ -33,12 +33,14 @@ mod error;
 mod graph;
 mod ids;
 
+pub mod cache;
 pub mod dot;
 pub mod generate;
 pub mod metrics;
 pub mod spf;
 pub mod unionfind;
 
+pub use cache::{SpfCache, SpfCacheStats};
 pub use error::TopologyError;
 pub use graph::{Link, LinkState, Network, NetworkBuilder};
 pub use ids::{LinkId, NodeId};

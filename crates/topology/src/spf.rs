@@ -79,30 +79,55 @@ impl SpfTree {
     }
 }
 
-/// Computes the deterministic Dijkstra shortest-path tree rooted at `root`.
+/// Reusable Dijkstra arenas so repeated runs allocate nothing steady-state.
 ///
-/// Only up links participate. Cost ties are broken toward the smaller
-/// predecessor node id and then the smaller link id, so two switches with the
-/// same network image compute identical trees.
+/// The output `dist`/`parent` vectors are owned by the caller (they end up
+/// inside the returned [`SpfTree`]); the `done` bitmap and the binary heap
+/// live here and are recycled across runs. Used by [`crate::SpfCache`].
+#[derive(Debug, Default)]
+pub(crate) struct DijkstraScratch {
+    done: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u64, NodeId)>>,
+}
+
+/// Core deterministic Dijkstra shared by [`shortest_path_tree`],
+/// [`shortest_path_forest`] and the cache.
 ///
-/// # Panics
-///
-/// Panics if `root` is not a node of `net`.
-pub fn shortest_path_tree(net: &Network, root: NodeId) -> SpfTree {
-    assert!(net.contains_node(root), "unknown SPF root {root}");
+/// Every node in `sources` starts at distance 0. `keep_sources_rooted`
+/// selects the forest tie-break (a source whose parent is still `None` keeps
+/// it on a cost tie) versus the historical tree behavior. Clears and fills
+/// `dist`/`parent` in place; returns the number of settled nodes — the
+/// deterministic work metric recorded by the cache.
+pub(crate) fn run_dijkstra(
+    net: &Network,
+    sources: &[NodeId],
+    keep_sources_rooted: bool,
+    dist: &mut Vec<Option<u64>>,
+    parent: &mut Vec<Option<(NodeId, LinkId)>>,
+    scratch: &mut DijkstraScratch,
+) -> usize {
     let n = net.len();
-    let mut dist: Vec<Option<u64>> = vec![None; n];
-    let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
-    let mut done = vec![false; n];
+    dist.clear();
+    dist.resize(n, None);
+    parent.clear();
+    parent.resize(n, None);
+    scratch.done.clear();
+    scratch.done.resize(n, false);
+    scratch.heap.clear();
+    let done = &mut scratch.done;
+    let heap = &mut scratch.heap;
     // (cost, node) min-heap; NodeId tie-break comes from the tuple ordering.
-    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
-    dist[root.index()] = Some(0);
-    heap.push(Reverse((0, root)));
+    for &s in sources {
+        dist[s.index()] = Some(0);
+        heap.push(Reverse((0, s)));
+    }
+    let mut settled = 0;
     while let Some(Reverse((d, u))) = heap.pop() {
         if done[u.index()] {
             continue;
         }
         done[u.index()] = true;
+        settled += 1;
         for (v, link) in net.neighbors(u) {
             let nd = d + link.cost;
             let better = match dist[v.index()] {
@@ -112,7 +137,7 @@ pub fn shortest_path_tree(net: &Network, root: NodeId) -> SpfTree {
                     // Deterministic tie-break: prefer smaller (parent, link).
                     match parent[v.index()] {
                         Some((pu, pl)) => (u, link.id) < (pu, pl),
-                        None => true,
+                        None => !keep_sources_rooted,
                     }
                 }
                 _ => false,
@@ -126,6 +151,24 @@ pub fn shortest_path_tree(net: &Network, root: NodeId) -> SpfTree {
             }
         }
     }
+    settled
+}
+
+/// Computes the deterministic Dijkstra shortest-path tree rooted at `root`.
+///
+/// Only up links participate. Cost ties are broken toward the smaller
+/// predecessor node id and then the smaller link id, so two switches with the
+/// same network image compute identical trees.
+///
+/// # Panics
+///
+/// Panics if `root` is not a node of `net`.
+pub fn shortest_path_tree(net: &Network, root: NodeId) -> SpfTree {
+    assert!(net.contains_node(root), "unknown SPF root {root}");
+    let mut dist = Vec::new();
+    let mut parent = Vec::new();
+    let mut scratch = DijkstraScratch::default();
+    run_dijkstra(net, &[root], false, &mut dist, &mut parent, &mut scratch);
     SpfTree { root, dist, parent }
 }
 
@@ -142,41 +185,13 @@ pub fn shortest_path_tree(net: &Network, root: NodeId) -> SpfTree {
 /// Panics if `sources` is empty or contains an unknown node.
 pub fn shortest_path_forest(net: &Network, sources: &[NodeId]) -> SpfTree {
     assert!(!sources.is_empty(), "forest needs at least one source");
-    let n = net.len();
-    let mut dist: Vec<Option<u64>> = vec![None; n];
-    let mut parent: Vec<Option<(NodeId, LinkId)>> = vec![None; n];
-    let mut done = vec![false; n];
-    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
     for &s in sources {
         assert!(net.contains_node(s), "unknown forest source {s}");
-        dist[s.index()] = Some(0);
-        heap.push(Reverse((0, s)));
     }
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if done[u.index()] {
-            continue;
-        }
-        done[u.index()] = true;
-        for (v, link) in net.neighbors(u) {
-            let nd = d + link.cost;
-            let better = match dist[v.index()] {
-                None => true,
-                Some(old) if nd < old => true,
-                Some(old) if nd == old => match parent[v.index()] {
-                    Some((pu, pl)) => (u, link.id) < (pu, pl),
-                    None => false, // v is itself a source; keep it rooted
-                },
-                _ => false,
-            };
-            if better {
-                dist[v.index()] = Some(nd);
-                parent[v.index()] = Some((u, link.id));
-                if !done[v.index()] {
-                    heap.push(Reverse((nd, v)));
-                }
-            }
-        }
-    }
+    let mut dist = Vec::new();
+    let mut parent = Vec::new();
+    let mut scratch = DijkstraScratch::default();
+    run_dijkstra(net, sources, true, &mut dist, &mut parent, &mut scratch);
     let root = *sources.iter().min().expect("non-empty");
     SpfTree { root, dist, parent }
 }

@@ -84,3 +84,63 @@ proptest! {
         }
     }
 }
+
+fn arb_mutated_case() -> impl Strategy<Value = (dgmc_topology::Network, Vec<u64>)> {
+    (
+        4usize..40,
+        any::<u64>(),
+        prop::collection::vec(any::<u64>(), 1..12),
+    )
+        .prop_map(|(n, seed, muts)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
+            (net, muts)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Cache equivalence (the tentpole's correctness pin): after every epoch
+    /// bump of a random mutation sequence, `SpfCache` results are identical
+    /// to from-scratch `shortest_path_tree` / `shortest_path_forest`.
+    #[test]
+    fn cache_equals_from_scratch_across_mutations((mut net, muts) in arb_mutated_case()) {
+        use dgmc_topology::{LinkId, LinkState, SpfCache};
+        let cache = SpfCache::new();
+        let check = |net: &dgmc_topology::Network, pick: u64| -> Result<(), TestCaseError> {
+            let n = net.len() as u64;
+            let roots = [NodeId((pick % n) as u32), NodeId((pick / 3 % n) as u32)];
+            for root in roots {
+                prop_assert_eq!(&*cache.tree(net, root), &spf::shortest_path_tree(net, root));
+                // A repeated lookup must return the very same result.
+                prop_assert_eq!(&*cache.tree(net, root), &spf::shortest_path_tree(net, root));
+            }
+            let sources: Vec<NodeId> = (0..=(pick % n.min(5)))
+                .map(|i| NodeId(((pick / 7 + i) % n) as u32))
+                .collect();
+            prop_assert_eq!(
+                &*cache.forest(net, &sources),
+                &spf::shortest_path_forest(net, &sources)
+            );
+            Ok(())
+        };
+        check(&net, 0)?;
+        for m in muts {
+            let links = net.link_count() as u64;
+            let id = LinkId((m % links) as u32);
+            let epoch_before = net.epoch();
+            let was = net.link(id).unwrap().state;
+            let flipped = match was {
+                LinkState::Up => LinkState::Down,
+                LinkState::Down => LinkState::Up,
+            };
+            net.set_link_state(id, flipped).unwrap();
+            prop_assert_eq!(net.epoch(), epoch_before + 1);
+            check(&net, m)?;
+        }
+        let stats = cache.stats();
+        prop_assert!(stats.hits > 0, "repeated lookups must hit");
+        prop_assert!(stats.misses > 0);
+    }
+}

@@ -107,6 +107,54 @@ fn metrics_snapshots_are_byte_identical_across_same_seed_runs() {
 }
 
 #[test]
+fn cached_runs_write_byte_identical_metrics_and_match_uncached_protocol() {
+    use dgmc::experiments::report;
+    use dgmc::topology::SpfCache;
+    let run = |cache: SpfCache| {
+        let m = runner::run_seeded_with_cache(
+            30,
+            11,
+            DgmcConfig::computation_dominated(),
+            |rng, net| workload::bursty(rng, net, &BurstParams::default()),
+            cache,
+        )
+        .unwrap();
+        (
+            report::metrics_snapshot("cache-determinism", &m.registry),
+            m,
+        )
+    };
+    // Two cached runs: byte-identical metrics.json despite the cache's own
+    // wall-clock timings (those never enter the registry).
+    let (snap1, m1) = run(SpfCache::new());
+    let (snap2, m2) = run(SpfCache::new());
+    assert_eq!(snap1, snap2, "cached snapshots must be byte-identical");
+    assert_eq!(m1, m2);
+    // An uncached run: every protocol-level counter identical; only the
+    // spf_cache.* instrumentation itself differs.
+    let (_, uncached) = run(SpfCache::disabled());
+    assert_eq!(m1.events, uncached.events);
+    assert_eq!(m1.computations, uncached.computations);
+    assert_eq!(m1.floodings, uncached.floodings);
+    assert_eq!(m1.withdrawn, uncached.withdrawn);
+    assert_eq!(m1.convergence_rounds, uncached.convergence_rounds);
+    for (name, value) in m1.registry.counters_map() {
+        if name.starts_with("spf_cache.") {
+            continue;
+        }
+        assert_eq!(
+            value,
+            uncached.registry.counter_value(&name),
+            "{name} diverged under caching"
+        );
+    }
+    assert!(
+        m1.registry.counter_value("spf_cache.hits") > 0,
+        "the shared cache must actually be hit during the measured phase"
+    );
+}
+
+#[test]
 fn experiment_sweeps_are_reproducible() {
     let mut spec = presets::quick(presets::experiment1());
     spec.sizes = vec![20];
