@@ -11,15 +11,31 @@ cargo fmt --all -- --check
 echo "== cargo clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== cargo test =="
-cargo test --workspace --offline -q
+echo "== cargo test (with backtraces, so panics in threaded tests are diagnosable) =="
+RUST_BACKTRACE=1 cargo test --workspace --offline -q
 
 echo "== explorer smoke (fixed seeds, fault-injected invariant check) =="
 cargo run --offline -q --release -p dgmc-experiments --bin explore -- --seeds 25 --fail-fast
 
+echo "== parallel explorer smoke (4 workers over the same seeds) =="
+cargo run --offline -q --release -p dgmc-experiments --bin explore -- \
+    --seeds 25 --jobs 4 --report results/explore-par.json
+
+echo "== serial-vs-parallel report diff gate =="
+cargo run --offline -q --release -p dgmc-experiments --bin explore -- \
+    --seeds 25 --jobs 1 --report results/explore-serial.json >/dev/null
+cmp results/explore-serial.json results/explore-par.json || {
+    echo "explorer reports differ between --jobs 1 and --jobs 4"
+    exit 1
+}
+
 echo "== SPF cache smoke bench (emits BENCH_pr3.json) =="
 DGMC_BENCH_SMOKE=1 cargo bench --offline -q -p dgmc-bench --bench cache
 test -s BENCH_pr3.json || { echo "BENCH_pr3.json missing or empty"; exit 1; }
+
+echo "== parallel sweep smoke bench (emits BENCH_pr4.json) =="
+DGMC_BENCH_SMOKE=1 cargo bench --offline -q -p dgmc-bench --bench sweep
+test -s BENCH_pr4.json || { echo "BENCH_pr4.json missing or empty"; exit 1; }
 
 echo "== fig6 preset exposes the cache hit-rate counter =="
 cargo run --offline -q --release -p dgmc-experiments --bin exp1 -- --quick >/dev/null

@@ -13,10 +13,12 @@
 //! The D-GMC scenario assembly and the protocol invariant suite live in the
 //! `dgmc-core`/`dgmc-experiments` crates.
 
+use crate::par;
 use dgmc_obs::JsonValue;
 use std::fmt;
 use std::fs;
 use std::io;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// What seed range to run and how to react to failures.
@@ -28,6 +30,9 @@ pub struct ExploreConfig {
     pub seeds: u64,
     /// Stop at the first failing seed instead of completing the sweep.
     pub fail_fast: bool,
+    /// Worker threads sharing the sweep (`1` = serial). The report is
+    /// byte-identical for every value; only wall-clock changes.
+    pub jobs: usize,
 }
 
 impl Default for ExploreConfig {
@@ -36,6 +41,7 @@ impl Default for ExploreConfig {
             start_seed: 0,
             seeds: 100,
             fail_fast: false,
+            jobs: 1,
         }
     }
 }
@@ -110,6 +116,39 @@ impl ExploreReport {
             ),
         }
     }
+
+    /// Renders the report as one stable JSON object (`checked`, `passed` and
+    /// the failures in seed order). Used by the CI serial-versus-parallel
+    /// diff gate: two runs agree iff their rendered reports are
+    /// byte-identical.
+    pub fn to_json(&self) -> String {
+        let failures = self
+            .failures
+            .iter()
+            .map(|f| {
+                let violations = f
+                    .violations
+                    .iter()
+                    .map(|v| {
+                        JsonValue::obj(vec![
+                            ("invariant", JsonValue::Str(v.invariant.clone())),
+                            ("detail", JsonValue::Str(v.detail.clone())),
+                        ])
+                    })
+                    .collect();
+                JsonValue::obj(vec![
+                    ("seed", JsonValue::U64(f.seed)),
+                    ("violations", JsonValue::Arr(violations)),
+                ])
+            })
+            .collect();
+        JsonValue::obj(vec![
+            ("checked", JsonValue::U64(self.checked)),
+            ("passed", JsonValue::Bool(self.passed())),
+            ("failures", JsonValue::Arr(failures)),
+        ])
+        .to_json()
+    }
 }
 
 /// Runs `run` over the configured seed range and aggregates the outcomes.
@@ -121,6 +160,58 @@ pub fn explore(config: &ExploreConfig, mut run: impl FnMut(u64) -> SeedOutcome) 
     for seed in config.start_seed..config.start_seed.saturating_add(config.seeds) {
         let outcome = run(seed);
         debug_assert_eq!(outcome.seed, seed, "scenario must report its own seed");
+        report.checked += 1;
+        if !outcome.passed() {
+            report.failures.push(outcome);
+            if config.fail_fast {
+                break;
+            }
+        }
+    }
+    report
+}
+
+/// Sharded variant of [`explore`]: the seed range is split across
+/// `config.jobs` workers (see [`par::sweep`]), each owning the per-worker
+/// state built by `init` (typically a scratch SPF cache — anything reusable
+/// across seeds that must not cross threads).
+///
+/// The report is aggregated **in seed order** and canonicalized, so it is
+/// byte-identical to the serial [`explore`] for every `jobs` value: without
+/// `fail_fast` every seed appears exactly once; with `fail_fast` the report
+/// is truncated at the *smallest* failing seed even if a worker racing ahead
+/// also failed on a later one (the serial sweep would never have reached it).
+pub fn explore_sharded<S>(
+    config: &ExploreConfig,
+    init: impl Fn(usize) -> S + Sync,
+    run: impl Fn(&mut S, u64) -> SeedOutcome + Sync,
+) -> ExploreReport {
+    let tasks = usize::try_from(
+        config
+            .start_seed
+            .saturating_add(config.seeds)
+            .saturating_sub(config.start_seed),
+    )
+    .expect("seed count exceeds the address space");
+    let start = config.start_seed;
+    let slots = par::sweep(
+        config.jobs.max(1),
+        tasks,
+        init,
+        |state, index| {
+            let seed = start + index as u64;
+            let outcome = run(state, seed);
+            debug_assert_eq!(outcome.seed, seed, "scenario must report its own seed");
+            outcome
+        },
+        |outcome| config.fail_fast && !outcome.passed(),
+    );
+
+    // Completed slots form a prefix of the range (par::sweep claims indices
+    // in increasing order and drains in-flight seeds), so a seed-ordered
+    // scan reconstructs exactly what the serial sweep would have reported.
+    let mut report = ExploreReport::default();
+    for outcome in slots.into_iter().flatten() {
         report.checked += 1;
         if !outcome.passed() {
             report.failures.push(outcome);
@@ -183,16 +274,47 @@ impl ReproBundle {
         .to_json()
     }
 
+    /// The filename this bundle writes to: derived from the seed (never a
+    /// shared counter or fixed name), so concurrent workers failing on
+    /// different seeds can never race for the same path.
+    pub fn file_name(&self) -> String {
+        format!("repro-seed-{}.json", self.seed)
+    }
+
     /// Writes the bundle to `dir/repro-seed-<seed>.json`, creating `dir` if
     /// needed, and returns the path.
+    ///
+    /// The file is opened create-new: an existing bundle (a stale one from
+    /// an earlier sweep, or a concurrent writer that got there first) is
+    /// never silently overwritten.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::AlreadyExists`] if the bundle file already exists;
+    /// otherwise propagates filesystem errors.
+    pub fn write(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        let mut file = fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Like [`ReproBundle::write`], but replaces an existing file — the
+    /// explicit opt-in for interactive replays that intentionally refresh a
+    /// stale bundle.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
-    pub fn write(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+    pub fn write_replacing(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
-        let path = dir.join(format!("repro-seed-{}.json", self.seed));
+        let path = dir.join(self.file_name());
         fs::write(&path, self.to_json())?;
         Ok(path)
     }
@@ -238,7 +360,7 @@ mod tests {
         let config = ExploreConfig {
             start_seed: 10,
             seeds: 5,
-            fail_fast: false,
+            ..ExploreConfig::default()
         };
         let mut seen = Vec::new();
         let report = explore(&config, |seed| {
@@ -263,6 +385,7 @@ mod tests {
             start_seed: 0,
             seeds: 100,
             fail_fast: true,
+            ..ExploreConfig::default()
         };
         let report = explore(&config, |seed| {
             if seed == 3 {
@@ -281,6 +404,125 @@ mod tests {
         assert!(report.passed());
         assert_eq!(report.checked, 100);
         assert!(report.summary().contains("all invariants held"));
+    }
+
+    #[test]
+    fn sharded_reports_are_byte_identical_to_serial() {
+        let scenario = |seed: u64| {
+            if seed % 7 == 3 {
+                fail(seed)
+            } else {
+                SeedOutcome::pass(seed)
+            }
+        };
+        for fail_fast in [false, true] {
+            let serial = explore(
+                &ExploreConfig {
+                    start_seed: 5,
+                    seeds: 40,
+                    fail_fast,
+                    jobs: 1,
+                },
+                scenario,
+            );
+            for jobs in [1, 2, 4, 8] {
+                let config = ExploreConfig {
+                    start_seed: 5,
+                    seeds: 40,
+                    fail_fast,
+                    jobs,
+                };
+                let sharded = explore_sharded(&config, |_| (), |(), seed| scenario(seed));
+                assert_eq!(
+                    serial, sharded,
+                    "jobs={jobs} fail_fast={fail_fast} diverged from serial"
+                );
+                assert_eq!(serial.to_json(), sharded.to_json());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_fail_fast_truncates_at_the_smallest_failing_seed() {
+        // Every seed from 10 on fails; whichever worker finishes first, the
+        // canonical report must stop at seed 10 exactly like the serial run.
+        let config = ExploreConfig {
+            start_seed: 0,
+            seeds: 64,
+            fail_fast: true,
+            jobs: 4,
+        };
+        let report = explore_sharded(
+            &config,
+            |_| (),
+            |(), seed| {
+                if seed >= 10 {
+                    fail(seed)
+                } else {
+                    SeedOutcome::pass(seed)
+                }
+            },
+        );
+        assert_eq!(report.checked, 11);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.first_failing_seed(), Some(10));
+    }
+
+    #[test]
+    fn sharded_workers_get_private_state() {
+        let config = ExploreConfig {
+            start_seed: 0,
+            seeds: 30,
+            fail_fast: false,
+            jobs: 3,
+        };
+        // Per-worker counters: each worker increments only its own state, so
+        // the per-seed work never needs synchronization.
+        let report = explore_sharded(
+            &config,
+            |_worker| 0u64,
+            |ran, seed| {
+                *ran += 1;
+                SeedOutcome::pass(seed)
+            },
+        );
+        assert_eq!(report.checked, 30);
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn report_json_is_stable() {
+        let report = ExploreReport {
+            checked: 3,
+            failures: vec![fail(2)],
+        };
+        assert_eq!(
+            report.to_json(),
+            r#"{"checked":3,"passed":false,"failures":[{"seed":2,"violations":[{"invariant":"agreement","detail":"seed 2 diverged"}]}]}"#
+        );
+    }
+
+    #[test]
+    fn bundle_write_is_create_new_and_replacing_is_explicit() {
+        let bundle = ReproBundle {
+            seed: 5,
+            scenario: "chaos".into(),
+            plan: JsonValue::obj(vec![]),
+            violations: Vec::new(),
+            timeline: Vec::new(),
+            replay: "replay".into(),
+        };
+        let dir = std::env::temp_dir().join(format!("dgmc-bundle-cn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = bundle.write(&dir).unwrap();
+        assert!(path.ends_with("repro-seed-5.json"));
+        let err = bundle
+            .write(&dir)
+            .expect_err("second write must not clobber");
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        let replaced = bundle.write_replacing(&dir).unwrap();
+        assert_eq!(replaced, path);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! * seeded fault injection on the delivery path ([`net`]: loss,
 //!   duplication, jitter, link flaps, node outages) and a seed-sweeping
 //!   schedule-exploration harness with replayable repro bundles
-//!   ([`explorer`]).
+//!   ([`explorer`]),
+//! * a dependency-free scoped-thread worker pool that shards independent
+//!   seeds across cores with deterministic, seed-ordered aggregation
+//!   ([`par`]).
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@ mod time;
 
 pub mod explorer;
 pub mod net;
+pub mod par;
 pub mod stats;
 pub mod trace;
 

@@ -324,9 +324,16 @@ impl<M> Simulation<M> {
     }
 
     /// Registers an actor and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor count would exceed the `u32` id space (a silent
+    /// `as u32` truncation here would alias two distinct actors).
     pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        let id = u32::try_from(self.actors.len())
+            .expect("actor count exceeds the u32 ActorId space — ids would alias");
         self.actors.push(Some(actor));
-        ActorId((self.actors.len() - 1) as u32)
+        ActorId(id)
     }
 
     /// Number of registered actors.

@@ -1,7 +1,7 @@
 //! Reproduces Experiment 2 (Figure 7): bursty event generation with high
 //! communication time (WAN timing, `Tf >> Tc`).
 //!
-//! Usage: `cargo run --release -p dgmc-experiments --bin exp2 [--quick] [--csv]`
+//! Usage: `cargo run --release -p dgmc-experiments --bin exp2 [--quick] [--csv] [--jobs N]`
 
 use dgmc_experiments::{presets, report};
 
@@ -11,7 +11,8 @@ fn main() {
     if args.iter().any(|a| a == "--quick") {
         spec = presets::quick(spec);
     }
-    let results = presets::run_experiment_with(&spec, |row| {
+    let jobs = presets::jobs_from_args(&args);
+    let results = presets::run_experiment_with(&spec, jobs, |row| {
         eprintln!(
             "n={:>3}: proposals/event {:.2}, floodings/event {:.2}, convergence {:.1} rounds",
             row.n,

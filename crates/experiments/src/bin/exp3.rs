@@ -1,7 +1,7 @@
 //! Reproduces Experiment 3 (Figure 8): "normal" traffic periods — events
 //! sufficiently separated to be handled individually.
 //!
-//! Usage: `cargo run --release -p dgmc-experiments --bin exp3 [--quick] [--csv]`
+//! Usage: `cargo run --release -p dgmc-experiments --bin exp3 [--quick] [--csv] [--jobs N]`
 
 use dgmc_experiments::{presets, report};
 
@@ -11,7 +11,8 @@ fn main() {
     if args.iter().any(|a| a == "--quick") {
         spec = presets::quick(spec);
     }
-    let results = presets::run_experiment_with(&spec, |row| {
+    let jobs = presets::jobs_from_args(&args);
+    let results = presets::run_experiment_with(&spec, jobs, |row| {
         eprintln!(
             "n={:>3}: proposals/event {:.3} (excess {:.3}), floodings/event {:.3}",
             row.n,

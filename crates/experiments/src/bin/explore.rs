@@ -6,17 +6,20 @@
 //!
 //! Usage:
 //!   cargo run -p dgmc-experiments --bin explore -- --seeds 100
+//!   cargo run -p dgmc-experiments --bin explore -- --seeds 100 --jobs 8
 //!   cargo run -p dgmc-experiments --bin explore -- --seeds 25 --fail-fast
 //!   cargo run -p dgmc-experiments --bin explore -- --seed 42   # replay one
 //!
-//! Flags: `--seeds N` (default 100), `--start N`, `--fail-fast`, `--seed X`
-//! (replay one seed verbosely instead of sweeping), `--nodes N`,
-//! `--loss P`, `--hard-loss P`, `--duplicate P`, `--jitter-us N`,
-//! `--flaps N`, `--crashes N`, `--timeline N`, `--out DIR` (default
-//! `results`). Exits non-zero if any checked seed fails.
+//! Flags: `--seeds N` (default 100), `--start N`, `--fail-fast`, `--jobs N`
+//! (worker threads, default `min(cores, 8)`; the report is byte-identical
+//! for every value), `--seed X` (replay one seed verbosely instead of
+//! sweeping), `--nodes N`, `--loss P`, `--hard-loss P`, `--duplicate P`,
+//! `--jitter-us N`, `--flaps N`, `--crashes N`, `--timeline N`, `--out DIR`
+//! (default `results`), `--report FILE` (write the report JSON). Exits
+//! non-zero if any checked seed fails.
 
 use dgmc_des::explorer::ExploreConfig;
-use dgmc_des::SimDuration;
+use dgmc_des::{par, SimDuration};
 use dgmc_experiments::explore::{self, ExploreParams};
 
 fn parse<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
@@ -35,10 +38,14 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut config = ExploreConfig::default();
+    let mut config = ExploreConfig {
+        jobs: par::default_jobs(),
+        ..ExploreConfig::default()
+    };
     let mut params = ExploreParams::default();
     let mut replay_seed: Option<u64> = None;
     let mut out_dir = "results".to_owned();
+    let mut report_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -51,7 +58,9 @@ fn main() {
             }
             "--seeds" => config.seeds = parse(flag, value),
             "--start" => config.start_seed = parse(flag, value),
+            "--jobs" => config.jobs = parse(flag, value),
             "--seed" => replay_seed = Some(parse(flag, value)),
+            "--report" => report_path = Some(parse(flag, value)),
             "--nodes" => params.nodes = parse(flag, value),
             "--loss" => params.loss = parse(flag, value),
             "--hard-loss" => params.hard_loss = parse(flag, value),
@@ -81,7 +90,8 @@ fn main() {
         }
         let bundle = explore::repro_bundle(seed, &params);
         print!("{}", bundle.render());
-        match bundle.write(&out_dir) {
+        // Replays deliberately refresh any stale bundle for this seed.
+        match bundle.write_replacing(&out_dir) {
             Ok(path) => eprintln!("repro bundle: {}", path.display()),
             Err(e) => eprintln!("failed to write repro bundle: {e}"),
         }
@@ -89,11 +99,12 @@ fn main() {
     }
 
     eprintln!(
-        "exploring {} seed(s) from {} on {}-node networks \
+        "exploring {} seed(s) from {} on {}-node networks with {} worker(s) \
          (loss {}, hard-loss {}, duplicate {}, jitter {}us, {} flap(s), {} crash(es))",
         config.seeds,
         config.start_seed,
         params.nodes,
+        config.jobs.max(1),
         params.loss,
         params.hard_loss,
         params.duplicate,
@@ -101,17 +112,31 @@ fn main() {
         params.flaps,
         params.crashes,
     );
-    let report = explore::explore_run(&config, &params);
-    for failure in &report.failures {
-        let bundle = explore::repro_bundle(failure.seed, &params);
+    let (report, bundles) = explore::explore_and_bundle(&config, &params, &out_dir);
+    for (bundle, path) in &bundles {
         eprint!("{}", bundle.render());
-        match bundle.write(&out_dir) {
-            Ok(path) => eprintln!("repro bundle: {}", path.display()),
-            Err(e) => eprintln!("failed to write repro bundle: {e}"),
+        eprintln!("repro bundle: {}", path.display());
+    }
+    if let Some(path) = report_path {
+        match write_report(&path, &report.to_json()) {
+            Ok(()) => eprintln!("report: {path}"),
+            Err(e) => {
+                eprintln!("failed to write report {path}: {e}");
+                std::process::exit(2);
+            }
         }
     }
     println!("{}", report.summary());
     if !report.passed() {
         std::process::exit(1);
     }
+}
+
+fn write_report(path: &str, json: &str) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, format!("{json}\n"))
 }

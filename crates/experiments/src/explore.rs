@@ -14,7 +14,7 @@ use crate::runner::EXPERIMENT_MC;
 use crate::workload::{self, BurstParams, Workload};
 use dgmc_core::invariants;
 use dgmc_core::switch::{
-    build_dgmc_sim, inject_link_event, inject_node_event, DgmcConfig, SwitchMsg,
+    build_dgmc_sim_with_cache, inject_link_event, inject_node_event, DgmcConfig, SwitchMsg,
 };
 use dgmc_core::{McType, Role};
 use dgmc_des::explorer::{self, ExploreConfig, ExploreReport, ReproBundle, SeedOutcome, Violation};
@@ -23,12 +23,15 @@ use dgmc_des::{
     SimDuration, Simulation,
 };
 use dgmc_mctree::SphStrategy;
-use dgmc_topology::{generate, LinkState, Network, NodeId};
+use dgmc_topology::{generate, LinkState, Network, NodeId, SpfCache};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
+use std::sync::Mutex;
 
 /// Decorrelates the network-model RNG stream from the scenario RNG stream
 /// (same seed, different golden-ratio-xored domain).
@@ -263,8 +266,29 @@ fn inject_measured_phase(sim: &mut Simulation<SwitchMsg>, scenario: &Scenario) {
 /// decisions and returns its rendered tail (used by replays; the sweep path
 /// passes `None` and pays nothing for observability).
 pub fn run_scenario(seed: u64, params: &ExploreParams, timeline: Option<usize>) -> ScenarioRun {
+    run_scenario_with_cache(seed, params, timeline, &SpfCache::new())
+}
+
+/// [`run_scenario`] reusing a caller-owned [`SpfCache`].
+///
+/// The cache is the per-*worker* scratch state of the parallel sweep: each
+/// worker builds one inside its own thread (the cache is `Rc`-based and must
+/// not cross threads) and threads it through every seed it claims. Networks
+/// are content-addressed, so reuse is protocol-neutral and the verdict is
+/// identical with a fresh, shared or disabled cache.
+pub fn run_scenario_with_cache(
+    seed: u64,
+    params: &ExploreParams,
+    timeline: Option<usize>,
+    cache: &SpfCache,
+) -> ScenarioRun {
     let scenario = build_scenario(seed, params);
-    let mut sim = build_dgmc_sim(&scenario.net, params.config, Rc::new(SphStrategy::new()));
+    let mut sim = build_dgmc_sim_with_cache(
+        &scenario.net,
+        params.config,
+        Rc::new(SphStrategy::new()),
+        cache.clone(),
+    );
     sim.set_event_budget(EVENT_BUDGET);
     let log = timeline.map(|cap| sim.observer().attach_log(cap.max(1)));
     sim.set_net_model(FaultyNet::new(scenario.plan.clone(), seed ^ NET_SEED_SALT));
@@ -320,16 +344,84 @@ pub fn run_seed(seed: u64, params: &ExploreParams) -> SeedOutcome {
     run_scenario(seed, params, None).outcome
 }
 
-/// Sweeps the configured seed range.
+/// Sweeps the configured seed range across `config.jobs` workers.
+///
+/// Each worker owns its own `Rc`-based simulation stack and a private
+/// scratch [`SpfCache`]; outcomes are merged deterministically in seed
+/// order, so the report is byte-identical for every `jobs` value (see
+/// [`explorer::explore_sharded`]).
 pub fn explore_run(config: &ExploreConfig, params: &ExploreParams) -> ExploreReport {
-    explorer::explore(config, |seed| run_seed(seed, params))
+    explorer::explore_sharded(
+        config,
+        |_worker| SpfCache::new(),
+        |cache, seed| run_scenario_with_cache(seed, params, None, cache).outcome,
+    )
+}
+
+/// [`explore_run`] that additionally writes a repro bundle for every failing
+/// seed into `out_dir`, from inside the worker that found it.
+///
+/// Bundle filenames derive from the seed, so two workers failing
+/// simultaneously can never collide on a path; a bundle left over from an
+/// *earlier* sweep of the same seed is replaced (with a note on stderr),
+/// which [`ReproBundle::write`]'s create-new semantics make an explicit
+/// decision rather than a silent overwrite. Returns the report plus the
+/// written bundles in seed order.
+pub fn explore_and_bundle(
+    config: &ExploreConfig,
+    params: &ExploreParams,
+    out_dir: impl AsRef<Path>,
+) -> (ExploreReport, Vec<(ReproBundle, PathBuf)>) {
+    let out_dir = out_dir.as_ref();
+    let written: Mutex<Vec<(ReproBundle, PathBuf)>> = Mutex::new(Vec::new());
+    let report = explorer::explore_sharded(
+        config,
+        |_worker| SpfCache::new(),
+        |cache, seed| {
+            let outcome = run_scenario_with_cache(seed, params, None, cache).outcome;
+            if !outcome.passed() {
+                let bundle = repro_bundle_with_cache(seed, params, cache);
+                match write_bundle_fresh(&bundle, out_dir) {
+                    Ok(path) => written
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((bundle, path)),
+                    Err(e) => eprintln!("failed to write repro bundle for seed {seed}: {e}"),
+                }
+            }
+            outcome
+        },
+    );
+    let mut written = written.into_inner().unwrap_or_else(|e| e.into_inner());
+    written.sort_by_key(|(bundle, _)| bundle.seed);
+    (report, written)
+}
+
+/// Create-new bundle write with one deliberate fallback: a stale bundle from
+/// a previous sweep of the same seed is refreshed in place.
+fn write_bundle_fresh(bundle: &ReproBundle, out_dir: &Path) -> io::Result<PathBuf> {
+    match bundle.write(out_dir) {
+        Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+            eprintln!(
+                "replacing stale repro bundle {} from an earlier sweep",
+                bundle.file_name()
+            );
+            bundle.write_replacing(out_dir)
+        }
+        other => other,
+    }
 }
 
 /// Re-runs a failing seed with the decision log attached and packages the
 /// minimized repro: seed, fault-plan JSON, violations, timeline tail and
 /// the one-command replay line.
 pub fn repro_bundle(seed: u64, params: &ExploreParams) -> ReproBundle {
-    let run = run_scenario(seed, params, Some(params.timeline));
+    repro_bundle_with_cache(seed, params, &SpfCache::new())
+}
+
+/// [`repro_bundle`] reusing a worker's scratch [`SpfCache`].
+pub fn repro_bundle_with_cache(seed: u64, params: &ExploreParams, cache: &SpfCache) -> ReproBundle {
+    let run = run_scenario_with_cache(seed, params, Some(params.timeline), cache);
     ReproBundle {
         seed,
         scenario: format!("chaos-n{}", params.nodes),
@@ -390,7 +482,7 @@ mod tests {
         let config = ExploreConfig {
             start_seed: 0,
             seeds: 5,
-            fail_fast: false,
+            ..ExploreConfig::default()
         };
         let report = explore_run(&config, &quick());
         assert!(
@@ -415,6 +507,88 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_reports_are_byte_identical_to_serial() {
+        let params = quick();
+        let serial = explore_run(
+            &ExploreConfig {
+                start_seed: 0,
+                seeds: 6,
+                ..ExploreConfig::default()
+            },
+            &params,
+        );
+        for jobs in [2, 4] {
+            let parallel = explore_run(
+                &ExploreConfig {
+                    start_seed: 0,
+                    seeds: 6,
+                    fail_fast: false,
+                    jobs,
+                },
+                &params,
+            );
+            assert_eq!(serial, parallel, "jobs={jobs} changed the report");
+            assert_eq!(
+                serial.to_json(),
+                parallel.to_json(),
+                "jobs={jobs} changed the report bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_failures_all_write_their_bundles() {
+        // 30% hard loss breaks most seeds: with four workers sweeping
+        // without fail-fast, several failures are in flight at once and every
+        // one must land in its own seed-derived bundle file.
+        let params = ExploreParams {
+            hard_loss: 0.3,
+            ..quick()
+        };
+        let config = ExploreConfig {
+            start_seed: 0,
+            seeds: 8,
+            fail_fast: false,
+            jobs: 4,
+        };
+        let dir = std::env::temp_dir().join(format!("dgmc-par-bundles-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (report, written) = explore_and_bundle(&config, &params, &dir);
+        assert!(
+            report.failures.len() >= 2,
+            "need at least two concurrent failures to exercise the collision path: {}",
+            report.summary()
+        );
+        assert_eq!(written.len(), report.failures.len());
+        for (failure, (bundle, path)) in report.failures.iter().zip(&written) {
+            assert_eq!(failure.seed, bundle.seed, "bundles come back in seed order");
+            assert!(
+                path.ends_with(format!("repro-seed-{}.json", failure.seed)),
+                "bundle path must derive from the seed: {}",
+                path.display()
+            );
+            let body = std::fs::read_to_string(path).unwrap();
+            assert_eq!(body, bundle.to_json(), "bundle file is intact, not torn");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn worker_scratch_cache_does_not_change_verdicts() {
+        // One cache reused across seeds (a worker's view) versus a fresh
+        // cache per seed: the content-addressed cache must be invisible.
+        let params = quick();
+        let cache = SpfCache::new();
+        for seed in 0..4 {
+            let reused = run_scenario_with_cache(seed, &params, None, &cache);
+            let fresh = run_scenario(seed, &params, None);
+            assert_eq!(reused.outcome, fresh.outcome);
+            assert_eq!(reused.plan, fresh.plan);
+            assert_eq!(reused.net_stats, fresh.net_stats);
+        }
+    }
+
+    #[test]
     fn hard_loss_mutation_is_caught_and_replays_deterministically() {
         let params = ExploreParams {
             hard_loss: 0.3,
@@ -424,6 +598,7 @@ mod tests {
             start_seed: 0,
             seeds: 10,
             fail_fast: true,
+            ..ExploreConfig::default()
         };
         let report = explore_run(&config, &params);
         let seed = report

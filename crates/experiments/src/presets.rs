@@ -5,6 +5,7 @@
 use crate::runner::{run_dgmc, RunMetrics};
 use crate::workload::{self, BurstParams, SparseParams, Workload};
 use dgmc_core::switch::DgmcConfig;
+use dgmc_des::par;
 use dgmc_des::stats::Tally;
 use dgmc_mctree::SphStrategy;
 use dgmc_obs::MetricsRegistry;
@@ -78,6 +79,24 @@ pub fn experiment3() -> ExperimentSpec {
     }
 }
 
+/// CLI helper shared by the experiment bins: extracts `--jobs N` from raw
+/// arguments, defaulting to [`par::default_jobs`] (`min(cores, 8)`).
+///
+/// Exits the process with status 2 on a malformed or missing value, like
+/// the bins' other flag errors.
+pub fn jobs_from_args(args: &[String]) -> usize {
+    let Some(at) = args.iter().position(|a| a == "--jobs") else {
+        return par::default_jobs();
+    };
+    match args.get(at + 1).and_then(|v| v.parse::<usize>().ok()) {
+        Some(jobs) if jobs >= 1 => jobs,
+        _ => {
+            eprintln!("--jobs expects a positive worker count");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Shrinks a spec for CI/bench use: fewer sizes and graphs.
 pub fn quick(mut spec: ExperimentSpec) -> ExperimentSpec {
     spec.sizes.retain(|n| n % 40 == 0);
@@ -122,14 +141,30 @@ fn make_workload(kind: &WorkloadKind, rng: &mut StdRng, net: &Network) -> Worklo
     }
 }
 
-/// Runs the full sweep of an experiment spec.
+/// Runs the full sweep of an experiment spec, serially.
 pub fn run_experiment(spec: &ExperimentSpec) -> ExperimentResults {
-    run_experiment_with(spec, |_row| {})
+    run_experiment_jobs(spec, 1)
+}
+
+/// Runs the sweep across `jobs` worker threads.
+///
+/// Every graph of a size is an independent pure function of its derived
+/// seed, so the per-size sweep shards freely; results are folded back **in
+/// graph order** (the same fold the serial sweep performs), which keeps the
+/// `Tally` float sums, the merged metrics registry and the rendered
+/// `*.metrics.json` byte-identical for every `jobs` value.
+pub fn run_experiment_jobs(spec: &ExperimentSpec, jobs: usize) -> ExperimentResults {
+    run_experiment_with(spec, jobs, |_row| {})
 }
 
 /// Runs the sweep, invoking `progress` after each completed size row.
+///
+/// Each run builds its own network, workload and `Rc`-based simulation (and
+/// its own per-run SPF cache) inside the worker thread that claims it, so
+/// nothing in the simulation stack is shared across threads.
 pub fn run_experiment_with(
     spec: &ExperimentSpec,
+    jobs: usize,
     mut progress: impl FnMut(&SizeRow),
 ) -> ExperimentResults {
     let mut rows = Vec::new();
@@ -139,21 +174,31 @@ pub fn run_experiment_with(
             n,
             ..SizeRow::default()
         };
-        for g in 0..spec.graphs_per_size {
-            let seed = spec
-                .seed
-                .wrapping_mul(1_000_003)
-                .wrapping_add((n as u64) << 16)
-                .wrapping_add(g as u64);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
-            let workload = make_workload(&spec.workload, &mut rng, &net);
-            match run_dgmc(&net, spec.config, &workload, Rc::new(SphStrategy::new())) {
-                Ok(m) => {
+        let runs = par::sweep(
+            jobs.max(1),
+            spec.graphs_per_size,
+            |_worker| (),
+            |(), g| {
+                let seed = spec
+                    .seed
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add((n as u64) << 16)
+                    .wrapping_add(g as u64);
+                let mut rng = StdRng::seed_from_u64(seed);
+                let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
+                let workload = make_workload(&spec.workload, &mut rng, &net);
+                run_dgmc(&net, spec.config, &workload, Rc::new(SphStrategy::new())).ok()
+            },
+            |_| false,
+        );
+        // Fold in graph order: identical to the serial sweep, bit for bit.
+        for run in runs {
+            match run.expect("uncancelled sweeps complete every graph") {
+                Some(m) => {
                     record(&mut row, &m);
                     metrics.merge(&m.registry);
                 }
-                Err(_) => row.failures += 1,
+                None => row.failures += 1,
             }
         }
         progress(&row);
@@ -198,6 +243,39 @@ mod tests {
         assert!(q.sizes.len() < experiment1().sizes.len());
         assert_eq!(q.graphs_per_size, 5);
         assert!(!q.sizes.is_empty());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_byte_for_byte() {
+        let spec = ExperimentSpec {
+            name: "determinism",
+            config: DgmcConfig::computation_dominated(),
+            sizes: vec![20, 24],
+            graphs_per_size: 4,
+            workload: WorkloadKind::Bursty(BurstParams {
+                burst_events: 6,
+                ..BurstParams::default()
+            }),
+            seed: 77,
+        };
+        let serial = run_experiment_jobs(&spec, 1);
+        for jobs in [2, 4] {
+            let parallel = run_experiment_jobs(&spec, jobs);
+            assert_eq!(
+                serial.metrics, parallel.metrics,
+                "jobs={jobs} changed the merged registry"
+            );
+            assert_eq!(
+                crate::report::metrics_snapshot(&serial.name, &serial.metrics),
+                crate::report::metrics_snapshot(&parallel.name, &parallel.metrics),
+                "jobs={jobs} changed the metrics snapshot bytes"
+            );
+            assert_eq!(
+                crate::report::csv(&serial),
+                crate::report::csv(&parallel),
+                "jobs={jobs} changed the per-size statistics"
+            );
+        }
     }
 
     #[test]

@@ -118,11 +118,44 @@ impl Observer for DecisionLogHandle {
     }
 }
 
+/// Serializes multi-line dump blocks across threads.
+///
+/// One panicking worker must emit its whole timeline as one contiguous
+/// block: per-`write` locking (what `eprintln!` gives each line) is not
+/// enough when several workers of a parallel sweep panic near-simultaneously
+/// and each dump spans many lines. Every dump therefore takes this mutex for
+/// the duration of its whole block. Poisoning is ignored on purpose — the
+/// writer is only used on panic paths, where a previously-panicked holder is
+/// the expected case, and the guarded state (stderr) cannot be left
+/// half-updated in a way later dumps care about.
+static DUMP_MUTEX: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Writes `text` to `out` as one uninterruptible block: the global dump
+/// mutex is held across the whole write, so blocks from concurrently
+/// panicking threads never interleave.
+///
+/// # Errors
+///
+/// Propagates the writer's I/O error.
+pub fn write_dump_block(out: &mut dyn Write, text: &str) -> std::io::Result<()> {
+    let _serialized = DUMP_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+    out.write_all(text.as_bytes())?;
+    out.flush()
+}
+
 /// Prints a decision timeline to stderr if the current thread panics.
 ///
-/// Tests hold one of these across the assertion-heavy section; on a clean
-/// pass it is silent, on failure the last `last_n` protocol decisions are
-/// dumped so the failing run can be diagnosed without re-instrumenting.
+/// Tests and sweep workers hold one of these across the assertion-heavy
+/// section; on a clean pass it is silent, on failure the last `last_n`
+/// protocol decisions are dumped so the failing run can be diagnosed without
+/// re-instrumenting.
+///
+/// The log handle is `Rc`-based and therefore thread-local by construction:
+/// each worker of a parallel sweep builds its *own* ring and its own guard
+/// inside the worker thread, so a panic dumps that worker's timeline — never
+/// a shared or global one. The dump itself goes through
+/// [`write_dump_block`], so simultaneous panics in sibling workers produce
+/// contiguous, non-interleaved blocks on stderr.
 pub struct TimelineDumpGuard {
     log: DecisionLogHandle,
     last_n: usize,
@@ -158,7 +191,7 @@ impl TimelineDumpGuard {
 impl Drop for TimelineDumpGuard {
     fn drop(&mut self) {
         if std::thread::panicking() {
-            eprintln!("{}", self.render());
+            let _ = write_dump_block(&mut std::io::stderr().lock(), &self.render());
         }
     }
 }
@@ -225,6 +258,87 @@ mod tests {
         assert!(lines[1].contains(r#""kind":"ProposalWithdrawn""#));
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    /// A writer that hands every byte individually to a shared buffer, the
+    /// worst case for interleaving: any two unsynchronized multi-byte writes
+    /// would shuffle their bytes together.
+    struct ByteAtATime(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for ByteAtATime {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let Some(&b) = buf.first() else {
+                return Ok(0);
+            };
+            self.0.lock().unwrap().push(b);
+            std::thread::yield_now();
+            Ok(1)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn concurrent_dump_blocks_never_interleave() {
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                let shared = std::sync::Arc::clone(&shared);
+                scope.spawn(move || {
+                    let block: String = format!("w{worker}\n").repeat(20);
+                    write_dump_block(&mut ByteAtATime(shared), &block).unwrap();
+                });
+            }
+        });
+        let bytes = shared.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        // Each worker's 20-line block must be contiguous: the block either
+        // appears verbatim or the dump mutex failed.
+        for worker in 0..4 {
+            let block: String = format!("w{worker}\n").repeat(20);
+            assert!(
+                text.contains(&block),
+                "worker {worker}'s dump was interleaved:\n{text}"
+            );
+        }
+    }
+
+    #[test]
+    fn each_worker_guard_dumps_its_own_timeline() {
+        // DecisionLogHandle is Rc-based, so each worker necessarily builds
+        // its ring inside its own thread; assert the guard renders exactly
+        // that worker's decisions, not a shared pool.
+        let renders: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3u64)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let log = DecisionLog::shared(8);
+                        log.borrow_mut().push(ev(
+                            worker * 1_000,
+                            DecisionKind::ProposalAccepted {
+                                from: worker as u32,
+                            },
+                        ));
+                        let guard = TimelineDumpGuard::new(log, 8, format!("worker {worker}"));
+                        guard.render()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (worker, render) in renders.iter().enumerate() {
+            assert!(render.contains(&format!("worker {worker}")));
+            assert!(render.contains(&format!("ProposalAccepted(from sw{worker})")));
+            for other in 0..3 {
+                if other != worker {
+                    assert!(
+                        !render.contains(&format!("from sw{other}")),
+                        "worker {worker} rendered worker {other}'s decisions"
+                    );
+                }
+            }
         }
     }
 

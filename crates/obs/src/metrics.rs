@@ -502,6 +502,55 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_independent_of_worker_arrival_and_interning_order() {
+        // Three "worker" registries that intern overlapping metric sets in
+        // adversarial orders: every name gets a different interner id in
+        // every registry, and the workers arrive for merging in every
+        // possible order. The aggregate must not care: matching is by name
+        // (with remapping onto the target's own ids), counter and bucket
+        // sums commute, and the JSON snapshot sorts keys.
+        let worker = |names: &[&str], weight: u64| {
+            let mut reg = MetricsRegistry::new();
+            for (i, name) in names.iter().enumerate() {
+                *reg.counter_slot(name) += weight + i as u64;
+                reg.observe_named(&format!("h.{name}"), weight * 10 + i as u64);
+            }
+            reg
+        };
+        let a = worker(&["alpha", "beta", "gamma"], 1);
+        let b = worker(&["gamma", "alpha", "delta"], 100);
+        let c = worker(&["delta", "beta"], 10_000);
+        let orders: [[&MetricsRegistry; 3]; 6] = [
+            [&a, &b, &c],
+            [&a, &c, &b],
+            [&b, &a, &c],
+            [&b, &c, &a],
+            [&c, &a, &b],
+            [&c, &b, &a],
+        ];
+        let merged: Vec<MetricsRegistry> = orders
+            .iter()
+            .map(|order| {
+                let mut total = MetricsRegistry::new();
+                for reg in order {
+                    total.merge(reg);
+                }
+                total
+            })
+            .collect();
+        let reference = merged[0].to_json().to_json();
+        assert!(reference.contains(r#""alpha":102"#), "{reference}");
+        for (i, total) in merged.iter().enumerate() {
+            assert_eq!(&merged[0], total, "arrival order {i} changed the aggregate");
+            assert_eq!(
+                reference,
+                total.to_json().to_json(),
+                "arrival order {i} changed the JSON snapshot bytes"
+            );
+        }
+    }
+
+    #[test]
     fn equality_ignores_interning_order() {
         let mut a = MetricsRegistry::new();
         a.counter("x");

@@ -168,10 +168,17 @@ impl Network {
     }
 
     /// Adds a new isolated switch and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node count would exceed the `u32` id space (a silent
+    /// `as u32` truncation here would alias two distinct switches).
     pub fn add_node(&mut self) -> NodeId {
+        let id = u32::try_from(self.adjacency.len())
+            .expect("node count exceeds the u32 NodeId space — ids would alias");
         self.adjacency.push(Vec::new());
         self.epoch += 1;
-        NodeId((self.adjacency.len() - 1) as u32)
+        NodeId(id)
     }
 
     /// Returns `true` if `n` is a node of this network.
@@ -200,7 +207,10 @@ impl Network {
             return Err(TopologyError::DuplicateLink(a, b));
         }
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        let id = LinkId(self.links.len() as u32);
+        let id = LinkId(
+            u32::try_from(self.links.len())
+                .expect("link count exceeds the u32 LinkId space — ids would alias"),
+        );
         self.links.push(Link {
             id,
             a: lo,

@@ -37,8 +37,12 @@ impl From<u32> for NodeId {
 }
 
 impl From<usize> for NodeId {
+    /// # Panics
+    ///
+    /// Panics if `v` does not fit the `u32` id space — a silent `as u32`
+    /// truncation would alias two distinct nodes.
     fn from(v: usize) -> Self {
-        NodeId(v as u32)
+        NodeId(u32::try_from(v).expect("node index exceeds the u32 NodeId space"))
     }
 }
 
@@ -86,6 +90,14 @@ mod tests {
         assert_eq!(LinkId(3).to_string(), "l3");
         assert_eq!(LinkId(3).index(), 3);
         assert_eq!(LinkId::from(8u32), LinkId(8));
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    #[should_panic(expected = "exceeds the u32 NodeId space")]
+    fn node_id_from_usize_rejects_truncation() {
+        // Before the checked conversion this silently wrapped to NodeId(0).
+        let _ = NodeId::from(u32::MAX as usize + 1);
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn default_chaos_plan_holds_invariants_across_twenty_seeds() {
     let config = ExploreConfig {
         start_seed: 100,
         seeds: 20,
-        fail_fast: false,
+        ..ExploreConfig::default()
     };
     let report = explore::explore_run(&config, &quick_params());
     assert_eq!(report.checked, 20);
@@ -44,6 +44,7 @@ fn hard_loss_is_caught_and_the_bundle_replays() {
         start_seed: 0,
         seeds: 10,
         fail_fast: true,
+        ..ExploreConfig::default()
     };
     let report = explore::explore_run(&config, &params);
     let seed = report
