@@ -1,9 +1,28 @@
 #!/bin/sh
 # Offline CI gate: formatting, lints and the full test suite.
 # Run from the repository root. Fails fast on the first broken step.
+#
+#   ./ci.sh            the full gate
+#   ./ci.sh coverage   per-crate line coverage via cargo-llvm-cov
+#                      (gracefully skipped when the tool is not installed)
 set -eu
 
 cd "$(dirname "$0")"
+
+if [ "${1:-}" = "coverage" ]; then
+    echo "== per-crate coverage (cargo llvm-cov) =="
+    if cargo llvm-cov --version >/dev/null 2>&1; then
+        # Per-crate numbers: one summary row per workspace crate (the
+        # table README.md points at). --offline keeps this hermetic.
+        cargo llvm-cov --workspace --offline --summary-only
+    else
+        echo "cargo-llvm-cov is not installed; skipping coverage."
+        echo "Install it on a networked machine with:"
+        echo "    cargo install cargo-llvm-cov"
+        echo "then re-run: ./ci.sh coverage"
+    fi
+    exit 0
+fi
 
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
@@ -26,6 +45,39 @@ cargo run --offline -q --release -p dgmc-experiments --bin explore -- \
     --seeds 25 --jobs 1 --report results/explore-serial.json >/dev/null
 cmp results/explore-serial.json results/explore-par.json || {
     echo "explorer reports differ between --jobs 1 and --jobs 4"
+    exit 1
+}
+
+echo "== systematic exploration smoke (4-node ring, 2 concurrent joins) =="
+cargo run --offline -q --release -p dgmc-experiments --bin explore -- \
+    --systematic --report results/systematic.json
+grep -q '"complete":true' results/systematic.json || {
+    echo "systematic exploration did not exhaust the 4-node/2-join state space"
+    exit 1
+}
+grep -q '"passed":true' results/systematic.json || {
+    echo "systematic exploration found a violation in the clean engine"
+    exit 1
+}
+
+echo "== systematic serial-vs-parallel report diff gate =="
+cargo run --offline -q --release -p dgmc-experiments --bin explore -- \
+    --systematic --jobs 4 --report results/systematic-par.json >/dev/null
+cmp results/systematic.json results/systematic-par.json || {
+    echo "systematic reports differ between default jobs and --jobs 4"
+    exit 1
+}
+
+echo "== seeded withdrawal bug is caught with a minimized repro bundle =="
+rm -rf results/systematic-mutation
+if cargo run --offline -q --release -p dgmc-experiments --bin explore -- \
+    --systematic --mutate skip-withdrawal --out results/systematic-mutation \
+    >/dev/null 2>&1; then
+    echo "the skip-withdrawal mutation escaped the systematic checker"
+    exit 1
+fi
+ls results/systematic-mutation/repro-seed-*.json >/dev/null 2>&1 || {
+    echo "no minimized repro bundle written for the seeded mutation"
     exit 1
 }
 

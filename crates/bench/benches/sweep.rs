@@ -66,6 +66,7 @@ fn bench_explorer(seeds: u64, jobs: usize) -> Scenario {
         seeds,
         fail_fast: false,
         jobs,
+        ..ExploreConfig::default()
     };
     // Warm-up run (also JIT-free determinism check before timing anything).
     let serial_report = explore::explore_run(&config(1), &params);

@@ -26,6 +26,7 @@ use dgmc_mctree::{McAlgorithm, McType, Role};
 use dgmc_obs::{DecisionEvent, DecisionKind, MemberChange, SharedObserver, StampSnapshot};
 use dgmc_topology::{Network, NodeId, SpfCache};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::rc::Rc;
 
 /// Copies a state's R/E/C vectors into an observability snapshot.
@@ -60,6 +61,36 @@ pub enum DgmcAction {
     },
 }
 
+impl fmt::Display for DgmcAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DgmcAction::Flood(lsa) => write!(f, "flood {lsa}"),
+            DgmcAction::StartComputation { mc } => write!(f, "start-computation {mc}"),
+            DgmcAction::Installed { mc } => write!(f, "installed {mc}"),
+            DgmcAction::Withdrawn { mc } => write!(f, "withdrawn {mc}"),
+        }
+    }
+}
+
+/// A deliberately introduced protocol defect, used by test harnesses to
+/// prove their oracles catch real divergence from the paper's algorithm.
+///
+/// The systematic explorer (DESIGN.md §11) runs a mutated engine against
+/// the executable specification ([`crate::spec`]) and the invariant suite;
+/// a mutation that survives both would mean the oracles are vacuous.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EngineMutation {
+    /// The faithful protocol.
+    #[default]
+    None,
+    /// Skip the staleness check of Fig. 4 line 6 / Fig. 5 line 22: a
+    /// completing computation always installs and floods its proposal, even
+    /// when LSAs arrived (or local events fired) during the computation.
+    /// The proposal is then based on an outdated membership/timestamp view,
+    /// which breaks agreement under concurrent joins.
+    SkipWithdrawal,
+}
+
 /// The per-switch D-GMC protocol engine (all MCs).
 ///
 /// # Examples
@@ -78,7 +109,7 @@ pub enum DgmcAction {
 /// let done = engine.on_computation_done(McId(1), &net);
 /// assert!(matches!(done[0], DgmcAction::Flood(_)));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DgmcEngine {
     me: NodeId,
     n: usize,
@@ -86,6 +117,7 @@ pub struct DgmcEngine {
     states: BTreeMap<McId, McState>,
     observer: SharedObserver,
     spf_cache: SpfCache,
+    mutation: EngineMutation,
 }
 
 impl DgmcEngine {
@@ -98,7 +130,18 @@ impl DgmcEngine {
             states: BTreeMap::new(),
             observer: SharedObserver::new(),
             spf_cache: SpfCache::new(),
+            mutation: EngineMutation::None,
         }
+    }
+
+    /// Installs a deliberate protocol defect (test harnesses only).
+    pub fn set_mutation(&mut self, mutation: EngineMutation) {
+        self.mutation = mutation;
+    }
+
+    /// The active engine mutation ([`EngineMutation::None`] in production).
+    pub fn mutation(&self) -> EngineMutation {
+        self.mutation
     }
 
     /// Plugs in a (typically simulation-wide shared) SPF computation cache.
@@ -416,7 +459,8 @@ impl DgmcEngine {
         };
         // Fig. 4 line 6 / Fig. 5 line 22: still valid iff nothing arrived
         // during the computation and R did not advance (local events).
-        let fresh = st.mailbox.is_empty() && st.r == job.old_r;
+        let fresh = (st.mailbox.is_empty() && st.r == job.old_r)
+            || self.mutation == EngineMutation::SkipWithdrawal;
         let mut actions = Vec::new();
         let mut carry: Option<crate::state::Candidate> = None;
         if fresh {

@@ -22,7 +22,7 @@
 //! on the protocol timeline.
 
 use crate::switch::{DgmcSwitch, SwitchMsg};
-use crate::{McId, McState};
+use crate::{DgmcEngine, McId, McState};
 use dgmc_des::{ActorId, Simulation};
 use dgmc_obs::{DecisionEvent, DecisionKind, StampSnapshot};
 use dgmc_topology::{Network, NodeId};
@@ -63,12 +63,12 @@ fn live_switches(sim: &Simulation<SwitchMsg>) -> Vec<&DgmcSwitch> {
         .collect()
 }
 
-fn per_switch_checks(sw: &DgmcSwitch, mc: McId, st: &McState, out: &mut Vec<InvariantViolation>) {
+fn per_switch_checks(sw: NodeId, mc: McId, st: &McState, out: &mut Vec<InvariantViolation>) {
     if !st.invariant_holds() {
         out.push(InvariantViolation {
             invariant: "stamps",
             mc,
-            switch: Some(sw.id()),
+            switch: Some(sw),
             detail: format!(
                 "E >= R / E >= C violated (R={} E={} C={})",
                 st.r, st.e, st.c
@@ -79,7 +79,7 @@ fn per_switch_checks(sw: &DgmcSwitch, mc: McId, st: &McState, out: &mut Vec<Inva
         out.push(InvariantViolation {
             invariant: "stamps",
             mc,
-            switch: Some(sw.id()),
+            switch: Some(sw),
             detail: format!("R != E at quiescence (R={} E={})", st.r, st.e),
         });
     }
@@ -87,7 +87,7 @@ fn per_switch_checks(sw: &DgmcSwitch, mc: McId, st: &McState, out: &mut Vec<Inva
         out.push(InvariantViolation {
             invariant: "settled",
             mc,
-            switch: Some(sw.id()),
+            switch: Some(sw),
             detail: format!("{} LSA(s) still queued at quiescence", st.mailbox.len()),
         });
     }
@@ -95,15 +95,15 @@ fn per_switch_checks(sw: &DgmcSwitch, mc: McId, st: &McState, out: &mut Vec<Inva
         out.push(InvariantViolation {
             invariant: "settled",
             mc,
-            switch: Some(sw.id()),
+            switch: Some(sw),
             detail: "topology computation still in flight at quiescence".into(),
         });
     }
 }
 
 fn agreement_checks(
-    reference: (&DgmcSwitch, &McState),
-    sw: &DgmcSwitch,
+    reference: (NodeId, &McState),
+    sw: NodeId,
     st: &McState,
     mc: McId,
     out: &mut Vec<InvariantViolation>,
@@ -113,35 +113,30 @@ fn agreement_checks(
         out.push(InvariantViolation {
             invariant: "agreement",
             mc,
-            switch: Some(sw.id()),
-            detail: format!("installed topology differs from {}'s", ref_sw.id()),
+            switch: Some(sw),
+            detail: format!("installed topology differs from {ref_sw}'s"),
         });
     }
     if st.c != ref_st.c {
         out.push(InvariantViolation {
             invariant: "agreement",
             mc,
-            switch: Some(sw.id()),
-            detail: format!(
-                "C stamp {} differs from {}'s {}",
-                st.c,
-                ref_sw.id(),
-                ref_st.c
-            ),
+            switch: Some(sw),
+            detail: format!("C stamp {} differs from {}'s {}", st.c, ref_sw, ref_st.c),
         });
     }
     if st.members != ref_st.members {
         out.push(InvariantViolation {
             invariant: "agreement",
             mc,
-            switch: Some(sw.id()),
-            detail: format!("member list differs from {}'s", ref_sw.id()),
+            switch: Some(sw),
+            detail: format!("member list differs from {ref_sw}'s"),
         });
     }
 }
 
 fn tree_checks(
-    reference: (&DgmcSwitch, &McState),
+    reference: (NodeId, &McState),
     net: &Network,
     mc: McId,
     out: &mut Vec<InvariantViolation>,
@@ -157,7 +152,7 @@ fn tree_checks(
         out.push(InvariantViolation {
             invariant: "tree",
             mc,
-            switch: Some(ref_sw.id()),
+            switch: Some(ref_sw),
             detail: format!(
                 "no topology installed for {} member(s)",
                 ref_st.members.len()
@@ -169,7 +164,7 @@ fn tree_checks(
         out.push(InvariantViolation {
             invariant: "tree",
             mc,
-            switch: Some(ref_sw.id()),
+            switch: Some(ref_sw),
             detail: err.to_string(),
         });
     }
@@ -177,10 +172,49 @@ fn tree_checks(
         out.push(InvariantViolation {
             invariant: "tree",
             mc,
-            switch: Some(ref_sw.id()),
+            switch: Some(ref_sw),
             detail: "tree terminal set differs from the member set".into(),
         });
     }
+}
+
+/// Checks the full invariant suite directly over a set of protocol engines
+/// (the `Simulation`-independent core of [`check_invariants`]).
+///
+/// The systematic explorer (DESIGN.md §11) drives bare [`DgmcEngine`]s
+/// without the switch/DES layers and calls this at every quiescent leaf of
+/// the interleaving tree. `net` must reflect the link states the explored
+/// trace ended with. No observer events are emitted — callers that want the
+/// decision-log mirror do it themselves (as [`check_invariants`] does).
+pub fn check_engines(engines: &[&DgmcEngine], net: &Network) -> Vec<InvariantViolation> {
+    let mut mcs: BTreeSet<McId> = BTreeSet::new();
+    for engine in engines {
+        mcs.extend(engine.mc_ids());
+    }
+    let mut out = Vec::new();
+    for &mc in &mcs {
+        let mut reference: Option<(NodeId, &McState)> = None;
+        for engine in engines {
+            let Some(st) = engine.state(mc) else {
+                out.push(InvariantViolation {
+                    invariant: "agreement",
+                    mc,
+                    switch: Some(engine.id()),
+                    detail: "has no state for an MC other live switches know".into(),
+                });
+                continue;
+            };
+            per_switch_checks(engine.id(), mc, st, &mut out);
+            match reference {
+                None => reference = Some((engine.id(), st)),
+                Some(r) => agreement_checks(r, engine.id(), st, mc, &mut out),
+            }
+        }
+        if let Some(r) = reference {
+            tree_checks(r, net, mc, &mut out);
+        }
+    }
+    out
 }
 
 /// Checks the full invariant suite over all MCs known to any live switch.
@@ -198,33 +232,8 @@ fn tree_checks(
 /// Panics if the simulation hosts non-[`DgmcSwitch`] actors.
 pub fn check_invariants(sim: &Simulation<SwitchMsg>, net: &Network) -> Vec<InvariantViolation> {
     let live = live_switches(sim);
-    let mut mcs: BTreeSet<McId> = BTreeSet::new();
-    for sw in &live {
-        mcs.extend(sw.engine().mc_ids());
-    }
-    let mut out = Vec::new();
-    for &mc in &mcs {
-        let mut reference: Option<(&DgmcSwitch, &McState)> = None;
-        for sw in &live {
-            let Some(st) = sw.engine().state(mc) else {
-                out.push(InvariantViolation {
-                    invariant: "agreement",
-                    mc,
-                    switch: Some(sw.id()),
-                    detail: "has no state for an MC other live switches know".into(),
-                });
-                continue;
-            };
-            per_switch_checks(sw, mc, st, &mut out);
-            match reference {
-                None => reference = Some((sw, st)),
-                Some(r) => agreement_checks(r, sw, st, mc, &mut out),
-            }
-        }
-        if let Some(r) = reference {
-            tree_checks(r, net, mc, &mut out);
-        }
-    }
+    let engines: Vec<&DgmcEngine> = live.iter().map(|sw| sw.engine()).collect();
+    let out = check_engines(&engines, net);
     for v in &out {
         sim.observer().emit(|now| DecisionEvent {
             at_nanos: now,

@@ -53,6 +53,7 @@
 pub mod codec;
 pub mod convergence;
 pub mod invariants;
+pub mod spec;
 pub mod switch;
 
 mod engine;
@@ -60,7 +61,7 @@ mod mc;
 mod state;
 mod timestamp;
 
-pub use engine::{DgmcAction, DgmcEngine};
+pub use engine::{DgmcAction, DgmcEngine, EngineMutation};
 pub use mc::{McEventKind, McId, McLsa};
 pub use state::{Candidate, ComputationJob, McState, McSync};
 pub use timestamp::Timestamp;

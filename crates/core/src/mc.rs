@@ -20,7 +20,7 @@ impl fmt::Display for McId {
 /// "`V` ∈ {join, leave, link, none} specifies an event from the source
 /// switch `S`." `None` marks *triggered* LSAs, which carry a proposal but no
 /// event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum McEventKind {
     /// The source switch joins the connection with the given role.
     Join(Role),
@@ -60,7 +60,7 @@ impl fmt::Display for McEventKind {
 /// `F` (the MC/non-MC flag) is represented structurally — this *is* the MC
 /// variant; router LSAs are the non-MC variant (see
 /// [`crate::switch::DgmcPayload`]).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct McLsa {
     /// `S`: the source switch of the advertisement.
     pub source: NodeId,

@@ -14,7 +14,7 @@ pub type Candidate = (McTopology, Timestamp, NodeId);
 /// The computation runs for `Tc` of simulated time; at completion the
 /// snapshot is compared against the live state to decide whether the
 /// proposal is still valid (paper Fig. 4 line 6, Fig. 5 line 22).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ComputationJob {
     /// `old_R` — the received timestamp saved before computing.
     pub old_r: Timestamp,
@@ -58,7 +58,7 @@ pub struct McSync {
 }
 
 /// All state a switch keeps for one multipoint connection.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct McState {
     /// The connection.
     pub mc: McId,

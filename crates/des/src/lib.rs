@@ -47,6 +47,7 @@ mod sim;
 mod time;
 
 pub mod explorer;
+pub mod mc;
 pub mod net;
 pub mod par;
 pub mod stats;

@@ -1,26 +1,46 @@
-//! Seeded schedule explorer: runs the chaos scenario (loss, duplication,
-//! jitter, link flaps, node crashes) across a range of seeds and checks the
+//! Schedule explorer with two modes.
+//!
+//! **Sweep** (default): runs the chaos scenario (loss, duplication, jitter,
+//! link flaps, node crashes) across a range of seeds and checks the
 //! protocol invariant suite at quiescence. Any failing seed is re-run with
 //! the decision log attached and written out as a self-contained repro
 //! bundle.
 //!
+//! **Systematic** (`--systematic`, DESIGN.md §11): bounded model checking —
+//! enumerates *every* message-delivery interleaving of a small scripted
+//! scenario with sleep-set partial-order reduction, checking the invariant
+//! suite plus lockstep conformance against the executable Fig. 4/5 spec.
+//! Counterexamples are minimized and written as replayable bundles.
+//!
 //! Usage:
 //!   cargo run -p dgmc-experiments --bin explore -- --seeds 100
 //!   cargo run -p dgmc-experiments --bin explore -- --seeds 100 --jobs 8
-//!   cargo run -p dgmc-experiments --bin explore -- --seeds 25 --fail-fast
 //!   cargo run -p dgmc-experiments --bin explore -- --seed 42   # replay one
+//!   cargo run -p dgmc-experiments --bin explore -- --systematic
+//!   cargo run -p dgmc-experiments --bin explore -- --systematic --nodes 4 \
+//!       --joins 2 --topology ring
+//!   cargo run -p dgmc-experiments --bin explore -- --systematic \
+//!       --mutate skip-withdrawal            # prove the oracles bite
 //!
-//! Flags: `--seeds N` (default 100), `--start N`, `--fail-fast`, `--jobs N`
-//! (worker threads, default `min(cores, 8)`; the report is byte-identical
-//! for every value), `--seed X` (replay one seed verbosely instead of
-//! sweeping), `--nodes N`, `--loss P`, `--hard-loss P`, `--duplicate P`,
-//! `--jitter-us N`, `--flaps N`, `--crashes N`, `--timeline N`, `--out DIR`
-//! (default `results`), `--report FILE` (write the report JSON). Exits
-//! non-zero if any checked seed fails.
+//! Sweep flags: `--seeds N` (default 100), `--start N`, `--fail-fast`,
+//! `--seed X` (replay one seed verbosely instead of sweeping), `--loss P`,
+//! `--hard-loss P`, `--duplicate P`, `--jitter-us N`, `--crashes N`,
+//! `--timeline N`.
+//!
+//! Systematic flags: `--joins N`, `--leaves N`, `--topology
+//! ring|line|complete`, `--max-depth N`, `--max-states N`, `--mutate
+//! skip-withdrawal`, `--trace K1,K2,...` (replay a bundle's minimized
+//! schedule bit-for-bit).
+//!
+//! Shared flags: `--jobs N` (worker threads, default `min(cores, 8)`; the
+//! report is byte-identical for every value), `--nodes N`, `--flaps N`,
+//! `--out DIR` (default `results`), `--report FILE` (write the report
+//! JSON). Exits non-zero if any checked schedule fails.
 
-use dgmc_des::explorer::ExploreConfig;
+use dgmc_des::explorer::{ExploreConfig, ExploreMode};
 use dgmc_des::{par, SimDuration};
 use dgmc_experiments::explore::{self, ExploreParams};
+use dgmc_experiments::systematic::{self, SystematicParams};
 
 fn parse<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> T {
     let Some(raw) = value else {
@@ -43,7 +63,9 @@ fn main() {
         ..ExploreConfig::default()
     };
     let mut params = ExploreParams::default();
+    let mut sys = SystematicParams::default();
     let mut replay_seed: Option<u64> = None;
+    let mut trace_keys: Option<Vec<u64>> = None;
     let mut out_dir = "results".to_owned();
     let mut report_path: Option<String> = None;
     let mut i = 0;
@@ -56,26 +78,70 @@ fn main() {
                 i += 1;
                 continue;
             }
+            "--systematic" => {
+                config.mode = ExploreMode::Systematic;
+                i += 1;
+                continue;
+            }
             "--seeds" => config.seeds = parse(flag, value),
             "--start" => config.start_seed = parse(flag, value),
             "--jobs" => config.jobs = parse(flag, value),
             "--seed" => replay_seed = Some(parse(flag, value)),
             "--report" => report_path = Some(parse(flag, value)),
-            "--nodes" => params.nodes = parse(flag, value),
+            "--nodes" => {
+                params.nodes = parse(flag, value);
+                sys.nodes = params.nodes;
+            }
             "--loss" => params.loss = parse(flag, value),
             "--hard-loss" => params.hard_loss = parse(flag, value),
             "--duplicate" => params.duplicate = parse(flag, value),
             "--jitter-us" => params.jitter = SimDuration::micros(parse(flag, value)),
-            "--flaps" => params.flaps = parse(flag, value),
+            "--flaps" => {
+                params.flaps = parse(flag, value);
+                sys.flaps = params.flaps;
+            }
             "--crashes" => params.crashes = parse(flag, value),
             "--timeline" => params.timeline = parse(flag, value),
             "--out" => out_dir = parse(flag, value),
+            "--topology" => sys.topology = parse(flag, value),
+            "--joins" => sys.joins = parse(flag, value),
+            "--leaves" => sys.leaves = parse(flag, value),
+            "--max-depth" => sys.max_depth = parse(flag, value),
+            "--max-states" => sys.max_states = parse(flag, value),
+            "--mutate" => {
+                let raw: String = parse(flag, value);
+                sys.mutation = match raw.as_str() {
+                    "none" => dgmc_core::EngineMutation::None,
+                    "skip-withdrawal" => dgmc_core::EngineMutation::SkipWithdrawal,
+                    other => {
+                        eprintln!("unknown mutation {other:?} (none|skip-withdrawal)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--trace" => {
+                let raw: String = parse(flag, value);
+                let keys: Result<Vec<u64>, _> =
+                    raw.split(',').map(str::trim).map(str::parse).collect();
+                match keys {
+                    Ok(keys) => trace_keys = Some(keys),
+                    Err(_) => {
+                        eprintln!("invalid value {raw:?} for --trace (comma-separated u64 keys)");
+                        std::process::exit(2);
+                    }
+                }
+            }
             _ => {
                 eprintln!("unknown flag {flag}");
                 std::process::exit(2);
             }
         }
         i += 2;
+    }
+
+    if config.mode == ExploreMode::Systematic {
+        run_systematic_mode(&config, &sys, trace_keys.as_deref(), &out_dir, report_path);
+        return;
     }
 
     if let Some(seed) = replay_seed {
@@ -128,6 +194,79 @@ fn main() {
     }
     println!("{}", report.summary());
     if !report.passed() {
+        std::process::exit(1);
+    }
+}
+
+/// The `--systematic` mode: either replay a `--trace` key list bit-for-bit
+/// or exhaustively explore the scripted scenario, minimizing and bundling
+/// any counterexample.
+fn run_systematic_mode(
+    config: &ExploreConfig,
+    sys: &SystematicParams,
+    trace: Option<&[u64]>,
+    out_dir: &str,
+    report_path: Option<String>,
+) {
+    if let Some(keys) = trace {
+        let Some(replay) = systematic::replay_trace(sys, keys) else {
+            eprintln!("trace does not resolve against this scenario (stale bundle?)");
+            std::process::exit(2);
+        };
+        let model = systematic::SystematicModel::new(sys);
+        for line in systematic::describe_trace(&model, &replay.trace) {
+            println!("{line}");
+        }
+        if replay.failed() {
+            for v in &replay.violations {
+                eprintln!("violated {v}");
+            }
+            std::process::exit(1);
+        }
+        println!("trace replayed clean ({} step(s))", replay.trace.len());
+        return;
+    }
+
+    eprintln!(
+        "systematically exploring a {}-node {} with {} join(s), {} leave(s), {} flap(s) \
+         on {} worker(s) (mutation {:?}, depth <= {}, states <= {})",
+        sys.nodes,
+        sys.topology,
+        sys.joins,
+        sys.leaves,
+        sys.flaps,
+        config.jobs.max(1),
+        sys.mutation,
+        sys.max_depth,
+        sys.max_states,
+    );
+    let run = systematic::run_systematic(config, sys);
+    for name in [
+        dgmc_des::mc::metric_names::STATES,
+        dgmc_des::mc::metric_names::TRANSITIONS,
+        dgmc_des::mc::metric_names::PRUNED,
+        dgmc_des::mc::metric_names::MAX_DEPTH,
+    ] {
+        eprintln!("{name}={}", run.metrics.counter_value(name));
+    }
+    if let Some(min) = &run.minimized {
+        eprint!("{}", min.bundle.render());
+        match min.bundle.write_replacing(out_dir) {
+            Ok(path) => eprintln!("repro bundle: {}", path.display()),
+            Err(e) => eprintln!("failed to write repro bundle: {e}"),
+        }
+    }
+    if let Some(path) = report_path {
+        match write_report(&path, &run.report.to_json()) {
+            Ok(()) => eprintln!("report: {path}"),
+            Err(e) => {
+                eprintln!("failed to write report {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("{}", run.report.summary());
+    if !run.report.passed() {
         std::process::exit(1);
     }
 }

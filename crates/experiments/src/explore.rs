@@ -524,6 +524,7 @@ mod tests {
                     seeds: 6,
                     fail_fast: false,
                     jobs,
+                    ..ExploreConfig::default()
                 },
                 &params,
             );
@@ -550,6 +551,7 @@ mod tests {
             seeds: 8,
             fail_fast: false,
             jobs: 4,
+            ..ExploreConfig::default()
         };
         let dir = std::env::temp_dir().join(format!("dgmc-par-bundles-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);

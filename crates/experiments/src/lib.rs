@@ -32,4 +32,5 @@ pub mod report;
 pub mod robustness;
 pub mod runner;
 pub mod scenario;
+pub mod systematic;
 pub mod workload;

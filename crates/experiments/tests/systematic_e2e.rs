@@ -1,0 +1,179 @@
+//! End-to-end tests of systematic exploration (DESIGN.md §11).
+//!
+//! Covers the PR's acceptance criteria — the 4-node/2-join scenario is
+//! explored *exhaustively* (far beyond what seed sweeps sample), the
+//! report is byte-identical for every `--jobs` value, and a seeded engine
+//! mutation yields a minimized, bit-for-bit replayable repro bundle — plus
+//! two regression pins for real protocol corners the checker discovered
+//! on its first runs (see DESIGN.md §11 for the full discussion):
+//!
+//! * **teardown/resurrection race**: a leave that empties the member list
+//!   deletes the MC state; a concurrently flooded join resurrects it with
+//!   a zeroed `R` while merged stamps keep the forgotten events in `E`,
+//!   leaving `R != E` at quiescence forever;
+//! * **deferred-event flood inversion**: a second local event during the
+//!   first event's `Tc` computation floods immediately (Fig. 4 lines
+//!   15-17) while the first's announcement waits for the withdrawal
+//!   (lines 11-13), so same-origin events flood out of local order and
+//!   receivers converge on a different member list than the origin.
+
+use dgmc_core::EngineMutation;
+use dgmc_des::explorer::ExploreConfig;
+use dgmc_des::mc::{self, McConfig};
+use dgmc_experiments::systematic::{
+    self, ScriptEvent, SystematicModel, SystematicParams, TopologyKind,
+};
+use dgmc_topology::{generate, NodeId};
+use std::path::PathBuf;
+
+fn jobs(n: usize) -> ExploreConfig {
+    ExploreConfig {
+        jobs: n,
+        ..ExploreConfig::default()
+    }
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dgmc-sys-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The flagship acceptance scenario: a 4-switch ring with two concurrent
+/// joins is explored to exhaustion with zero violations, and visits far
+/// more distinct schedules than the default 100-seed sweep samples.
+#[test]
+fn four_node_two_join_explores_exhaustively_and_clean() {
+    let params = SystematicParams::default();
+    assert_eq!((params.nodes, params.joins), (4, 2));
+    assert_eq!(params.topology, TopologyKind::Ring);
+    let run = systematic::run_systematic(&jobs(1), &params);
+    assert!(run.report.passed(), "{}", run.report.summary());
+    assert!(run.report.complete, "state space must be exhausted");
+    assert!(run.minimized.is_none());
+    assert!(
+        run.report.stats.states > 100,
+        "only {} states — fewer schedules than a seed sweep samples",
+        run.report.stats.states
+    );
+    assert!(run.report.stats.pruned > 0, "canonical pruning never fired");
+    assert_eq!(
+        run.metrics.counter_value(mc::metric_names::STATES),
+        run.report.stats.states
+    );
+    assert_eq!(
+        run.metrics.counter_value(mc::metric_names::MAX_DEPTH),
+        run.report.stats.max_depth as u64
+    );
+}
+
+/// Determinism across sharding: the full report (stats, completeness,
+/// counterexample) serializes byte-identically for every worker count.
+#[test]
+fn report_is_byte_identical_across_job_counts() {
+    let params = SystematicParams::default();
+    let baseline = systematic::run_systematic(&jobs(1), &params)
+        .report
+        .to_json();
+    for n in [2, 4] {
+        let report = systematic::run_systematic(&jobs(n), &params)
+            .report
+            .to_json();
+        assert_eq!(baseline, report, "jobs=1 vs jobs={n} reports differ");
+    }
+}
+
+/// A seeded engine defect (the skipped Fig. 4 line 6 / Fig. 5 line 22
+/// freshness check) is caught, minimized, written as a repro bundle, and
+/// the bundle's trace replays bit-for-bit.
+#[test]
+fn seeded_withdrawal_bug_yields_a_minimized_replayable_bundle() {
+    let params = SystematicParams {
+        mutation: EngineMutation::SkipWithdrawal,
+        ..SystematicParams::default()
+    };
+    let run = systematic::run_systematic(&jobs(2), &params);
+    assert!(!run.report.passed());
+    let cx = run.report.counterexample.as_ref().expect("counterexample");
+    let min = run.minimized.expect("minimized failure");
+    assert!(
+        min.keys.len() <= cx.keys.len(),
+        "minimization grew the trace"
+    );
+    assert!(min.replay.failed());
+
+    // The bundle is self-contained: plan, timeline, replay command.
+    let dir = scratch_dir("mutation");
+    let path = min.bundle.write_replacing(dir.to_str().unwrap()).unwrap();
+    let raw = std::fs::read_to_string(&path).unwrap();
+    assert!(raw.contains("\"systematic\""));
+    assert!(raw.contains("skip-withdrawal"));
+    assert!(min.bundle.replay.contains("--trace"));
+
+    // Bit-for-bit replay: same keys, same violations, same failure.
+    let again = systematic::replay_trace(&params, &min.keys).expect("keys resolve");
+    assert_eq!(again.keys, min.replay.keys);
+    assert_eq!(again.violations, min.replay.violations);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Pin: the checker detects the teardown/resurrection race. With one warm
+/// member leaving while another switch joins, some interleaving deletes
+/// the MC state everywhere and resurrects it with a zeroed `R`; the
+/// stamps invariant (`R == E` at quiescence) must flag it and the
+/// counterexample must survive minimization as a replayable bundle.
+#[test]
+fn teardown_resurrection_race_is_detected() {
+    let params = SystematicParams {
+        nodes: 3,
+        joins: 1,
+        leaves: 1,
+        ..SystematicParams::default()
+    };
+    let run = systematic::run_systematic(&jobs(1), &params);
+    assert!(!run.report.passed(), "{}", run.report.summary());
+    let min = run.minimized.expect("race must minimize to a bundle");
+    assert!(
+        min.replay
+            .violations
+            .iter()
+            .any(|v| v.invariant == "stamps"),
+        "expected a stamps (R != E) violation, got {:?}",
+        min.replay.violations
+    );
+    let again = systematic::replay_trace(&params, &min.keys).expect("keys resolve");
+    assert_eq!(again.violations, min.replay.violations);
+}
+
+/// Pin: the checker detects the deferred-event flood inversion. A leave
+/// and a re-join at the same (warm) switch can flood in the opposite of
+/// their local order, so receivers end with a member list that differs
+/// from the origin's — an agreement violation at quiescence.
+#[test]
+fn deferred_event_flood_inversion_is_detected() {
+    let model = SystematicModel::with_scenario(
+        generate::ring(3),
+        vec![
+            ScriptEvent::Leave { at: NodeId(2) },
+            ScriptEvent::Join { at: NodeId(2) },
+        ],
+        // The anchor keeps membership non-empty so only the inversion —
+        // not the teardown race — can fire.
+        vec![NodeId(0), NodeId(2)],
+        EngineMutation::None,
+    );
+    let config = McConfig::default();
+    let report = mc::explore_sharded(&model, &config, 1);
+    assert!(!report.passed(), "{}", report.summary());
+    let cx = report.counterexample.expect("counterexample");
+    let (keys, replay) = mc::minimize(&model, &cx.keys, config.max_depth);
+    assert!(replay.failed());
+    assert!(
+        replay.violations.iter().any(|v| v.invariant == "agreement"),
+        "expected an agreement (member list) violation, got {:?}",
+        replay.violations
+    );
+    // The minimized schedule still resolves and reproduces identically.
+    let again = mc::replay(&model, &keys, true, config.max_depth).expect("keys resolve");
+    assert_eq!(again.violations, replay.violations);
+}

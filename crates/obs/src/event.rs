@@ -146,6 +146,13 @@ pub enum DecisionKind {
     /// that computation — e.g. its state was concurrently deleted by a
     /// withdraw/leave race. The signal was ignored as a no-op.
     StaleCompletion,
+    /// The engine's behavior diverged from the executable Fig. 4/5
+    /// specification during lockstep conformance checking (systematic
+    /// exploration, DESIGN.md §11).
+    SpecDiverged {
+        /// Which field or action sequence diverged, and how.
+        detail: String,
+    },
 }
 
 impl DecisionKind {
@@ -162,6 +169,7 @@ impl DecisionKind {
             DecisionKind::FaultInjected { .. } => "FaultInjected",
             DecisionKind::InvariantViolated { .. } => "InvariantViolated",
             DecisionKind::StaleCompletion => "StaleCompletion",
+            DecisionKind::SpecDiverged { .. } => "SpecDiverged",
         }
     }
 }
@@ -193,6 +201,9 @@ impl fmt::Display for DecisionKind {
                 write!(f, "InvariantViolated({invariant})")
             }
             DecisionKind::StaleCompletion => write!(f, "StaleCompletion"),
+            DecisionKind::SpecDiverged { detail } => {
+                write!(f, "SpecDiverged({detail})")
+            }
         }
     }
 }
@@ -249,6 +260,9 @@ impl DecisionEvent {
             }
             DecisionKind::InvariantViolated { invariant } => {
                 pairs.push(("invariant", JsonValue::Str(invariant.clone())));
+            }
+            DecisionKind::SpecDiverged { detail } => {
+                pairs.push(("detail", JsonValue::Str(detail.clone())));
             }
         }
         pairs.push(("r", JsonValue::u64_array(&self.stamps.r)));
@@ -329,6 +343,9 @@ mod tests {
                 invariant: "agreement".into(),
             },
             DecisionKind::StaleCompletion,
+            DecisionKind::SpecDiverged {
+                detail: "field `C` differs".into(),
+            },
         ];
         let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(
@@ -344,8 +361,22 @@ mod tests {
                 "FaultInjected",
                 "InvariantViolated",
                 "StaleCompletion",
+                "SpecDiverged",
             ]
         );
+    }
+
+    #[test]
+    fn spec_divergence_renders_its_detail() {
+        let ev = DecisionEvent {
+            kind: DecisionKind::SpecDiverged {
+                detail: "field `C` differs".into(),
+            },
+            stamps: StampSnapshot::empty(),
+            ..sample()
+        };
+        assert!(ev.to_json().contains(r#""detail":"field `C` differs""#));
+        assert!(ev.to_string().contains("SpecDiverged(field `C` differs)"));
     }
 
     #[test]
