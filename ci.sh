@@ -98,4 +98,20 @@ grep -q '"spf_cache.hits":' results/exp1.metrics.json || {
 hits=$(sed -n 's/.*"spf_cache.hits":\([0-9]*\).*/\1/p' results/exp1.metrics.json)
 [ "${hits:-0}" -gt 0 ] || { echo "spf_cache.hits is zero for the fig6 preset"; exit 1; }
 
+echo "== exp1 trace export is schema-valid and jobs-independent =="
+cargo run --offline -q --release -p dgmc-experiments --bin exp1 -- \
+    --quick --jobs 1 >/dev/null
+cp results/exp1.trace.json results/exp1.trace.serial.json
+cargo run --offline -q --release -p dgmc-experiments --bin exp1 -- \
+    --quick --jobs 4 >/dev/null
+cmp results/exp1.trace.serial.json results/exp1.trace.json || {
+    echo "exp1 trace files differ between --jobs 1 and --jobs 4"
+    exit 1
+}
+cargo run --offline -q --release -p dgmc-experiments --bin trace_check -- \
+    results/exp1.trace.json || {
+    echo "results/exp1.trace.json failed Chrome trace-event validation"
+    exit 1
+}
+
 echo "CI OK"

@@ -138,6 +138,10 @@ pub mod counters {
     pub const ROUTER_FLOODS: &str = "dgmc.router_floods";
     /// Data packets delivered to member hosts.
     pub const DATA_DELIVERED: &str = "dgmc.data_delivered";
+    /// Tree edges removed by topology rearrangements: edges present in a
+    /// connection's previously installed topology but absent from the newly
+    /// installed one (the disruption-on-rearrangement numerator).
+    pub const DISRUPTED_EDGES: &str = "dgmc.disrupted_edges";
     /// SPF computations answered from the epoch-versioned cache.
     pub const SPF_CACHE_HITS: &str = "spf_cache.hits";
     /// SPF computations that ran Dijkstra (cache miss).
@@ -161,6 +165,10 @@ pub mod histograms {
     /// install — the per-connection convergence time (recorded by the
     /// experiment runner once per measured run).
     pub const CONVERGENCE_US: &str = "dgmc.convergence_us";
+    /// Microseconds of each traced operation's critical (longest causal)
+    /// path — one sample per measured-phase membership event, recorded by
+    /// the experiment runner when causal tracing is on.
+    pub const OP_CONVERGENCE_US: &str = "dgmc.op_convergence_us";
     /// Nodes settled per cache-missing SPF run — the deterministic
     /// compute-work histogram (simulated work, not wall-clock, so that
     /// metrics stay byte-identical across hosts and cache configurations).
@@ -216,6 +224,9 @@ pub struct DgmcSwitch {
     failed: bool,
     /// When the in-flight computation for each MC started (latency metric).
     computation_started: BTreeMap<McId, SimTime>,
+    /// Edge set of the previously installed topology per MC, for the
+    /// disruption-on-rearrangement counter.
+    installed_edges: BTreeMap<McId, std::collections::BTreeSet<(NodeId, NodeId)>>,
     /// Withdrawals seen since the last local membership event.
     withdrawn_since_event: u64,
 }
@@ -277,6 +288,7 @@ impl DgmcSwitch {
             delivered: BTreeMap::new(),
             failed: false,
             computation_started: BTreeMap::new(),
+            installed_edges: BTreeMap::new(),
             withdrawn_since_event: 0,
         }
     }
@@ -421,6 +433,17 @@ impl DgmcSwitch {
                             histograms::INSTALL_LATENCY_US,
                             latency.as_nanos() / 1_000,
                         );
+                    }
+                    let edges: std::collections::BTreeSet<(NodeId, NodeId)> = self
+                        .engine
+                        .installed(mc)
+                        .map(|t| t.edges().collect())
+                        .unwrap_or_default();
+                    if let Some(previous) = self.installed_edges.insert(mc, edges) {
+                        let disrupted = previous
+                            .difference(self.installed_edges.get(&mc).expect("just inserted"))
+                            .count() as u64;
+                        ctx.counter(counters::DISRUPTED_EDGES).add(disrupted);
                     }
                 }
                 DgmcAction::Withdrawn { mc: _ } => {
@@ -711,6 +734,44 @@ impl Actor<SwitchMsg> for DgmcSwitch {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+}
+
+/// Renders a [`SwitchMsg`] into a short causal-span label (the labeler to
+/// pass to [`dgmc_des::Simulation::enable_causal_trace`]).
+///
+/// Labels are stable strings used in trace exports and timelines: keep them
+/// short and deterministic (no addresses, no wall-clock).
+pub fn trace_label(msg: &SwitchMsg) -> String {
+    match msg {
+        SwitchMsg::Packet { packet, .. } => match &packet.payload {
+            DgmcPayload::Router(lsa) => format!("router-lsa sw{}", lsa.origin.0),
+            DgmcPayload::Mc(lsa) => format!("mc-lsa {} sw{}", lsa.mc, lsa.source.0),
+        },
+        SwitchMsg::HostJoin { mc, .. } => format!("join {mc}"),
+        SwitchMsg::HostLeave { mc } => format!("leave {mc}"),
+        SwitchMsg::LinkEvent { link, up, .. } => {
+            format!("link-{} {link}", if *up { "up" } else { "down" })
+        }
+        SwitchMsg::ComputationDone { mc } => format!("compute {mc}"),
+        SwitchMsg::SendData { mc, packet_id } => format!("send-data {mc} #{packet_id}"),
+        SwitchMsg::Data(data) => format!("data {} #{}", data.mc, data.packet_id),
+        SwitchMsg::NodeAdmin { up } => (if *up { "node-up" } else { "node-down" }).to_owned(),
+        SwitchMsg::DbSync { .. } => "db-sync".to_owned(),
+    }
+}
+
+/// Classifies a [`trace_label`] string into a handler phase for per-phase
+/// event-loop self-profiling (SPF/compute, flood fan-out, wait-resolution
+/// timers, install-driving events, data plane).
+pub fn trace_phase(label: &str) -> &'static str {
+    match label.split(' ').next().unwrap_or("") {
+        "compute" => "compute",
+        "mc-lsa" => "flood",
+        "router-lsa" | "db-sync" => "routing",
+        "join" | "leave" | "link-up" | "link-down" | "node-up" | "node-down" => "event",
+        "data" | "send-data" => "data",
+        _ => "other",
     }
 }
 

@@ -3,7 +3,8 @@ use crate::stats::CounterHandle;
 use crate::trace::{NetStats, TraceBuffer, TraceEvent};
 use crate::{SimDuration, SimTime};
 use dgmc_obs::{
-    DecisionEvent, DecisionKind, FaultKind, MetricsRegistry, SharedObserver, StampSnapshot,
+    DecisionEvent, DecisionKind, FaultKind, MetricsRegistry, SharedObserver, SharedTracer,
+    StampSnapshot, Trace,
 };
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -64,6 +65,9 @@ struct Scheduled<M> {
     at: SimTime,
     seq: u64,
     env: Envelope<M>,
+    /// Causal span covering this delivery (0 when causal tracing is off or
+    /// was off when the message was scheduled).
+    span: u64,
 }
 
 // Order by (time, seq): FIFO among simultaneous events, hence deterministic.
@@ -111,6 +115,8 @@ pub struct Ctx<'a, M> {
     net: Option<&'a mut (dyn NetModel + 'static)>,
     net_stats: &'a mut NetStats,
     observer: &'a SharedObserver,
+    tracer: &'a SharedTracer,
+    span_labeler: Option<&'a Labeler<M>>,
 }
 
 /// Counter names bumped by the simulator when a network model is installed.
@@ -136,14 +142,24 @@ impl<'a, M> Ctx<'a, M> {
         self.self_id
     }
 
-    fn push(&mut self, to: ActorId, from: Option<ActorId>, delay: SimDuration, msg: M) {
+    fn push(&mut self, to: ActorId, from: Option<ActorId>, delay: SimDuration, msg: M) -> u64 {
         let at = self.now + delay;
+        let labeler = self.span_labeler;
+        let span = self.tracer.on_send(
+            from.map(|a| a.0),
+            to.0,
+            self.now.as_nanos(),
+            at.as_nanos(),
+            || labeler.map_or_else(|| "msg".to_owned(), |l| l(&msg)),
+        );
         *self.seq += 1;
         self.queue.push(Reverse(Scheduled {
             at,
             seq: *self.seq,
             env: Envelope { to, from, msg },
+            span,
         }));
+        span
     }
 
     fn emit_fault(&mut self, fault: FaultKind, to: ActorId) {
@@ -180,22 +196,35 @@ impl<'a, M> Ctx<'a, M> {
             self.net_stats.dropped += 1;
             *self.metrics.counter_slot(net_counters::DROPPED) += 1;
             self.emit_fault(FaultKind::Drop, to);
+            // A dropped message still gets a (zero-length) span so traces
+            // show where convergence time went: the span never dispatches.
+            let now_ns = self.now.as_nanos();
+            let labeler = self.span_labeler;
+            let span = self
+                .tracer
+                .on_send(Some(self.self_id.0), to.0, now_ns, now_ns, || {
+                    labeler.map_or_else(|| "msg".to_owned(), |l| l(&msg))
+                });
+            self.tracer.annotate(span, || "fault:drop".to_owned());
             return;
         }
         let mut msg = Some(msg);
         let last = deliveries.len() - 1;
         for (i, d) in deliveries.into_iter().enumerate() {
+            let mut fault_note: Option<String> = None;
             match d.kind {
                 DeliveryKind::Original => {}
                 DeliveryKind::Retransmit(rounds) => {
                     self.net_stats.retransmits += rounds as u64;
                     *self.metrics.counter_slot(net_counters::RETRANSMITS) += rounds as u64;
                     self.emit_fault(FaultKind::Retransmit, to);
+                    fault_note = Some(format!("fault:retransmit rounds={rounds}"));
                 }
                 DeliveryKind::Duplicate => {
                     self.net_stats.duplicated += 1;
                     *self.metrics.counter_slot(net_counters::DUPLICATED) += 1;
                     self.emit_fault(FaultKind::Duplicate, to);
+                    fault_note = Some("fault:duplicate".to_owned());
                 }
             }
             self.net_stats.delivered += 1;
@@ -206,7 +235,15 @@ impl<'a, M> Ctx<'a, M> {
             } else {
                 msg.as_ref().expect("message present until last").clone()
             };
-            self.push(to, Some(self.self_id), d.delay, m);
+            let jitter = d.delay.as_nanos().saturating_sub(delay.as_nanos());
+            let span = self.push(to, Some(self.self_id), d.delay, m);
+            if let Some(note) = fault_note {
+                self.tracer.annotate(span, || note);
+            }
+            if jitter > 0 {
+                self.tracer
+                    .annotate(span, || format!("fault:jitter +{jitter}ns"));
+            }
         }
     }
 
@@ -247,6 +284,8 @@ pub struct Simulation<M> {
     events_processed: u64,
     event_budget: u64,
     trace: Option<(TraceBuffer, Labeler<M>)>,
+    tracer: SharedTracer,
+    span_labeler: Option<Labeler<M>>,
     net: Option<Box<dyn NetModel>>,
     net_stats: NetStats,
 }
@@ -281,6 +320,8 @@ impl<M> Simulation<M> {
             events_processed: 0,
             event_budget: u64::MAX,
             trace: None,
+            tracer: SharedTracer::new(),
+            span_labeler: None,
             net: None,
             net_stats: NetStats::default(),
         }
@@ -323,6 +364,33 @@ impl<M> Simulation<M> {
         self.trace.as_ref().map(|(buf, _)| buf)
     }
 
+    /// Enables causal span tracing: from now on every injected event opens a
+    /// root span, every send/timer scheduled during a dispatch becomes a
+    /// child span of the dispatching delivery, and the `labeler` renders
+    /// message payloads into span labels.
+    ///
+    /// Spans accumulate until [`Simulation::take_causal_trace`]. Enable at a
+    /// quiescent instant (empty queue): messages scheduled before enabling
+    /// carry no span, so their sends would open spurious roots.
+    pub fn enable_causal_trace(&mut self, labeler: impl Fn(&M) -> String + 'static) {
+        self.tracer.enable();
+        self.span_labeler = Some(Box::new(labeler));
+    }
+
+    /// The shared causal tracer (disabled until
+    /// [`Simulation::enable_causal_trace`]). Clone it into an observer sink
+    /// to annotate spans with decision events, or use it to annotate the
+    /// currently dispatching span from harness code.
+    pub fn causal_tracer(&self) -> &SharedTracer {
+        &self.tracer
+    }
+
+    /// Stops causal tracing and returns the collected trace (None when
+    /// tracing was never enabled).
+    pub fn take_causal_trace(&mut self) -> Option<Trace> {
+        self.tracer.take()
+    }
+
     /// Registers an actor and returns its id.
     ///
     /// # Panics
@@ -357,8 +425,17 @@ impl<M> Simulation<M> {
     }
 
     /// Injects an external event for `to`, `delay` after the current instant.
+    ///
+    /// With causal tracing enabled, each injection opens a root span (the
+    /// protocol-initiating event of one operation).
     pub fn inject(&mut self, to: ActorId, delay: SimDuration, msg: M) {
         let at = self.now + delay;
+        let labeler = self.span_labeler.as_ref();
+        let span = self
+            .tracer
+            .on_send(None, to.0, self.now.as_nanos(), at.as_nanos(), || {
+                labeler.map_or_else(|| "msg".to_owned(), |l| l(&msg))
+            });
         self.seq += 1;
         self.queue.push(Reverse(Scheduled {
             at,
@@ -368,6 +445,7 @@ impl<M> Simulation<M> {
                 from: None,
                 msg,
             },
+            span,
         }));
     }
 
@@ -496,8 +574,12 @@ impl<M> Simulation<M> {
                 net: self.net.as_deref_mut(),
                 net_stats: &mut self.net_stats,
                 observer: &self.observer,
+                tracer: &self.tracer,
+                span_labeler: self.span_labeler.as_ref(),
             };
+            self.tracer.begin_dispatch(scheduled.span);
             actor.handle(&mut ctx, scheduled.env);
+            self.tracer.end_dispatch();
             self.actors[idx] = Some(actor);
         }
     }
@@ -513,6 +595,7 @@ impl<M> Simulation<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::net::Delivery;
 
     /// Records (time, payload) of everything it receives; optionally pings a
     /// peer.
@@ -685,5 +768,129 @@ mod tests {
         let mut sim: Simulation<u64> = Simulation::new();
         sim.inject(ActorId(7), SimDuration::ZERO, 0);
         sim.run_to_quiescence();
+    }
+
+    #[test]
+    fn causal_trace_builds_span_trees_across_actors() {
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Box::new(recorder()));
+        let b = sim.add_actor(Box::new(Recorder {
+            seen: Vec::new(),
+            forward_to: Some(a),
+        }));
+        sim.enable_causal_trace(|msg| format!("m{msg}"));
+        sim.inject(b, SimDuration::micros(5), 2);
+        sim.run_to_quiescence();
+        let trace = sim.take_causal_trace().unwrap();
+        trace.validate().unwrap();
+        // Root: the injected m2 to b; child: b's forwarded m1 to a.
+        assert_eq!(trace.len(), 2);
+        let root = &trace.spans[0];
+        assert_eq!((root.parent, root.from, root.to), (0, None, b.0));
+        assert_eq!(root.label, "m2");
+        assert_eq!(root.end_ns, 5_000);
+        let child = &trace.spans[1];
+        assert_eq!((child.parent, child.depth), (1, 1));
+        assert_eq!(child.from, Some(b.0));
+        assert_eq!(child.label, "m1");
+        assert_eq!((child.start_ns, child.end_ns), (5_000, 15_000));
+        // Tracing is off after take.
+        assert!(sim.take_causal_trace().is_none());
+    }
+
+    #[test]
+    fn timers_become_child_spans_of_their_dispatch() {
+        struct TimerActor;
+        impl Actor<u64> for TimerActor {
+            fn handle(&mut self, ctx: &mut Ctx<'_, u64>, env: Envelope<u64>) {
+                if env.msg == 0 {
+                    ctx.schedule_self(SimDuration::micros(3), 1);
+                }
+            }
+        }
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Box::new(TimerActor));
+        sim.enable_causal_trace(|msg| format!("t{msg}"));
+        sim.inject(a, SimDuration::ZERO, 0);
+        sim.run_to_quiescence();
+        let trace = sim.take_causal_trace().unwrap();
+        trace.validate().unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.spans[1].parent, 1);
+        assert_eq!(trace.spans[1].from, None);
+        assert_eq!(trace.spans[1].label, "t1");
+    }
+
+    /// Drops the first message, duplicates the second (with jitter on the
+    /// copy), then delivers cleanly.
+    struct ScriptedNet(u32);
+    impl NetModel for ScriptedNet {
+        fn route(
+            &mut self,
+            _from: ActorId,
+            _to: ActorId,
+            _now: SimTime,
+            base: SimDuration,
+        ) -> Vec<Delivery> {
+            self.0 += 1;
+            match self.0 {
+                1 => Vec::new(),
+                2 => vec![
+                    Delivery {
+                        delay: base,
+                        kind: DeliveryKind::Original,
+                    },
+                    Delivery {
+                        delay: base + SimDuration::nanos(250),
+                        kind: DeliveryKind::Duplicate,
+                    },
+                ],
+                _ => vec![Delivery {
+                    delay: base,
+                    kind: DeliveryKind::Original,
+                }],
+            }
+        }
+    }
+
+    #[test]
+    fn fault_outcomes_annotate_spans() {
+        struct Sender;
+        impl Actor<u64> for Sender {
+            fn handle(&mut self, ctx: &mut Ctx<'_, u64>, env: Envelope<u64>) {
+                if env.from.is_none() && env.to == ActorId(0) {
+                    // Two sends: the first is dropped, the second duplicated.
+                    ctx.send(ActorId(1), SimDuration::micros(1), 10);
+                    ctx.send(ActorId(1), SimDuration::micros(1), 11);
+                }
+            }
+        }
+        struct Sink;
+        impl Actor<u64> for Sink {
+            fn handle(&mut self, _ctx: &mut Ctx<'_, u64>, _env: Envelope<u64>) {}
+        }
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Box::new(Sender));
+        sim.add_actor(Box::new(Sink));
+        sim.set_net_model(ScriptedNet(0));
+        sim.enable_causal_trace(|msg| format!("m{msg}"));
+        sim.inject(a, SimDuration::ZERO, 0);
+        sim.run_to_quiescence();
+        let trace = sim.take_causal_trace().unwrap();
+        trace.validate().unwrap();
+        // Root + dropped m10 + original m11 + duplicate m11.
+        assert_eq!(trace.len(), 4);
+        let dropped = &trace.spans[1];
+        assert_eq!(dropped.notes, vec!["fault:drop".to_owned()]);
+        assert_eq!(dropped.start_ns, dropped.end_ns);
+        assert!(trace.spans[2].notes.is_empty());
+        let dup = &trace.spans[3];
+        assert_eq!(
+            dup.notes,
+            vec![
+                "fault:duplicate".to_owned(),
+                "fault:jitter +250ns".to_owned()
+            ]
+        );
     }
 }

@@ -25,6 +25,12 @@ fn main() {
         Ok(path) => eprintln!("metrics snapshot: {}", path.display()),
         Err(e) => eprintln!("failed to write metrics snapshot: {e}"),
     }
+    if let Some(trace) = &results.trace {
+        match report::write_trace_snapshot("results", "exp3", trace) {
+            Ok(path) => eprintln!("causal trace (Perfetto): {}", path.display()),
+            Err(e) => eprintln!("failed to write trace snapshot: {e}"),
+        }
+    }
     if args.iter().any(|a| a == "--csv") {
         print!("{}", report::csv(&results));
     } else {

@@ -1,0 +1,107 @@
+//! Offline schema validator for exported Chrome trace-event files.
+//!
+//! Usage: `trace_check <file.trace.json>...`
+//!
+//! Exits 0 when every file parses as Chrome trace-event JSON with a
+//! non-empty `traceEvents` array whose events carry the required keys
+//! (`name`, `ph`, `pid`, `tid`, plus `ts`/`dur` for `ph == "X"` complete
+//! events); exits 1 with a diagnostic otherwise. Used by `ci.sh` to gate
+//! the exp1 trace export without any external tooling.
+
+use dgmc_obs::JsonValue;
+use std::process::ExitCode;
+
+fn check(text: &str) -> Result<usize, String> {
+    let root = JsonValue::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = root
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .ok_or_else(|| "missing traceEvents array".to_owned())?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_owned());
+    }
+    for (i, event) in events.iter().enumerate() {
+        for key in ["name", "ph", "pid", "tid"] {
+            if event.get(key).is_none() {
+                return Err(format!("event {i} missing {key:?}"));
+            }
+        }
+        let ph = event.get("ph").and_then(|p| p.as_str());
+        if ph.is_none() {
+            return Err(format!("event {i} has a non-string \"ph\""));
+        }
+        if ph == Some("X") {
+            for key in ["ts", "dur"] {
+                if event.get(key).is_none() {
+                    return Err(format!("complete event {i} missing {key:?}"));
+                }
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check <file.trace.json>...");
+        return ExitCode::from(2);
+    }
+    let mut ok = true;
+    for path in &paths {
+        let outcome = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| check(&text));
+        match outcome {
+            Ok(n) => eprintln!("{path}: ok ({n} events)"),
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_real_export() {
+        let mut trace = dgmc_obs::Trace::default();
+        trace.spans.push(dgmc_obs::Span {
+            id: 1,
+            trace: 1,
+            parent: 0,
+            depth: 0,
+            from: None,
+            to: 2,
+            start_ns: 0,
+            end_ns: 500,
+            label: "join mc1".into(),
+            notes: vec![],
+        });
+        let json = dgmc_obs::chrome_trace_json(&trace);
+        assert_eq!(check(&json).unwrap(), 2, "one metadata + one span event");
+    }
+
+    #[test]
+    fn rejects_empty_and_malformed_inputs() {
+        assert!(check("").is_err());
+        assert!(check("{}").is_err());
+        assert!(check(r#"{"traceEvents":[]}"#).is_err());
+        assert!(check(r#"{"traceEvents":[{"name":"x"}]}"#).is_err());
+        assert!(check(r#"{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":2}]}"#).is_err());
+    }
+
+    #[test]
+    fn accepts_minimal_complete_events() {
+        let ok = r#"{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":2,"ts":0.5,"dur":1.0}]}"#;
+        assert_eq!(check(ok).unwrap(), 1);
+    }
+}

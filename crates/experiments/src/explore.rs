@@ -14,7 +14,8 @@ use crate::runner::EXPERIMENT_MC;
 use crate::workload::{self, BurstParams, Workload};
 use dgmc_core::invariants;
 use dgmc_core::switch::{
-    build_dgmc_sim_with_cache, inject_link_event, inject_node_event, DgmcConfig, SwitchMsg,
+    build_dgmc_sim_with_cache, inject_link_event, inject_node_event, trace_label, DgmcConfig,
+    SwitchMsg,
 };
 use dgmc_core::{McType, Role};
 use dgmc_des::explorer::{self, ExploreConfig, ExploreReport, ReproBundle, SeedOutcome, Violation};
@@ -23,6 +24,7 @@ use dgmc_des::{
     SimDuration, Simulation,
 };
 use dgmc_mctree::SphStrategy;
+use dgmc_obs::render_trace_timeline;
 use dgmc_topology::{generate, LinkState, Network, NodeId, SpfCache};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -120,6 +122,9 @@ pub struct ScenarioRun {
     pub plan: FaultPlan,
     /// Rendered decision-timeline tail (empty unless a log was requested).
     pub timeline: Vec<String>,
+    /// Rendered causal span timeline of the measured phase (empty unless a
+    /// log was requested; same tail length as `timeline`).
+    pub causal: Vec<String>,
     /// Delivery-path accounting of the run.
     pub net_stats: NetStats,
 }
@@ -312,6 +317,12 @@ pub fn run_scenario_with_cache(
         // Measured phase: the membership burst plus the scheduled flaps and
         // crash windows, all injected up front; every outage is restored
         // before quiescence, so the pristine network is the end state.
+        if timeline.is_some() {
+            // Replay path: also collect the causal span tree of the
+            // measured phase (the queue is empty at this quiescent instant,
+            // so every span descends from a measured-phase injection).
+            sim.enable_causal_trace(trace_label);
+        }
         inject_measured_phase(&mut sim, &scenario);
         if sim.run_to_quiescence() != RunOutcome::Quiescent {
             violations.push(liveness_violation("measured"));
@@ -326,15 +337,32 @@ pub fn run_scenario_with_cache(
             );
         }
     }
+    let causal = sim.take_causal_trace().map_or_else(Vec::new, |trace| {
+        render_trace_timeline(&trace, params.timeline)
+    });
     let timeline = log.map_or_else(Vec::new, |log| {
         let log = log.borrow();
+        log.publish_dropped(sim.metrics_mut());
+        let mut lines = Vec::new();
+        if log.dropped() > 0 {
+            lines.push(format!(
+                "... {} decision(s) dropped by the bounded ring ({})",
+                log.dropped(),
+                dgmc_obs::DROPPED_EVENTS_COUNTER
+            ));
+        }
         let skip = log.len().saturating_sub(params.timeline);
-        log.iter().skip(skip).map(|e| e.to_string()).collect()
+        if skip > 0 {
+            lines.push(format!("... {skip} earlier decision(s) omitted"));
+        }
+        lines.extend(log.iter().skip(skip).map(ToString::to_string));
+        lines
     });
     ScenarioRun {
         outcome: SeedOutcome { seed, violations },
         plan: scenario.plan,
         timeline,
+        causal,
         net_stats: *sim.net_stats(),
     }
 }
@@ -422,12 +450,17 @@ pub fn repro_bundle(seed: u64, params: &ExploreParams) -> ReproBundle {
 /// [`repro_bundle`] reusing a worker's scratch [`SpfCache`].
 pub fn repro_bundle_with_cache(seed: u64, params: &ExploreParams, cache: &SpfCache) -> ReproBundle {
     let run = run_scenario_with_cache(seed, params, Some(params.timeline), cache);
+    let mut timeline = run.timeline;
+    if !run.causal.is_empty() {
+        timeline.push("-- causal span timeline (measured phase) --".into());
+        timeline.extend(run.causal);
+    }
     ReproBundle {
         seed,
         scenario: format!("chaos-n{}", params.nodes),
         plan: run.plan.to_json(),
         violations: run.outcome.violations,
-        timeline: run.timeline,
+        timeline,
         replay: params.replay_command(seed),
     }
 }
@@ -616,5 +649,37 @@ mod tests {
         assert!(!bundle.violations.is_empty());
         assert!(!bundle.timeline.is_empty(), "replay carries a timeline");
         assert!(bundle.replay.contains(&format!("--seed {seed}")));
+        // The bundle also carries the causal span timeline of the replay.
+        assert!(
+            bundle
+                .timeline
+                .iter()
+                .any(|l| l.contains("causal span timeline")),
+            "{:?}",
+            bundle.timeline
+        );
+        assert!(
+            bundle.timeline.iter().any(|l| l.contains('↳')),
+            "spans render as a causal tree"
+        );
+    }
+
+    #[test]
+    fn replays_render_a_causal_span_timeline() {
+        let params = quick();
+        let run = run_scenario(3, &params, Some(params.timeline));
+        assert!(!run.causal.is_empty(), "replay path collects spans");
+        // A tail render of a busy run starts with the omission header and
+        // contains causally indented children.
+        assert!(
+            run.causal[0].contains("earlier span(s) omitted"),
+            "{}",
+            run.causal[0]
+        );
+        assert!(run.causal.iter().any(|l| l.contains('↳')));
+        // The sweep path pays nothing: no log, no spans.
+        let sweep = run_scenario(3, &params, None);
+        assert!(sweep.causal.is_empty());
+        assert!(sweep.timeline.is_empty());
     }
 }

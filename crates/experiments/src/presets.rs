@@ -2,13 +2,14 @@
 //! sweep driver that aggregates 20 random graphs per network size with 95%
 //! confidence intervals.
 
-use crate::runner::{run_dgmc, RunMetrics};
+use crate::runner::{run_dgmc_traced, RunMetrics, TraceMode};
 use crate::workload::{self, BurstParams, SparseParams, Workload};
 use dgmc_core::switch::DgmcConfig;
 use dgmc_des::par;
 use dgmc_des::stats::Tally;
 use dgmc_mctree::SphStrategy;
-use dgmc_obs::MetricsRegistry;
+use dgmc_obs::{MetricsRegistry, Trace};
+use dgmc_topology::SpfCache;
 use dgmc_topology::{generate, Network};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -132,6 +133,10 @@ pub struct ExperimentResults {
     /// All per-run metric registries merged into one snapshot (see
     /// [`crate::report::write_metrics_snapshot`]).
     pub metrics: MetricsRegistry,
+    /// The exemplar causal trace: the span tree of the first graph of the
+    /// smallest size (a pure function of the spec seed, so identical for
+    /// every `jobs` value; see [`crate::report::write_trace_snapshot`]).
+    pub trace: Option<Trace>,
 }
 
 fn make_workload(kind: &WorkloadKind, rng: &mut StdRng, net: &Network) -> Workload {
@@ -169,6 +174,8 @@ pub fn run_experiment_with(
 ) -> ExperimentResults {
     let mut rows = Vec::new();
     let mut metrics = MetricsRegistry::new();
+    let mut trace = None;
+    let exemplar_size = spec.sizes.first().copied();
     for &n in &spec.sizes {
         let mut row = SizeRow {
             n,
@@ -187,14 +194,34 @@ pub fn run_experiment_with(
                 let mut rng = StdRng::seed_from_u64(seed);
                 let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
                 let workload = make_workload(&spec.workload, &mut rng, &net);
-                run_dgmc(&net, spec.config, &workload, Rc::new(SphStrategy::new())).ok()
+                // Every run traces in Metrics mode (per-op convergence
+                // samples and gauges land in the merged registry); the
+                // first graph of the smallest size additionally keeps its
+                // spans as the sweep's exemplar trace.
+                let mode = if Some(n) == exemplar_size && g == 0 {
+                    TraceMode::Full
+                } else {
+                    TraceMode::Metrics
+                };
+                run_dgmc_traced(
+                    &net,
+                    spec.config,
+                    &workload,
+                    Rc::new(SphStrategy::new()),
+                    SpfCache::new(),
+                    mode,
+                )
+                .ok()
             },
             |_| false,
         );
         // Fold in graph order: identical to the serial sweep, bit for bit.
         for run in runs {
             match run.expect("uncancelled sweeps complete every graph") {
-                Some(m) => {
+                Some(mut m) => {
+                    if let Some(t) = m.trace.take() {
+                        trace.get_or_insert(t);
+                    }
                     record(&mut row, &m);
                     metrics.merge(&m.registry);
                 }
@@ -208,6 +235,7 @@ pub fn run_experiment_with(
         name: spec.name.to_owned(),
         rows,
         metrics,
+        trace,
     }
 }
 
@@ -275,6 +303,12 @@ mod tests {
                 crate::report::csv(&parallel),
                 "jobs={jobs} changed the per-size statistics"
             );
+            let exemplar = serial.trace.as_ref().expect("sweep keeps an exemplar");
+            assert_eq!(
+                dgmc_obs::chrome_trace_json(exemplar),
+                dgmc_obs::chrome_trace_json(parallel.trace.as_ref().unwrap()),
+                "jobs={jobs} changed the exemplar trace bytes"
+            );
         }
     }
 
@@ -309,5 +343,25 @@ mod tests {
             3,
             "one convergence sample per successful run"
         );
+        // The Metrics-mode sweep also contributes per-operation samples and
+        // worst-case tree-quality gauges, and keeps one exemplar span tree.
+        assert!(
+            results
+                .metrics
+                .histogram_get(histograms::OP_CONVERGENCE_US)
+                .unwrap()
+                .count()
+                > 0
+        );
+        assert!(
+            results
+                .metrics
+                .gauge_value(&crate::runner::gauges::tree_cost(
+                    crate::runner::EXPERIMENT_MC
+                ))
+                > 0
+        );
+        let exemplar = results.trace.as_ref().expect("first graph keeps spans");
+        exemplar.validate().unwrap();
     }
 }

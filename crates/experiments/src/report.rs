@@ -3,7 +3,7 @@
 
 use crate::presets::{ExperimentResults, SizeRow};
 use dgmc_des::stats::Tally;
-use dgmc_obs::{JsonValue, MetricsRegistry};
+use dgmc_obs::{chrome_trace_json, JsonValue, MetricsRegistry, Trace};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -66,13 +66,14 @@ fn push_csv(out: &mut String, row: &SizeRow, metric: &str, t: &Tally) {
 
 /// Stable-schema JSON snapshot of an experiment's merged metrics registry.
 ///
-/// Schema (`dgmc.metrics/1`): a single object with `schema`, `experiment`
+/// Schema (`dgmc.metrics/2`): a single object with `schema`, `experiment`
 /// and `metrics` keys, where `metrics` is the registry snapshot
-/// (`{"counters": {...}, "histograms": {...}}`, keys sorted). Consumers can
-/// key on `schema` to detect breaking changes.
+/// (`{"counters": {...}, "gauges": {...}, "histograms": {...}}`, keys
+/// sorted). Consumers can key on `schema` to detect breaking changes; `/2`
+/// added the `gauges` map.
 pub fn metrics_snapshot(name: &str, metrics: &MetricsRegistry) -> String {
     let mut line = JsonValue::obj(vec![
-        ("schema", JsonValue::Str("dgmc.metrics/1".to_owned())),
+        ("schema", JsonValue::Str("dgmc.metrics/2".to_owned())),
         ("experiment", JsonValue::Str(name.to_owned())),
         ("metrics", metrics.to_json()),
     ])
@@ -97,6 +98,28 @@ pub fn write_metrics_snapshot(
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{slug}.metrics.json"));
     std::fs::write(&path, metrics_snapshot(name, metrics))?;
+    Ok(path)
+}
+
+/// Writes the exemplar causal trace as Chrome trace-event JSON to
+/// `<dir>/<slug>.trace.json` (creating `dir` if needed) and returns the
+/// path written. The file loads directly in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing`, and — like the
+/// metrics snapshot — contains only simulated time, so it is byte-identical
+/// for every `--jobs` value.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating the directory or writing the file.
+pub fn write_trace_snapshot(
+    dir: impl AsRef<Path>,
+    slug: &str,
+    trace: &Trace,
+) -> std::io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{slug}.trace.json"));
+    std::fs::write(&path, chrome_trace_json(trace))?;
     Ok(path)
 }
 
@@ -152,6 +175,7 @@ mod tests {
             name: "demo".into(),
             rows: vec![row],
             metrics,
+            trace: None,
         }
     }
 
@@ -180,6 +204,7 @@ mod tests {
             name: "demo".into(),
             rows: vec![low, high],
             metrics: MetricsRegistry::new(),
+            trace: None,
         };
         let chart = ascii_chart(&results, "proposals", 20);
         let lines: Vec<&str> = chart.lines().collect();
@@ -201,9 +226,39 @@ mod tests {
         let results = sample_results();
         let snap = metrics_snapshot(&results.name, &results.metrics);
         assert!(snap.starts_with(
-            r#"{"schema":"dgmc.metrics/1","experiment":"demo","metrics":{"counters":{"dgmc.computations":6},"histograms":{"dgmc.convergence_us":"#
+            r#"{"schema":"dgmc.metrics/2","experiment":"demo","metrics":{"counters":{"dgmc.computations":6},"gauges":{},"histograms":{"dgmc.convergence_us":"#
         ));
         assert!(snap.ends_with("}\n"));
+    }
+
+    #[test]
+    fn write_trace_snapshot_emits_loadable_chrome_json() {
+        let dir = std::env::temp_dir().join("dgmc-trace-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut trace = Trace::default();
+        trace.spans.push(dgmc_obs::Span {
+            id: 1,
+            trace: 1,
+            parent: 0,
+            depth: 0,
+            from: None,
+            to: 3,
+            start_ns: 0,
+            end_ns: 1_000,
+            label: "join mc1".into(),
+            notes: vec![],
+        });
+        let path = write_trace_snapshot(&dir, "demo", &trace).unwrap();
+        assert_eq!(path, dir.join("demo.trace.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, chrome_trace_json(&trace));
+        let parsed = JsonValue::parse(&body).unwrap();
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|e| e.as_array())
+            .unwrap();
+        assert!(!events.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

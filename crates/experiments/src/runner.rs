@@ -1,16 +1,63 @@
 //! Executes one simulation scenario and extracts the paper's metrics.
 
 use crate::workload::Workload;
-use dgmc_core::switch::{build_dgmc_sim_with_cache, counters, histograms, DgmcConfig, SwitchMsg};
+use dgmc_core::switch::{
+    self, build_dgmc_sim_with_cache, counters, histograms, DgmcConfig, SwitchMsg,
+};
 use dgmc_core::{convergence, invariants, McId, McType, Role};
 use dgmc_des::{ActorId, FaultPlan, FaultyNet, RunOutcome, SimDuration};
 use dgmc_mctree::McAlgorithm;
-use dgmc_obs::MetricsRegistry;
+use dgmc_obs::{critical_paths, MetricsRegistry, Trace};
 use dgmc_topology::{metrics, Network, SpfCache};
 use std::rc::Rc;
 
 /// The connection id used by all experiment runs.
 pub const EXPERIMENT_MC: McId = McId(1);
+
+/// Gauge names published by traced runs (point-in-time levels; sweep merges
+/// keep the worst case across runs).
+pub mod gauges {
+    use dgmc_core::McId;
+
+    /// Total link cost of the consensus tree installed for `mc`.
+    pub fn tree_cost(mc: McId) -> String {
+        format!("mc.{}.tree_cost", mc.0)
+    }
+
+    /// Maximum leaf (member) delay of the consensus tree installed for `mc`.
+    pub fn max_leaf_delay(mc: McId) -> String {
+        format!("mc.{}.max_leaf_delay", mc.0)
+    }
+
+    /// Tree edges torn down by re-installations during the measured phase
+    /// (service disruption proxy; mirrors the `dgmc.disrupted_edges`
+    /// counter).
+    pub fn disruption(mc: McId) -> String {
+        format!("mc.{}.disruption", mc.0)
+    }
+
+    /// Per-phase simulated time attributed by the causal trace profile,
+    /// in µs (phases come from [`dgmc_core::switch::trace_phase`]).
+    pub fn phase_us(phase: &str) -> String {
+        format!("trace.phase.{phase}_us")
+    }
+}
+
+/// How much causal tracing a measured run performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// No tracing: zero overhead on the hot path (one branch per send).
+    #[default]
+    Off,
+    /// Trace the measured phase, extract per-operation critical paths,
+    /// the per-phase profile and the tree-quality gauges into the
+    /// registry, then drop the spans (memory stays bounded — suitable for
+    /// every run of a sweep).
+    Metrics,
+    /// As [`TraceMode::Metrics`], but also keep the raw span tree on
+    /// [`RunMetrics::trace`] for export and timeline rendering.
+    Full,
+}
 
 /// Metrics extracted from one measured run.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +79,9 @@ pub struct RunMetrics {
     /// plus the flood fan-out, install latency, withdrawals-per-event and
     /// convergence histograms).
     pub registry: MetricsRegistry,
+    /// The causal span tree of the measured phase; `Some` only under
+    /// [`TraceMode::Full`].
+    pub trace: Option<Trace>,
 }
 
 impl RunMetrics {
@@ -103,7 +153,60 @@ pub fn run_dgmc(
     workload: &Workload,
     algorithm: Rc<dyn McAlgorithm>,
 ) -> Result<RunMetrics, RunError> {
-    run_dgmc_inner(net, config, workload, algorithm, None, SpfCache::new())
+    run_dgmc_inner(
+        net,
+        config,
+        workload,
+        algorithm,
+        None,
+        SpfCache::new(),
+        TraceMode::Off,
+    )
+}
+
+/// [`run_dgmc`] with causal tracing of the measured phase (see
+/// [`TraceMode`]). Tracing changes no protocol behaviour: the span tree is
+/// built on the side of the ordinary delivery path.
+///
+/// # Errors
+///
+/// As [`run_dgmc`].
+pub fn run_dgmc_traced(
+    net: &Network,
+    config: DgmcConfig,
+    workload: &Workload,
+    algorithm: Rc<dyn McAlgorithm>,
+    cache: SpfCache,
+    mode: TraceMode,
+) -> Result<RunMetrics, RunError> {
+    run_dgmc_inner(net, config, workload, algorithm, None, cache, mode)
+}
+
+/// [`run_dgmc_faulty`] with causal tracing of the measured phase; fault
+/// outcomes (drops, retransmissions, duplicates, jitter) appear as span
+/// annotations in the resulting trace.
+///
+/// # Errors
+///
+/// As [`run_dgmc_faulty`].
+pub fn run_dgmc_faulty_traced(
+    net: &Network,
+    config: DgmcConfig,
+    workload: &Workload,
+    algorithm: Rc<dyn McAlgorithm>,
+    plan: &FaultPlan,
+    fault_seed: u64,
+    mode: TraceMode,
+) -> Result<RunMetrics, RunError> {
+    run_dgmc_inner(
+        net,
+        config,
+        workload,
+        algorithm,
+        Some((plan, fault_seed)),
+        SpfCache::new(),
+        mode,
+    )
 }
 
 /// [`run_dgmc`] with an explicit shared [`SpfCache`] — pass
@@ -120,7 +223,15 @@ pub fn run_dgmc_with_cache(
     algorithm: Rc<dyn McAlgorithm>,
     cache: SpfCache,
 ) -> Result<RunMetrics, RunError> {
-    run_dgmc_inner(net, config, workload, algorithm, None, cache)
+    run_dgmc_inner(
+        net,
+        config,
+        workload,
+        algorithm,
+        None,
+        cache,
+        TraceMode::Off,
+    )
 }
 
 /// [`run_dgmc`] with seeded fault injection on the delivery path: every
@@ -148,6 +259,7 @@ pub fn run_dgmc_faulty(
         algorithm,
         Some((plan, fault_seed)),
         SpfCache::new(),
+        TraceMode::Off,
     )
 }
 
@@ -158,6 +270,7 @@ fn run_dgmc_inner(
     algorithm: Rc<dyn McAlgorithm>,
     faults: Option<(&FaultPlan, u64)>,
     cache: SpfCache,
+    trace_mode: TraceMode,
 ) -> Result<RunMetrics, RunError> {
     let mut sim = build_dgmc_sim_with_cache(net, config, algorithm, cache);
     sim.set_event_budget(200_000_000);
@@ -182,6 +295,14 @@ fn run_dgmc_inner(
     }
     convergence::check_consensus(&sim, EXPERIMENT_MC).map_err(RunError::NoConsensus)?;
     sim.reset_counters();
+    if trace_mode != TraceMode::Off {
+        // The queue is empty here (quiescence), so every span recorded from
+        // now on descends from a measured-phase injection: one root span per
+        // operation. The tracer doubles as the decision-event sink so
+        // protocol decisions annotate the span they happened under.
+        sim.enable_causal_trace(switch::trace_label);
+        sim.observer().attach(sim.causal_tracer().clone());
+    }
 
     // Measured phase.
     let start = sim.now();
@@ -202,7 +323,8 @@ fn run_dgmc_inner(
     if sim.run_to_quiescence() != RunOutcome::Quiescent {
         return Err(RunError::Diverged);
     }
-    convergence::check_consensus(&sim, EXPERIMENT_MC).map_err(RunError::NoConsensus)?;
+    let consensus =
+        convergence::check_consensus(&sim, EXPERIMENT_MC).map_err(RunError::NoConsensus)?;
     if faults.is_some() {
         let violations = invariants::check_invariants(&sim, net);
         if !violations.is_empty() {
@@ -226,6 +348,53 @@ fn run_dgmc_inner(
             (last - start).as_nanos() / 1_000,
         );
     }
+
+    let mut kept_trace = None;
+    if trace_mode != TraceMode::Off {
+        sim.observer().detach();
+        let trace = sim.take_causal_trace().unwrap_or_default();
+        trace
+            .validate()
+            .expect("traced run produced a well-formed span tree");
+        // One convergence sample per operation: the duration of its
+        // critical (longest causal) path. The whole-phase sample above
+        // stays a single observation so both scales remain readable.
+        let paths = critical_paths(&trace);
+        for path in &paths {
+            sim.metrics_mut()
+                .observe_named(histograms::OP_CONVERGENCE_US, path.duration_ns() / 1_000);
+        }
+        // The slowest operation must explain the measured phase: no install
+        // can land after every causal chain has ended.
+        if let Some(longest_end) = paths.iter().map(|p| p.end_ns).max() {
+            debug_assert!(
+                last.as_nanos() <= longest_end,
+                "install at {last:?} outlives every causal chain"
+            );
+        }
+        for (phase, ns) in dgmc_obs::phase_durations_ns(&trace, switch::trace_phase) {
+            sim.metrics_mut()
+                .gauge_set_named(&gauges::phase_us(phase), ns / 1_000);
+        }
+        // Tree-quality gauges for the consensus topology of the measured MC.
+        if let Some(tree) = &consensus.topology {
+            if let Some(cost) = dgmc_mctree::metrics::tree_cost(tree, net) {
+                sim.metrics_mut()
+                    .gauge_set_named(&gauges::tree_cost(EXPERIMENT_MC), cost);
+            }
+            if let Some(delay) = dgmc_mctree::metrics::max_member_delay(tree, net) {
+                sim.metrics_mut()
+                    .gauge_set_named(&gauges::max_leaf_delay(EXPERIMENT_MC), delay);
+            }
+        }
+        let disrupted = sim.counter_value(counters::DISRUPTED_EDGES);
+        sim.metrics_mut()
+            .gauge_set_named(&gauges::disruption(EXPERIMENT_MC), disrupted);
+        if trace_mode == TraceMode::Full {
+            kept_trace = Some(trace);
+        }
+    }
+
     Ok(RunMetrics {
         events: injected,
         computations: sim.counter_value(counters::COMPUTATIONS),
@@ -234,6 +403,7 @@ fn run_dgmc_inner(
         convergence_rounds,
         tf,
         registry: sim.metrics().clone(),
+        trace: kept_trace,
     })
 }
 
@@ -425,8 +595,133 @@ mod tests {
             convergence_rounds: None,
             tf: SimDuration::ZERO,
             registry: MetricsRegistry::new(),
+            trace: None,
         };
         assert_eq!(m.proposals_per_event(), 0.0);
         assert_eq!(m.floodings_per_event(), 0.0);
+    }
+
+    fn traced_seeded(seed: u64, mode: TraceMode) -> RunMetrics {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let net = dgmc_topology::generate::waxman(
+            &mut rng,
+            30,
+            &dgmc_topology::generate::WaxmanParams::default(),
+        );
+        let wl = workload::bursty(&mut rng, &net, &BurstParams::default());
+        run_dgmc_traced(
+            &net,
+            DgmcConfig::computation_dominated(),
+            &wl,
+            Rc::new(dgmc_mctree::SphStrategy::new()),
+            SpfCache::new(),
+            mode,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn traced_run_extracts_per_op_convergence_and_gauges() {
+        let m = traced_seeded(2, TraceMode::Full);
+        let trace = m.trace.as_ref().expect("Full mode keeps the spans");
+        assert!(!trace.is_empty());
+        trace.validate().unwrap();
+        // One root span and one critical-path convergence sample per event.
+        assert_eq!(trace.roots().count() as u64, m.events);
+        let per_op = m
+            .registry
+            .histogram_get(histograms::OP_CONVERGENCE_US)
+            .unwrap();
+        assert_eq!(per_op.count(), m.events);
+        // The whole-phase sample stays a single observation.
+        let whole = m
+            .registry
+            .histogram_get(histograms::CONVERGENCE_US)
+            .unwrap();
+        assert_eq!(whole.count(), 1);
+        // The consensus tree has a cost and a leaf delay, and the profile
+        // attributes time to at least the flood phase.
+        assert!(m.registry.gauge_value(&gauges::tree_cost(EXPERIMENT_MC)) > 0);
+        assert!(
+            m.registry
+                .gauge_value(&gauges::max_leaf_delay(EXPERIMENT_MC))
+                > 0
+        );
+        assert!(m.registry.gauge_value(&gauges::phase_us("flood")) > 0);
+    }
+
+    #[test]
+    fn trace_modes_agree_on_metrics_and_off_records_nothing() {
+        let full = traced_seeded(2, TraceMode::Full);
+        let metrics_only = traced_seeded(2, TraceMode::Metrics);
+        let off = traced_seeded(2, TraceMode::Off);
+        // Metrics mode drops the spans but keeps an identical registry.
+        assert!(metrics_only.trace.is_none());
+        assert_eq!(full.registry, metrics_only.registry);
+        // Off mode records no trace-derived metrics and no spans.
+        assert!(off.trace.is_none());
+        assert!(off
+            .registry
+            .histogram_get(histograms::OP_CONVERGENCE_US)
+            .is_none());
+        assert!(off.registry.gauges_map().is_empty());
+        // Tracing never perturbs the protocol itself.
+        assert_eq!(full.events, off.events);
+        assert_eq!(full.computations, off.computations);
+        assert_eq!(full.floodings, off.floodings);
+        assert_eq!(full.withdrawn, off.withdrawn);
+        assert_eq!(full.convergence_rounds, off.convergence_rounds);
+    }
+
+    #[test]
+    fn loss_sweep_retransmit_spans_appear_iff_faults_fired() {
+        use dgmc_des::{net_counters, LinkFaults};
+        use rand::SeedableRng;
+        let run = |loss: f64| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let net = dgmc_topology::generate::waxman(
+                &mut rng,
+                25,
+                &dgmc_topology::generate::WaxmanParams::default(),
+            );
+            let wl = workload::bursty(&mut rng, &net, &BurstParams::default());
+            let plan = FaultPlan::uniform(LinkFaults {
+                loss,
+                hard_loss: 0.0,
+                duplicate: 0.0,
+                jitter: SimDuration::ZERO,
+            });
+            run_dgmc_faulty_traced(
+                &net,
+                DgmcConfig::computation_dominated(),
+                &wl,
+                Rc::new(dgmc_mctree::SphStrategy::new()),
+                &plan,
+                7 ^ 0x55,
+                TraceMode::Full,
+            )
+            .unwrap()
+        };
+        for loss in [0.0, 0.15] {
+            let m = run(loss);
+            let trace = m.trace.as_ref().unwrap();
+            let retransmit_spans = trace
+                .spans
+                .iter()
+                .filter(|s| s.notes.iter().any(|n| n.starts_with("fault:retransmit")))
+                .count() as u64;
+            let retransmits = m.registry.counter_value(net_counters::RETRANSMITS);
+            if loss == 0.0 {
+                assert_eq!(retransmits, 0, "lossless sweep point fired no faults");
+                assert_eq!(retransmit_spans, 0, "no faults, no retransmit spans");
+            } else {
+                assert!(retransmits > 0, "lossy sweep point recovered losses");
+                assert!(
+                    retransmit_spans > 0,
+                    "recovered losses must surface as retransmit-annotated spans"
+                );
+            }
+        }
     }
 }

@@ -26,7 +26,7 @@ use dgmc_core::{DgmcAction, DgmcEngine, EngineMutation, McId, McLsa};
 use dgmc_des::explorer::{ExploreConfig, ReproBundle, Violation};
 use dgmc_des::mc::{self, McConfig, McReport, Replay, StableHasher, Step};
 use dgmc_mctree::{McAlgorithm, McTopology, McType, Role, SphStrategy};
-use dgmc_obs::{JsonValue, MetricsRegistry};
+use dgmc_obs::{render_causal, CausalItem, JsonValue, MetricsRegistry};
 use dgmc_topology::{generate, LinkState, Network, NodeId, SpfCache};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -747,18 +747,63 @@ pub fn replay_trace(params: &SystematicParams, keys: &[u64]) -> Option<Replay<Sy
     mc::replay(&model, keys, true, params.max_depth)
 }
 
-/// Renders the minimized trace as a human-readable timeline, one line per
-/// choice point with the engine actions it triggered.
+/// Renders the minimized trace as a human-readable *causal* timeline: one
+/// line per choice point with the engine actions it triggered, indented
+/// under the step that caused it (the step that flooded a delivered LSA, or
+/// the step that started a completing computation; scripted events are
+/// roots). Steps stay in schedule order and keep their schedule numbers, so
+/// the interleaving and the causality are both visible at once.
 pub fn describe_trace(model: &SystematicModel, trace: &[SysAction]) -> Vec<String> {
-    let mut lines = Vec::new();
     let mut state = model.initial();
+    // Message id -> creating step; (switch, mc) -> step that started the
+    // in-flight computation. Warm-up drains to quiescence, so every pending
+    // message and computation is created by a traced step.
+    let mut msg_creator: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut computing: BTreeMap<(NodeId, McId), u64> = BTreeMap::new();
+    let mut items = Vec::new();
+    let mut notes_at: Vec<Vec<String>> = Vec::new();
     for (i, action) in trace.iter().enumerate() {
-        let (next, violations, desc) = model.transition(&state, action);
-        lines.push(format!("{:>3}. {desc}", i + 1));
-        for v in &violations {
-            lines.push(format!("     !! {v}"));
+        let step = i as u64 + 1;
+        let parent = match action {
+            SysAction::Script(_) => 0,
+            SysAction::Deliver(id) => msg_creator.get(id).copied().unwrap_or(0),
+            SysAction::Complete { switch, mc } => {
+                computing.get(&(*switch, *mc)).copied().unwrap_or(0)
+            }
+        };
+        if let SysAction::Complete { switch, mc } = action {
+            computing.remove(&(*switch, *mc));
         }
+        let before: BTreeSet<u64> = state.pending.keys().copied().collect();
+        let (next, violations, desc) = model.transition(&state, action);
+        for &id in next.pending.keys() {
+            if !before.contains(&id) {
+                msg_creator.insert(id, step);
+            }
+        }
+        for pair in &next.switches {
+            for mc in pair.engine.mc_ids() {
+                if pair
+                    .engine
+                    .state(mc)
+                    .is_some_and(|st| st.computing.is_some())
+                {
+                    computing.entry((pair.engine.id(), mc)).or_insert(step);
+                }
+            }
+        }
+        items.push(CausalItem {
+            id: step,
+            parent,
+            label: format!("{step:>3}. {desc}"),
+        });
+        notes_at.push(violations.iter().map(|v| format!("     !! {v}")).collect());
         state = next;
+    }
+    let mut lines = Vec::new();
+    for (line, notes) in render_causal(&items).into_iter().zip(notes_at) {
+        lines.push(line);
+        lines.extend(notes);
     }
     if model.enabled(&state).is_empty() {
         for v in model.check_quiescent(&state) {
@@ -927,6 +972,39 @@ mod tests {
         let up = model.script()[2];
         assert!(matches!(down, ScriptEvent::LinkDown { .. }));
         assert!(matches!(up, ScriptEvent::LinkUp { after: 1, .. }));
+    }
+
+    #[test]
+    fn describe_trace_renders_causal_indentation() {
+        let params = quick();
+        let model = SystematicModel::new(&params);
+        let mut state = model.initial();
+        let mut trace = vec![SysAction::Script(0)];
+        state = model.apply(&state, &trace[0]).state;
+        let complete = model
+            .enabled(&state)
+            .into_iter()
+            .find(|a| matches!(a, SysAction::Complete { .. }))
+            .expect("the join started a computation");
+        state = model.apply(&state, &complete).state;
+        trace.push(complete);
+        let deliver = model
+            .enabled(&state)
+            .into_iter()
+            .find(|a| matches!(a, SysAction::Deliver(_)))
+            .expect("the computation flooded an LSA");
+        trace.push(deliver);
+        let lines = describe_trace(&model, &trace);
+        assert_eq!(lines.len(), 3);
+        // Root at indent 0, its computation one hop in, the LSA that
+        // computation flooded two hops in — causality *and* schedule order.
+        assert!(lines[0].starts_with("  1. join"), "{}", lines[0]);
+        assert!(
+            lines[1].starts_with("  ↳   2. computation done"),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].starts_with("    ↳   3. deliver"), "{}", lines[2]);
     }
 
     #[test]

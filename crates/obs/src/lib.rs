@@ -15,6 +15,12 @@
 //! 3. **Export and rendering** — JSONL writers for the decision log and
 //!    metric snapshots ([`JsonValue`]), plus a human-readable timeline dump
 //!    ([`DecisionLog::timeline`], [`TimelineDumpGuard`]) for failing tests.
+//! 4. **Causal span tracing** — [`SharedTracer`] collects per-operation
+//!    [`Span`] trees over the simulated message graph; [`critical_paths`]
+//!    extracts each operation's longest causal chain, [`chrome_trace_json`]
+//!    exports Perfetto-loadable Chrome trace-event JSON, and
+//!    [`render_causal`] / [`render_trace_timeline`] render compact causal
+//!    text timelines shared by repro bundles and counterexamples.
 //!
 //! # Example
 //!
@@ -44,9 +50,14 @@ mod json;
 mod log;
 mod metrics;
 mod observer;
+mod trace;
 
 pub use event::{DecisionEvent, DecisionKind, FaultKind, MemberChange, StampSnapshot};
 pub use json::JsonValue;
-pub use log::{DecisionLog, DecisionLogHandle, TimelineDumpGuard};
-pub use metrics::{CounterId, Histogram, HistogramId, MetricsRegistry};
+pub use log::{DecisionLog, DecisionLogHandle, TimelineDumpGuard, DROPPED_EVENTS_COUNTER};
+pub use metrics::{CounterId, GaugeId, Histogram, HistogramId, MetricsRegistry};
 pub use observer::{NoopObserver, Observer, SharedObserver};
+pub use trace::{
+    chrome_trace_json, critical_paths, phase_durations_ns, render_causal, render_trace_timeline,
+    CausalItem, OpCriticalPath, SharedTracer, Span, Trace,
+};

@@ -1,12 +1,34 @@
 //! Bounded decision log, timeline rendering and JSONL export.
+//!
+//! # Timestamp semantics
+//!
+//! Every [`DecisionEvent::at_nanos`] is *simulated* time: nanoseconds since
+//! the start of the deterministic event simulation, stamped by the simulator
+//! via [`crate::SharedObserver::set_now`] immediately before each dispatch.
+//! Timestamps are therefore reproducible across runs and across `--jobs`
+//! values; wall-clock never appears in a decision log. Rendered timelines
+//! print the same instants in microseconds (`[      42.000us]`).
+//!
+//! # Overflow accounting
+//!
+//! The ring keeps the `capacity` most recent decisions. Evictions are *not*
+//! silent: [`DecisionLog::dropped`] counts them, [`DecisionLog::timeline`]
+//! prefixes the rendering with an omission header whenever anything was
+//! evicted, and [`DecisionLog::publish_dropped`] exports the count as the
+//! `obs.dropped_events` counter so truncation shows up in metric snapshots.
 
 use crate::event::DecisionEvent;
+use crate::metrics::MetricsRegistry;
 use crate::observer::Observer;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::io::Write;
 use std::path::Path;
 use std::rc::Rc;
+
+/// Counter name under which [`DecisionLog::publish_dropped`] exports ring
+/// evictions.
+pub const DROPPED_EVENTS_COUNTER: &str = "obs.dropped_events";
 
 /// A capacity-bounded ring of [`DecisionEvent`]s, oldest evicted first.
 #[derive(Debug, Clone, Default)]
@@ -63,6 +85,18 @@ impl DecisionLog {
     /// Decisions evicted (or rejected by a zero-capacity log) so far.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Exports the eviction count as the `obs.dropped_events` counter so
+    /// truncated timelines are detectable from metric snapshots alone.
+    ///
+    /// Adds (rather than sets) so repeated publishes from several logs
+    /// aggregate; call once per log at the end of a run.
+    pub fn publish_dropped(&self, registry: &mut MetricsRegistry) {
+        if self.dropped > 0 {
+            let id = registry.counter(DROPPED_EVENTS_COUNTER);
+            registry.add(id, self.dropped);
+        }
     }
 
     /// Iterates over retained decisions, oldest first.
@@ -230,6 +264,26 @@ mod tests {
         assert_eq!(log.dropped(), 3);
         let at: Vec<u64> = log.iter().map(|e| e.at_nanos).collect();
         assert_eq!(at, vec![3_000, 4_000]);
+    }
+
+    #[test]
+    fn publish_dropped_exports_the_counter_only_when_nonzero() {
+        let mut reg = MetricsRegistry::new();
+        let mut log = DecisionLog::new(2);
+        log.push(ev(0, DecisionKind::ProposalFlooded));
+        log.publish_dropped(&mut reg);
+        // Nothing evicted yet: the counter is not even interned.
+        assert!(!reg.counters_map().contains_key(DROPPED_EVENTS_COUNTER));
+        for i in 0..4 {
+            log.push(ev(i, DecisionKind::ProposalFlooded));
+        }
+        log.publish_dropped(&mut reg);
+        assert_eq!(reg.counter_value(DROPPED_EVENTS_COUNTER), 3);
+        // A second log's evictions aggregate into the same counter.
+        let mut other = DecisionLog::new(0);
+        other.push(ev(9, DecisionKind::ProposalWithdrawn));
+        other.publish_dropped(&mut reg);
+        assert_eq!(reg.counter_value(DROPPED_EVENTS_COUNTER), 4);
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub struct CounterId(u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HistogramId(u32);
 
+/// Interned handle to one gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GaugeId(u32);
+
 /// A fixed-bucket histogram of `u64` samples.
 ///
 /// Bucket 0 holds the value `0`; bucket `k ≥ 1` holds values in
@@ -191,6 +195,9 @@ pub struct MetricsRegistry {
     histogram_names: Vec<String>,
     histograms: Vec<Histogram>,
     histogram_index: HashMap<String, u32>,
+    gauge_names: Vec<String>,
+    gauge_values: Vec<u64>,
+    gauge_index: HashMap<String, u32>,
 }
 
 impl MetricsRegistry {
@@ -284,14 +291,65 @@ impl MetricsRegistry {
         self.histogram_names.iter().map(String::as_str)
     }
 
-    /// Zeroes every counter and clears every histogram, keeping the interned
-    /// names (ids stay valid).
+    /// Interns a gauge by name. Idempotent.
+    ///
+    /// A gauge is a *point-in-time level* (tree cost, max leaf delay, queue
+    /// depth), as opposed to a monotone counter: setting it replaces the
+    /// previous value.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(&id) = self.gauge_index.get(name) {
+            return GaugeId(id);
+        }
+        let id = self.gauge_values.len() as u32;
+        self.gauge_names.push(name.to_owned());
+        self.gauge_values.push(0);
+        self.gauge_index.insert(name.to_owned(), id);
+        GaugeId(id)
+    }
+
+    /// Sets an interned gauge to `value` (replacing the previous level).
+    pub fn gauge_set(&mut self, id: GaugeId, value: u64) {
+        self.gauge_values[id.0 as usize] = value;
+    }
+
+    /// Sets a gauge by name (interning if needed).
+    pub fn gauge_set_named(&mut self, name: &str, value: u64) {
+        let id = self.gauge(name);
+        self.gauge_set(id, value);
+    }
+
+    /// Current value of a gauge by id.
+    pub fn gauge_get(&self, id: GaugeId) -> u64 {
+        self.gauge_values[id.0 as usize]
+    }
+
+    /// Current value of a gauge by name (0 when never interned).
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        self.gauge_index
+            .get(name)
+            .map_or(0, |&id| self.gauge_values[id as usize])
+    }
+
+    /// All gauges as a sorted name → value map.
+    pub fn gauges_map(&self) -> BTreeMap<String, u64> {
+        self.gauge_names
+            .iter()
+            .cloned()
+            .zip(self.gauge_values.iter().copied())
+            .collect()
+    }
+
+    /// Zeroes every counter and gauge and clears every histogram, keeping
+    /// the interned names (ids stay valid).
     pub fn reset(&mut self) {
         for value in &mut self.counter_values {
             *value = 0;
         }
         for histogram in &mut self.histograms {
             histogram.reset();
+        }
+        for value in &mut self.gauge_values {
+            *value = 0;
         }
     }
 
@@ -307,10 +365,19 @@ impl MetricsRegistry {
             let id = self.histogram(name);
             self.histograms[id.0 as usize].merge(histogram);
         }
+        // Gauges are point-in-time levels, not sums: when aggregating many
+        // independent runs of a sweep, keep the worst (largest) level seen
+        // for each gauge so reports surface the worst-case tree quality.
+        for (name, &value) in other.gauge_names.iter().zip(&other.gauge_values) {
+            let id = self.gauge(name);
+            let slot = &mut self.gauge_values[id.0 as usize];
+            *slot = (*slot).max(value);
+        }
     }
 
     /// Full snapshot as a JSON object:
-    /// `{"counters": {...}, "histograms": {...}}` with sorted counter keys.
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}` with
+    /// sorted keys in each section.
     pub fn to_json(&self) -> JsonValue {
         let counters = JsonValue::Obj(
             self.counters_map()
@@ -325,8 +392,15 @@ impl MetricsRegistry {
             .map(|(name, histogram)| (name.clone(), histogram.to_json()))
             .collect();
         hist_pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let gauges = JsonValue::Obj(
+            self.gauges_map()
+                .into_iter()
+                .map(|(name, value)| (name, JsonValue::U64(value)))
+                .collect(),
+        );
         JsonValue::Obj(vec![
             ("counters".to_owned(), counters),
+            ("gauges".to_owned(), gauges),
             ("histograms".to_owned(), JsonValue::Obj(hist_pairs)),
         ])
     }
@@ -335,6 +409,9 @@ impl MetricsRegistry {
 impl PartialEq for MetricsRegistry {
     fn eq(&self, other: &MetricsRegistry) -> bool {
         if self.counters_map() != other.counters_map() {
+            return false;
+        }
+        if self.gauges_map() != other.gauges_map() {
             return false;
         }
         let by_name = |reg: &MetricsRegistry| -> BTreeMap<String, Histogram> {
@@ -573,9 +650,62 @@ mod tests {
         let a = reg.counter("a");
         reg.add(a, 1);
         reg.observe_named("lat", 8);
+        reg.gauge_set_named("g", 7);
         let json = reg.to_json().to_json();
-        assert!(json.starts_with(r#"{"counters":{"a":1,"b":2},"histograms":{"lat":"#));
+        assert!(
+            json.starts_with(r#"{"counters":{"a":1,"b":2},"gauges":{"g":7},"histograms":{"lat":"#)
+        );
         assert!(json.contains(r#""count":1"#));
         assert!(json.contains(r#""p50":8"#));
+    }
+
+    #[test]
+    fn gauges_set_replace_and_reset() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("tree.cost");
+        assert_eq!(reg.gauge("tree.cost"), g);
+        reg.gauge_set(g, 12);
+        reg.gauge_set(g, 9);
+        assert_eq!(reg.gauge_get(g), 9);
+        assert_eq!(reg.gauge_value("tree.cost"), 9);
+        assert_eq!(reg.gauge_value("never.seen"), 0);
+        reg.reset();
+        assert_eq!(reg.gauge_get(g), 0);
+        reg.gauge_set_named("tree.cost", 3);
+        assert_eq!(reg.gauge_get(g), 3);
+    }
+
+    #[test]
+    fn gauge_merge_keeps_the_worst_level() {
+        let mut a = MetricsRegistry::new();
+        a.gauge_set_named("delay", 40);
+        a.gauge_set_named("only_a", 1);
+        let mut b = MetricsRegistry::new();
+        b.gauge_set_named("delay", 25);
+        b.gauge_set_named("only_b", 2);
+        a.merge(&b);
+        assert_eq!(a.gauge_value("delay"), 40);
+        assert_eq!(a.gauge_value("only_a"), 1);
+        assert_eq!(a.gauge_value("only_b"), 2);
+        // Merging the other way yields the same aggregate (max commutes).
+        let mut c = MetricsRegistry::new();
+        c.gauge_set_named("delay", 25);
+        c.gauge_set_named("only_b", 2);
+        let mut d = MetricsRegistry::new();
+        d.gauge_set_named("delay", 40);
+        d.gauge_set_named("only_a", 1);
+        c.merge(&d);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn equality_covers_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.gauge_set_named("g", 1);
+        let mut b = MetricsRegistry::new();
+        b.gauge_set_named("g", 1);
+        assert_eq!(a, b);
+        b.gauge_set_named("g", 2);
+        assert_ne!(a, b);
     }
 }

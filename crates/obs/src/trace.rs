@@ -1,0 +1,704 @@
+//! Causal span tracing: per-operation span trees over the DES message graph.
+//!
+//! Every protocol-initiating event (join, leave, link flap, crash, teardown)
+//! opens a *root span*; each message or timer scheduled while a span's
+//! handler is dispatching becomes a *child span*, so flood / withdraw /
+//! install chains turn into parent→child trees across switches. A span
+//! covers one scheduled delivery: it starts when the message is sent
+//! (`start_ns`) and ends when it is delivered and handled (`end_ns` — known
+//! at send time because DES delays are deterministic). Spans carry the
+//! sender/receiver actors, a message label, and free-form notes: decision-log
+//! events made while the span's handler ran, plus fault-injection outcomes
+//! (drop, retransmit, duplicate, jitter).
+//!
+//! All timestamps are *simulated* nanoseconds (see `crate::log` for the
+//! clock semantics); traces are therefore byte-reproducible across runs and
+//! `--jobs` values. On top of the raw spans this module provides critical-
+//! path extraction ([`critical_paths`]), Chrome trace-event / Perfetto JSON
+//! export ([`chrome_trace_json`]) and a compact causal text renderer
+//! ([`render_causal`], [`render_trace_timeline`]) shared by repro bundles
+//! and model-checker counterexamples.
+
+use crate::event::DecisionEvent;
+use crate::json::JsonValue;
+use crate::observer::Observer;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// One causal span: a scheduled delivery (message or self-timer) and the
+/// handler work it triggered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based span id; `spans[id - 1]` is this span. 0 is reserved for
+    /// "no span".
+    pub id: u64,
+    /// Id of the root span of this operation (== `id` for roots).
+    pub trace: u64,
+    /// Parent span id (0 for roots).
+    pub parent: u64,
+    /// Logical hop depth: 0 for roots, parent depth + 1 otherwise.
+    pub depth: u32,
+    /// Sending actor (None for injected events and self-timers).
+    pub from: Option<u32>,
+    /// Receiving actor.
+    pub to: u32,
+    /// Simulated send instant (nanoseconds).
+    pub start_ns: u64,
+    /// Simulated delivery instant (nanoseconds); equals `start_ns` for
+    /// dropped messages, which never dispatch.
+    pub end_ns: u64,
+    /// Human-readable message label (protocol-specific).
+    pub label: String,
+    /// Annotations: decision events made by this span's handler, fault
+    /// outcomes applied to this delivery.
+    pub notes: Vec<String>,
+}
+
+impl Span {
+    /// Duration in simulated nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// A completed causal trace: every span recorded between enable and take,
+/// in creation (= schedule) order, so parents always precede children.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// All spans, ordered by id (`spans[i].id == i + 1`).
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` when no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The root spans (operations), in creation order.
+    pub fn roots(&self) -> impl Iterator<Item = &Span> + '_ {
+        self.spans.iter().filter(|s| s.parent == 0)
+    }
+
+    /// Checks structural well-formedness and returns the first violation:
+    ///
+    /// - ids are dense and 1-based (`spans[i].id == i + 1`);
+    /// - every non-root parent exists, precedes its child, belongs to the
+    ///   same trace, and ends exactly when the child starts (the child was
+    ///   sent while the parent's handler ran);
+    /// - depth is parent depth + 1 (0 at roots);
+    /// - every trace id has exactly one root, which is the span whose id
+    ///   *is* the trace id.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut roots_per_trace: BTreeMap<u64, u64> = BTreeMap::new();
+        for (i, span) in self.spans.iter().enumerate() {
+            let id = i as u64 + 1;
+            if span.id != id {
+                return Err(format!("span at index {i} has id {} (want {id})", span.id));
+            }
+            if span.end_ns < span.start_ns {
+                return Err(format!("span {id} ends before it starts"));
+            }
+            if span.parent == 0 {
+                if span.trace != id {
+                    return Err(format!(
+                        "root span {id} claims trace {} (want {id})",
+                        span.trace
+                    ));
+                }
+                if span.depth != 0 {
+                    return Err(format!("root span {id} has depth {}", span.depth));
+                }
+                *roots_per_trace.entry(span.trace).or_insert(0) += 1;
+            } else {
+                if span.parent >= id {
+                    return Err(format!(
+                        "span {id} has non-preceding parent {}",
+                        span.parent
+                    ));
+                }
+                let parent = &self.spans[span.parent as usize - 1];
+                if parent.trace != span.trace {
+                    return Err(format!(
+                        "span {id} is in trace {} but its parent {} is in trace {}",
+                        span.trace, span.parent, parent.trace
+                    ));
+                }
+                if span.depth != parent.depth + 1 {
+                    return Err(format!(
+                        "span {id} has depth {} under parent depth {}",
+                        span.depth, parent.depth
+                    ));
+                }
+                if span.start_ns != parent.end_ns {
+                    return Err(format!(
+                        "span {id} starts at {} but its parent was dispatched at {}",
+                        span.start_ns, parent.end_ns
+                    ));
+                }
+            }
+        }
+        for span in &self.spans {
+            match roots_per_trace.get(&span.trace) {
+                Some(1) => {}
+                Some(n) => return Err(format!("trace {} has {n} roots", span.trace)),
+                None => return Err(format!("trace {} has no root (orphans)", span.trace)),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The critical path of one operation: the longest causal chain from the
+/// initiating root span to the last delivery it transitively caused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpCriticalPath {
+    /// Trace (root span) id of the operation.
+    pub trace: u64,
+    /// Label of the initiating root span.
+    pub label: String,
+    /// Simulated instant the operation was initiated.
+    pub start_ns: u64,
+    /// Simulated instant of the last delivery on the path (= the latest
+    /// delivery in the whole operation).
+    pub end_ns: u64,
+    /// Causal hops on the path (depth of the terminal span).
+    pub hops: u32,
+    /// Span ids from root to terminal span, inclusive.
+    pub path: Vec<u64>,
+}
+
+impl OpCriticalPath {
+    /// Critical-path duration in simulated nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Extracts the critical path of every operation in `trace`, in root order.
+///
+/// The terminal span of an operation is its latest-ending span (ties broken
+/// toward the earliest-created), and the path is its parent chain. Because
+/// every child starts exactly when its parent ends, the terminal span's end
+/// is the instant the operation's last causal effect was delivered — which
+/// is what convergence measures when the last effect is an install.
+pub fn critical_paths(trace: &Trace) -> Vec<OpCriticalPath> {
+    // Latest-ending span per trace id (first-seen wins ties: spans are in
+    // creation order).
+    let mut terminal: BTreeMap<u64, &Span> = BTreeMap::new();
+    for span in &trace.spans {
+        let best = terminal.entry(span.trace).or_insert(span);
+        if span.end_ns > best.end_ns {
+            *best = span;
+        }
+    }
+    trace
+        .roots()
+        .map(|root| {
+            let leaf = terminal[&root.trace];
+            let mut path = Vec::with_capacity(leaf.depth as usize + 1);
+            let mut cursor = leaf;
+            loop {
+                path.push(cursor.id);
+                if cursor.parent == 0 {
+                    break;
+                }
+                cursor = &trace.spans[cursor.parent as usize - 1];
+            }
+            path.reverse();
+            OpCriticalPath {
+                trace: root.trace,
+                label: root.label.clone(),
+                start_ns: root.start_ns,
+                end_ns: leaf.end_ns,
+                hops: leaf.depth,
+                path,
+            }
+        })
+        .collect()
+}
+
+/// Sums span durations (simulated nanoseconds) per phase, where `classify`
+/// maps a span label to a phase name. Used for per-phase event-loop
+/// self-profiling: the caller publishes the sums as registry gauges.
+pub fn phase_durations_ns(
+    trace: &Trace,
+    classify: impl Fn(&str) -> &'static str,
+) -> BTreeMap<&'static str, u64> {
+    let mut sums = BTreeMap::new();
+    for span in &trace.spans {
+        *sums.entry(classify(&span.label)).or_insert(0) += span.duration_ns();
+    }
+    sums
+}
+
+/// Renders `trace` as Chrome trace-event JSON (object format), loadable in
+/// Perfetto / `chrome://tracing`.
+///
+/// Each operation becomes a process (`pid` = trace id, named after the root
+/// label); each span becomes a complete event (`ph:"X"`) on the receiving
+/// actor's thread (`tid`), with `ts`/`dur` in microseconds and the causal
+/// linkage (span/parent/depth/from/notes) under `args`. Output is a pure
+/// function of the trace — deterministic and byte-identical across `--jobs`.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut events: Vec<JsonValue> = Vec::with_capacity(trace.len() + 8);
+    for root in trace.roots() {
+        events.push(JsonValue::obj(vec![
+            ("name", JsonValue::Str("process_name".into())),
+            ("ph", JsonValue::Str("M".into())),
+            ("pid", JsonValue::U64(root.trace)),
+            ("tid", JsonValue::U64(0)),
+            (
+                "args",
+                JsonValue::obj(vec![(
+                    "name",
+                    JsonValue::Str(format!("op {}: {}", root.trace, root.label)),
+                )]),
+            ),
+        ]));
+    }
+    for span in &trace.spans {
+        let mut args = vec![
+            ("span", JsonValue::U64(span.id)),
+            ("parent", JsonValue::U64(span.parent)),
+            ("depth", JsonValue::U64(span.depth as u64)),
+            (
+                "from",
+                span.from
+                    .map_or(JsonValue::Null, |a| JsonValue::U64(a as u64)),
+            ),
+        ];
+        if !span.notes.is_empty() {
+            args.push((
+                "notes",
+                JsonValue::Arr(
+                    span.notes
+                        .iter()
+                        .map(|n| JsonValue::Str(n.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        events.push(JsonValue::obj(vec![
+            ("name", JsonValue::Str(span.label.clone())),
+            ("cat", JsonValue::Str("dgmc".into())),
+            ("ph", JsonValue::Str("X".into())),
+            ("ts", JsonValue::F64(span.start_ns as f64 / 1_000.0)),
+            ("dur", JsonValue::F64(span.duration_ns() as f64 / 1_000.0)),
+            ("pid", JsonValue::U64(span.trace)),
+            ("tid", JsonValue::U64(span.to as u64)),
+            ("args", JsonValue::obj(args)),
+        ]));
+    }
+    let mut out = JsonValue::obj(vec![
+        ("displayTimeUnit", JsonValue::Str("ns".into())),
+        ("traceEvents", JsonValue::Arr(events)),
+    ])
+    .to_json();
+    out.push('\n');
+    out
+}
+
+/// One node of a generic causal tree for text rendering: model-checker
+/// steps and DES spans both reduce to this shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CausalItem {
+    /// Node id (any nonzero value; 0 is "no parent").
+    pub id: u64,
+    /// Parent node id, 0 for roots. Parents must appear before children.
+    pub parent: u64,
+    /// The rendered line content (without indentation).
+    pub label: String,
+}
+
+/// Renders causal items as an indented text tree, one line per item, in the
+/// given order. Indentation is two spaces per causal hop; non-roots get a
+/// `↳` marker so chains read as "this happened *because of* the line above
+/// it at one less indent". Items whose parent is absent render as roots.
+pub fn render_causal(items: &[CausalItem]) -> Vec<String> {
+    let mut depth: BTreeMap<u64, u32> = BTreeMap::new();
+    items
+        .iter()
+        .map(|item| {
+            let d = if item.parent == 0 {
+                0
+            } else {
+                depth.get(&item.parent).map_or(0, |&p| p + 1)
+            };
+            depth.insert(item.id, d);
+            if d == 0 {
+                item.label.clone()
+            } else {
+                format!("{}↳ {}", "  ".repeat(d as usize), item.label)
+            }
+        })
+        .collect()
+}
+
+/// Renders the last `last_n` spans of `trace` as a causal text timeline
+/// (with an omission header when truncated), reusing [`render_causal`] so
+/// repro bundles and counterexample timelines share one format.
+pub fn render_trace_timeline(trace: &Trace, last_n: usize) -> Vec<String> {
+    let skip = trace.spans.len().saturating_sub(last_n);
+    let mut out = Vec::with_capacity(trace.spans.len() - skip + 1);
+    if skip > 0 {
+        out.push(format!("... {skip} earlier span(s) omitted"));
+    }
+    let items: Vec<CausalItem> = trace.spans[skip..]
+        .iter()
+        .map(|span| CausalItem {
+            id: span.id,
+            parent: span.parent,
+            label: span.to_string(),
+        })
+        .collect();
+    out.extend(render_causal(&items));
+    out
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12.3}us] {}a{} {}",
+            self.end_ns as f64 / 1_000.0,
+            match self.from {
+                Some(from) => format!("a{from}→"),
+                None => String::new(),
+            },
+            self.to,
+            self.label
+        )?;
+        for note in &self.notes {
+            write!(f, " [{note}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceCollector {
+    spans: Vec<Span>,
+    /// Id of the span whose handler is currently dispatching (0 = none).
+    current: u64,
+}
+
+/// A cheaply cloneable causal-trace collector shared by the simulator, the
+/// context handed to actors, and the harness.
+///
+/// Disabled by default: every hook is a single branch until
+/// [`SharedTracer::enable`] is called, mirroring `crate::SharedObserver`.
+/// Also implements [`Observer`], so attaching a clone as the decision-event
+/// sink annotates the currently dispatching span with each decision.
+#[derive(Clone, Default)]
+pub struct SharedTracer {
+    inner: Rc<RefCell<Option<TraceCollector>>>,
+}
+
+impl SharedTracer {
+    /// A disabled tracer.
+    pub fn new() -> SharedTracer {
+        SharedTracer::default()
+    }
+
+    /// Starts collecting spans (idempotent; keeps existing spans).
+    pub fn enable(&self) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.is_none() {
+            *inner = Some(TraceCollector::default());
+        }
+    }
+
+    /// Whether spans are being collected.
+    pub fn enabled(&self) -> bool {
+        self.inner.borrow().is_some()
+    }
+
+    /// Stops collecting and returns the trace (None when disabled).
+    pub fn take(&self) -> Option<Trace> {
+        self.inner.borrow_mut().take().map(|collector| Trace {
+            spans: collector.spans,
+        })
+    }
+
+    /// Number of spans collected so far (0 when disabled).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().as_ref().map_or(0, |c| c.spans.len())
+    }
+
+    /// `true` when disabled or nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records a span for a delivery scheduled at `end_ns` (sent at
+    /// `start_ns`) and returns its id (0 when disabled).
+    ///
+    /// The new span's parent is the currently dispatching span; with no
+    /// dispatch in progress (an injected event) it opens a new root. The
+    /// label closure only runs when tracing is enabled.
+    pub fn on_send(
+        &self,
+        from: Option<u32>,
+        to: u32,
+        start_ns: u64,
+        end_ns: u64,
+        label: impl FnOnce() -> String,
+    ) -> u64 {
+        let mut inner = self.inner.borrow_mut();
+        let Some(collector) = inner.as_mut() else {
+            return 0;
+        };
+        let id = collector.spans.len() as u64 + 1;
+        let (trace, parent, depth) = if collector.current == 0 {
+            (id, 0, 0)
+        } else {
+            let parent = &collector.spans[collector.current as usize - 1];
+            (parent.trace, parent.id, parent.depth + 1)
+        };
+        collector.spans.push(Span {
+            id,
+            trace,
+            parent,
+            depth,
+            from,
+            to,
+            start_ns,
+            end_ns,
+            label: label(),
+            notes: Vec::new(),
+        });
+        id
+    }
+
+    /// Appends a note to span `id` (no-op when disabled or `id` is 0).
+    pub fn annotate(&self, id: u64, note: impl FnOnce() -> String) {
+        if id == 0 {
+            return;
+        }
+        if let Some(collector) = self.inner.borrow_mut().as_mut() {
+            if let Some(span) = collector.spans.get_mut(id as usize - 1) {
+                span.notes.push(note());
+            }
+        }
+    }
+
+    /// Appends a note to the currently dispatching span, if any.
+    pub fn annotate_current(&self, note: impl FnOnce() -> String) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(collector) = inner.as_mut() {
+            let current = collector.current;
+            if let Some(span) = current
+                .checked_sub(1)
+                .and_then(|i| collector.spans.get_mut(i as usize))
+            {
+                span.notes.push(note());
+            }
+        }
+    }
+
+    /// Marks span `id` as the one whose handler is now dispatching.
+    ///
+    /// Sends made until [`SharedTracer::end_dispatch`] become its children.
+    pub fn begin_dispatch(&self, id: u64) {
+        if let Some(collector) = self.inner.borrow_mut().as_mut() {
+            collector.current = id;
+        }
+    }
+
+    /// Clears the currently dispatching span.
+    pub fn end_dispatch(&self) {
+        if let Some(collector) = self.inner.borrow_mut().as_mut() {
+            collector.current = 0;
+        }
+    }
+}
+
+impl Observer for SharedTracer {
+    /// Decision events annotate the currently dispatching span, turning the
+    /// decision log's typed stream into span annotations for free.
+    fn record(&mut self, event: DecisionEvent) {
+        self.annotate_current(|| format!("mc{} {}", event.mc, event.kind));
+    }
+}
+
+impl fmt::Debug for SharedTracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedTracer")
+            .field("enabled", &self.enabled())
+            .field("spans", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DecisionKind, StampSnapshot};
+
+    /// Builds the canonical two-operation trace used across tests:
+    ///
+    /// op A (root 1, injected at 0, delivered at 10): handler sends two
+    /// children (delivered at 25 and 30); the 25-child sends a grandchild
+    /// delivered at 60. op B (root 5, injected at 0, delivered at 40): no
+    /// children.
+    fn sample_tracer() -> SharedTracer {
+        let tracer = SharedTracer::new();
+        tracer.enable();
+        let a = tracer.on_send(None, 0, 0, 10, || "join mc1".into());
+        let b = tracer.on_send(None, 2, 0, 40, || "leave mc1".into());
+        tracer.begin_dispatch(a);
+        let c1 = tracer.on_send(Some(0), 1, 10, 25, || "mc-lsa".into());
+        tracer.on_send(Some(0), 2, 10, 30, || "mc-lsa".into());
+        tracer.end_dispatch();
+        tracer.begin_dispatch(c1);
+        tracer.on_send(Some(1), 2, 25, 60, || "mc-lsa".into());
+        tracer.end_dispatch();
+        tracer.begin_dispatch(b);
+        tracer.end_dispatch();
+        tracer
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_and_skips_label_closures() {
+        let tracer = SharedTracer::new();
+        assert!(!tracer.enabled());
+        let id = tracer.on_send(None, 0, 0, 10, || panic!("label built while disabled"));
+        assert_eq!(id, 0);
+        tracer.annotate(id, || panic!("note built for span 0"));
+        tracer.annotate_current(|| panic!("note built while disabled"));
+        assert!(tracer.take().is_none());
+    }
+
+    #[test]
+    fn spans_form_well_formed_trees() {
+        let trace = sample_tracer().take().unwrap();
+        assert_eq!(trace.len(), 5);
+        trace.validate().unwrap();
+        assert_eq!(trace.roots().count(), 2);
+        let grandchild = &trace.spans[4];
+        assert_eq!(grandchild.trace, 1);
+        assert_eq!(grandchild.parent, 3);
+        assert_eq!(grandchild.depth, 2);
+        assert_eq!(grandchild.start_ns, 25);
+    }
+
+    #[test]
+    fn validate_rejects_broken_trees() {
+        let mut trace = sample_tracer().take().unwrap();
+        trace.spans[4].depth = 7;
+        assert!(trace.validate().is_err());
+        let mut trace2 = sample_tracer().take().unwrap();
+        trace2.spans[4].start_ns = 11;
+        assert!(trace2.validate().is_err());
+        let mut trace3 = sample_tracer().take().unwrap();
+        // A root must be the span whose id is the trace id.
+        trace3.spans[1].trace = 1;
+        assert!(trace3.validate().is_err());
+        let mut trace4 = sample_tracer().take().unwrap();
+        // A child claiming a different trace than its parent is an orphan.
+        trace4.spans[4].trace = 2;
+        assert!(trace4.validate().is_err());
+    }
+
+    #[test]
+    fn critical_path_finds_the_longest_causal_chain() {
+        let trace = sample_tracer().take().unwrap();
+        let paths = critical_paths(&trace);
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].trace, 1);
+        assert_eq!(paths[0].label, "join mc1");
+        assert_eq!(paths[0].path, vec![1, 3, 5]);
+        assert_eq!(paths[0].hops, 2);
+        assert_eq!(paths[0].start_ns, 0);
+        assert_eq!(paths[0].end_ns, 60);
+        assert_eq!(paths[0].duration_ns(), 60);
+        assert_eq!(paths[1].trace, 2);
+        assert_eq!(paths[1].path, vec![2]);
+        assert_eq!(paths[1].duration_ns(), 40);
+    }
+
+    #[test]
+    fn decision_events_annotate_the_dispatching_span() {
+        let tracer = sample_tracer();
+        let id = tracer.on_send(None, 3, 100, 110, || "link-down".into());
+        tracer.begin_dispatch(id);
+        let mut sink: Box<dyn Observer> = Box::new(tracer.clone());
+        sink.record(DecisionEvent {
+            at_nanos: 110,
+            mc: 4,
+            switch: 3,
+            kind: DecisionKind::ProposalWithdrawn,
+            stamps: StampSnapshot::empty(),
+        });
+        tracer.end_dispatch();
+        let trace = tracer.take().unwrap();
+        let span = trace.spans.last().unwrap();
+        assert_eq!(span.notes, vec!["mc4 ProposalWithdrawn".to_owned()]);
+        assert!(span.to_string().contains("[mc4 ProposalWithdrawn]"));
+    }
+
+    #[test]
+    fn chrome_export_is_valid_and_deterministic() {
+        let trace = sample_tracer().take().unwrap();
+        let json = chrome_trace_json(&trace);
+        assert_eq!(json, chrome_trace_json(&sample_tracer().take().unwrap()));
+        let doc = JsonValue::parse(json.trim_end()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 process_name metadata records + 5 spans.
+        assert_eq!(events.len(), 7);
+        for event in events {
+            let ph = event.get("ph").unwrap().as_str().unwrap();
+            assert!(event.get("name").is_some());
+            assert!(event.get("pid").is_some());
+            assert!(event.get("tid").is_some());
+            if ph == "X" {
+                assert!(event.get("ts").is_some());
+                assert!(event.get("dur").is_some());
+            } else {
+                assert_eq!(ph, "M");
+            }
+        }
+        // Span 5: sent at 25ns = 0.025us, delivered at 60ns -> dur 0.035us.
+        assert!(json.contains(r#""ts":0.025,"dur":0.035"#), "{json}");
+        assert!(json.contains(r#""name":"op 1: join mc1""#), "{json}");
+    }
+
+    #[test]
+    fn causal_rendering_indents_by_depth() {
+        let trace = sample_tracer().take().unwrap();
+        let lines = render_trace_timeline(&trace, 10);
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("["), "{}", lines[0]);
+        assert!(lines[0].contains("join mc1"));
+        assert!(lines[2].starts_with("  ↳ "), "{}", lines[2]);
+        assert!(lines[4].starts_with("    ↳ "), "{}", lines[4]);
+        assert!(lines[4].contains("a1→a2"));
+        let capped = render_trace_timeline(&trace, 2);
+        assert_eq!(capped[0], "... 3 earlier span(s) omitted");
+        assert_eq!(capped.len(), 3);
+        // Spans whose parents were truncated away render as roots.
+        assert!(!capped[1].contains('↳'), "{}", capped[1]);
+    }
+
+    #[test]
+    fn phase_durations_sum_by_label_class() {
+        let trace = sample_tracer().take().unwrap();
+        let sums = phase_durations_ns(&trace, |label| {
+            if label.contains("lsa") {
+                "flood"
+            } else {
+                "event"
+            }
+        });
+        assert_eq!(sums["flood"], 15 + 20 + 35);
+        assert_eq!(sums["event"], 10 + 40);
+    }
+}
