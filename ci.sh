@@ -81,6 +81,41 @@ ls results/systematic-mutation/repro-seed-*.json >/dev/null 2>&1 || {
     exit 1
 }
 
+echo "== repaired teardown-race scenario explores to exhaustion, clean =="
+cargo run --offline -q --release -p dgmc-experiments --bin explore -- \
+    --systematic --nodes 3 --joins 1 --leaves 1 \
+    --report results/systematic-teardown.json
+grep -q '"complete":true' results/systematic-teardown.json || {
+    echo "the repaired teardown scenario was not exhausted"
+    exit 1
+}
+grep -q '"passed":true' results/systematic-teardown.json || {
+    echo "the repaired engine still violates the teardown scenario"
+    exit 1
+}
+
+echo "== backward search reaches the seeded violation state (jobs-identical) =="
+cargo run --offline -q --release -p dgmc-experiments --bin explore -- \
+    --systematic --nodes 3 --joins 1 --leaves 1 --mutate unfenced-teardown \
+    --backward --jobs 1 --report results/backward-serial.json >/dev/null 2>&1 || {
+    echo "backward search did not reach the seeded violation state"
+    exit 1
+}
+grep -q '"found":true' results/backward-serial.json || {
+    echo "backward report does not record the seeded state as found"
+    exit 1
+}
+cargo run --offline -q --release -p dgmc-experiments --bin explore -- \
+    --systematic --nodes 3 --joins 1 --leaves 1 --mutate unfenced-teardown \
+    --backward --jobs 4 --report results/backward-par.json >/dev/null 2>&1 || {
+    echo "parallel backward search did not reach the seeded violation state"
+    exit 1
+}
+cmp results/backward-serial.json results/backward-par.json || {
+    echo "backward reports differ between --jobs 1 and --jobs 4"
+    exit 1
+}
+
 echo "== SPF cache smoke bench (emits BENCH_pr3.json) =="
 DGMC_BENCH_SMOKE=1 cargo bench --offline -q -p dgmc-bench --bench cache
 test -s BENCH_pr3.json || { echo "BENCH_pr3.json missing or empty"; exit 1; }

@@ -11,7 +11,7 @@
 //! ```text
 //! Timestamp  := n:u32 k:u32 (index:u32 value:u64)^k       (sparse)
 //! Topology   := n_edges:u32 (a:u32 b:u32)* n_terms:u32 (t:u32)*
-//! McLsa      := source:u32 event:u8 [role:u8] mc:u32 type:u8
+//! McLsa      := source:u32 event:u8 [role:u8] mc:u32 type:u8 epoch:u64
 //!               has_proposal:u8 [Topology] Timestamp
 //! Payload    := 0x01 RouterLsa | 0x02 McLsa
 //! ```
@@ -151,6 +151,7 @@ pub fn encode_mc_lsa(lsa: &McLsa, out: &mut BytesMut) {
     }
     out.put_u32(lsa.mc.0);
     out.put_u8(mc_type_tag(lsa.mc_type));
+    out.put_u64(lsa.epoch);
     match &lsa.proposal {
         Some(p) => {
             out.put_u8(1);
@@ -180,9 +181,11 @@ pub fn decode_mc_lsa(buf: &mut Bytes) -> Result<McLsa, CodecError> {
         3 => McEventKind::Link,
         t => return Err(CodecError::BadTag(t)),
     };
-    need(buf, 6)?;
+    need(buf, 14)?;
     let mc = McId(buf.get_u32());
     let mc_type = mc_type_from(buf.get_u8())?;
+    let epoch = buf.get_u64();
+    need(buf, 1)?;
     let proposal = match buf.get_u8() {
         0 => None,
         1 => Some(decode_topology(buf)?),
@@ -194,6 +197,7 @@ pub fn decode_mc_lsa(buf: &mut Bytes) -> Result<McLsa, CodecError> {
         event,
         mc,
         mc_type,
+        epoch,
         proposal,
         stamp,
     })
@@ -253,8 +257,21 @@ mod tests {
             event: McEventKind::Join(Role::Receiver),
             mc: McId(9),
             mc_type: McType::ReceiverOnly,
+            epoch: 7,
             proposal: proposal.then_some(topo),
             stamp,
+        }
+    }
+
+    #[test]
+    fn epoch_rides_the_wire() {
+        for epoch in [0u64, 1, u64::MAX] {
+            let lsa = McLsa {
+                epoch,
+                ..sample_lsa(true)
+            };
+            let mut buf = mc_lsa_bytes(&lsa);
+            assert_eq!(decode_mc_lsa(&mut buf).unwrap().epoch, epoch);
         }
     }
 

@@ -20,7 +20,7 @@
 //! The engine is pure: every input returns [`DgmcAction`]s for the hosting
 //! actor to execute (timed floods, `Tc`-long computation timers).
 
-use crate::state::{ComputationJob, McState, McSync};
+use crate::state::{ComputationJob, McState, McSync, Tombstone};
 use crate::{McEventKind, McId, McLsa};
 use dgmc_mctree::{McAlgorithm, McType, Role};
 use dgmc_obs::{DecisionEvent, DecisionKind, MemberChange, SharedObserver, StampSnapshot};
@@ -78,7 +78,7 @@ impl fmt::Display for DgmcAction {
 /// The systematic explorer (DESIGN.md §11) runs a mutated engine against
 /// the executable specification ([`crate::spec`]) and the invariant suite;
 /// a mutation that survives both would mean the oracles are vacuous.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum EngineMutation {
     /// The faithful protocol.
     #[default]
@@ -89,6 +89,19 @@ pub enum EngineMutation {
     /// The proposal is then based on an outdated membership/timestamp view,
     /// which breaks agreement under concurrent joins.
     SkipWithdrawal,
+    /// Re-introduce the teardown/resurrection race (DESIGN.md §11 race 1):
+    /// tear state down without leaving a tombstone and ignore incarnation
+    /// epochs entirely, exactly the paper's unfenced deletion. A join LSA
+    /// in flight across the deletion then resurrects the MC with a zeroed
+    /// `R` while merged stamps re-learn the forgotten events in `E`,
+    /// leaving `R != E` at quiescence forever.
+    UnfencedTeardown,
+    /// Re-introduce the deferred-flood inversion (DESIGN.md §11 race 2):
+    /// a second local event during a computation floods immediately
+    /// (Fig. 4 lines 15-17 verbatim) instead of waiting its turn behind
+    /// the still-unannounced pending event, so same-origin events flood
+    /// out of local order and receivers split the member list.
+    EagerDeferredFlood,
 }
 
 /// The per-switch D-GMC protocol engine (all MCs).
@@ -115,6 +128,10 @@ pub struct DgmcEngine {
     n: usize,
     algorithm: Rc<dyn McAlgorithm>,
     states: BTreeMap<McId, McState>,
+    /// Fences left behind by MC teardowns: the torn-down incarnation and
+    /// its final `R`, consulted whenever an LSA arrives for an MC without
+    /// state (DESIGN.md §11, the teardown/resurrection repair).
+    tombstones: BTreeMap<McId, Tombstone>,
     observer: SharedObserver,
     spf_cache: SpfCache,
     mutation: EngineMutation,
@@ -128,6 +145,7 @@ impl DgmcEngine {
             n,
             algorithm,
             states: BTreeMap::new(),
+            tombstones: BTreeMap::new(),
             observer: SharedObserver::new(),
             spf_cache: SpfCache::new(),
             mutation: EngineMutation::None,
@@ -193,6 +211,16 @@ impl DgmcEngine {
         self.states.get(&mc)
     }
 
+    /// The tombstone left by the last teardown of `mc`, if any.
+    pub fn tombstone(&self, mc: McId) -> Option<&Tombstone> {
+        self.tombstones.get(&mc)
+    }
+
+    /// All teardown tombstones, ordered by MC id (state-hash input).
+    pub fn tombstones(&self) -> impl Iterator<Item = (&McId, &Tombstone)> {
+        self.tombstones.iter()
+    }
+
     /// Ids of all connections with allocated state.
     pub fn mc_ids(&self) -> Vec<McId> {
         self.states.keys().copied().collect()
@@ -221,12 +249,20 @@ impl DgmcEngine {
 
     /// `EventHandler()` for a local host join.
     ///
-    /// No-op (empty actions) if the switch is already a member.
+    /// No-op (empty actions) if the switch is already a member. Re-creating
+    /// an MC this switch tore down starts a *new incarnation* — the epoch
+    /// moves past the tombstone's so straggler LSAs from the dead
+    /// incarnation stay fenced.
     pub fn local_join(&mut self, mc: McId, mc_type: McType, role: Role) -> Vec<DgmcAction> {
+        let epoch = match (self.mutation, self.tombstones.get(&mc)) {
+            (EngineMutation::UnfencedTeardown, _) | (_, None) => 0,
+            (_, Some(tomb)) => tomb.epoch + 1,
+        };
+        let n = self.n;
         let st = self
             .states
             .entry(mc)
-            .or_insert_with(|| McState::new(mc, mc_type, self.n));
+            .or_insert_with(|| McState::new_at_epoch(mc, mc_type, n, epoch));
         if st.members.contains_key(&self.me) {
             return Vec::new();
         }
@@ -266,6 +302,7 @@ impl DgmcEngine {
             .map(|st| McSync {
                 mc: st.mc,
                 mc_type: st.mc_type,
+                epoch: st.epoch,
                 r: st.r.clone(),
                 e: st.e.clone(),
                 c: st.c.clone(),
@@ -291,15 +328,38 @@ impl DgmcEngine {
     pub fn import_sync(&mut self, snapshot: Vec<McSync>) -> Vec<DgmcAction> {
         let mut actions = Vec::new();
         let synced: std::collections::BTreeSet<McId> = snapshot.iter().map(|s| s.mc).collect();
+        let fenced = self.mutation != EngineMutation::UnfencedTeardown;
         for sync in snapshot {
+            // Incarnation fencing mirrors on_mc_lsa: snapshots of a dead
+            // incarnation are ignored; an unknown MC at the tombstone's own
+            // epoch resumes from the tombstone's counts.
+            if fenced && !self.states.contains_key(&sync.mc) {
+                if let Some(tomb) = self.tombstones.get(&sync.mc) {
+                    if sync.epoch < tomb.epoch {
+                        continue;
+                    }
+                    if sync.epoch == tomb.epoch {
+                        let st = McState::revived(sync.mc, sync.mc_type, self.n, tomb);
+                        self.states.insert(sync.mc, st);
+                    }
+                }
+            }
+            let n = self.n;
             let st = self
                 .states
                 .entry(sync.mc)
-                .or_insert_with(|| McState::new(sync.mc, sync.mc_type, self.n));
+                .or_insert_with(|| McState::new_at_epoch(sync.mc, sync.mc_type, n, sync.epoch));
+            if fenced && sync.epoch < st.epoch {
+                continue;
+            }
             // Adopt only while locally quiet: adopting an R that counts an
             // event whose LSA is queued or still in flight to us would make
             // the later delivery double-count it.
             let quiet = st.mailbox.is_empty() && st.computing.is_none();
+            if fenced && sync.epoch > st.epoch && quiet {
+                // The peer's incarnation supersedes ours wholesale.
+                *st = McState::new_at_epoch(sync.mc, sync.mc_type, n, sync.epoch);
+            }
             if quiet
                 && (sync.r.strictly_dominates(&st.r)
                     || (sync.r == st.r && sync.c.strictly_dominates(&st.c)))
@@ -339,7 +399,17 @@ impl DgmcEngine {
             .map(|(&mc, _)| mc)
             .collect();
         for mc in stale {
-            self.states.remove(&mc);
+            if let Some(st) = self.states.remove(&mc) {
+                if fenced {
+                    self.tombstones.insert(
+                        mc,
+                        Tombstone {
+                            epoch: st.epoch,
+                            final_r: st.r,
+                        },
+                    );
+                }
+            }
         }
         actions
     }
@@ -383,17 +453,39 @@ impl DgmcEngine {
                 previous: st.installed.clone(),
                 pending_event: Some(event),
                 stashed_candidate: None,
+                deferred: Vec::new(),
             });
             vec![DgmcAction::StartComputation { mc }]
         } else {
-            // Lines 15-17: flood the event, defer the proposal to
-            // ReceiveLSA().
+            // Lines 15-17 flood the event immediately — but when an earlier
+            // local event is still *unannounced* (it waits for the in-flight
+            // computation's completion, lines 11-13), flooding now would let
+            // this event overtake it and split member lists at receivers
+            // (DESIGN.md §11 race 2). Hold it in local order instead; the
+            // completion's withdrawal path floods pending + deferred FIFO.
             st.make_proposal_flag = true;
+            let unannounced_ahead = st
+                .computing
+                .as_ref()
+                .is_some_and(|job| job.pending_event.is_some() || !job.deferred.is_empty());
+            if unannounced_ahead && self.mutation != EngineMutation::EagerDeferredFlood {
+                let job = st.computing.as_mut().expect("checked above");
+                job.deferred.push((event, st.r.clone()));
+                self.observer.emit(|now| DecisionEvent {
+                    at_nanos: now,
+                    mc: mc.0 as u64,
+                    switch: me.0,
+                    kind: DecisionKind::EventDeferred,
+                    stamps: snap(st),
+                });
+                return Vec::new();
+            }
             let lsa = McLsa {
                 source: me,
                 event,
                 mc,
                 mc_type: st.mc_type,
+                epoch: st.epoch,
                 proposal: None,
                 stamp: st.r.clone(),
             };
@@ -403,28 +495,79 @@ impl DgmcEngine {
 
     /// Delivers a (fresh, non-duplicate) MC LSA to the engine.
     ///
-    /// State for an unknown connection is allocated only for join LSAs; a
-    /// leave/link/triggered LSA for an unknown MC is a straggler from before
-    /// this switch deleted the connection's state and is dropped (DESIGN.md
-    /// §6).
+    /// The incarnation epoch is compared first (DESIGN.md §11 race 1
+    /// repair):
+    ///
+    /// * **No state, no tombstone**: join LSAs allocate state at the LSA's
+    ///   epoch; anything else is dropped (DESIGN.md §6).
+    /// * **No state, tombstone**: an older-epoch LSA is a straggler from a
+    ///   dead incarnation — dropped. Any *same*-epoch LSA revives the state
+    ///   from the tombstone (`R = E = final_r`), so resurrection keeps the
+    ///   pre-deletion event counts instead of zeroing them: events count
+    ///   into the live `R` and proposal-carrying LSAs can still install.
+    ///   If the revived state stays empty and caught up, the drain tears
+    ///   it right back down. A newer-epoch join starts fresh at that
+    ///   epoch.
+    /// * **State at an older epoch**: the sender re-created the MC after a
+    ///   teardown we haven't performed; our incarnation is dead. The state
+    ///   is reset to the LSA's epoch and, if we were a member, we re-join
+    ///   so the new incarnation learns of us.
+    /// * **State at a newer epoch**: the LSA is from a dead incarnation —
+    ///   dropped.
     pub fn on_mc_lsa(&mut self, lsa: McLsa) -> Vec<DgmcAction> {
         let mc = lsa.mc;
-        if !self.states.contains_key(&mc) {
-            let creates = matches!(lsa.event, McEventKind::Join(_));
-            if !creates {
-                return Vec::new();
+        let mc_type = lsa.mc_type;
+        let fenced = self.mutation != EngineMutation::UnfencedTeardown;
+        let mut rejoin: Option<Role> = None;
+        match self.states.get(&mc).map(|st| st.epoch) {
+            None => {
+                let is_join = matches!(lsa.event, McEventKind::Join(_));
+                match self.tombstones.get(&mc).filter(|_| fenced) {
+                    Some(tomb) if lsa.epoch < tomb.epoch => return Vec::new(),
+                    Some(tomb) if lsa.epoch == tomb.epoch => {
+                        let st = McState::revived(mc, mc_type, self.n, tomb);
+                        self.states.insert(mc, st);
+                    }
+                    _ => {
+                        if !is_join {
+                            return Vec::new();
+                        }
+                        let epoch = if fenced { lsa.epoch } else { 0 };
+                        self.states
+                            .insert(mc, McState::new_at_epoch(mc, mc_type, self.n, epoch));
+                    }
+                }
             }
-            self.states
-                .insert(mc, McState::new(mc, lsa.mc_type, self.n));
+            Some(epoch) if fenced && lsa.epoch < epoch => return Vec::new(),
+            Some(epoch) if fenced && lsa.epoch > epoch => {
+                // Our whole incarnation is stale. Any in-flight computation
+                // dies with it (its completion becomes a logged no-op).
+                let old = self.states.get(&mc).expect("matched Some");
+                rejoin = old.members.get(&self.me).copied();
+                self.states
+                    .insert(mc, McState::new_at_epoch(mc, mc_type, self.n, lsa.epoch));
+            }
+            Some(_) => {}
         }
         let st = self.states.get_mut(&mc).expect("just ensured");
         st.mailbox.push_back(lsa);
-        if st.computing.is_some() {
-            // The CPU is busy; the LSA waits (and will invalidate the
-            // in-flight proposal at completion).
-            return Vec::new();
+        let mut actions = Vec::new();
+        if st.computing.is_none() {
+            // The CPU is idle; drain now. Otherwise the LSA waits (and will
+            // invalidate the in-flight proposal at completion).
+            actions.extend(self.process_mailbox(mc, None));
         }
-        self.process_mailbox(mc, None)
+        if let Some(role) = rejoin {
+            // Announce ourselves in the adopted incarnation. The drain above
+            // can have torn the reset state down again (the LSA was a leave
+            // and we were caught up); `local_join` then re-creates it.
+            if self.states.contains_key(&mc) {
+                actions.extend(self.event_handler(mc, McEventKind::Join(role)));
+            } else {
+                actions.extend(self.local_join(mc, mc_type, role));
+            }
+        }
+        actions
     }
 
     /// Completes the in-flight computation for `mc` (`Tc` elapsed), then
@@ -483,6 +626,7 @@ impl DgmcEngine {
                 event: job.pending_event.unwrap_or(McEventKind::None),
                 mc,
                 mc_type: st.mc_type,
+                epoch: st.epoch,
                 proposal: Some(topology.clone()),
                 stamp: job.old_r.clone(),
             };
@@ -563,6 +707,7 @@ impl DgmcEngine {
                         event,
                         mc,
                         mc_type: st.mc_type,
+                        epoch: st.epoch,
                         proposal: None,
                         stamp: job.old_r,
                     }));
@@ -571,6 +716,23 @@ impl DgmcEngine {
                     // Fig. 5 lines 28-30: withdrawal; the flag stays set and
                     // the mailbox drain below decides what next.
                 }
+            }
+            // Local events deferred behind the pending announcement now
+            // flood in their original order, each with the R recorded when
+            // it fired (DESIGN.md §11 race 2 repair). Deferral implies R
+            // advanced past old_R, so a job with deferred events is always
+            // withdrawn — this is the only flush point.
+            for (event, stamp) in job.deferred {
+                st.make_proposal_flag = true;
+                actions.push(DgmcAction::Flood(McLsa {
+                    source: me,
+                    event,
+                    mc,
+                    mc_type: st.mc_type,
+                    epoch: st.epoch,
+                    proposal: None,
+                    stamp,
+                }));
             }
             actions.push(DgmcAction::Withdrawn { mc });
             self.observer.emit(|now| DecisionEvent {
@@ -676,6 +838,7 @@ impl DgmcEngine {
                 // (Fig. 5 lines 25/29): completion arbitrates between it
                 // and our own proposal by (stamp, source).
                 stashed_candidate: candidate,
+                deferred: Vec::new(),
             });
             actions.push(DgmcAction::StartComputation { mc });
             return actions;
@@ -704,8 +867,21 @@ impl DgmcEngine {
             }
         }
         // MC destruction: drop state once the member list is empty and
-        // nothing is pending.
+        // nothing is pending — leaving a tombstone so an LSA still in
+        // flight cannot resurrect the MC with zeroed event counts
+        // (DESIGN.md §11 race 1 repair).
         if st.deletable() {
+            if self.mutation != EngineMutation::UnfencedTeardown {
+                // deletable() implies all_caught_up(), so R here is the
+                // exact count of every delivered announcement.
+                self.tombstones.insert(
+                    mc,
+                    Tombstone {
+                        epoch: st.epoch,
+                        final_r: st.r.clone(),
+                    },
+                );
+            }
             self.states.remove(&mc);
         }
         actions
@@ -786,6 +962,7 @@ mod tests {
             event: McEventKind::None,
             mc: MC,
             mc_type: McType::Symmetric,
+            epoch: 0,
             proposal: Some(dgmc_mctree::McTopology::empty()),
             stamp: Timestamp::zero(4),
         };
@@ -959,20 +1136,156 @@ mod tests {
         let net = generate::ring(5);
         let mut e0 = engine(0, 5);
         e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
-        // Computation for the join is in flight; a second local event (a
-        // leave) must flood immediately without a proposal.
+        // Computation for the join is in flight and the join itself is
+        // still unannounced; a second local event (a leave) must NOT flood
+        // yet — it is deferred so same-origin events reach the network in
+        // local order (DESIGN.md §11 race 2 repair).
+        let a = e0.local_leave(MC);
+        assert!(
+            flooded(&a).is_empty(),
+            "the leave must wait for the withdrawal, got {a:?}"
+        );
+        // The join's computation is now stale (R advanced) -> the join is
+        // announced with its pre-leave stamp, then the deferred leave with
+        // its own stamp, then the withdrawal — strictly in local order.
+        let done = e0.on_computation_done(MC, &net);
+        assert!(done.contains(&DgmcAction::Withdrawn { mc: MC }));
+        let announced = flooded(&done);
+        assert_eq!(announced.len(), 2, "{done:?}");
+        assert!(matches!(announced[0].event, McEventKind::Join(_)));
+        assert_eq!(announced[0].proposal, None);
+        assert_eq!(announced[1].event, McEventKind::Leave);
+        assert_eq!(announced[1].proposal, None);
+        assert!(
+            announced[1].stamp.dominates(&announced[0].stamp)
+                && announced[1].stamp != announced[0].stamp,
+            "leave stamp {} must strictly follow join stamp {}",
+            announced[1].stamp,
+            announced[0].stamp
+        );
+    }
+
+    /// Drives `e1` through create-join-complete and `e0` through learning
+    /// the MC, then tears it down at both via `e1`'s leave. Returns the
+    /// leave LSA so callers can replay stragglers.
+    fn torn_down_pair(net: &Network) -> (DgmcEngine, DgmcEngine, McLsa) {
+        let mut e0 = engine(0, 3);
+        let mut e1 = engine(1, 3);
+        e1.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        let join1 = flooded(&e1.on_computation_done(MC, net))[0].clone();
+        e0.on_mc_lsa(join1);
+        e1.local_leave(MC);
+        let done = e1.on_computation_done(MC, net);
+        let leave1 = flooded(&done)[0].clone();
+        e0.on_mc_lsa(leave1.clone());
+        (e0, e1, leave1)
+    }
+
+    #[test]
+    fn teardown_leaves_a_tombstone_and_same_epoch_join_revives_it() {
+        let net = generate::ring(3);
+        let (mut e0, _e1, _leave) = torn_down_pair(&net);
+        assert!(e0.state(MC).is_none(), "empty + caught up tears down");
+        let tomb = e0.tombstone(MC).expect("teardown records a tombstone");
+        assert_eq!(tomb.epoch, 0);
+        let final_r = tomb.final_r.clone();
+
+        // A same-epoch join flooded concurrently with the teardown revives
+        // the incarnation: the pre-deletion counts come back instead of a
+        // zeroed R, so the merged stamp cannot strand E above R.
+        let mut stamp = final_r.clone();
+        stamp.incr(NodeId(2));
+        e0.on_mc_lsa(McLsa {
+            source: NodeId(2),
+            event: McEventKind::Join(Role::SenderReceiver),
+            mc: MC,
+            mc_type: McType::Symmetric,
+            epoch: 0,
+            proposal: None,
+            stamp: stamp.clone(),
+        });
+        let st = e0.state(MC).expect("revived");
+        assert_eq!(st.epoch, 0);
+        assert_eq!(st.r, stamp, "revival resumed from final_r");
+        assert!(st.all_caught_up(), "R={} E={}", st.r, st.e);
+        assert!(st.members.contains_key(&NodeId(2)));
+    }
+
+    #[test]
+    fn same_epoch_straggler_revives_and_tears_back_down() {
+        let net = generate::ring(3);
+        let (mut e0, _e1, leave) = torn_down_pair(&net);
+        let tomb = e0.tombstone(MC).expect("tombstone").clone();
+        // A same-epoch withdrawal straggler (stamp at or below final_r,
+        // no event to count) revives the state, stays empty and caught
+        // up, and the drain deletes it again: self-healing, no zombie.
+        let straggler = McLsa {
+            event: McEventKind::None,
+            proposal: None,
+            ..leave
+        };
+        assert!(e0.on_mc_lsa(straggler).is_empty());
+        assert!(e0.state(MC).is_none(), "empty revival tears back down");
+        assert_eq!(e0.tombstone(MC), Some(&tomb));
+    }
+
+    #[test]
+    fn older_epoch_straggler_is_fenced_after_recreation() {
+        let net = generate::ring(3);
+        let (mut e0, _e1, leave) = torn_down_pair(&net);
+        // Local re-create over the tombstone starts incarnation 1...
+        e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        assert_eq!(e0.state(MC).unwrap().epoch, 1);
+        let before = e0.state(MC).unwrap().clone();
+        // ...so the dead incarnation's straggler bounces off the fence.
+        assert!(e0.on_mc_lsa(leave).is_empty());
+        assert_eq!(e0.state(MC).unwrap(), &before);
+    }
+
+    #[test]
+    fn higher_epoch_lsa_resets_the_state_and_rejoins_members() {
+        let net = generate::ring(3);
+        let mut e0 = engine(0, 3);
+        e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
+        e0.on_computation_done(MC, &net);
+        assert_eq!(e0.state(MC).unwrap().epoch, 0);
+        // Another switch re-created the MC at epoch 1 (it saw a teardown we
+        // never performed): our incarnation is dead. The state resets to
+        // the new epoch and, as a member, we announce ourselves in it.
+        let mut stamp = Timestamp::zero(3);
+        stamp.incr(NodeId(2));
+        e0.on_mc_lsa(McLsa {
+            source: NodeId(2),
+            event: McEventKind::Join(Role::SenderReceiver),
+            mc: MC,
+            mc_type: McType::Symmetric,
+            epoch: 1,
+            proposal: None,
+            stamp,
+        });
+        let st = e0.state(MC).expect("reset to the new incarnation");
+        assert_eq!(st.epoch, 1);
+        assert!(st.members.contains_key(&NodeId(2)));
+        assert!(st.members.contains_key(&NodeId(0)), "we re-joined");
+        assert!(st.computing.is_some(), "the re-join started a computation");
+        let done = e0.on_computation_done(MC, &net);
+        let announced = flooded(&done);
+        assert!(!announced.is_empty());
+        assert_eq!(announced[0].epoch, 1, "the re-join floods at epoch 1");
+    }
+
+    #[test]
+    fn eager_deferred_flood_mutation_floods_immediately() {
+        // The Fig. 4 lines 15-17 verbatim behavior, kept reachable for the
+        // checker: the second local event floods before the first is
+        // announced.
+        let mut e0 = engine(0, 5);
+        e0.set_mutation(EngineMutation::EagerDeferredFlood);
+        e0.local_join(MC, McType::Symmetric, Role::SenderReceiver);
         let a = e0.local_leave(MC);
         let lsas = flooded(&a);
         assert_eq!(lsas.len(), 1);
         assert_eq!(lsas[0].event, McEventKind::Leave);
         assert_eq!(lsas[0].proposal, None);
-        // The join's computation is now stale (R advanced) -> withdrawn,
-        // and the join event itself must still be announced.
-        let done = e0.on_computation_done(MC, &net);
-        assert!(done.contains(&DgmcAction::Withdrawn { mc: MC }));
-        let announced = flooded(&done);
-        assert_eq!(announced.len(), 1);
-        assert!(matches!(announced[0].event, McEventKind::Join(_)));
-        assert_eq!(announced[0].proposal, None);
     }
 }

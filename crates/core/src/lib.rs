@@ -63,7 +63,7 @@ mod timestamp;
 
 pub use engine::{DgmcAction, DgmcEngine, EngineMutation};
 pub use mc::{McEventKind, McId, McLsa};
-pub use state::{Candidate, ComputationJob, McState, McSync};
+pub use state::{Candidate, ComputationJob, McState, McSync, Tombstone};
 pub use timestamp::Timestamp;
 
 // Re-export the vocabulary types users need alongside the protocol.

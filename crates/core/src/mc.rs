@@ -71,6 +71,10 @@ pub struct McLsa {
     /// The connection's type, carried so switches can allocate state for a
     /// previously unknown MC (creation "requires no special mechanisms").
     pub mc_type: McType,
+    /// The source's incarnation number for the MC. Fences the
+    /// teardown/resurrection race: LSAs from an incarnation older than a
+    /// local tombstone are stale and dropped (DESIGN.md §11).
+    pub epoch: u64,
     /// `P`: the (possibly absent) topology proposal.
     pub proposal: Option<McTopology>,
     /// `T`: the source's received-timestamp at origination.
@@ -81,10 +85,11 @@ impl fmt::Display for McLsa {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "mc-lsa(S={} V={} G={} P={} T={})",
+            "mc-lsa(S={} V={} G={}#{} P={} T={})",
             self.source,
             self.event,
             self.mc,
+            self.epoch,
             if self.proposal.is_some() {
                 "yes"
             } else {
@@ -118,12 +123,13 @@ mod tests {
             event: McEventKind::Join(Role::SenderReceiver),
             mc: McId(7),
             mc_type: McType::Symmetric,
+            epoch: 2,
             proposal: None,
             stamp: Timestamp::zero(2),
         };
         assert_eq!(
             lsa.to_string(),
-            "mc-lsa(S=s3 V=join(sender+receiver) G=mc7 P=null T=(0,0))"
+            "mc-lsa(S=s3 V=join(sender+receiver) G=mc7#2 P=null T=(0,0))"
         );
     }
 

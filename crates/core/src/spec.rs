@@ -21,8 +21,8 @@
 //! topology computation is abstracted behind a caller-provided closure so
 //! that the differentially-checked part is exactly the decision logic.
 
-use crate::state::Candidate;
-use crate::{DgmcAction, DgmcEngine, McEventKind, McId, McLsa, Timestamp};
+use crate::state::{Candidate, Tombstone};
+use crate::{DgmcAction, DgmcEngine, EngineMutation, McEventKind, McId, McLsa, Timestamp};
 use dgmc_mctree::{McTopology, McType, Role};
 use dgmc_topology::NodeId;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
@@ -92,6 +92,9 @@ pub struct SpecJob {
     pub pending_event: Option<McEventKind>,
     /// A candidate carried across the computation (DESIGN.md §3).
     pub held: Option<Candidate>,
+    /// Local events held back behind the unannounced `pending_event`, in
+    /// local order with their post-increment `R` (DESIGN.md §11 race 2).
+    pub deferred: Vec<(McEventKind, Timestamp)>,
 }
 
 /// Per-MC specification state: the paper's `R`, `E`, `C` vectors plus the
@@ -101,6 +104,8 @@ pub struct SpecJob {
 pub struct SpecMc {
     /// Connection type, learned from the creating join.
     pub mc_type: McType,
+    /// The connection's incarnation number (DESIGN.md §11 race 1).
+    pub epoch: u64,
     /// `R` — events received.
     pub r: Timestamp,
     /// `E` — events expected.
@@ -122,9 +127,10 @@ pub struct SpecMc {
 }
 
 impl SpecMc {
-    fn new(mc_type: McType, n: usize) -> SpecMc {
+    fn new_at_epoch(mc_type: McType, n: usize, epoch: u64) -> SpecMc {
         SpecMc {
             mc_type,
+            epoch,
             r: Timestamp::zero(n),
             e: Timestamp::zero(n),
             c: Timestamp::zero(n),
@@ -135,6 +141,13 @@ impl SpecMc {
             queue: VecDeque::new(),
             job: None,
         }
+    }
+
+    fn revived(mc_type: McType, n: usize, tomb: &Tombstone) -> SpecMc {
+        let mut st = SpecMc::new_at_epoch(mc_type, n, tomb.epoch);
+        st.r = tomb.final_r.clone();
+        st.e = tomb.final_r.clone();
+        st
     }
 
     fn terminals(&self) -> BTreeSet<NodeId> {
@@ -172,6 +185,8 @@ pub struct SpecSwitch {
     me: NodeId,
     n: usize,
     mcs: BTreeMap<McId, SpecMc>,
+    tombstones: BTreeMap<McId, Tombstone>,
+    mutation: EngineMutation,
 }
 
 impl SpecSwitch {
@@ -181,7 +196,16 @@ impl SpecSwitch {
             me,
             n,
             mcs: BTreeMap::new(),
+            tombstones: BTreeMap::new(),
+            mutation: EngineMutation::None,
         }
+    }
+
+    /// Installs the same deliberate defect as the engine under check, so a
+    /// mutated run diverges where the *protocol* breaks rather than at the
+    /// first mutated step.
+    pub fn set_mutation(&mut self, mutation: EngineMutation) {
+        self.mutation = mutation;
     }
 
     /// The owning switch.
@@ -192,6 +216,16 @@ impl SpecSwitch {
     /// Read access to the state of `mc`, if allocated.
     pub fn state(&self, mc: McId) -> Option<&SpecMc> {
         self.mcs.get(&mc)
+    }
+
+    /// The tombstone left by the last teardown of `mc`, if any.
+    pub fn tombstone(&self, mc: McId) -> Option<&Tombstone> {
+        self.tombstones.get(&mc)
+    }
+
+    /// All teardown tombstones, ordered by MC id (state-hash input).
+    pub fn tombstones(&self) -> impl Iterator<Item = (&McId, &Tombstone)> {
+        self.tombstones.iter()
     }
 
     /// All connections with allocated state.
@@ -214,10 +248,16 @@ impl SpecSwitch {
         role: Role,
     ) -> (SpecSwitch, Vec<SpecAction>) {
         let mut next = self.clone();
+        // Re-creating a torn-down MC starts a new incarnation (the epoch
+        // moves past the tombstone's; DESIGN.md §11 race 1).
+        let epoch = match (self.mutation, self.tombstones.get(&mc)) {
+            (EngineMutation::UnfencedTeardown, _) | (_, None) => 0,
+            (_, Some(tomb)) => tomb.epoch + 1,
+        };
         let st = next
             .mcs
             .entry(mc)
-            .or_insert_with(|| SpecMc::new(mc_type, self.n));
+            .or_insert_with(|| SpecMc::new_at_epoch(mc_type, self.n, epoch));
         if st.members.contains_key(&self.me) {
             return (next, Vec::new());
         }
@@ -252,26 +292,66 @@ impl SpecSwitch {
         (next, actions)
     }
 
-    /// Delivery of a flooded MC LSA (entry to Fig. 5).
+    /// Delivery of a flooded MC LSA (entry to Fig. 5, with the epoch gate
+    /// of the DESIGN.md §11 race 1 repair — mirrored line-for-line from
+    /// [`DgmcEngine::on_mc_lsa`]).
     pub fn receive_lsa(&self, lsa: McLsa) -> (SpecSwitch, Vec<SpecAction>) {
         let mut next = self.clone();
         let mc = lsa.mc;
-        if !next.mcs.contains_key(&mc) {
-            // Only a join allocates state for an unknown connection; other
-            // LSAs are stragglers from before local deletion (DESIGN.md §6).
-            if !matches!(lsa.event, McEventKind::Join(_)) {
-                return (next, Vec::new());
+        let mc_type = lsa.mc_type;
+        let fenced = self.mutation != EngineMutation::UnfencedTeardown;
+        let mut rejoin: Option<Role> = None;
+        match next.mcs.get(&mc).map(|st| st.epoch) {
+            None => {
+                let is_join = matches!(lsa.event, McEventKind::Join(_));
+                match next.tombstones.get(&mc).filter(|_| fenced) {
+                    Some(tomb) if lsa.epoch < tomb.epoch => return (next, Vec::new()),
+                    Some(tomb) if lsa.epoch == tomb.epoch => {
+                        // Any same-epoch LSA resumes the tombstoned
+                        // incarnation; the drain tears it back down if it
+                        // stays empty and caught up.
+                        let st = SpecMc::revived(mc_type, self.n, tomb);
+                        next.mcs.insert(mc, st);
+                    }
+                    _ => {
+                        if !is_join {
+                            return (next, Vec::new());
+                        }
+                        let epoch = if fenced { lsa.epoch } else { 0 };
+                        next.mcs
+                            .insert(mc, SpecMc::new_at_epoch(mc_type, self.n, epoch));
+                    }
+                }
             }
-            next.mcs.insert(mc, SpecMc::new(lsa.mc_type, self.n));
+            Some(epoch) if fenced && lsa.epoch < epoch => return (next, Vec::new()),
+            Some(epoch) if fenced && lsa.epoch > epoch => {
+                // Our incarnation is stale: reset and re-join if we were a
+                // member.
+                let old = next.mcs.get(&mc).expect("matched Some");
+                rejoin = old.members.get(&self.me).copied();
+                next.mcs
+                    .insert(mc, SpecMc::new_at_epoch(mc_type, self.n, lsa.epoch));
+            }
+            Some(_) => {}
         }
         let st = next.mcs.get_mut(&mc).expect("just ensured");
         st.queue.push_back(lsa);
-        if st.job.is_some() {
-            // The single CPU is busy; the LSA waits and will invalidate the
-            // in-flight proposal at completion (Fig. 5 line 22).
-            return (next, Vec::new());
+        let mut actions = Vec::new();
+        if st.job.is_none() {
+            // The CPU is idle; drain now. Otherwise the LSA waits and will
+            // invalidate the in-flight proposal at completion (Fig. 5
+            // line 22).
+            actions.extend(next.receive_loop(mc, None));
         }
-        let actions = next.receive_loop(mc, None);
+        if let Some(role) = rejoin {
+            if next.mcs.contains_key(&mc) {
+                actions.extend(next.event_handler(mc, McEventKind::Join(role)));
+            } else {
+                let (again, more) = next.host_join(mc, mc_type, role);
+                next = again;
+                actions.extend(more);
+            }
+        }
         (next, actions)
     }
 
@@ -304,6 +384,7 @@ impl SpecSwitch {
                 event: job.pending_event.unwrap_or(McEventKind::None),
                 mc,
                 mc_type: st.mc_type,
+                epoch: st.epoch,
                 proposal: Some(topology.clone()),
                 stamp: job.old_r.clone(),
             }));
@@ -343,8 +424,23 @@ impl SpecSwitch {
                     event,
                     mc,
                     mc_type: st.mc_type,
+                    epoch: st.epoch,
                     proposal: None,
                     stamp: job.old_r,
+                }));
+            }
+            // Deferred local events flood in local order after the pending
+            // announcement (DESIGN.md §11 race 2 repair).
+            for (event, stamp) in job.deferred {
+                st.flag = true;
+                actions.push(SpecAction::Flood(McLsa {
+                    source: self.me,
+                    event,
+                    mc,
+                    mc_type: st.mc_type,
+                    epoch: st.epoch,
+                    proposal: None,
+                    stamp,
                 }));
             }
             actions.push(SpecAction::Withdrawn(mc));
@@ -372,16 +468,30 @@ impl SpecSwitch {
                 previous: st.installed.clone(),
                 pending_event: Some(event),
                 held: None,
+                deferred: Vec::new(),
             });
             vec![SpecAction::StartComputation(mc)]
         } else {
-            // Lines 15-17: flood the event now, defer any proposal.
+            // Lines 15-17 flood the event now — unless an earlier local
+            // event is still unannounced behind the in-flight computation,
+            // in which case this one waits its turn (DESIGN.md §11 race 2).
             st.flag = true;
+            let unannounced_ahead = st
+                .job
+                .as_ref()
+                .is_some_and(|job| job.pending_event.is_some() || !job.deferred.is_empty());
+            if unannounced_ahead && self.mutation != EngineMutation::EagerDeferredFlood {
+                let stamp = st.r.clone();
+                let job = st.job.as_mut().expect("checked above");
+                job.deferred.push((event, stamp));
+                return Vec::new();
+            }
             vec![SpecAction::Flood(McLsa {
                 source: me,
                 event,
                 mc,
                 mc_type: st.mc_type,
+                epoch: st.epoch,
                 proposal: None,
                 stamp: st.r.clone(),
             })]
@@ -441,6 +551,7 @@ impl SpecSwitch {
                 previous: st.installed.clone(),
                 pending_event: None,
                 held: candidate,
+                deferred: Vec::new(),
             });
             actions.push(SpecAction::StartComputation(mc));
             return actions;
@@ -458,8 +569,18 @@ impl SpecSwitch {
             }
         }
         // MC destruction: "local data structures are deleted" once the
-        // member list is empty and nothing is outstanding.
+        // member list is empty and nothing is outstanding — leaving a
+        // tombstone against stale resurrection (DESIGN.md §11 race 1).
         if st.deletable() {
+            if self.mutation != EngineMutation::UnfencedTeardown {
+                self.tombstones.insert(
+                    mc,
+                    Tombstone {
+                        epoch: st.epoch,
+                        final_r: st.r.clone(),
+                    },
+                );
+            }
             self.mcs.remove(&mc);
         }
         actions
@@ -479,10 +600,21 @@ pub fn diff_engine(spec: &SpecSwitch, engine: &DgmcEngine) -> Option<String> {
             "connection sets differ: spec {spec_ids:?} vs engine {engine_ids:?}"
         ));
     }
+    {
+        let spec_tombs: Vec<(&McId, &Tombstone)> = spec.tombstones().collect();
+        let engine_tombs: Vec<(&McId, &Tombstone)> = engine.tombstones().collect();
+        if spec_tombs != engine_tombs {
+            return Some(format!(
+                "tombstones differ at {}: spec {spec_tombs:?} vs engine {engine_tombs:?}",
+                spec.id(),
+            ));
+        }
+    }
     for mc in spec_ids {
         let s = spec.state(mc).expect("own id");
         let e = engine.state(mc).expect("same id set");
-        let fields: [(&str, bool); 9] = [
+        let fields: [(&str, bool); 10] = [
+            ("epoch", s.epoch == e.epoch),
             ("R", s.r == e.r),
             ("E", s.e == e.e),
             ("C", s.c == e.c),
@@ -501,6 +633,7 @@ pub fn diff_engine(spec: &SpecSwitch, engine: &DgmcEngine) -> Option<String> {
                             && sj.previous == ej.previous
                             && sj.pending_event == ej.pending_event
                             && sj.held == ej.stashed_candidate
+                            && sj.deferred == ej.deferred
                     }
                     _ => false,
                 },
@@ -570,6 +703,7 @@ mod tests {
             event: McEventKind::None,
             mc: MC,
             mc_type: McType::Symmetric,
+            epoch: 0,
             proposal: Some(McTopology::empty()),
             stamp: Timestamp::zero(4),
         });

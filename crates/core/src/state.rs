@@ -32,6 +32,13 @@ pub struct ComputationJob {
     /// break consensus (DESIGN.md §3); we keep it and let the deterministic
     /// smallest-source rule arbitrate at completion.
     pub stashed_candidate: Option<Candidate>,
+    /// Local events that arrived while `pending_event` was still
+    /// unannounced, each with the `R` recorded right after it was applied.
+    /// The paper floods them immediately (Fig. 4 lines 15-17), which lets
+    /// same-origin events overtake each other (DESIGN.md §11 race 2); we
+    /// hold them and flood in local order at completion, right after the
+    /// pending event's announcement.
+    pub deferred: Vec<(McEventKind, Timestamp)>,
 }
 
 /// A per-MC state snapshot exchanged during database synchronization when a
@@ -43,6 +50,8 @@ pub struct McSync {
     pub mc: McId,
     /// Its type.
     pub mc_type: McType,
+    /// The incarnation the state belongs to.
+    pub epoch: u64,
     /// Events received.
     pub r: Timestamp,
     /// Events expected.
@@ -57,6 +66,25 @@ pub struct McSync {
     pub installed: Option<McTopology>,
 }
 
+/// A marker left behind when an MC's state is torn down (last member left
+/// and every announced event was received).
+///
+/// The teardown/resurrection race (DESIGN.md §11): a join LSA that was
+/// already in flight when the state was deleted used to resurrect the MC
+/// with a zeroed `R` while `E.merge_max` re-learned the forgotten
+/// pre-deletion events, leaving `R != E` forever. The tombstone fences
+/// this: LSAs from a *dead* incarnation (`lsa.epoch < tombstone.epoch`)
+/// are dropped, and a same-incarnation join *revives* the state with
+/// `R = E = final_r` — exactly the events delivered before deletion — so
+/// in-flight LSAs still count correctly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tombstone {
+    /// The incarnation that was torn down.
+    pub epoch: u64,
+    /// `R` (== `E`) at the moment of deletion.
+    pub final_r: Timestamp,
+}
+
 /// All state a switch keeps for one multipoint connection.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct McState {
@@ -64,6 +92,10 @@ pub struct McState {
     pub mc: McId,
     /// Its type (learned from the creating join LSA).
     pub mc_type: McType,
+    /// The connection's incarnation number. Bumped past the tombstone's
+    /// epoch whenever the MC is re-created after a full teardown; carried
+    /// on every LSA so stale resurrections are fenced (DESIGN.md §11).
+    pub epoch: u64,
     /// `R` — events received, per origin switch.
     pub r: Timestamp,
     /// `E` — events expected, per origin switch. Invariant: `E >= R`.
@@ -88,9 +120,15 @@ pub struct McState {
 impl McState {
     /// Fresh state for a newly learned connection in an `n`-switch network.
     pub fn new(mc: McId, mc_type: McType, n: usize) -> McState {
+        McState::new_at_epoch(mc, mc_type, n, 0)
+    }
+
+    /// Fresh state for a connection (re-)created at a given incarnation.
+    pub fn new_at_epoch(mc: McId, mc_type: McType, n: usize, epoch: u64) -> McState {
         McState {
             mc,
             mc_type,
+            epoch,
             r: Timestamp::zero(n),
             e: Timestamp::zero(n),
             c: Timestamp::zero(n),
@@ -101,6 +139,19 @@ impl McState {
             mailbox: VecDeque::new(),
             computing: None,
         }
+    }
+
+    /// State revived from a tombstone by a same-incarnation join LSA.
+    ///
+    /// `R = E = final_r`: the revived state remembers exactly the events
+    /// that were delivered before deletion, so in-flight announcements
+    /// (which will arrive and increment both `R` and `E`) neither
+    /// double-count nor go missing.
+    pub fn revived(mc: McId, mc_type: McType, n: usize, tomb: &Tombstone) -> McState {
+        let mut st = McState::new_at_epoch(mc, mc_type, n, tomb.epoch);
+        st.r = tomb.final_r.clone();
+        st.e = tomb.final_r.clone();
+        st
     }
 
     /// The switches the MC topology must span, derived from the member
@@ -204,6 +255,27 @@ mod tests {
         assert!(!st.deletable());
         st.r.incr(NodeId(1));
         assert!(st.all_caught_up());
+    }
+
+    #[test]
+    fn revived_state_resumes_the_tombstoned_incarnation() {
+        let mut final_r = Timestamp::zero(4);
+        final_r.incr(NodeId(1));
+        final_r.incr(NodeId(2));
+        let tomb = Tombstone {
+            epoch: 3,
+            final_r: final_r.clone(),
+        };
+        let st = McState::revived(McId(1), McType::Symmetric, 4, &tomb);
+        assert_eq!(st.epoch, 3);
+        assert_eq!(st.r, final_r);
+        assert_eq!(st.e, final_r, "revival must not re-expect delivered events");
+        assert_eq!(st.c, Timestamp::zero(4));
+        assert!(st.all_caught_up() && st.invariant_holds());
+        assert!(
+            st.deletable(),
+            "an empty revived state can be torn down again"
+        );
     }
 
     #[test]

@@ -121,6 +121,7 @@ fn concurrent_proposals_log_conflict_resolution() {
             event: McEventKind::Join(Role::SenderReceiver),
             mc: MC,
             mc_type: McType::Symmetric,
+            epoch: 0,
             proposal: Some(proposal.clone()),
             stamp: full_stamp.clone(),
         });
@@ -134,6 +135,7 @@ fn concurrent_proposals_log_conflict_resolution() {
         event: McEventKind::None,
         mc: MC,
         mc_type: McType::Symmetric,
+        epoch: 0,
         proposal: None,
         stamp: Timestamp::from_components(vec![0, 0, 1]),
     });

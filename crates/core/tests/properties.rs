@@ -280,6 +280,93 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incarnation epochs are monotone: each full-departure/re-join cycle
+    /// tears the MC down everywhere, leaves a tombstone carrying the dead
+    /// incarnation's epoch, and the next cycle runs at a strictly higher
+    /// epoch — on every switch, under any adversarial schedule.
+    #[test]
+    fn teardown_rejoin_cycles_bump_epochs_monotonically(
+        cycles in 1usize..4,
+        joiners in prop::collection::btree_set(0usize..4, 1..4),
+        choices in prop::collection::vec(0usize..64, 1..200),
+    ) {
+        let mut cluster = Cluster::new(2);
+        let members: Vec<usize> = joiners.iter().copied().collect();
+        for cycle in 0..cycles as u64 {
+            for &j in &members {
+                cluster.join(j);
+            }
+            cluster.drain(&choices);
+            for (i, e) in cluster.engines.iter().enumerate() {
+                let st = e.state(MC).unwrap_or_else(|| panic!("engine {i} lost state"));
+                prop_assert_eq!(st.epoch, cycle, "wrong incarnation at engine {}", i);
+            }
+            for &j in &members {
+                cluster.leave(j);
+            }
+            cluster.drain(&choices);
+            for (i, e) in cluster.engines.iter().enumerate() {
+                prop_assert!(e.state(MC).is_none(), "engine {} kept dead state", i);
+                let tomb = e
+                    .tombstone(MC)
+                    .unwrap_or_else(|| panic!("engine {i} has no tombstone"));
+                prop_assert_eq!(tomb.epoch, cycle, "wrong tombstone epoch at engine {}", i);
+            }
+        }
+    }
+
+    /// Epoch fencing: with a tombstone at epoch `k > 0`, an LSA from any
+    /// strictly older incarnation bounces off — no state resurrected, no
+    /// actions emitted — whatever event kind or stamp it carries.
+    #[test]
+    fn stale_epoch_lsas_are_fenced_by_the_tombstone(
+        cycles in 2usize..4,
+        choices in prop::collection::vec(0usize..64, 1..150),
+        stale_pick in any::<u64>(),
+        event_pick in 0u8..4,
+        stamp_components in prop::collection::vec(0u64..5, 4),
+    ) {
+        let mut cluster = Cluster::new(2);
+        for _ in 0..cycles {
+            for j in [0usize, 1] {
+                cluster.join(j);
+            }
+            cluster.drain(&choices);
+            for j in [0usize, 1] {
+                cluster.leave(j);
+            }
+            cluster.drain(&choices);
+        }
+        let tomb_epoch = cycles as u64 - 1;
+        prop_assert_eq!(cluster.engines[0].tombstone(MC).expect("tombstone").epoch, tomb_epoch);
+
+        let event = match event_pick {
+            0 => dgmc_core::McEventKind::Join(Role::SenderReceiver),
+            1 => dgmc_core::McEventKind::Leave,
+            2 => dgmc_core::McEventKind::Link,
+            _ => dgmc_core::McEventKind::None,
+        };
+        let stale = McLsa {
+            source: NodeId(1),
+            event,
+            mc: MC,
+            mc_type: McType::Symmetric,
+            epoch: stale_pick % tomb_epoch,
+            proposal: None,
+            stamp: Timestamp::from_components(stamp_components),
+        };
+        let actions = cluster.engines[0].on_mc_lsa(stale);
+        prop_assert!(actions.is_empty(), "stale LSA produced actions: {:?}", actions);
+        prop_assert!(
+            cluster.engines[0].state(MC).is_none(),
+            "stale LSA resurrected the torn-down state"
+        );
+    }
+}
+
 #[test]
 fn timestamp_partial_order_laws() {
     // Deterministic sanity companion to the proptests above.
@@ -333,6 +420,7 @@ proptest! {
         components in prop::collection::vec(0u64..1000, 0..64),
         edges in prop::collection::vec((0u32..40, 0u32..40), 0..30),
         terminals in prop::collection::btree_set(0u32..40, 0..10),
+        epoch in any::<u64>(),
     ) {
         use dgmc_core::codec;
         let t = Timestamp::from_components(components);
@@ -355,6 +443,7 @@ proptest! {
             event: dgmc_core::McEventKind::Join(Role::SenderReceiver),
             mc: MC,
             mc_type: McType::Asymmetric,
+            epoch,
             proposal: Some(topo),
             stamp: t,
         };

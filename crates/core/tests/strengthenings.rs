@@ -22,6 +22,7 @@ fn lsa(source: u32, event: McEventKind, stamp: &Timestamp, proposal: Option<McTo
         event,
         mc: MC,
         mc_type: McType::Symmetric,
+        epoch: 0,
         proposal,
         stamp: stamp.clone(),
     }

@@ -855,6 +855,246 @@ where
     }
 }
 
+/// Bounds for [`backward_search`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackwardConfig {
+    /// Maximum BFS levels (trace depth) expanded from the initial state
+    /// while building the predecessor graph.
+    pub max_levels: usize,
+    /// Maximum distinct states recorded before the search stops (marks the
+    /// run incomplete).
+    pub max_states: u64,
+}
+
+impl Default for BackwardConfig {
+    fn default() -> Self {
+        BackwardConfig {
+            max_levels: 64,
+            max_states: 250_000,
+        }
+    }
+}
+
+/// Statistics of a [`backward_search`] run (deterministic for a fixed
+/// model + config + target set).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackwardStats {
+    /// Distinct states recorded in the predecessor graph.
+    pub states: u64,
+    /// Transitions applied while building it.
+    pub transitions: u64,
+    /// BFS levels fully expanded.
+    pub levels: usize,
+}
+
+/// The outcome of a [`backward_search`]: whether a seeded target state was
+/// reached and, if so, the shortest witness schedule leading to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackwardReport {
+    /// Search statistics.
+    pub stats: BackwardStats,
+    /// `true` when the search was conclusive: a target was found, or the
+    /// whole reachable space was exhausted within the bounds.
+    pub complete: bool,
+    /// The first target state hash reached (in the canonical level order),
+    /// if any.
+    pub target: Option<u64>,
+    /// The shortest action-key schedule from the initial state to the
+    /// target (replayable with [`replay`]); empty when no target was
+    /// reached.
+    pub witness_keys: Vec<u64>,
+}
+
+impl BackwardReport {
+    /// Whether a seeded target state was reached.
+    pub fn found(&self) -> bool {
+        self.target.is_some()
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        match self.target {
+            Some(t) => format!(
+                "target {t:#x} reached backward in {} step(s) ({} states, {} levels)",
+                self.witness_keys.len(),
+                self.stats.states,
+                self.stats.levels,
+            ),
+            None => format!(
+                "no target reached ({} states, {} levels, {})",
+                self.stats.states,
+                self.stats.levels,
+                if self.complete {
+                    "reachable space exhausted"
+                } else {
+                    "bounds hit"
+                },
+            ),
+        }
+    }
+
+    /// Renders the report as one stable JSON object; two runs agree iff
+    /// the rendered reports are byte-identical (the CI `--jobs` gate).
+    pub fn to_json(&self) -> String {
+        JsonValue::obj(vec![
+            ("states", JsonValue::U64(self.stats.states)),
+            ("transitions", JsonValue::U64(self.stats.transitions)),
+            ("levels", JsonValue::U64(self.stats.levels as u64)),
+            ("complete", JsonValue::Bool(self.complete)),
+            ("found", JsonValue::Bool(self.found())),
+            (
+                "target",
+                self.target.map_or(JsonValue::Null, JsonValue::U64),
+            ),
+            (
+                "witness_keys",
+                JsonValue::Arr(
+                    self.witness_keys
+                        .iter()
+                        .map(|&k| JsonValue::U64(k))
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_json()
+    }
+}
+
+/// Backward search from recorded violation states (Helmy et al.'s global
+/// search strategy, adapted to a non-invertible model): given the
+/// canonical hashes of one or more *target* states — typically captured by
+/// replaying a forward counterexample to its violation — find the shortest
+/// schedule that reaches one.
+///
+/// Protocol transitions cannot be inverted, so the backward walk runs over
+/// an explicitly recorded predecessor relation:
+///
+/// * **Phase A (predecessor graph)**: a level-synchronized BFS from the
+///   initial state records, for every newly reached canonical state, the
+///   `(predecessor hash, action key)` edge that first discovered it. The
+///   BFS runs without sleep sets — unlike the fail-fast forward DFS of
+///   [`explore`], it maps *every* reachable state up to the target's
+///   depth, so it reaches violation states on interleavings the forward
+///   search stopped short of. Each level fans its node expansions out over
+///   `jobs` workers ([`par::sweep`]); workers rebuild their node in-thread
+///   by replaying its key path (states never cross threads) and results
+///   merge in frontier order, so the report is **byte-identical for every
+///   `jobs` value**.
+/// * **Phase B (backward walk)**: from the first target hash reached, the
+///   recorded predecessor edges are followed *backward* to the initial
+///   state; reversing that walk yields the shortest witness schedule,
+///   replayable bit-for-bit with [`replay`].
+///
+/// A search is `complete` when it found a target or exhausted the
+/// reachable space within the bounds; hitting `max_levels`/`max_states`
+/// first makes the no-target answer inconclusive.
+pub fn backward_search<M>(
+    model: &M,
+    config: &BackwardConfig,
+    targets: &[u64],
+    jobs: usize,
+) -> BackwardReport
+where
+    M: Model + Sync,
+    M::Action: Send + Sync,
+{
+    let targets: BTreeSet<u64> = targets.iter().copied().collect();
+    let initial = model.initial();
+    let init_hash = model.state_hash(&initial);
+    // succ hash -> (pred hash, action key): the first-discovery edge, i.e.
+    // an edge on some shortest path from the initial state.
+    let mut pred: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::from([init_hash]);
+    let mut stats = BackwardStats {
+        states: 1,
+        ..BackwardStats::default()
+    };
+    let mut complete = true;
+    let mut found: Option<u64> = targets.contains(&init_hash).then_some(init_hash);
+    // Frontier nodes carry their key path so workers can rebuild them.
+    let mut frontier: Vec<(u64, Vec<u64>)> = vec![(init_hash, Vec::new())];
+    while found.is_none() && !frontier.is_empty() && complete {
+        if stats.levels >= config.max_levels {
+            complete = false;
+            break;
+        }
+        let expansions: Vec<Option<Vec<(u64, u64)>>> = par::sweep(
+            jobs.max(1),
+            frontier.len(),
+            |_| (),
+            |(), index| {
+                let (_, path) = &frontier[index];
+                let mut state = model.initial();
+                for key in path {
+                    let action = model
+                        .enabled(&state)
+                        .into_iter()
+                        .find(|a| model.action_key(&state, a) == *key)
+                        .expect("frontier paths replay deterministically");
+                    state = model.apply(&state, &action).state;
+                }
+                model
+                    .enabled(&state)
+                    .into_iter()
+                    .map(|action| {
+                        let key = model.action_key(&state, &action);
+                        let succ = model.apply(&state, &action).state;
+                        (key, model.state_hash(&succ))
+                    })
+                    .collect()
+            },
+            |_| false,
+        );
+        stats.levels += 1;
+        let mut next: Vec<(u64, Vec<u64>)> = Vec::new();
+        'merge: for (index, result) in expansions.into_iter().enumerate() {
+            let successors = result.expect("level workers never cancel");
+            let (parent_hash, path) = &frontier[index];
+            for (key, succ_hash) in successors {
+                stats.transitions += 1;
+                if !seen.insert(succ_hash) {
+                    continue;
+                }
+                pred.insert(succ_hash, (*parent_hash, key));
+                stats.states += 1;
+                if targets.contains(&succ_hash) {
+                    // First target in frontier order: canonical across
+                    // worker counts because the merge is index-ordered.
+                    found = Some(succ_hash);
+                    break 'merge;
+                }
+                if stats.states >= config.max_states {
+                    complete = false;
+                    break 'merge;
+                }
+                let mut child_path = path.clone();
+                child_path.push(key);
+                next.push((succ_hash, child_path));
+            }
+        }
+        frontier = next;
+    }
+    // Phase B: the backward walk proper — follow predecessor edges from
+    // the target to the initial state, then reverse into the witness.
+    let witness_keys = found.map_or_else(Vec::new, |target| {
+        let mut keys = Vec::new();
+        let mut cursor = target;
+        while cursor != init_hash {
+            let (parent, key) = pred[&cursor];
+            keys.push(key);
+            cursor = parent;
+        }
+        keys.reverse();
+        keys
+    });
+    BackwardReport {
+        stats,
+        complete,
+        target: found,
+        witness_keys,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1076,6 +1316,91 @@ mod tests {
         );
         assert!(!report.complete);
         assert!(report.stats.states <= 4);
+    }
+
+    /// Applies `keys` from the initial state and returns the final state's
+    /// canonical hash.
+    fn hash_after<M: Model>(model: &M, keys: &[u64]) -> u64 {
+        let mut state = model.initial();
+        for key in keys {
+            let action = model
+                .enabled(&state)
+                .into_iter()
+                .find(|a| model.action_key(&state, a) == *key)
+                .expect("key resolves");
+            state = model.apply(&state, &action).state;
+        }
+        model.state_hash(&state)
+    }
+
+    #[test]
+    fn backward_search_reaches_a_seeded_state_with_a_shortest_witness() {
+        let model = Toy {
+            writers: 2,
+            conflict: true,
+            bad_shared: 1,
+        };
+        // Seed: the "bad" quiescent state (both private writes done, shared
+        // written 2 then 1), as a forward replay would capture it.
+        let target = hash_after(&model, &[0, 1, 1002, 1001]);
+        let report = backward_search(&model, &BackwardConfig::default(), &[target], 1);
+        assert!(report.found(), "{}", report.summary());
+        assert!(report.complete);
+        assert_eq!(report.target, Some(target));
+        // The witness is shortest (all four actions are load-bearing for
+        // this state) and replays to exactly the seeded state.
+        assert_eq!(report.witness_keys.len(), 4);
+        assert_eq!(hash_after(&model, &report.witness_keys), target);
+    }
+
+    #[test]
+    fn backward_search_exhausts_the_space_when_no_target_is_reachable() {
+        let model = Toy {
+            writers: 2,
+            conflict: true,
+            bad_shared: 1,
+        };
+        let report = backward_search(&model, &BackwardConfig::default(), &[0xDEAD_BEEF], 1);
+        assert!(!report.found());
+        assert!(report.complete, "reachable space must be exhausted");
+        assert!(report.witness_keys.is_empty());
+    }
+
+    #[test]
+    fn backward_search_bounds_mark_the_run_inconclusive() {
+        let model = Toy {
+            writers: 2,
+            conflict: true,
+            bad_shared: 1,
+        };
+        let target = hash_after(&model, &[0, 1, 1002, 1001]);
+        let report = backward_search(
+            &model,
+            &BackwardConfig {
+                max_levels: 1,
+                ..BackwardConfig::default()
+            },
+            &[target],
+            1,
+        );
+        assert!(!report.found());
+        assert!(!report.complete, "level budget must mark inconclusive");
+    }
+
+    #[test]
+    fn backward_report_is_byte_identical_across_jobs() {
+        let model = Toy {
+            writers: 3,
+            conflict: true,
+            bad_shared: 1,
+        };
+        let target = hash_after(&model, &[0, 1, 2, 1002, 1001]);
+        let config = BackwardConfig::default();
+        let baseline = backward_search(&model, &config, &[target], 1).to_json();
+        for jobs in [2, 4, 8] {
+            let report = backward_search(&model, &config, &[target], jobs).to_json();
+            assert_eq!(baseline, report, "jobs={jobs} diverged");
+        }
     }
 
     #[test]

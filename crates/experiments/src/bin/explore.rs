@@ -12,6 +12,12 @@
 //! suite plus lockstep conformance against the executable Fig. 4/5 spec.
 //! Counterexamples are minimized and written as replayable bundles.
 //!
+//! **Backward** (`--systematic --backward`, DESIGN.md §11): backward
+//! search — captures the violation state of the forward counterexample
+//! (or takes explicit `--backward-target` hashes), builds the predecessor
+//! graph breadth-first and walks it backward to a shortest witness
+//! schedule. Exits 0 iff a seeded target was reached.
+//!
 //! Usage:
 //!   cargo run -p dgmc-experiments --bin explore -- --seeds 100
 //!   cargo run -p dgmc-experiments --bin explore -- --seeds 100 --jobs 8
@@ -20,17 +26,22 @@
 //!   cargo run -p dgmc-experiments --bin explore -- --systematic --nodes 4 \
 //!       --joins 2 --topology ring
 //!   cargo run -p dgmc-experiments --bin explore -- --systematic \
-//!       --mutate skip-withdrawal            # prove the oracles bite
+//!       --mutate unfenced-teardown          # prove the oracles bite
+//!   cargo run -p dgmc-experiments --bin explore -- --systematic --nodes 3 \
+//!       --joins 1 --leaves 1 --mutate unfenced-teardown --backward
 //!
 //! Sweep flags: `--seeds N` (default 100), `--start N`, `--fail-fast`,
 //! `--seed X` (replay one seed verbosely instead of sweeping), `--loss P`,
-//! `--hard-loss P`, `--duplicate P`, `--jitter-us N`, `--crashes N`,
-//! `--timeline N`.
+//! `--hard-loss P`, `--duplicate P`, `--jitter-us N`, `--timeline N`.
 //!
 //! Systematic flags: `--joins N`, `--leaves N`, `--topology
 //! ring|line|complete`, `--max-depth N`, `--max-states N`, `--mutate
-//! skip-withdrawal`, `--trace K1,K2,...` (replay a bundle's minimized
-//! schedule bit-for-bit).
+//! none|skip-withdrawal|unfenced-teardown|eager-deferred-flood`,
+//! `--losses N` (scheduler-injected LSA drops), `--trace K1,K2,...`
+//! (replay a bundle's minimized schedule bit-for-bit), `--backward`,
+//! `--backward-target H1,H2,...` (seed explicit state hashes instead of
+//! the forward counterexample's). `--crashes N` is shared with the sweep:
+//! fail-stop switch crashes there, scheduler-chosen crash points here.
 //!
 //! Shared flags: `--jobs N` (worker threads, default `min(cores, 8)`; the
 //! report is byte-identical for every value), `--nodes N`, `--flaps N`,
@@ -66,6 +77,8 @@ fn main() {
     let mut sys = SystematicParams::default();
     let mut replay_seed: Option<u64> = None;
     let mut trace_keys: Option<Vec<u64>> = None;
+    let mut backward = false;
+    let mut backward_targets: Option<Vec<u64>> = None;
     let mut out_dir = "results".to_owned();
     let mut report_path: Option<String> = None;
     let mut i = 0;
@@ -82,6 +95,26 @@ fn main() {
                 config.mode = ExploreMode::Systematic;
                 i += 1;
                 continue;
+            }
+            "--backward" => {
+                backward = true;
+                i += 1;
+                continue;
+            }
+            "--backward-target" => {
+                let raw: String = parse(flag, value);
+                let hashes: Result<Vec<u64>, _> =
+                    raw.split(',').map(str::trim).map(str::parse).collect();
+                match hashes {
+                    Ok(hashes) => backward_targets = Some(hashes),
+                    Err(_) => {
+                        eprintln!(
+                            "invalid value {raw:?} for --backward-target \
+                             (comma-separated u64 state hashes)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
             }
             "--seeds" => config.seeds = parse(flag, value),
             "--start" => config.start_seed = parse(flag, value),
@@ -100,7 +133,11 @@ fn main() {
                 params.flaps = parse(flag, value);
                 sys.flaps = params.flaps;
             }
-            "--crashes" => params.crashes = parse(flag, value),
+            "--crashes" => {
+                params.crashes = parse(flag, value);
+                sys.crashes = params.crashes;
+            }
+            "--losses" => sys.losses = parse(flag, value),
             "--timeline" => params.timeline = parse(flag, value),
             "--out" => out_dir = parse(flag, value),
             "--topology" => sys.topology = parse(flag, value),
@@ -113,8 +150,13 @@ fn main() {
                 sys.mutation = match raw.as_str() {
                     "none" => dgmc_core::EngineMutation::None,
                     "skip-withdrawal" => dgmc_core::EngineMutation::SkipWithdrawal,
+                    "unfenced-teardown" => dgmc_core::EngineMutation::UnfencedTeardown,
+                    "eager-deferred-flood" => dgmc_core::EngineMutation::EagerDeferredFlood,
                     other => {
-                        eprintln!("unknown mutation {other:?} (none|skip-withdrawal)");
+                        eprintln!(
+                            "unknown mutation {other:?} \
+                             (none|skip-withdrawal|unfenced-teardown|eager-deferred-flood)"
+                        );
                         std::process::exit(2);
                     }
                 };
@@ -137,6 +179,15 @@ fn main() {
             }
         }
         i += 2;
+    }
+
+    if backward {
+        if config.mode != ExploreMode::Systematic {
+            eprintln!("--backward requires --systematic");
+            std::process::exit(2);
+        }
+        run_backward_mode(&config, &sys, backward_targets.as_deref(), report_path);
+        return;
     }
 
     if config.mode == ExploreMode::Systematic {
@@ -269,6 +320,76 @@ fn run_systematic_mode(
     if !run.report.passed() {
         std::process::exit(1);
     }
+}
+
+/// The `--systematic --backward` mode: seed target state hashes — either
+/// given explicitly via `--backward-target` or captured from the forward
+/// counterexample's violation state — then search backward from them over
+/// the predecessor graph. Exits 0 iff a target was reached (the witness
+/// schedule is printed and replayable with `--trace`).
+fn run_backward_mode(
+    config: &ExploreConfig,
+    sys: &SystematicParams,
+    explicit_targets: Option<&[u64]>,
+    report_path: Option<String>,
+) {
+    let targets: Vec<u64> = match explicit_targets {
+        Some(hashes) => hashes.to_vec(),
+        None => {
+            eprintln!("no --backward-target given: seeding from the forward counterexample");
+            let run = systematic::run_systematic(config, sys);
+            let Some(min) = &run.minimized else {
+                eprintln!(
+                    "forward exploration found no violation to seed \
+                     ({}); pass --backward-target or a bug-reintroducing --mutate",
+                    run.report.summary()
+                );
+                std::process::exit(2);
+            };
+            // min.replay.keys is the full start-to-violation schedule
+            // (prescribed keys plus deterministic completion), so its end
+            // state is the state the oracle actually rejected.
+            let Some(hash) = systematic::violation_state_hash(sys, &min.replay.keys) else {
+                eprintln!("minimized counterexample did not replay (checker bug?)");
+                std::process::exit(2);
+            };
+            eprintln!(
+                "seeded violation state {hash:#018x} from a {}-step counterexample",
+                min.replay.keys.len()
+            );
+            vec![hash]
+        }
+    };
+
+    let bounds = dgmc_des::mc::BackwardConfig {
+        max_levels: sys.max_depth,
+        max_states: sys.max_states,
+    };
+    eprintln!(
+        "backward-searching toward {} seeded state(s) on {} worker(s) \
+         (levels <= {}, states <= {})",
+        targets.len(),
+        config.jobs.max(1),
+        bounds.max_levels,
+        bounds.max_states,
+    );
+    let report = systematic::run_backward(config, sys, &bounds, &targets);
+    if let Some(path) = report_path {
+        match write_report(&path, &report.to_json()) {
+            Ok(()) => eprintln!("report: {path}"),
+            Err(e) => {
+                eprintln!("failed to write report {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("{}", report.summary());
+    if report.found() {
+        let keys: Vec<String> = report.witness_keys.iter().map(u64::to_string).collect();
+        println!("witness schedule: --trace {}", keys.join(","));
+        return;
+    }
+    std::process::exit(1);
 }
 
 fn write_report(path: &str, json: &str) -> std::io::Result<()> {

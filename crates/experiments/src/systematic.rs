@@ -92,6 +92,12 @@ pub struct SystematicParams {
     /// Deliberate engine defect under test ([`EngineMutation::None`] for
     /// the faithful protocol).
     pub mutation: EngineMutation,
+    /// Fail-stop fault budget: up to this many switches may crash (losing
+    /// all MC soft state, tombstones included) at scheduler-chosen points.
+    pub crashes: usize,
+    /// Message-loss budget: up to this many in-flight LSAs may be dropped
+    /// at scheduler-chosen points (flooding is reliable when 0).
+    pub losses: usize,
 }
 
 impl Default for SystematicParams {
@@ -105,6 +111,8 @@ impl Default for SystematicParams {
             max_depth: 96,
             max_states: 500_000,
             mutation: EngineMutation::None,
+            crashes: 0,
+            losses: 0,
         }
     }
 }
@@ -168,6 +176,14 @@ pub enum SysAction {
     },
     /// Deliver the pending flooded LSA with this (path-local) id.
     Deliver(u64),
+    /// Fail-stop the switch: all MC soft state (states, tombstones,
+    /// in-flight computations) is lost. Consumes one unit of the crash
+    /// budget ([`SystematicParams::crashes`]).
+    Crash(NodeId),
+    /// Drop the pending flooded LSA with this (path-local) id instead of
+    /// delivering it. Consumes one unit of the loss budget
+    /// ([`SystematicParams::losses`]).
+    Lose(u64),
 }
 
 /// One switch under test: the engine and its lockstep specification twin.
@@ -200,6 +216,16 @@ pub struct SysState {
     next_msg: u64,
     /// Which script entries have fired.
     pub script_done: Vec<bool>,
+    /// Remaining fail-stop crashes the scheduler may inject.
+    pub crash_budget: usize,
+    /// Remaining message losses the scheduler may inject.
+    pub loss_budget: usize,
+    /// Which switches have crashed (fail-stop, soft state lost). Crashed
+    /// switches are excluded from the quiescence oracle: losing MC tables
+    /// is exactly what fail-stop means, and until the link-state layer
+    /// re-syncs them (outside this model) they cannot agree. The checked
+    /// property is that a crash never corrupts the *survivors*.
+    pub crashed: Vec<bool>,
 }
 
 /// The FIFO channel a pending message travels on: `(origin, destination)`.
@@ -219,6 +245,8 @@ pub struct SystematicModel {
     mc_type: McType,
     role: Role,
     mutation: EngineMutation,
+    crashes: usize,
+    losses: usize,
 }
 
 use mc::Model;
@@ -279,6 +307,8 @@ impl SystematicModel {
             mc_type: McType::Symmetric,
             role: Role::SenderReceiver,
             mutation: params.mutation,
+            crashes: params.crashes,
+            losses: params.losses,
         }
     }
 
@@ -301,7 +331,18 @@ impl SystematicModel {
             mc_type: McType::Symmetric,
             role: Role::SenderReceiver,
             mutation,
+            crashes: 0,
+            losses: 0,
         }
+    }
+
+    /// Grants the scheduler fault budgets on top of the scenario: up to
+    /// `crashes` fail-stop switch crashes and `losses` dropped LSAs.
+    #[must_use]
+    pub fn with_faults(mut self, crashes: usize, losses: usize) -> SystematicModel {
+        self.crashes = crashes;
+        self.losses = losses;
+        self
     }
 
     /// The scripted external events, in script-index order.
@@ -344,7 +385,25 @@ impl SystematicModel {
         for (&id, msg) in &state.pending {
             heads.entry(channel(msg)).or_insert(id);
         }
-        out.extend(heads.into_values().map(SysAction::Deliver));
+        let heads: Vec<u64> = heads.into_values().collect();
+        out.extend(heads.iter().copied().map(SysAction::Deliver));
+        // Fault injection is an adversarial top-level choice (never taken
+        // during the deterministic warm-up drain): any channel head can be
+        // lost instead of delivered, and any switch still holding MC soft
+        // state can fail-stop, while the budgets last.
+        if include_scripts {
+            if state.loss_budget > 0 {
+                out.extend(heads.into_iter().map(SysAction::Lose));
+            }
+            if state.crash_budget > 0 {
+                for pair in &state.switches {
+                    if !pair.engine.mc_ids().is_empty() || pair.engine.tombstones().next().is_some()
+                    {
+                        out.push(SysAction::Crash(pair.engine.id()));
+                    }
+                }
+            }
+        }
         out
     }
 
@@ -370,8 +429,16 @@ impl SystematicModel {
                 net_read: true,
                 net_write: false,
             },
-            SysAction::Deliver(id) => Footprint {
+            SysAction::Deliver(id) | SysAction::Lose(id) => Footprint {
+                // Lose shares Deliver's footprint: both consume the same
+                // channel head, so the two orders of the same message are
+                // dependent and both get explored.
                 switches: vec![state.pending[id].0],
+                net_read: false,
+                net_write: false,
+            },
+            SysAction::Crash(switch) => Footprint {
+                switches: vec![*switch],
                 net_read: false,
                 net_write: false,
             },
@@ -491,6 +558,29 @@ impl SystematicModel {
                 self.dispatch(&mut next, to, &engine_actions);
                 (violations, desc)
             }
+            SysAction::Crash(switch) => {
+                // Fail-stop: the switch restarts with empty MC tables —
+                // engine and spec together, so the lockstep oracle keeps
+                // holding on the survivor.
+                let n = next.switches.len();
+                let algo: Rc<dyn McAlgorithm> = Rc::new(SphStrategy::new());
+                let mut engine = DgmcEngine::new(*switch, n, algo);
+                engine.set_mutation(self.mutation);
+                let mut spec = SpecSwitch::new(*switch, n);
+                spec.set_mutation(self.mutation);
+                next.switches[switch.0 as usize] = SwitchPair { engine, spec };
+                next.crashed[switch.0 as usize] = true;
+                next.crash_budget -= 1;
+                (
+                    Vec::new(),
+                    format!("crash at {switch} (MC soft state lost)"),
+                )
+            }
+            SysAction::Lose(id) => {
+                let (to, lsa) = next.pending.remove(id).expect("losing a pending message");
+                next.loss_budget -= 1;
+                (Vec::new(), format!("lose {lsa} to {to}"))
+            }
         };
         (next, violations, desc)
     }
@@ -564,10 +654,9 @@ impl Model for SystematicModel {
             .map(|i| {
                 let mut engine = DgmcEngine::new(NodeId(i), n, Rc::clone(&algo));
                 engine.set_mutation(self.mutation);
-                SwitchPair {
-                    engine,
-                    spec: SpecSwitch::new(NodeId(i), n),
-                }
+                let mut spec = SpecSwitch::new(NodeId(i), n);
+                spec.set_mutation(self.mutation);
+                SwitchPair { engine, spec }
             })
             .collect();
         let mut state = SysState {
@@ -576,6 +665,9 @@ impl Model for SystematicModel {
             pending: BTreeMap::new(),
             next_msg: 0,
             script_done: vec![false; self.script.len()],
+            crash_budget: self.crashes,
+            loss_budget: self.losses,
+            crashed: vec![false; n],
         };
         for &at in &self.warm {
             let (violations, desc) = self.fire_script(&mut state, &ScriptEvent::Join { at });
@@ -622,6 +714,16 @@ impl Model for SystematicModel {
                 to.hash(&mut h);
                 lsa.hash(&mut h);
             }
+            SysAction::Crash(switch) => {
+                3u8.hash(&mut h);
+                switch.hash(&mut h);
+            }
+            SysAction::Lose(id) => {
+                let (to, lsa) = &state.pending[id];
+                4u8.hash(&mut h);
+                to.hash(&mut h);
+                lsa.hash(&mut h);
+            }
         }
         h.finish()
     }
@@ -656,13 +758,26 @@ impl Model for SystematicModel {
                 mc.hash(&mut h);
                 pair.engine.state(mc).hash(&mut h);
             }
+            // Tombstones shape future behavior (they fence or revive later
+            // LSAs), so they are part of the canonical state.
+            for (mc, tomb) in pair.engine.tombstones() {
+                mc.hash(&mut h);
+                tomb.hash(&mut h);
+            }
             for mc in pair.spec.mc_ids() {
                 mc.hash(&mut h);
                 pair.spec.state(mc).hash(&mut h);
             }
+            for (mc, tomb) in pair.spec.tombstones() {
+                mc.hash(&mut h);
+                tomb.hash(&mut h);
+            }
         }
         state.net.digest().hash(&mut h);
         state.script_done.hash(&mut h);
+        state.crash_budget.hash(&mut h);
+        state.loss_budget.hash(&mut h);
+        state.crashed.hash(&mut h);
         let mut channels: BTreeMap<(NodeId, NodeId), Vec<u64>> = BTreeMap::new();
         for msg in state.pending.values() {
             channels
@@ -675,7 +790,14 @@ impl Model for SystematicModel {
     }
 
     fn check_quiescent(&self, state: &SysState) -> Vec<Violation> {
-        let engines: Vec<&DgmcEngine> = state.switches.iter().map(|p| &p.engine).collect();
+        // Crashed switches lost their soft state by definition; the suite
+        // checks the survivors (see [`SysState::crashed`]).
+        let engines: Vec<&DgmcEngine> = state
+            .switches
+            .iter()
+            .filter(|p| !state.crashed[p.engine.id().0 as usize])
+            .map(|p| &p.engine)
+            .collect();
         check_engines(&engines, &state.net)
             .into_iter()
             .map(|v| Violation {
@@ -747,6 +869,40 @@ pub fn replay_trace(params: &SystematicParams, keys: &[u64]) -> Option<Replay<Sy
     mc::replay(&model, keys, true, params.max_depth)
 }
 
+/// Replays `keys` and returns the canonical hash of the state the
+/// schedule ends in — the seed for [`run_backward`]. Violations along the
+/// way are expected (the whole point is to capture a violation state);
+/// `None` if some key does not resolve.
+pub fn violation_state_hash(params: &SystematicParams, keys: &[u64]) -> Option<u64> {
+    let model = SystematicModel::new(params);
+    let mut state = model.initial();
+    for key in keys {
+        let action = model
+            .enabled(&state)
+            .into_iter()
+            .find(|a| model.action_key(&state, a) == *key)?;
+        state = model.apply(&state, &action).state;
+    }
+    Some(model.state_hash(&state))
+}
+
+/// Backward search over the scenario (DESIGN.md §11): given canonical
+/// state hashes captured from a forward counterexample (see
+/// [`violation_state_hash`]), [`mc::backward_search`] builds the
+/// predecessor graph breadth-first across `config.jobs` workers and walks
+/// it backward from the first target reached, yielding a shortest witness
+/// schedule replayable with [`replay_trace`]. The rendered report is
+/// byte-identical for every worker count.
+pub fn run_backward(
+    config: &ExploreConfig,
+    params: &SystematicParams,
+    bounds: &mc::BackwardConfig,
+    targets: &[u64],
+) -> mc::BackwardReport {
+    let model = SystematicModel::new(params);
+    mc::backward_search(&model, bounds, targets, config.jobs.max(1))
+}
+
 /// Renders the minimized trace as a human-readable *causal* timeline: one
 /// line per choice point with the engine actions it triggered, indented
 /// under the step that caused it (the step that flooded a delivered LSA, or
@@ -765,8 +921,10 @@ pub fn describe_trace(model: &SystematicModel, trace: &[SysAction]) -> Vec<Strin
     for (i, action) in trace.iter().enumerate() {
         let step = i as u64 + 1;
         let parent = match action {
-            SysAction::Script(_) => 0,
-            SysAction::Deliver(id) => msg_creator.get(id).copied().unwrap_or(0),
+            SysAction::Script(_) | SysAction::Crash(_) => 0,
+            SysAction::Deliver(id) | SysAction::Lose(id) => {
+                msg_creator.get(id).copied().unwrap_or(0)
+            }
             SysAction::Complete { switch, mc } => {
                 computing.get(&(*switch, *mc)).copied().unwrap_or(0)
             }
@@ -818,6 +976,8 @@ fn replay_command(params: &SystematicParams, keys: &[u64]) -> String {
     let mutate = match params.mutation {
         EngineMutation::None => String::new(),
         EngineMutation::SkipWithdrawal => " --mutate skip-withdrawal".to_owned(),
+        EngineMutation::UnfencedTeardown => " --mutate unfenced-teardown".to_owned(),
+        EngineMutation::EagerDeferredFlood => " --mutate eager-deferred-flood".to_owned(),
     };
     format!(
         "cargo run -p dgmc-experiments --bin explore -- --systematic --topology {} \

@@ -4,24 +4,30 @@
 //! explored *exhaustively* (far beyond what seed sweeps sample), the
 //! report is byte-identical for every `--jobs` value, and a seeded engine
 //! mutation yields a minimized, bit-for-bit replayable repro bundle — plus
-//! two regression pins for real protocol corners the checker discovered
-//! on its first runs (see DESIGN.md §11 for the full discussion):
+//! regressions for the two real protocol races the checker discovered on
+//! its first runs and that are now *fixed* (see DESIGN.md §11 for the full
+//! discussion):
 //!
 //! * **teardown/resurrection race**: a leave that empties the member list
-//!   deletes the MC state; a concurrently flooded join resurrects it with
-//!   a zeroed `R` while merged stamps keep the forgotten events in `E`,
-//!   leaving `R != E` at quiescence forever;
+//!   deletes the MC state; a concurrently flooded join used to resurrect
+//!   it with a zeroed `R` while merged stamps kept the forgotten events in
+//!   `E`, leaving `R != E` at quiescence forever. Fixed by incarnation
+//!   epochs and teardown tombstones; the scenario now explores clean, and
+//!   [`EngineMutation::UnfencedTeardown`] re-introduces the bug so the
+//!   checker's ability to find it stays pinned.
 //! * **deferred-event flood inversion**: a second local event during the
-//!   first event's `Tc` computation floods immediately (Fig. 4 lines
-//!   15-17) while the first's announcement waits for the withdrawal
-//!   (lines 11-13), so same-origin events flood out of local order and
-//!   receivers converge on a different member list than the origin.
+//!   first event's `Tc` computation used to flood immediately (Fig. 4
+//!   lines 15-17) while the first's announcement waited for the
+//!   withdrawal (lines 11-13), so same-origin events flooded out of local
+//!   order and receivers converged on a different member list than the
+//!   origin. Fixed by deferring the second flood to the withdrawal;
+//!   [`EngineMutation::EagerDeferredFlood`] re-introduces the eager flood.
 
 use dgmc_core::EngineMutation;
 use dgmc_des::explorer::ExploreConfig;
-use dgmc_des::mc::{self, McConfig};
+use dgmc_des::mc::{self, McConfig, Model};
 use dgmc_experiments::systematic::{
-    self, ScriptEvent, SystematicModel, SystematicParams, TopologyKind,
+    self, ScriptEvent, SysAction, SystematicModel, SystematicParams, TopologyKind,
 };
 use dgmc_topology::{generate, NodeId};
 use std::path::PathBuf;
@@ -117,19 +123,53 @@ fn seeded_withdrawal_bug_yields_a_minimized_replayable_bundle() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Pin: the checker detects the teardown/resurrection race. With one warm
-/// member leaving while another switch joins, some interleaving deletes
-/// the MC state everywhere and resurrects it with a zeroed `R`; the
-/// stamps invariant (`R == E` at quiescence) must flag it and the
-/// counterexample must survive minimization as a replayable bundle.
-#[test]
-fn teardown_resurrection_race_is_detected() {
-    let params = SystematicParams {
+/// The scenario parameters under which the checker originally found the
+/// teardown/resurrection race (DESIGN.md §11 race 1).
+fn teardown_params(mutation: EngineMutation) -> SystematicParams {
+    SystematicParams {
         nodes: 3,
         joins: 1,
         leaves: 1,
+        mutation,
         ..SystematicParams::default()
-    };
+    }
+}
+
+/// The scenario under which the checker originally found the
+/// deferred-event flood inversion (DESIGN.md §11 race 2): a warm member
+/// leaves and immediately re-joins, racing the two floods from the same
+/// origin. The anchor member at switch 0 keeps membership non-empty so
+/// only the inversion — not the teardown race — can fire.
+fn inversion_model(mutation: EngineMutation) -> SystematicModel {
+    SystematicModel::with_scenario(
+        generate::ring(3),
+        vec![
+            ScriptEvent::Leave { at: NodeId(2) },
+            ScriptEvent::Join { at: NodeId(2) },
+        ],
+        vec![NodeId(0), NodeId(2)],
+        mutation,
+    )
+}
+
+/// Regression: the teardown/resurrection race is fixed. The scenario that
+/// used to leave `R != E` at quiescence forever now explores to
+/// exhaustion with every oracle green — the epoch fence keeps stale
+/// resurrections out and tombstone revival keeps the counts.
+#[test]
+fn teardown_resurrection_race_is_fixed() {
+    let run = systematic::run_systematic(&jobs(1), &teardown_params(EngineMutation::None));
+    assert!(run.report.passed(), "{}", run.report.summary());
+    assert!(run.report.complete, "state space must be exhausted");
+    assert!(run.minimized.is_none());
+}
+
+/// The checker still *can* find race 1: re-introducing the unfenced
+/// teardown (no tombstones, no epoch gates — the exact pre-fix engine)
+/// resurfaces the stamps violation as a minimized, replayable bundle.
+#[test]
+fn unfenced_teardown_mutation_resurrects_the_race() {
+    let params = teardown_params(EngineMutation::UnfencedTeardown);
     let run = systematic::run_systematic(&jobs(1), &params);
     assert!(!run.report.passed(), "{}", run.report.summary());
     let min = run.minimized.expect("race must minimize to a bundle");
@@ -141,27 +181,30 @@ fn teardown_resurrection_race_is_detected() {
         "expected a stamps (R != E) violation, got {:?}",
         min.replay.violations
     );
+    assert!(min.bundle.replay.contains("--mutate unfenced-teardown"));
     let again = systematic::replay_trace(&params, &min.keys).expect("keys resolve");
     assert_eq!(again.violations, min.replay.violations);
 }
 
-/// Pin: the checker detects the deferred-event flood inversion. A leave
-/// and a re-join at the same (warm) switch can flood in the opposite of
-/// their local order, so receivers end with a member list that differs
-/// from the origin's — an agreement violation at quiescence.
+/// Regression: the deferred-event flood inversion is fixed. The
+/// leave/re-join scenario whose floods used to invert now explores to
+/// exhaustion clean — the second local event waits for the withdrawal and
+/// floods in local order.
 #[test]
-fn deferred_event_flood_inversion_is_detected() {
-    let model = SystematicModel::with_scenario(
-        generate::ring(3),
-        vec![
-            ScriptEvent::Leave { at: NodeId(2) },
-            ScriptEvent::Join { at: NodeId(2) },
-        ],
-        // The anchor keeps membership non-empty so only the inversion —
-        // not the teardown race — can fire.
-        vec![NodeId(0), NodeId(2)],
-        EngineMutation::None,
-    );
+fn deferred_event_flood_inversion_is_fixed() {
+    let model = inversion_model(EngineMutation::None);
+    let config = McConfig::default();
+    let report = mc::explore_sharded(&model, &config, 1);
+    assert!(report.passed(), "{}", report.summary());
+    assert!(report.complete, "state space must be exhausted");
+}
+
+/// The checker still *can* find race 2: re-introducing the eager Fig. 4
+/// lines 15-17 flood resurfaces the agreement violation, minimized and
+/// bit-for-bit replayable.
+#[test]
+fn eager_deferred_flood_mutation_resurrects_the_inversion() {
+    let model = inversion_model(EngineMutation::EagerDeferredFlood);
     let config = McConfig::default();
     let report = mc::explore_sharded(&model, &config, 1);
     assert!(!report.passed(), "{}", report.summary());
@@ -176,4 +219,201 @@ fn deferred_event_flood_inversion_is_detected() {
     // The minimized schedule still resolves and reproduces identically.
     let again = mc::replay(&model, &keys, true, config.max_depth).expect("keys resolve");
     assert_eq!(again.violations, replay.violations);
+}
+
+/// Backward search (Helmy et al.): the violation state of the forward
+/// counterexample — seeded by hash — is reached backward from the initial
+/// state, and the shortest witness schedule replays to the same class of
+/// violation.
+#[test]
+fn backward_search_reaches_the_forward_violation_state() {
+    let params = teardown_params(EngineMutation::UnfencedTeardown);
+    let run = systematic::run_systematic(&jobs(2), &params);
+    let min = run.minimized.expect("race must minimize to a bundle");
+    // The full replayed schedule (prescribed keys + deterministic
+    // completion) ends in the state the oracle rejected.
+    let target = systematic::violation_state_hash(&params, &min.replay.keys)
+        .expect("minimized schedule replays");
+
+    let bounds = mc::BackwardConfig::default();
+    let report = systematic::run_backward(&jobs(2), &params, &bounds, &[target]);
+    assert!(report.found(), "{}", report.summary());
+    assert_eq!(report.target, Some(target));
+
+    // The witness is a real schedule: it resolves against the scenario
+    // and drives the system into the seeded (violating) quiescent state.
+    let witness =
+        systematic::replay_trace(&params, &report.witness_keys).expect("witness keys resolve");
+    assert!(witness.failed(), "witness must land on the violation");
+    assert!(
+        witness.violations.iter().any(|v| v.invariant == "stamps"),
+        "expected the stamps violation, got {:?}",
+        witness.violations
+    );
+}
+
+/// Backward-search reports are byte-identical across worker counts, like
+/// the forward reports — the CI gate diffs them directly.
+#[test]
+fn backward_report_is_byte_identical_across_job_counts() {
+    let params = teardown_params(EngineMutation::UnfencedTeardown);
+    let min = systematic::run_systematic(&jobs(1), &params)
+        .minimized
+        .expect("race must minimize");
+    let target =
+        systematic::violation_state_hash(&params, &min.replay.keys).expect("schedule replays");
+    let bounds = mc::BackwardConfig::default();
+    let baseline = systematic::run_backward(&jobs(1), &params, &bounds, &[target]).to_json();
+    for n in [2, 4] {
+        let report = systematic::run_backward(&jobs(n), &params, &bounds, &[target]).to_json();
+        assert_eq!(
+            baseline, report,
+            "jobs=1 vs jobs={n} backward reports differ"
+        );
+    }
+}
+
+/// On the *repaired* engine the mutated engine's violation state does not
+/// exist: backward search exhausts the (fixed) state space without
+/// reaching it, and says so conclusively.
+#[test]
+fn backward_search_proves_the_violation_unreachable_when_fixed() {
+    let mutated = teardown_params(EngineMutation::UnfencedTeardown);
+    let min = systematic::run_systematic(&jobs(1), &mutated)
+        .minimized
+        .expect("race must minimize");
+    let target =
+        systematic::violation_state_hash(&mutated, &min.replay.keys).expect("schedule replays");
+
+    let repaired = teardown_params(EngineMutation::None);
+    let bounds = mc::BackwardConfig::default();
+    let report = systematic::run_backward(&jobs(2), &repaired, &bounds, &[target]);
+    assert!(!report.found(), "repaired engine reached a violation state");
+    assert!(
+        report.complete,
+        "search must exhaust the space to prove unreachability"
+    );
+}
+
+/// Crash interleavings — the depths forward scripts alone don't reach —
+/// stay clean on the repaired engine: granting the scheduler one
+/// fail-stop crash at any point widens the explored space by an order of
+/// magnitude without corrupting any *survivor* (crashed switches lose
+/// their soft state by definition and are excluded from the oracle).
+#[test]
+fn crash_interleavings_stay_clean_on_the_repaired_engine() {
+    let plain = teardown_params(EngineMutation::None);
+    let faulty = SystematicParams {
+        crashes: 1,
+        ..teardown_params(EngineMutation::None)
+    };
+    let baseline = systematic::run_systematic(&jobs(2), &plain);
+    let run = systematic::run_systematic(&jobs(2), &faulty);
+    assert!(run.report.passed(), "{}", run.report.summary());
+    assert!(run.report.complete, "state space must be exhausted");
+    assert!(
+        run.report.stats.states > baseline.report.stats.states,
+        "the crash budget must widen the space ({} vs {})",
+        run.report.stats.states,
+        baseline.report.stats.states
+    );
+}
+
+/// A crash+loss interleaving — a depth no forward script reaches — is
+/// found by backward search: we drive the model through one fail-stop
+/// crash and one message loss to a quiescent state, seed that state's
+/// hash, and the backward pass recovers a witness schedule that replays
+/// through both faults to exactly that state.
+#[test]
+fn backward_search_finds_a_crash_plus_loss_interleaving() {
+    let params = SystematicParams {
+        crashes: 1,
+        losses: 1,
+        ..teardown_params(EngineMutation::None)
+    };
+    let model = SystematicModel::new(&params);
+
+    // Drive a deterministic walk that spends both fault budgets: take a
+    // crash as soon as one is enabled, then a loss, then drain.
+    let mut state = model.initial();
+    let mut keys = Vec::new();
+    let (mut crashed, mut lost) = (false, false);
+    loop {
+        let enabled = model.enabled(&state);
+        if enabled.is_empty() {
+            break;
+        }
+        let pick = enabled
+            .iter()
+            .position(|a| !crashed && matches!(a, SysAction::Crash(_)))
+            .or_else(|| {
+                enabled
+                    .iter()
+                    .position(|a| !lost && matches!(a, SysAction::Lose(_)))
+            })
+            .unwrap_or(0);
+        match enabled[pick] {
+            SysAction::Crash(_) => crashed = true,
+            SysAction::Lose(_) => lost = true,
+            _ => {}
+        }
+        keys.push(model.action_key(&state, &enabled[pick]));
+        state = model.apply(&state, &enabled[pick]).state;
+    }
+    assert!(crashed && lost, "walk must spend both fault budgets");
+    let target = model.state_hash(&state);
+
+    let bounds = mc::BackwardConfig::default();
+    let report = systematic::run_backward(&jobs(2), &params, &bounds, &[target]);
+    assert!(report.found(), "{}", report.summary());
+
+    // The witness replays through both faults to exactly the seeded state.
+    let witness = mc::replay(&model, &report.witness_keys, false, bounds.max_levels)
+        .expect("witness keys resolve");
+    assert!(
+        witness
+            .trace
+            .iter()
+            .any(|a| matches!(a, SysAction::Crash(_))),
+        "witness must include the crash"
+    );
+    assert!(
+        witness
+            .trace
+            .iter()
+            .any(|a| matches!(a, SysAction::Lose(_))),
+        "witness must include the loss"
+    );
+    assert_eq!(
+        systematic::violation_state_hash(&params, &report.witness_keys),
+        Some(target),
+        "witness must land on the seeded state"
+    );
+}
+
+/// Message loss, by contrast, is *outside* the protocol's fault model:
+/// D-GMC floods ride the link-state layer's reliable flooding, and a
+/// hard-dropped LSA leaves the receivers' `R` permanently short of `E`.
+/// The checker makes that premise explicit — granting the scheduler one
+/// loss produces a minimized, replayable stamps counterexample even on
+/// the repaired engine.
+#[test]
+fn lost_floods_break_the_reliable_flooding_premise() {
+    let params = SystematicParams {
+        losses: 1,
+        ..teardown_params(EngineMutation::None)
+    };
+    let run = systematic::run_systematic(&jobs(2), &params);
+    assert!(!run.report.passed(), "loss must be visible to the oracles");
+    let min = run.minimized.expect("loss counterexample must minimize");
+    assert!(
+        min.replay
+            .violations
+            .iter()
+            .any(|v| v.invariant == "stamps" || v.invariant == "agreement"),
+        "expected a stamps/agreement violation, got {:?}",
+        min.replay.violations
+    );
+    let again = systematic::replay_trace(&params, &min.keys).expect("keys resolve");
+    assert_eq!(again.violations, min.replay.violations);
 }

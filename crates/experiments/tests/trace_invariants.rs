@@ -112,15 +112,18 @@ proptest! {
     }
 }
 
-/// Pin: the DESIGN.md §11 teardown/resurrection race minimizes to a bundle
-/// whose timeline is a *causal* tree — the delivery that trips the stamps
-/// invariant renders indented under the step that flooded it.
+/// Pin: the DESIGN.md §11 teardown/resurrection race — re-introduced via
+/// the `UnfencedTeardown` mutation now that the engine itself is fixed —
+/// minimizes to a bundle whose timeline is a *causal* tree: the delivery
+/// that trips the stamps invariant renders indented under the step that
+/// flooded it.
 #[test]
 fn teardown_resurrection_race_renders_as_a_causal_timeline() {
     let params = SystematicParams {
         nodes: 3,
         joins: 1,
         leaves: 1,
+        mutation: EngineMutation::UnfencedTeardown,
         ..SystematicParams::default()
     };
     let run = systematic::run_systematic(&ExploreConfig::default(), &params);
@@ -137,9 +140,10 @@ fn teardown_resurrection_race_renders_as_a_causal_timeline() {
     );
 }
 
-/// Pin: the DESIGN.md §11 deferred-event flood inversion also renders
-/// causally — the two opposite-order floods show up as two chains, and the
-/// agreement violation is attributed to a delivery line.
+/// Pin: the DESIGN.md §11 deferred-event flood inversion (re-introduced
+/// via the `EagerDeferredFlood` mutation) also renders causally — the two
+/// opposite-order floods show up as two chains, and the agreement
+/// violation is attributed to a delivery line.
 #[test]
 fn deferred_event_flood_inversion_renders_as_a_causal_timeline() {
     let model = SystematicModel::with_scenario(
@@ -149,7 +153,7 @@ fn deferred_event_flood_inversion_renders_as_a_causal_timeline() {
             ScriptEvent::Join { at: NodeId(2) },
         ],
         vec![NodeId(0), NodeId(2)],
-        EngineMutation::None,
+        EngineMutation::EagerDeferredFlood,
     );
     let config = McConfig::default();
     let report = mc::explore_sharded(&model, &config, 1);

@@ -146,6 +146,10 @@ pub enum DecisionKind {
     /// that computation — e.g. its state was concurrently deleted by a
     /// withdraw/leave race. The signal was ignored as a no-op.
     StaleCompletion,
+    /// A local event fired while an earlier local event was still
+    /// unannounced (waiting on an in-flight computation); its flood was
+    /// held back to preserve local order (DESIGN.md §11 race 2 repair).
+    EventDeferred,
     /// The engine's behavior diverged from the executable Fig. 4/5
     /// specification during lockstep conformance checking (systematic
     /// exploration, DESIGN.md §11).
@@ -169,6 +173,7 @@ impl DecisionKind {
             DecisionKind::FaultInjected { .. } => "FaultInjected",
             DecisionKind::InvariantViolated { .. } => "InvariantViolated",
             DecisionKind::StaleCompletion => "StaleCompletion",
+            DecisionKind::EventDeferred => "EventDeferred",
             DecisionKind::SpecDiverged { .. } => "SpecDiverged",
         }
     }
@@ -201,6 +206,7 @@ impl fmt::Display for DecisionKind {
                 write!(f, "InvariantViolated({invariant})")
             }
             DecisionKind::StaleCompletion => write!(f, "StaleCompletion"),
+            DecisionKind::EventDeferred => write!(f, "EventDeferred"),
             DecisionKind::SpecDiverged { detail } => {
                 write!(f, "SpecDiverged({detail})")
             }
@@ -242,7 +248,8 @@ impl DecisionEvent {
             }
             DecisionKind::ProposalFlooded
             | DecisionKind::ProposalWithdrawn
-            | DecisionKind::StaleCompletion => {}
+            | DecisionKind::StaleCompletion
+            | DecisionKind::EventDeferred => {}
             DecisionKind::ProposalAccepted { from } => {
                 pairs.push(("from", JsonValue::U64(*from as u64)));
             }
