@@ -146,6 +146,9 @@ pub mod counters {
     pub const SPF_CACHE_HITS: &str = "spf_cache.hits";
     /// SPF computations that ran Dijkstra (cache miss).
     pub const SPF_CACHE_MISSES: &str = "spf_cache.misses";
+    /// Cache misses answered by incremental delta repair of a sibling
+    /// generation's tree instead of a from-scratch Dijkstra.
+    pub const SPF_CACHE_REPAIRS: &str = "spf_cache.repairs";
     /// Cache generations evicted because the image kept changing.
     pub const SPF_CACHE_INVALIDATIONS: &str = "spf_cache.invalidations";
 }
@@ -482,6 +485,8 @@ impl DgmcSwitch {
             .add(after.hits - before.hits);
         ctx.counter(counters::SPF_CACHE_MISSES)
             .add(after.misses - before.misses);
+        ctx.counter(counters::SPF_CACHE_REPAIRS)
+            .add(after.repairs - before.repairs);
         ctx.counter(counters::SPF_CACHE_INVALIDATIONS)
             .add(after.invalidations - before.invalidations);
         if after.misses > before.misses {

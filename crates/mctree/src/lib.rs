@@ -43,6 +43,7 @@
 pub mod algorithms;
 pub mod metrics;
 pub mod qos;
+pub mod repair;
 
 mod mc_type;
 mod strategy;

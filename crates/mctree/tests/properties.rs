@@ -192,3 +192,58 @@ proptest! {
         prop_assert!(cache.stats().hits > 0, "warm passes must hit the cache");
     }
 }
+
+fn arb_membership_script() -> impl Strategy<Value = (Network, BTreeSet<NodeId>, Vec<(u64, bool)>)> {
+    (
+        8usize..50,
+        0usize..5,
+        any::<u64>(),
+        prop::collection::vec((any::<u64>(), any::<bool>()), 1..24),
+    )
+        .prop_map(|(n, k, seed, ops)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
+            let members = generate::sample_nodes(&mut rng, &net, k.min(n))
+                .into_iter()
+                .collect();
+            (net, members, ops)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental membership repair equivalence: a pruned SPT maintained
+    /// purely by [`repair::graft_member`] / [`repair::prune_member`] across a
+    /// random join/leave script stays **byte-identical** to a from-scratch
+    /// [`algorithms::pruned_spt`] over the evolving member set — including
+    /// redundant joins, leaves of non-members and `leave(root)` no-ops.
+    #[test]
+    fn membership_repair_equals_full_recompute(
+        (net, mut members, ops) in arb_membership_script()
+    ) {
+        use dgmc_mctree::repair;
+        use dgmc_topology::SpfCache;
+        let root = NodeId(0);
+        members.remove(&root);
+        let mut tree = algorithms::pruned_spt(&net, root, &members);
+        let cache = SpfCache::new();
+        for (pick, join) in ops {
+            let node = NodeId((pick % net.len() as u64) as u32);
+            if join {
+                tree = repair::graft_member(&net, root, &tree, node, &cache);
+                members.insert(node);
+            } else {
+                tree = repair::prune_member(root, &tree, node);
+                if node != root {
+                    members.remove(&node);
+                }
+            }
+            prop_assert_eq!(
+                &tree,
+                &algorithms::pruned_spt(&net, root, &members),
+                "after {} of {}", if join { "join" } else { "leave" }, node
+            );
+        }
+    }
+}

@@ -21,13 +21,25 @@
 //! pool, and the Dijkstra `done`/heap arenas are reused across runs, so cache
 //! misses allocate nothing steady-state.
 //!
+//! A digest miss is no longer always a full recompute. Each generation
+//! records the link table it was built from ([`NetSnapshot`]); when a
+//! request misses but a sibling generation holds the same key and differs by
+//! at most [`SpfCache::MAX_REPAIR_DELTA`] link up/down/cost changes, the
+//! cached tree is cloned and *repaired* in place with
+//! [`spf::repair_shortest_path_tree`]'s delta-Dijkstra instead of rerunning
+//! Dijkstra from scratch. Repairs are byte-identical to full recomputes (the
+//! repair bails to a full run whenever it cannot guarantee that), so the
+//! correctness contract below is unchanged; they are surfaced in
+//! [`SpfCacheStats::repairs`]. This is what keeps the cache from collapsing
+//! in WAN-style regimes where every link-cost change rotates the digest.
+//!
 //! Correctness contract: `cache.tree(net, r)` is byte-identical to
 //! [`spf::shortest_path_tree`]`(net, r)` and `cache.forest(net, s)` to
 //! [`spf::shortest_path_forest`]`(net, s)` — pinned by property tests. The
 //! protocol's consensus depends on identical images yielding identical
 //! trees, which content-addressed keying preserves by construction.
 
-use crate::spf::{self, DijkstraScratch, SpfTree};
+use crate::spf::{self, DijkstraScratch, LinkChange, RepairScratch, SpfTree};
 use crate::{LinkId, Network, NodeId};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -46,8 +58,12 @@ pub struct SpfCacheStats {
     /// Requests answered from the store.
     pub hits: u64,
     /// Requests that ran Dijkstra (including every request on a disabled
-    /// cache).
+    /// cache). Repairs count as misses too — a miss is "the store did not
+    /// answer directly", whether the work was a full run or a delta.
     pub misses: u64,
+    /// Misses answered by incremental repair of a sibling generation's tree
+    /// instead of a from-scratch Dijkstra (always `<= misses`).
+    pub repairs: u64,
     /// Digest generations retired to bound memory.
     pub invalidations: u64,
     /// Total nodes settled by miss computations — the deterministic work
@@ -56,6 +72,74 @@ pub struct SpfCacheStats {
     /// Wall-clock nanoseconds spent inside miss computations. Bench-only;
     /// never export into deterministic metrics.
     pub miss_nanos: u64,
+}
+
+/// One link's contribution to a [`NetSnapshot`], in [`LinkId`] order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LinkRecord {
+    a: NodeId,
+    b: NodeId,
+    cost: u64,
+    up: bool,
+}
+
+/// The link table of a network at the moment its generation was created.
+///
+/// Snapshots let a digest miss discover *how far* the requesting network is
+/// from a generation the cache already holds. This works without any change
+/// journal because images are content-addressed: two networks with the same
+/// node count and the same link roster (endpoints in [`LinkId`] order)
+/// assign identical link ids, so a positional diff of the link tables is
+/// exactly the [`LinkChange`] delta the incremental SPF repair consumes.
+#[derive(Debug)]
+struct NetSnapshot {
+    nodes: usize,
+    links: Vec<LinkRecord>,
+}
+
+impl NetSnapshot {
+    fn of(net: &Network) -> NetSnapshot {
+        NetSnapshot {
+            nodes: net.len(),
+            links: net
+                .links()
+                .map(|l| LinkRecord {
+                    a: l.a,
+                    b: l.b,
+                    cost: l.cost,
+                    up: l.is_up(),
+                })
+                .collect(),
+        }
+    }
+
+    /// The effective-cost delta from this snapshot to `net`, or `None` when
+    /// the two are not delta-compatible (different node count or link
+    /// roster) or the delta is too large to be worth repairing.
+    fn delta_to(&self, net: &Network) -> Option<Vec<LinkChange>> {
+        if self.nodes != net.len() || self.links.len() != net.link_count() {
+            return None;
+        }
+        let mut delta = Vec::new();
+        for (rec, link) in self.links.iter().zip(net.links()) {
+            if (rec.a, rec.b) != (link.a, link.b) {
+                return None;
+            }
+            let old_cost = rec.up.then_some(rec.cost);
+            let new_cost = link.is_up().then_some(link.cost);
+            if old_cost != new_cost {
+                if delta.len() == SpfCache::MAX_REPAIR_DELTA {
+                    return None;
+                }
+                delta.push(LinkChange {
+                    link: link.id,
+                    old_cost,
+                    new_cost,
+                });
+            }
+        }
+        Some(delta)
+    }
 }
 
 /// Memoized results for one network digest.
@@ -67,6 +151,14 @@ struct Generation {
     forests: HashMap<Box<[NodeId]>, Rc<SpfTree>>,
     /// Logical timestamp of the last lookup touching this generation.
     last_used: u64,
+    /// Link table at creation, the anchor for cross-generation repairs.
+    snapshot: Option<NetSnapshot>,
+}
+
+/// What a repair attempt is looking for in a sibling generation.
+enum RepairKey<'a> {
+    Tree(NodeId),
+    Forest(&'a [NodeId]),
 }
 
 #[derive(Debug)]
@@ -76,8 +168,15 @@ struct Inner {
     tick: u64,
     stats: SpfCacheStats,
     scratch: DijkstraScratch,
+    repair_scratch: RepairScratch,
     dist_pool: Vec<Vec<Option<u64>>>,
     parent_pool: Vec<Vec<Option<(NodeId, LinkId)>>>,
+    /// (base digest, target digest) -> link delta (or `None` = not
+    /// delta-compatible). Content-addressed by the same digest-uniqueness
+    /// assumption the generations rely on, so entries never go stale; the
+    /// map is cleared wholesale when it grows past a small bound. This turns
+    /// the O(links) snapshot diff from per-(root, event) into per-event.
+    delta_memo: HashMap<(u64, u64), Option<Rc<Vec<LinkChange>>>>,
 }
 
 impl Inner {
@@ -88,8 +187,10 @@ impl Inner {
             tick: 0,
             stats: SpfCacheStats::default(),
             scratch: DijkstraScratch::default(),
+            repair_scratch: RepairScratch::default(),
             dist_pool: Vec::new(),
             parent_pool: Vec::new(),
+            delta_memo: HashMap::new(),
         }
     }
 
@@ -118,12 +219,121 @@ impl Inner {
         SpfTree { root, dist, parent }
     }
 
-    /// Generation for `digest`, created on demand, with `last_used` refreshed.
-    fn generation(&mut self, digest: u64) -> &mut Generation {
+    /// Picks the best sibling generation to repair `key` from: smallest
+    /// delta first, most recently used second, digest third — a total order
+    /// independent of map iteration, so repairs are deterministic.
+    fn find_repair_base(
+        &mut self,
+        digest: u64,
+        net: &Network,
+        key: &RepairKey<'_>,
+    ) -> Option<(u64, Rc<Vec<LinkChange>>)> {
+        let mut best: Option<(usize, u64, u64, Rc<Vec<LinkChange>>)> = None;
+        let candidates: Vec<u64> = self
+            .generations
+            .keys()
+            .copied()
+            .filter(|&d| d != digest)
+            .collect();
+        for d in candidates {
+            let generation = &self.generations[&d];
+            if generation.snapshot.is_none() {
+                continue;
+            }
+            let present = match key {
+                RepairKey::Tree(root) => generation.trees.contains_key(root),
+                RepairKey::Forest(sources) => generation.forests.contains_key(*sources),
+            };
+            if !present {
+                continue;
+            }
+            let last_used = generation.last_used;
+            let delta = match self.delta_memo.get(&(d, digest)) {
+                Some(memo) => memo.clone(),
+                None => {
+                    let snapshot = self.generations[&d].snapshot.as_ref().expect("checked");
+                    let computed = snapshot.delta_to(net).map(Rc::new);
+                    if self.delta_memo.len() >= 64 {
+                        self.delta_memo.clear();
+                    }
+                    self.delta_memo.insert((d, digest), computed.clone());
+                    computed
+                }
+            };
+            let Some(delta) = delta else {
+                continue;
+            };
+            let rank = (delta.len(), u64::MAX - last_used, d);
+            if best
+                .as_ref()
+                .is_none_or(|(l, r, bd, _)| rank < (*l, *r, *bd))
+            {
+                best = Some((rank.0, rank.1, rank.2, delta));
+            }
+        }
+        best.map(|(_, _, d, delta)| (d, delta))
+    }
+
+    /// Answers a digest miss by delta-repairing a sibling generation's tree,
+    /// when one is close enough. Charges a miss *and* a repair on success
+    /// (a repair is still "the store had no direct answer"); returns `None`
+    /// when no base qualifies or the repair bails, in which case the caller
+    /// falls through to a full [`Inner::compute`].
+    fn try_repair(&mut self, net: &Network, digest: u64, key: &RepairKey<'_>) -> Option<SpfTree> {
+        let (base_digest, delta) = self.find_repair_base(digest, net, key)?;
+        let generation = self.generations.get(&base_digest).expect("found above");
+        let base = match key {
+            RepairKey::Tree(root) => Rc::clone(generation.trees.get(root).expect("checked")),
+            RepairKey::Forest(sources) => {
+                Rc::clone(generation.forests.get(*sources).expect("checked"))
+            }
+        };
+        let (sources, keep_sources_rooted, root): (&[NodeId], bool, NodeId) = match key {
+            RepairKey::Tree(root) => (std::slice::from_ref(root), false, *root),
+            RepairKey::Forest(sources) => (sources, true, sources[0]),
+        };
+        let mut dist = self.dist_pool.pop().unwrap_or_default();
+        let mut parent = self.parent_pool.pop().unwrap_or_default();
+        dist.clear();
+        dist.extend_from_slice(&base.dist);
+        parent.clear();
+        parent.extend_from_slice(&base.parent);
+        let start = Instant::now();
+        let work = spf::repair_dijkstra(
+            net,
+            sources,
+            keep_sources_rooted,
+            delta.as_slice(),
+            &mut dist,
+            &mut parent,
+            &mut self.repair_scratch,
+        );
+        self.stats.miss_nanos += start.elapsed().as_nanos() as u64;
+        match work {
+            Some(work) => {
+                self.stats.misses += 1;
+                self.stats.repairs += 1;
+                self.stats.settled_nodes += work as u64;
+                Some(SpfTree { root, dist, parent })
+            }
+            None => {
+                self.dist_pool.push(dist);
+                self.parent_pool.push(parent);
+                None
+            }
+        }
+    }
+
+    /// Generation for `digest`, created on demand, with `last_used`
+    /// refreshed and the repair snapshot captured on first creation.
+    fn generation(&mut self, digest: u64, net: &Network) -> &mut Generation {
         self.tick += 1;
         let tick = self.tick;
         let generation = self.generations.entry(digest).or_default();
         generation.last_used = tick;
+        if generation.snapshot.is_none() {
+            generation.snapshot = Some(NetSnapshot::of(net));
+        }
         generation
     }
 
@@ -188,6 +398,12 @@ impl SpfCache {
     /// while images disagree, so a small capacity suffices.
     pub const GENERATIONS: usize = 4;
 
+    /// Largest link delta a digest miss will repair incrementally; anything
+    /// wider falls back to a full Dijkstra. Link events arrive one (rarely a
+    /// few) at a time in the simulator, so a small bound keeps the repair
+    /// localized while still covering every realistic churn step.
+    pub const MAX_REPAIR_DELTA: usize = 16;
+
     /// A new, enabled cache.
     pub fn new() -> SpfCache {
         SpfCache {
@@ -232,9 +448,12 @@ impl SpfCache {
                 return tree;
             }
         }
-        let tree = Rc::new(inner.compute(net, &[root], false, root));
+        let tree = match inner.try_repair(net, digest, &RepairKey::Tree(root)) {
+            Some(repaired) => Rc::new(repaired),
+            None => Rc::new(inner.compute(net, &[root], false, root)),
+        };
         inner
-            .generation(digest)
+            .generation(digest, net)
             .trees
             .insert(root, Rc::clone(&tree));
         inner.enforce_capacity();
@@ -275,9 +494,12 @@ impl SpfCache {
                 return tree;
             }
         }
-        let tree = Rc::new(inner.compute(net, sources, true, root));
+        let tree = match inner.try_repair(net, digest, &RepairKey::Forest(&key)) {
+            Some(repaired) => Rc::new(repaired),
+            None => Rc::new(inner.compute(net, sources, true, root)),
+        };
         inner
-            .generation(digest)
+            .generation(digest, net)
             .forests
             .insert(key, Rc::clone(&tree));
         inner.enforce_capacity();
@@ -398,6 +620,91 @@ mod tests {
         let before = cache.stats().hits;
         cache.tree(&net, NodeId(0));
         assert_eq!(cache.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn digest_miss_with_known_sibling_repairs_instead_of_recomputing() {
+        let mut net = diamond();
+        let cache = SpfCache::new();
+        cache.tree(&net, NodeId(0));
+        assert_eq!(cache.stats().repairs, 0);
+        // A cost change rotates the digest; the old generation is one link
+        // away, so the miss is answered by delta repair.
+        net.set_link_cost(LinkId(0), 7).unwrap();
+        let repaired = cache.tree(&net, NodeId(0));
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.repairs), (2, 1));
+        assert_eq!(*repaired, spf::shortest_path_tree(&net, NodeId(0)));
+        // The repaired generation has its own snapshot, so a further change
+        // repairs again (possibly from either sibling).
+        net.set_link_state(LinkId(3), LinkState::Down).unwrap();
+        let again = cache.tree(&net, NodeId(0));
+        assert_eq!(cache.stats().repairs, 2);
+        assert_eq!(*again, spf::shortest_path_tree(&net, NodeId(0)));
+    }
+
+    #[test]
+    fn forest_misses_repair_too() {
+        let mut net = diamond();
+        let cache = SpfCache::new();
+        let sources = [NodeId(0), NodeId(3)];
+        cache.forest(&net, &sources);
+        net.set_link_cost(LinkId(4), 9).unwrap();
+        let repaired = cache.forest(&net, &sources);
+        assert_eq!(cache.stats().repairs, 1);
+        assert_eq!(*repaired, spf::shortest_path_forest(&net, &sources));
+        // A tree request for the same digest still computes from scratch:
+        // there is no tree entry to repair from.
+        cache.tree(&net, NodeId(1));
+        assert_eq!(cache.stats().repairs, 1);
+    }
+
+    #[test]
+    fn incompatible_rosters_fall_back_to_full_recompute() {
+        // Same node count, different link roster: snapshots are not
+        // delta-compatible and the miss must recompute, not repair.
+        let a = diamond();
+        let b = NetworkBuilder::new(4)
+            .link(0, 1, 1)
+            .link(0, 3, 4)
+            .link(1, 2, 1)
+            .link(1, 3, 2)
+            .link(2, 3, 1)
+            .build();
+        let cache = SpfCache::new();
+        cache.tree(&a, NodeId(0));
+        let fresh = cache.tree(&b, NodeId(0));
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.repairs), (2, 0));
+        assert_eq!(*fresh, spf::shortest_path_tree(&b, NodeId(0)));
+    }
+
+    #[test]
+    fn repair_equals_full_recompute_under_heavy_churn() {
+        // Walk a long mutation sequence; every miss (repair or not) must
+        // stay byte-identical to from-scratch, and repairs must dominate.
+        let mut net = diamond();
+        let cache = SpfCache::new();
+        for step in 0u64..40 {
+            let link = LinkId((step % 5) as u32);
+            if step % 7 == 3 {
+                let flip = if net.link(link).unwrap().is_up() {
+                    LinkState::Down
+                } else {
+                    LinkState::Up
+                };
+                net.set_link_state(link, flip).unwrap();
+            } else {
+                net.set_link_cost(link, 1 + (step * 3) % 11).unwrap();
+            }
+            for root in [NodeId(0), NodeId(2)] {
+                let got = cache.tree(&net, root);
+                assert_eq!(*got, spf::shortest_path_tree(&net, root), "step {step}");
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.repairs > 0, "churn never repaired: {stats:?}");
+        assert!(stats.repairs <= stats.misses);
     }
 
     #[test]

@@ -264,6 +264,29 @@ impl Network {
         Ok(prev)
     }
 
+    /// Sets the routing cost of a link (up or down).
+    ///
+    /// Returns the previous cost. Like [`set_link_state`](Self::set_link_state),
+    /// a redundant write (same cost) leaves the epoch and digest untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownLink`] if the link does not exist.
+    pub fn set_link_cost(&mut self, id: LinkId, cost: u64) -> Result<u64, TopologyError> {
+        let link = self
+            .links
+            .get_mut(id.index())
+            .ok_or(TopologyError::UnknownLink(id))?;
+        let prev = link.cost;
+        if prev != cost {
+            let old_fp = link_fingerprint(link);
+            link.cost = cost;
+            self.link_acc ^= old_fp ^ link_fingerprint(&self.links[id.index()]);
+            self.epoch += 1;
+        }
+        Ok(prev)
+    }
+
     /// Number of links incident to `n` that are currently up.
     pub fn degree(&self, n: NodeId) -> usize {
         self.up_links_of(n).count()
@@ -481,6 +504,28 @@ mod tests {
         assert_eq!(net.epoch(), e0 + 3);
         // Clones carry the epoch.
         assert_eq!(net.clone().epoch(), net.epoch());
+    }
+
+    #[test]
+    fn set_link_cost_is_content_addressed() {
+        let mut net = path3();
+        let d0 = net.digest();
+        let e0 = net.epoch();
+        let prev = net.set_link_cost(LinkId(0), 9).unwrap();
+        assert_eq!(prev, 5);
+        assert_eq!(net.link(LinkId(0)).unwrap().cost, 9);
+        assert_ne!(net.digest(), d0);
+        assert_eq!(net.epoch(), e0 + 1);
+        // Redundant write: nothing moves.
+        net.set_link_cost(LinkId(0), 9).unwrap();
+        assert_eq!(net.epoch(), e0 + 1);
+        // Restoring the cost restores the digest (not the epoch).
+        net.set_link_cost(LinkId(0), 5).unwrap();
+        assert_eq!(net.digest(), d0);
+        assert_eq!(
+            net.set_link_cost(LinkId(99), 1),
+            Err(TopologyError::UnknownLink(LinkId(99)))
+        );
     }
 
     #[test]

@@ -196,6 +196,426 @@ pub fn shortest_path_forest(net: &Network, sources: &[NodeId]) -> SpfTree {
     SpfTree { root, dist, parent }
 }
 
+/// One link's effective-cost transition between two network contents.
+///
+/// The *effective cost* of a link is `Some(cost)` while it is up and `None`
+/// while it is down — a down link and an absent link are indistinguishable
+/// to Dijkstra. A `LinkChange` describes a single link's old and new
+/// effective cost; a batch of them is the delta between two images that
+/// share the same node count and link roster (same [`LinkId`] assignment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkChange {
+    /// The link that changed.
+    pub link: LinkId,
+    /// Effective cost before the change (`None` = down).
+    pub old_cost: Option<u64>,
+    /// Effective cost after the change (`None` = down).
+    pub new_cost: Option<u64>,
+}
+
+/// `a < b` in the extended cost order where `None` is +infinity.
+fn cost_lt(a: u64, b: Option<u64>) -> bool {
+    match b {
+        Some(b) => a < b,
+        None => true,
+    }
+}
+
+/// Reusable arenas for [`repair_dijkstra`], recycled across repairs.
+#[derive(Debug, Default)]
+pub(crate) struct RepairScratch {
+    heap: BinaryHeap<Reverse<(u64, NodeId)>>,
+    /// Subtree-walk state: 0 unknown, 1 affected, 2 unaffected, 3 settled.
+    state: Vec<u8>,
+    /// Pre-repair distances of every node whose label was modified.
+    saved: Vec<(NodeId, Option<u64>)>,
+    saved_mark: Vec<bool>,
+    /// Nodes whose parent must be recanonicalized, deduplicated by `p_mark`.
+    recanon: Vec<NodeId>,
+    p_mark: Vec<bool>,
+    /// Parent-chain walk buffer.
+    path: Vec<NodeId>,
+    affected: Vec<NodeId>,
+}
+
+/// Repairs a Dijkstra labeling in place after a batch of link changes —
+/// the delta counterpart of [`run_dijkstra`], and **exactly** equal to it.
+///
+/// `dist`/`parent` must hold the final labeling of `run_dijkstra` over the
+/// *pre-change* network (same `sources`, same `keep_sources_rooted`), and
+/// `net` must be the post-change network: for every change, the link's
+/// current effective cost must equal `new_cost` and its effective cost in
+/// the pre-change image must have been `old_cost`. `sources` must be sorted.
+///
+/// Returns `Some(work)` (a deterministic settled/retouched node count, the
+/// analogue of `run_dijkstra`'s return) on success, in which case the
+/// labeling is byte-identical to a from-scratch recomputation — including
+/// the node-id tie-breaks of DESIGN.md §3. Returns `None` when the delta
+/// cannot be applied (unknown link, zero-cost links anywhere in the image,
+/// or an inconsistent input labeling); the labeling is then unspecified and
+/// the caller must recompute from scratch.
+///
+/// # Algorithm
+///
+/// Three localized phases, none of which touches nodes outside the delta's
+/// influence region:
+///
+/// 1. **Worsenings.** A cost increase / link-down only moves distances of
+///    nodes whose shortest-path tree chain crosses the changed link, i.e.
+///    the subtree hanging under it. Those subtrees are collected by
+///    amortized-O(1) parent-chain walks, their labels reset, and Dijkstra
+///    re-runs *inside the affected set only*, seeded from the unaffected
+///    frontier (whose labels are still valid upper bounds).
+/// 2. **Improvements.** A cost decrease / link-up can only lower labels, so
+///    decrease-only relaxation seeded at the improved links' endpoints and
+///    run to fixpoint in heap order converges to the exact distance field
+///    (labels start as upper bounds; at fixpoint no edge is relaxable, which
+///    pins every label to the true distance).
+/// 3. **Recanonicalization.** `run_dijkstra`'s final parent of a non-source
+///    node `v` is the minimum `(u, link)` over up-neighbors with
+///    `dist[u] + cost == dist[v]` (every neighbor relaxes `v` after
+///    settling, so the tie-break sees all equal-sum candidates); sources
+///    keep `None`. That makes the parent a pure function of the distance
+///    field, recomputable locally for the nodes whose candidate sets could
+///    have changed: retouched nodes, their neighbors, and the endpoints of
+///    every changed link. Zero-cost links would break the "sources keep
+///    `None`" half (a zero-cost cycle through a source can capture its
+///    parent), which is why they force the `None` bailout above.
+pub(crate) fn repair_dijkstra(
+    net: &Network,
+    sources: &[NodeId],
+    keep_sources_rooted: bool,
+    changes: &[LinkChange],
+    dist: &mut [Option<u64>],
+    parent: &mut [Option<(NodeId, LinkId)>],
+    scratch: &mut RepairScratch,
+) -> Option<usize> {
+    let n = net.len();
+    if dist.len() != n || parent.len() != n || sources.is_empty() {
+        return None;
+    }
+    if sources.iter().any(|&s| !net.contains_node(s)) {
+        return None;
+    }
+    // Validate the delta against the post-change image and drop no-ops
+    // (e.g. a cost change on a down link: the digest moved, Dijkstra's
+    // input did not). A delta must mention each link at most once.
+    let mut worsened: Vec<LinkChange> = Vec::new();
+    let mut improved: Vec<LinkChange> = Vec::new();
+    for (i, c) in changes.iter().enumerate() {
+        if changes[..i].iter().any(|prev| prev.link == c.link) {
+            return None;
+        }
+    }
+    for &c in changes {
+        let link = net.link(c.link)?;
+        if link.is_up().then_some(link.cost) != c.new_cost {
+            return None;
+        }
+        if c.old_cost == Some(0) || c.new_cost == Some(0) {
+            return None;
+        }
+        match (c.old_cost, c.new_cost) {
+            (a, b) if a == b => {}
+            (Some(a), Some(b)) if b < a => improved.push(c),
+            (None, Some(_)) => improved.push(c),
+            _ => worsened.push(c),
+        }
+    }
+    if worsened.is_empty() && improved.is_empty() {
+        return Some(0);
+    }
+    // Zero-cost up links anywhere break the canonical-parent argument.
+    if net.up_links().any(|l| l.cost == 0) {
+        return None;
+    }
+
+    scratch.heap.clear();
+    scratch.saved.clear();
+    scratch.saved_mark.clear();
+    scratch.saved_mark.resize(n, false);
+    scratch.recanon.clear();
+    scratch.p_mark.clear();
+    scratch.p_mark.resize(n, false);
+    scratch.affected.clear();
+    let mut work = 0usize;
+
+    // Phase 1: worsened links that carry a tree/forest parent edge orphan
+    // the subtree below them; everything else leaves distances alone.
+    let mut orphan_roots: Vec<NodeId> = Vec::new();
+    for c in &worsened {
+        let link = net.link(c.link).expect("validated above");
+        for v in [link.a, link.b] {
+            if parent[v.index()] == Some((link.other(v), c.link)) {
+                orphan_roots.push(v);
+            }
+        }
+    }
+    if !orphan_roots.is_empty() {
+        let state = &mut scratch.state;
+        state.clear();
+        state.resize(n, 0u8);
+        for &s in sources {
+            state[s.index()] = 2;
+        }
+        for &r in &orphan_roots {
+            if state[r.index()] == 2 {
+                // A source's parent must be None; the input is inconsistent.
+                return None;
+            }
+            state[r.index()] = 1;
+            scratch.affected.push(r);
+        }
+        // Label every reachable node by walking its parent chain up to the
+        // first already-labeled node (or a parent-less root). Each node is
+        // walked at most once across all iterations.
+        for v in net.nodes() {
+            if dist[v.index()].is_none() || state[v.index()] != 0 {
+                continue;
+            }
+            scratch.path.clear();
+            let mut cur = v;
+            let label = loop {
+                if state[cur.index()] != 0 {
+                    break state[cur.index()];
+                }
+                scratch.path.push(cur);
+                if scratch.path.len() > n {
+                    return None; // parent cycle: corrupt input
+                }
+                match parent[cur.index()] {
+                    None => break 2,
+                    Some((p, _)) => cur = p,
+                }
+            };
+            let label = if label == 1 { 1 } else { 2 };
+            for &u in &scratch.path {
+                state[u.index()] = label;
+                if label == 1 {
+                    scratch.affected.push(u);
+                }
+            }
+        }
+        // Reset the affected set and re-run Dijkstra inside it, seeded from
+        // the unaffected frontier (post-change costs throughout).
+        for &v in &scratch.affected {
+            if !scratch.saved_mark[v.index()] {
+                scratch.saved_mark[v.index()] = true;
+                scratch.saved.push((v, dist[v.index()]));
+            }
+            dist[v.index()] = None;
+        }
+        for &v in &scratch.affected {
+            for (u, link) in net.neighbors(v) {
+                if state[u.index()] != 1 && state[u.index()] != 3 {
+                    if let Some(du) = dist[u.index()] {
+                        let cand = du + link.cost;
+                        if cost_lt(cand, dist[v.index()]) {
+                            dist[v.index()] = Some(cand);
+                            parent[v.index()] = Some((u, link.id));
+                            scratch.heap.push(Reverse((cand, v)));
+                        }
+                    }
+                }
+            }
+        }
+        while let Some(Reverse((d, v))) = scratch.heap.pop() {
+            if state[v.index()] != 1 || dist[v.index()] != Some(d) {
+                continue;
+            }
+            state[v.index()] = 3;
+            work += 1;
+            for (w, link) in net.neighbors(v) {
+                if state[w.index()] == 1 {
+                    let nd = d + link.cost;
+                    if cost_lt(nd, dist[w.index()]) {
+                        dist[w.index()] = Some(nd);
+                        parent[w.index()] = Some((v, link.id));
+                        scratch.heap.push(Reverse((nd, w)));
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2: improvements propagate as decrease-only relaxation to
+    // fixpoint in heap order (labels are upper bounds at this point, so the
+    // fixpoint is the exact distance field). Besides the improved links'
+    // endpoints, every phase-1 node whose label *dropped* below its old
+    // value must be re-examined: phase 1 relaxes with post-change costs, so
+    // an improvement entering the orphaned region through its boundary is
+    // already folded into those labels, and its consequences for the
+    // unaffected remainder of the graph would otherwise go unexplored.
+    scratch.heap.clear();
+    for &(v, old) in &scratch.saved {
+        if let Some(nd) = dist[v.index()] {
+            if cost_lt(nd, old) {
+                scratch.heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    let save = |v: NodeId,
+                saved: &mut Vec<(NodeId, Option<u64>)>,
+                mark: &mut Vec<bool>,
+                old: Option<u64>| {
+        if !mark[v.index()] {
+            mark[v.index()] = true;
+            saved.push((v, old));
+        }
+    };
+    for c in &improved {
+        let link = net.link(c.link).expect("validated above");
+        let cost = c.new_cost.expect("an improvement ends up");
+        for (x, y) in [(link.a, link.b), (link.b, link.a)] {
+            if let Some(dx) = dist[x.index()] {
+                let nd = dx + cost;
+                if cost_lt(nd, dist[y.index()]) {
+                    save(
+                        y,
+                        &mut scratch.saved,
+                        &mut scratch.saved_mark,
+                        dist[y.index()],
+                    );
+                    dist[y.index()] = Some(nd);
+                    parent[y.index()] = Some((x, c.link));
+                    scratch.heap.push(Reverse((nd, y)));
+                }
+            }
+        }
+    }
+    while let Some(Reverse((d, v))) = scratch.heap.pop() {
+        if dist[v.index()] != Some(d) {
+            continue;
+        }
+        work += 1;
+        for (w, link) in net.neighbors(v) {
+            let nd = d + link.cost;
+            if cost_lt(nd, dist[w.index()]) {
+                save(
+                    w,
+                    &mut scratch.saved,
+                    &mut scratch.saved_mark,
+                    dist[w.index()],
+                );
+                dist[w.index()] = Some(nd);
+                parent[w.index()] = Some((v, link.id));
+                scratch.heap.push(Reverse((nd, w)));
+            }
+        }
+    }
+
+    // Phase 3: recanonicalize parents wherever a candidate set could have
+    // changed: every retouched node, the neighbors of nodes whose distance
+    // actually moved, and the endpoints of every changed link.
+    let add = |v: NodeId, recanon: &mut Vec<NodeId>, mark: &mut Vec<bool>| {
+        if !mark[v.index()] {
+            mark[v.index()] = true;
+            recanon.push(v);
+        }
+    };
+    for i in 0..scratch.saved.len() {
+        let (v, old) = scratch.saved[i];
+        add(v, &mut scratch.recanon, &mut scratch.p_mark);
+        if dist[v.index()] != old {
+            for (u, _) in net.neighbors(v) {
+                add(u, &mut scratch.recanon, &mut scratch.p_mark);
+            }
+        }
+    }
+    for c in worsened.iter().chain(improved.iter()) {
+        let link = net.link(c.link).expect("validated above");
+        add(link.a, &mut scratch.recanon, &mut scratch.p_mark);
+        add(link.b, &mut scratch.recanon, &mut scratch.p_mark);
+    }
+    let _ = keep_sources_rooted; // parents of sources are None either way
+    for i in 0..scratch.recanon.len() {
+        let v = scratch.recanon[i];
+        work += 1;
+        let canonical = match dist[v.index()] {
+            None => None,
+            // With all costs >= 1 a source never has an equal-sum candidate,
+            // so its parent stays None in both tie-break modes.
+            Some(_) if sources.binary_search(&v).is_ok() => None,
+            Some(dv) => {
+                let mut best: Option<(NodeId, LinkId)> = None;
+                for (u, link) in net.neighbors(v) {
+                    if let Some(du) = dist[u.index()] {
+                        if du.checked_add(link.cost) == Some(dv) {
+                            let cand = (u, link.id);
+                            if best.is_none_or(|b| cand < b) {
+                                best = Some(cand);
+                            }
+                        }
+                    }
+                }
+                // A reachable non-source without a candidate means the
+                // input labeling was inconsistent with `net`.
+                best?;
+                best
+            }
+        };
+        parent[v.index()] = canonical;
+    }
+    Some(work)
+}
+
+/// Repairs `tree` in place so it equals
+/// [`shortest_path_tree`]`(net, tree.root)` after the link delta `changes`.
+///
+/// `tree` must be the (exact) tree of the pre-change image; see
+/// [`LinkChange`] for the delta contract. On `Some(work)` the repair is
+/// byte-identical to a from-scratch recomputation; on `None` the delta was
+/// not applicable and `tree` is left unspecified — recompute it.
+pub fn repair_shortest_path_tree(
+    net: &Network,
+    tree: &mut SpfTree,
+    changes: &[LinkChange],
+) -> Option<usize> {
+    if !net.contains_node(tree.root) {
+        return None;
+    }
+    let sources = [tree.root];
+    let mut scratch = RepairScratch::default();
+    repair_dijkstra(
+        net,
+        &sources,
+        false,
+        changes,
+        &mut tree.dist,
+        &mut tree.parent,
+        &mut scratch,
+    )
+}
+
+/// Repairs a multi-source `forest` in place so it equals
+/// [`shortest_path_forest`]`(net, sources)` after the link delta `changes`.
+///
+/// Same contract as [`repair_shortest_path_tree`], with the forest
+/// tie-break (sources keep `None` parents).
+pub fn repair_shortest_path_forest(
+    net: &Network,
+    forest: &mut SpfTree,
+    sources: &[NodeId],
+    changes: &[LinkChange],
+) -> Option<usize> {
+    let mut sorted: Vec<NodeId> = sources.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.is_empty() || sorted.iter().any(|&s| !net.contains_node(s)) {
+        return None;
+    }
+    let mut scratch = RepairScratch::default();
+    repair_dijkstra(
+        net,
+        &sorted,
+        true,
+        changes,
+        &mut forest.dist,
+        &mut forest.parent,
+        &mut scratch,
+    )
+}
+
 /// Computes hop distances from `root` over up links (BFS).
 ///
 /// `None` marks unreachable nodes.
@@ -370,5 +790,168 @@ mod tests {
             }
             assert_eq!(ap[u][u], Some(0));
         }
+    }
+
+    /// Applies `(link, new effective cost)` specs to `net` (None = down)
+    /// and returns the matching [`LinkChange`] delta.
+    fn apply_changes(net: &mut Network, specs: &[(u32, Option<u64>)]) -> Vec<LinkChange> {
+        use crate::LinkState;
+        let mut out = Vec::new();
+        for &(raw, new_cost) in specs {
+            let id = LinkId(raw);
+            let link = net.link(id).unwrap();
+            let old_cost = link.is_up().then_some(link.cost);
+            match new_cost {
+                None => {
+                    net.set_link_state(id, LinkState::Down).unwrap();
+                }
+                Some(c) => {
+                    net.set_link_cost(id, c).unwrap();
+                    net.set_link_state(id, LinkState::Up).unwrap();
+                }
+            }
+            out.push(LinkChange {
+                link: id,
+                old_cost,
+                new_cost,
+            });
+        }
+        out
+    }
+
+    fn assert_repair_matches(net: Network, specs: &[(u32, Option<u64>)]) {
+        for root in net.nodes().collect::<Vec<_>>() {
+            let mut fresh = net.clone();
+            let mut tree = shortest_path_tree(&fresh, root);
+            let changes = apply_changes(&mut fresh, specs);
+            let work = repair_shortest_path_tree(&fresh, &mut tree, &changes);
+            assert!(work.is_some(), "repair bailed for root {root}");
+            let full = shortest_path_tree(&fresh, root);
+            assert_eq!(tree, full, "repair diverged for root {root}");
+        }
+        // Forest flavor over a couple of source sets.
+        let all: Vec<NodeId> = net.nodes().collect();
+        for sources in [&all[..1], &all[..2.min(all.len())], &all[..]] {
+            let mut fresh = net.clone();
+            let mut forest = shortest_path_forest(&fresh, sources);
+            let changes = apply_changes(&mut fresh, specs);
+            let work = repair_shortest_path_forest(&fresh, &mut forest, sources, &changes);
+            assert!(work.is_some(), "forest repair bailed for {sources:?}");
+            assert_eq!(forest, shortest_path_forest(&fresh, sources));
+        }
+    }
+
+    #[test]
+    fn repair_matches_full_recompute_for_every_single_change() {
+        // Every single-link worsening/improvement/flap on the diamond, for
+        // every root and several forests, must equal a from-scratch run
+        // byte-for-byte (dist, parent, tie-breaks).
+        let link_count = diamond().link_count() as u32;
+        for l in 0..link_count {
+            for new_cost in [None, Some(1), Some(3), Some(50)] {
+                assert_repair_matches(diamond(), &[(l, new_cost)]);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_applies_multi_change_batches() {
+        assert_repair_matches(diamond(), &[(0, None), (2, Some(9)), (4, Some(1))]);
+        assert_repair_matches(diamond(), &[(1, Some(1)), (3, None)]);
+        // Take a node fully offline, in one batch.
+        assert_repair_matches(diamond(), &[(0, None), (1, None)]);
+    }
+
+    #[test]
+    fn repair_propagates_improvements_entering_an_orphaned_subtree() {
+        // Regression for a subtle interaction: worsening 0-1 orphans node
+        // 1's subtree, and the improvement on 2-1 is folded into the
+        // orphaned region's new labels during the restricted re-run. Node
+        // 3's shortcut through that region must still be discovered even
+        // though the improved link itself no longer looks relaxable.
+        let net = NetworkBuilder::new(4)
+            .link(0, 1, 10) // worsens to 12, orphaning 1
+            .link(0, 2, 2)
+            .link(2, 1, 20) // improves to 1
+            .link(1, 3, 1)
+            .link(0, 3, 11) // old tie: parent 0 wins, so 3 stays unaffected
+            .build();
+        let mut tree = shortest_path_tree(&net, NodeId(0));
+        assert_eq!(tree.parent[3].unwrap().0, NodeId(0), "precondition");
+        let mut after = net.clone();
+        let changes = apply_changes(&mut after, &[(0, Some(12)), (2, Some(1))]);
+        assert!(repair_shortest_path_tree(&after, &mut tree, &changes).is_some());
+        let full = shortest_path_tree(&after, NodeId(0));
+        assert_eq!(tree.cost_to(NodeId(3)), Some(4), "via 0-2-1-3");
+        assert_eq!(tree, full);
+    }
+
+    #[test]
+    fn repair_restores_reachability_on_link_up() {
+        let mut net = NetworkBuilder::new(4)
+            .link(0, 1, 1)
+            .link(1, 2, 1)
+            .link(2, 3, 1)
+            .build();
+        net.set_link_state(LinkId(2), crate::LinkState::Down)
+            .unwrap();
+        let mut tree = shortest_path_tree(&net, NodeId(0));
+        assert!(!tree.reaches(NodeId(3)));
+        let mut after = net.clone();
+        let changes = apply_changes(&mut after, &[(2, Some(5))]);
+        assert!(repair_shortest_path_tree(&after, &mut tree, &changes).is_some());
+        assert_eq!(tree, shortest_path_tree(&after, NodeId(0)));
+        assert_eq!(tree.cost_to(NodeId(3)), Some(7));
+    }
+
+    #[test]
+    fn repair_rejects_bad_deltas() {
+        let net = diamond();
+        let tree = shortest_path_tree(&net, NodeId(0));
+
+        // A delta that disagrees with the post-change image.
+        let mut t = tree.clone();
+        let stale = [LinkChange {
+            link: LinkId(0),
+            old_cost: Some(1),
+            new_cost: Some(99),
+        }];
+        assert_eq!(repair_shortest_path_tree(&net, &mut t, &stale), None);
+
+        // Duplicate mention of a link.
+        let mut after = net.clone();
+        let mut t = tree.clone();
+        let mut changes = apply_changes(&mut after, &[(0, Some(7))]);
+        changes.push(changes[0]);
+        assert_eq!(repair_shortest_path_tree(&after, &mut t, &changes), None);
+
+        // Unknown link id.
+        let mut t = tree.clone();
+        let bogus = [LinkChange {
+            link: LinkId(99),
+            old_cost: Some(1),
+            new_cost: Some(2),
+        }];
+        assert_eq!(repair_shortest_path_tree(&net, &mut t, &bogus), None);
+
+        // Zero-cost transitions are outside the canonical-parent argument.
+        let mut zero = net.clone();
+        let mut t = tree.clone();
+        let changes = [LinkChange {
+            link: LinkId(0),
+            old_cost: Some(1),
+            new_cost: Some(0),
+        }];
+        zero.set_link_cost(LinkId(0), 0).unwrap();
+        assert_eq!(repair_shortest_path_tree(&zero, &mut t, &changes), None);
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let net = diamond();
+        let mut tree = shortest_path_tree(&net, NodeId(0));
+        let before = tree.clone();
+        assert_eq!(repair_shortest_path_tree(&net, &mut tree, &[]), Some(0));
+        assert_eq!(tree, before);
     }
 }

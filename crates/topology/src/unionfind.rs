@@ -82,23 +82,27 @@ impl UnionFind {
     pub fn component_count(&self) -> usize {
         self.components
     }
+
+    /// The union-find of `net`'s nodes with every up link already merged —
+    /// the starting point for incremental connectivity tracking (callers
+    /// keep calling [`UnionFind::union`] as they add links).
+    pub fn of_network(net: &Network) -> UnionFind {
+        let mut uf = UnionFind::new(net.len());
+        for link in net.up_links() {
+            uf.union(link.a.index(), link.b.index());
+        }
+        uf
+    }
 }
 
 /// Number of connected components of the network over up links.
 pub fn components(net: &Network) -> usize {
-    let mut uf = UnionFind::new(net.len());
-    for link in net.up_links() {
-        uf.union(link.a.index(), link.b.index());
-    }
-    uf.component_count()
+    UnionFind::of_network(net).component_count()
 }
 
 /// Returns the representative-labeled component of each node over up links.
 pub fn component_labels(net: &Network) -> Vec<usize> {
-    let mut uf = UnionFind::new(net.len());
-    for link in net.up_links() {
-        uf.union(link.a.index(), link.b.index());
-    }
+    let mut uf = UnionFind::of_network(net);
     (0..net.len()).map(|i| uf.find(i)).collect()
 }
 

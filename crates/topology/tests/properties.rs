@@ -110,7 +110,10 @@ proptest! {
         let cache = SpfCache::new();
         let check = |net: &dgmc_topology::Network, pick: u64| -> Result<(), TestCaseError> {
             let n = net.len() as u64;
-            let roots = [NodeId((pick % n) as u32), NodeId((pick / 3 % n) as u32)];
+            // Root 0 is checked every round, so after each mutation its
+            // lookup is a digest miss one delta away from the previous
+            // generation — the repair fast path must serve it.
+            let roots = [NodeId(0), NodeId((pick % n) as u32)];
             for root in roots {
                 prop_assert_eq!(&*cache.tree(net, root), &spf::shortest_path_tree(net, root));
                 // A repeated lookup must return the very same result.
@@ -130,17 +133,102 @@ proptest! {
             let links = net.link_count() as u64;
             let id = LinkId((m % links) as u32);
             let epoch_before = net.epoch();
-            let was = net.link(id).unwrap().state;
-            let flipped = match was {
-                LinkState::Up => LinkState::Down,
-                LinkState::Down => LinkState::Up,
-            };
-            net.set_link_state(id, flipped).unwrap();
+            if m % 3 == 0 {
+                let was = net.link(id).unwrap().state;
+                let flipped = match was {
+                    LinkState::Up => LinkState::Down,
+                    LinkState::Down => LinkState::Up,
+                };
+                net.set_link_state(id, flipped).unwrap();
+            } else {
+                // Cost churn: pick a new cost that is guaranteed to differ.
+                let prev = net.link(id).unwrap().cost;
+                let mut cost = 1 + (m / links) % 64;
+                if cost == prev {
+                    cost += 1;
+                }
+                net.set_link_cost(id, cost).unwrap();
+            }
             prop_assert_eq!(net.epoch(), epoch_before + 1);
             check(&net, m)?;
         }
         let stats = cache.stats();
         prop_assert!(stats.hits > 0, "repeated lookups must hit");
         prop_assert!(stats.misses > 0);
+        // Every mutation leaves the prior generation one delta away, so the
+        // miss path must have gone through the repair fast path.
+        prop_assert!(stats.repairs > 0, "single-link churn must repair: {stats:?}");
+    }
+}
+
+/// A churn script: each entry picks a link (first `u64` taken mod the link
+/// count) and a mutation (second `u64`: multiples of 4 flap the state, the
+/// rest set a new cost derived from the value).
+fn arb_churn_case() -> impl Strategy<Value = (dgmc_topology::Network, Vec<(u64, u64)>)> {
+    (
+        4usize..40,
+        any::<u64>(),
+        prop::collection::vec((any::<u64>(), any::<u64>()), 1..20),
+    )
+        .prop_map(|(n, seed, muts)| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let net = generate::waxman(&mut rng, n, &generate::WaxmanParams::default());
+            (net, muts)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental repair equivalence (the tentpole's correctness pin at the
+    /// algorithm layer): a tree and a forest maintained purely by
+    /// [`spf::repair_shortest_path_tree`] / [`spf::repair_shortest_path_forest`]
+    /// across random batched link churn stay **exactly** equal — distances,
+    /// parents and tie-breaks — to from-scratch recomputation.
+    #[test]
+    fn repair_equals_from_scratch_across_churn((mut net, muts) in arb_churn_case()) {
+        use dgmc_topology::{LinkId, LinkState};
+        let root = NodeId(0);
+        let sources = [NodeId(0), NodeId((net.len() / 2) as u32)];
+        let mut tree = spf::shortest_path_tree(&net, root);
+        let mut forest = spf::shortest_path_forest(&net, &sources);
+        let effective = |net: &dgmc_topology::Network, id: LinkId| {
+            let l = net.link(id).unwrap();
+            l.is_up().then_some(l.cost)
+        };
+        for batch in muts.chunks(3) {
+            // Apply the whole batch to the network, coalescing repeated hits
+            // on the same link into one old→new delta entry.
+            let mut changes: Vec<spf::LinkChange> = Vec::new();
+            for &(pick, mutation) in batch {
+                let id = LinkId((pick % net.link_count() as u64) as u32);
+                let old = effective(&net, id);
+                if mutation % 4 == 0 {
+                    let flip = if net.link(id).unwrap().is_up() {
+                        LinkState::Down
+                    } else {
+                        LinkState::Up
+                    };
+                    net.set_link_state(id, flip).unwrap();
+                } else {
+                    net.set_link_cost(id, 1 + mutation % 50).unwrap();
+                }
+                let new = effective(&net, id);
+                match changes.iter_mut().find(|ch| ch.link == id) {
+                    Some(ch) => ch.new_cost = new,
+                    None => changes.push(spf::LinkChange {
+                        link: id,
+                        old_cost: old,
+                        new_cost: new,
+                    }),
+                }
+            }
+            let work = spf::repair_shortest_path_tree(&net, &mut tree, &changes);
+            prop_assert!(work.is_some(), "valid delta must repair: {changes:?}");
+            prop_assert_eq!(&tree, &spf::shortest_path_tree(&net, root));
+            let work = spf::repair_shortest_path_forest(&net, &mut forest, &sources, &changes);
+            prop_assert!(work.is_some(), "valid delta must repair: {changes:?}");
+            prop_assert_eq!(&forest, &spf::shortest_path_forest(&net, &sources));
+        }
     }
 }
