@@ -24,6 +24,14 @@ if [ "${1:-}" = "coverage" ]; then
     exit 0
 fi
 
+echo "== cast-ratchet lint: no unchecked 'as u32' in core/mctree sources =="
+# Truncating id/count casts were swept in PR9 (use u32::try_from instead);
+# this keeps new ones from creeping back into the protocol crates.
+if grep -rn ' as u32' crates/core/src crates/mctree/src; then
+    echo "unchecked ' as u32' cast in crates/core or crates/mctree; use u32::try_from"
+    exit 1
+fi
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
@@ -144,6 +152,24 @@ cp results/bench_pr8.report.json results/bench_pr8.report.serial.json
 DGMC_BENCH_SMOKE=1 cargo bench --offline -q -p dgmc-bench --bench incremental -- --jobs 4
 cmp results/bench_pr8.report.serial.json results/bench_pr8.report.json || {
     echo "bench_pr8 reports differ between --jobs 1 and --jobs 4"
+    exit 1
+}
+
+echo "== many-MC smoke bench (emits BENCH_pr9.json, jobs-identical) =="
+DGMC_BENCH_SMOKE=1 cargo bench --offline -q -p dgmc-bench --bench many_mc -- --jobs 1
+test -s BENCH_pr9.json || { echo "BENCH_pr9.json missing or empty"; exit 1; }
+grep -q '"many_mc_gate_ok": true' BENCH_pr9.json || {
+    echo "arena event path below the 2x many-MC bar"
+    exit 1
+}
+grep -q '"no_pessimization": true' BENCH_pr9.json || {
+    echo "an arena scenario ran slower than the pre-arena scan path"
+    exit 1
+}
+cp results/bench_pr9.report.json results/bench_pr9.report.serial.json
+DGMC_BENCH_SMOKE=1 cargo bench --offline -q -p dgmc-bench --bench many_mc -- --jobs 4
+cmp results/bench_pr9.report.serial.json results/bench_pr9.report.json || {
+    echo "bench_pr9 reports differ between --jobs 1 and --jobs 4"
     exit 1
 }
 

@@ -1,0 +1,379 @@
+//! Arena-backed per-MC state store with flat `u32` slots and SoA hot views.
+//!
+//! The engine used to keep `BTreeMap<McId, McState>` and answer its two hot
+//! queries by scanning every resident connection:
+//!
+//! * `mcs_using_link(a, b)` — walked all MCs and asked each installed
+//!   topology `contains_edge`, so *every* link event cost O(#MCs) even when
+//!   it affected three of them;
+//! * `is_quiet()` — walked all mailboxes/computations at every quiescence
+//!   probe.
+//!
+//! At the ROADMAP's target scale (tens of thousands of conference groups
+//! resident in one switch) those scans dominate the event loop. This arena
+//! replaces the map with:
+//!
+//! * **flat slots** — `McId → u32` slot index plus a free list, so state
+//!   lookup is one `BTreeMap` probe and one `Vec` index, and slots are
+//!   reused without reallocating;
+//! * **an inverted edge index** — normalized installed edge → set of MC
+//!   ids whose installed topology uses it, making `using_edge` O(answer);
+//! * **a busy set** — MC ids with a queued LSA or in-flight computation,
+//!   making `is_quiet` O(1).
+//!
+//! The views are *derived* data. They are refreshed by [`McArena::sync`],
+//! which every engine entry point calls after mutating a state; under
+//! `debug_assertions` the hot queries recompute their answer from scratch
+//! and assert agreement, so any missed `sync` fails loudly in every test
+//! run. The reference scans are kept (`using_edge_scan`, `is_quiet_scan`)
+//! both as that oracle and as the baseline the PR9 benches gate against.
+
+use crate::state::McState;
+use crate::McId;
+use dgmc_topology::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A normalized (smaller id first) undirected edge, matching
+/// [`dgmc_mctree::McTopology`]'s canonical edge form.
+fn normalize(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// One arena slot: the state plus the per-slot snapshot of the hot fields
+/// the SoA views were last synced from.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    /// The state; `None` while the slot sits on the free list or while the
+    /// state is checked out for sharded processing ([`McArena::take_at`]).
+    state: Option<McState>,
+    /// Installed edges (normalized, sorted) as of the last `sync`.
+    edges: Vec<(NodeId, NodeId)>,
+    /// Whether the MC counted as busy as of the last `sync`.
+    busy: bool,
+}
+
+/// The arena: flat slot storage for all resident MC states plus the
+/// derived hot views. See the module docs for the layout rationale.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct McArena {
+    /// `McId → slot`, also the sorted-id iteration order.
+    index: BTreeMap<McId, u32>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// MC ids with a non-empty mailbox or an in-flight computation.
+    busy: BTreeSet<McId>,
+    /// Normalized installed edge → ids of MCs whose topology uses it.
+    edge_index: BTreeMap<(NodeId, NodeId), BTreeSet<McId>>,
+}
+
+impl McArena {
+    pub fn new() -> McArena {
+        McArena::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn contains(&self, mc: McId) -> bool {
+        self.index.contains_key(&mc)
+    }
+
+    fn slot_of(&self, mc: McId) -> Option<u32> {
+        self.index.get(&mc).copied()
+    }
+
+    pub fn get(&self, mc: McId) -> Option<&McState> {
+        let slot = self.slot_of(mc)?;
+        self.slots[slot as usize].state.as_ref()
+    }
+
+    /// Mutable state access. The caller must [`McArena::sync`] the id before
+    /// the next hot-view query; the debug oracle enforces this.
+    pub fn get_mut(&mut self, mc: McId) -> Option<&mut McState> {
+        let slot = self.slot_of(mc)?;
+        self.slots[slot as usize].state.as_mut()
+    }
+
+    /// Ids of all resident states, in sorted order.
+    pub fn ids(&self) -> Vec<McId> {
+        self.index.keys().copied().collect()
+    }
+
+    /// Iterates `(id, state)` in id order, skipping checked-out slots.
+    pub fn iter(&self) -> impl Iterator<Item = (McId, &McState)> + '_ {
+        self.index
+            .iter()
+            .filter_map(|(&mc, &slot)| Some((mc, self.slots[slot as usize].state.as_ref()?)))
+    }
+
+    /// Inserts (or replaces) the state for `mc` and syncs its views.
+    pub fn insert(&mut self, mc: McId, state: McState) {
+        match self.slot_of(mc) {
+            Some(slot) => self.slots[slot as usize].state = Some(state),
+            None => {
+                let slot = match self.free.pop() {
+                    Some(slot) => {
+                        self.slots[slot as usize].state = Some(state);
+                        slot
+                    }
+                    None => {
+                        let slot = u32::try_from(self.slots.len())
+                            .expect("more than u32::MAX resident MC states");
+                        self.slots.push(Slot {
+                            state: Some(state),
+                            edges: Vec::new(),
+                            busy: false,
+                        });
+                        slot
+                    }
+                };
+                self.index.insert(mc, slot);
+            }
+        }
+        self.sync(mc);
+    }
+
+    /// Gets the state for `mc`, inserting `make()` first if absent.
+    /// The caller must `sync` after mutating, like [`McArena::get_mut`].
+    pub fn ensure(&mut self, mc: McId, make: impl FnOnce() -> McState) -> &mut McState {
+        if !self.contains(mc) {
+            self.insert(mc, make());
+        }
+        self.get_mut(mc).expect("just ensured")
+    }
+
+    /// Removes `mc`, returning its state and clearing its view entries.
+    pub fn remove(&mut self, mc: McId) -> Option<McState> {
+        let slot = self.index.remove(&mc)?;
+        let cell = &mut self.slots[slot as usize];
+        let state = cell.state.take();
+        for &edge in &cell.edges {
+            if let Some(users) = self.edge_index.get_mut(&edge) {
+                users.remove(&mc);
+                if users.is_empty() {
+                    self.edge_index.remove(&edge);
+                }
+            }
+        }
+        cell.edges.clear();
+        cell.busy = false;
+        self.busy.remove(&mc);
+        self.free.push(slot);
+        state
+    }
+
+    /// Resolves the slot index of `mc`, for the sharded batch fast path:
+    /// resolving once and using [`McArena::take_at`]/[`McArena::restore_at`]
+    /// pays one map probe per id instead of one per arena operation.
+    pub fn slot_index(&self, mc: McId) -> Option<u32> {
+        self.slot_of(mc)
+    }
+
+    /// Checks the state out of its slot (by pre-resolved index) for sharded
+    /// processing. The slot stays allocated and its views untouched;
+    /// [`McArena::restore_at`] puts the state back and resyncs.
+    pub fn take_at(&mut self, slot: u32) -> Option<McState> {
+        self.slots[slot as usize].state.take()
+    }
+
+    /// Returns a checked-out state to its slot and refreshes its views.
+    pub fn restore_at(&mut self, slot: u32, mc: McId, state: McState) {
+        debug_assert_eq!(self.slot_of(mc), Some(slot), "slot/id mismatch");
+        let cell = &mut self.slots[slot as usize];
+        debug_assert!(cell.state.is_none(), "restore over a resident state");
+        cell.state = Some(state);
+        self.sync_slot(mc, slot);
+    }
+
+    /// Refreshes the derived views (busy set, edge index) for `mc` from its
+    /// current state. Idempotent; a no-op for non-resident ids.
+    pub fn sync(&mut self, mc: McId) {
+        let Some(slot) = self.slot_of(mc) else {
+            return;
+        };
+        self.sync_slot(mc, slot);
+    }
+
+    fn sync_slot(&mut self, mc: McId, slot: u32) {
+        let cell = &mut self.slots[slot as usize];
+        let Some(state) = cell.state.as_ref() else {
+            return;
+        };
+        let busy = !state.mailbox.is_empty() || state.computing.is_some();
+        if busy != cell.busy {
+            cell.busy = busy;
+            if busy {
+                self.busy.insert(mc);
+            } else {
+                self.busy.remove(&mc);
+            }
+        }
+        // Diff the installed-edge snapshot; topologies are tiny relative to
+        // the state, and most syncs leave the tree untouched (the common
+        // case is a stamp bump), so compare — allocation-free — before
+        // rewriting.
+        let unchanged = match state.installed.as_ref() {
+            Some(t) => {
+                t.edge_count() == cell.edges.len() && t.edges().eq(cell.edges.iter().copied())
+            }
+            None => cell.edges.is_empty(),
+        };
+        if unchanged {
+            return;
+        }
+        let edges: Vec<(NodeId, NodeId)> = match state.installed.as_ref() {
+            Some(t) => t.edges().collect(),
+            None => Vec::new(),
+        };
+        let old = std::mem::replace(&mut cell.edges, edges);
+        for &edge in &old {
+            if let Some(users) = self.edge_index.get_mut(&edge) {
+                users.remove(&mc);
+                if users.is_empty() {
+                    self.edge_index.remove(&edge);
+                }
+            }
+        }
+        let cell = &self.slots[slot as usize];
+        for &edge in &cell.edges {
+            self.edge_index.entry(edge).or_default().insert(mc);
+        }
+    }
+
+    /// `true` when no resident MC has queued LSAs or an in-flight
+    /// computation. O(1) via the busy set.
+    pub fn is_quiet(&self) -> bool {
+        debug_assert_eq!(
+            self.busy.is_empty(),
+            self.is_quiet_scan(),
+            "busy set out of sync with states"
+        );
+        self.busy.is_empty()
+    }
+
+    /// Reference linear scan for [`McArena::is_quiet`] (debug oracle).
+    pub fn is_quiet_scan(&self) -> bool {
+        self.iter()
+            .all(|(_, st)| st.mailbox.is_empty() && st.computing.is_none())
+    }
+
+    /// Ids (sorted) of MCs whose installed topology uses link `(a, b)`.
+    /// O(answer) via the inverted edge index.
+    pub fn using_edge(&self, a: NodeId, b: NodeId) -> Vec<McId> {
+        let out: Vec<McId> = self
+            .edge_index
+            .get(&normalize(a, b))
+            .map(|users| users.iter().copied().collect())
+            .unwrap_or_default();
+        debug_assert_eq!(
+            out,
+            self.using_edge_scan(a, b),
+            "edge index out of sync with installed topologies"
+        );
+        out
+    }
+
+    /// Reference linear scan for [`McArena::using_edge`]: walks every
+    /// resident state like the pre-arena engine did. Kept as the debug
+    /// oracle and as the bench baseline the PR9 speedup gate is measured
+    /// against.
+    pub fn using_edge_scan(&self, a: NodeId, b: NodeId) -> Vec<McId> {
+        self.iter()
+            .filter(|(_, st)| st.installed.as_ref().is_some_and(|t| t.contains_edge(a, b)))
+            .map(|(mc, _)| mc)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgmc_mctree::{McTopology, McType};
+    use std::collections::BTreeSet;
+
+    fn state_with_tree(mc: McId, edges: &[(u32, u32)]) -> McState {
+        let mut st = McState::new(mc, McType::Symmetric, 8);
+        if !edges.is_empty() {
+            st.installed = Some(McTopology::from_edges(
+                edges.iter().map(|&(a, b)| (NodeId(a), NodeId(b))),
+                BTreeSet::new(),
+            ));
+        }
+        st
+    }
+
+    #[test]
+    fn slots_are_reused_through_the_free_list() {
+        let mut arena = McArena::new();
+        arena.insert(McId(1), state_with_tree(McId(1), &[]));
+        arena.insert(McId(2), state_with_tree(McId(2), &[]));
+        assert_eq!(arena.len(), 2);
+        assert!(arena.remove(McId(1)).is_some());
+        assert_eq!(arena.len(), 1);
+        // The freed slot is reused, not leaked.
+        arena.insert(McId(3), state_with_tree(McId(3), &[]));
+        assert_eq!(arena.slots.len(), 2, "slot recycled via the free list");
+        assert_eq!(arena.ids(), vec![McId(2), McId(3)]);
+        assert!(arena.get(McId(1)).is_none());
+    }
+
+    #[test]
+    fn edge_index_tracks_installs_and_teardowns() {
+        let mut arena = McArena::new();
+        arena.insert(McId(1), state_with_tree(McId(1), &[(0, 1), (1, 2)]));
+        arena.insert(McId(2), state_with_tree(McId(2), &[(1, 2)]));
+        // Edge queries are direction-insensitive (normalized form).
+        assert_eq!(
+            arena.using_edge(NodeId(2), NodeId(1)),
+            vec![McId(1), McId(2)]
+        );
+        assert_eq!(arena.using_edge(NodeId(0), NodeId(1)), vec![McId(1)]);
+        assert!(arena.using_edge(NodeId(5), NodeId(6)).is_empty());
+        // A topology change re-syncs the inverted index.
+        arena.get_mut(McId(1)).unwrap().installed = None;
+        arena.sync(McId(1));
+        assert_eq!(arena.using_edge(NodeId(1), NodeId(2)), vec![McId(2)]);
+        assert!(arena.using_edge(NodeId(0), NodeId(1)).is_empty());
+        // Removal clears the remaining entries.
+        arena.remove(McId(2));
+        assert!(arena.using_edge(NodeId(1), NodeId(2)).is_empty());
+        assert!(arena.edge_index.is_empty());
+    }
+
+    #[test]
+    fn busy_set_follows_mailbox_and_computation() {
+        let mut arena = McArena::new();
+        arena.insert(McId(7), state_with_tree(McId(7), &[]));
+        assert!(arena.is_quiet());
+        arena.get_mut(McId(7)).unwrap().computing = Some(crate::state::ComputationJob {
+            old_r: crate::Timestamp::zero(8),
+            terminals: BTreeSet::new(),
+            previous: None,
+            pending_event: None,
+            stashed_candidate: None,
+            deferred: Vec::new(),
+        });
+        arena.sync(McId(7));
+        assert!(!arena.is_quiet());
+        arena.get_mut(McId(7)).unwrap().computing = None;
+        arena.sync(McId(7));
+        assert!(arena.is_quiet());
+    }
+
+    #[test]
+    fn take_and_restore_round_trip() {
+        let mut arena = McArena::new();
+        arena.insert(McId(4), state_with_tree(McId(4), &[(0, 3)]));
+        let slot = arena.slot_index(McId(4)).expect("resident");
+        let st = arena.take_at(slot).expect("resident");
+        assert!(arena.get(McId(4)).is_none(), "checked out");
+        assert!(arena.contains(McId(4)), "slot stays allocated");
+        arena.restore_at(slot, McId(4), st);
+        assert_eq!(arena.using_edge(NodeId(0), NodeId(3)), vec![McId(4)]);
+    }
+}

@@ -34,10 +34,9 @@ fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
 
 /// Encodes a [`Timestamp`] sparsely.
 pub fn encode_timestamp(t: &Timestamp, out: &mut BytesMut) {
-    out.put_u32(t.len() as u32);
-    let nonzero: Vec<(NodeId, u64)> = t.iter().filter(|(_, v)| *v != 0).collect();
-    out.put_u32(nonzero.len() as u32);
-    for (node, value) in nonzero {
+    out.put_u32(u32::try_from(t.len()).expect("timestamp width fits u32"));
+    out.put_u32(u32::try_from(t.nonzero_len()).expect("entry count bounded by width"));
+    for (node, value) in t.iter_nonzero() {
         out.put_u32(node.0);
         out.put_u64(value);
     }
@@ -59,7 +58,7 @@ pub fn decode_timestamp(buf: &mut Bytes) -> Result<Timestamp, CodecError> {
         let idx = buf.get_u32() as usize;
         let val = buf.get_u64();
         if idx >= n {
-            return Err(CodecError::BadTag(idx as u8));
+            return Err(CodecError::BadTag(u8::try_from(idx).unwrap_or(u8::MAX)));
         }
         components[idx] = val;
     }
@@ -68,12 +67,12 @@ pub fn decode_timestamp(buf: &mut Bytes) -> Result<Timestamp, CodecError> {
 
 /// Encodes an [`McTopology`].
 pub fn encode_topology(t: &McTopology, out: &mut BytesMut) {
-    out.put_u32(t.edge_count() as u32);
+    out.put_u32(u32::try_from(t.edge_count()).expect("edge count fits u32"));
     for (a, b) in t.edges() {
         out.put_u32(a.0);
         out.put_u32(b.0);
     }
-    out.put_u32(t.terminals().len() as u32);
+    out.put_u32(u32::try_from(t.terminals().len()).expect("terminal count fits u32"));
     for &term in t.terminals() {
         out.put_u32(term.0);
     }

@@ -71,7 +71,8 @@ impl fmt::Display for ConsensusError {
 impl Error for ConsensusError {}
 
 fn switches(sim: &Simulation<SwitchMsg>) -> impl Iterator<Item = &DgmcSwitch> + '_ {
-    (0..sim.actor_count() as u32).map(|i| {
+    let count = u32::try_from(sim.actor_count()).expect("actor ids fit u32");
+    (0..count).map(|i| {
         sim.actor_as::<DgmcSwitch>(ActorId(i))
             .expect("all actors are DgmcSwitch")
     })

@@ -19,7 +19,19 @@
 //!
 //! The engine is pure: every input returns [`DgmcAction`]s for the hosting
 //! actor to execute (timed floods, `Tc`-long computation timers).
+//!
+//! # Scale (DESIGN.md §13)
+//!
+//! Per-MC state lives in an arena ([`crate::arena`]) with inverted hot
+//! views, so link events and quiescence probes cost O(affected MCs), not
+//! O(resident MCs). A link event that touches many *independent* MCs
+//! (distinct ids — their states are disjoint by construction) can shard
+//! the per-MC `EventHandler()` steps across the `dgmc_des::par` worker
+//! pool ([`DgmcEngine::set_jobs`]); results are merged back in MC-id
+//! order, so actions, decision-log events and every downstream artifact
+//! are byte-identical for every worker count.
 
+use crate::arena::McArena;
 use crate::state::{ComputationJob, McState, McSync, Tombstone};
 use crate::{McEventKind, McId, McLsa};
 use dgmc_mctree::{McAlgorithm, McType, Role};
@@ -104,6 +116,120 @@ pub enum EngineMutation {
     EagerDeferredFlood,
 }
 
+/// A decision-log emission produced by the pure per-MC event step.
+///
+/// `EventHandler()` for one MC is a pure function of that MC's state, so
+/// it can run on a worker thread — but the observer is an `Rc`-based,
+/// deliberately single-threaded handle. The step therefore *returns* its
+/// emissions as data and the engine replays them on the calling thread,
+/// in MC-id order, after the (possibly sharded) step completes. Serial
+/// and sharded processing emit the same events in the same order at the
+/// same simulated instant, which is what keeps decision logs and traces
+/// byte-identical across `--jobs` values.
+#[derive(Debug, Clone)]
+struct PendingEmit {
+    mc: McId,
+    kind: DecisionKind,
+    stamps: StampSnapshot,
+}
+
+/// Minimum number of affected MCs before a link event shards across the
+/// worker pool: below this the per-event work cannot amortize the scoped
+/// thread spawn of `dgmc_des::par::sweep`. Correctness does not depend on
+/// the value — serial and sharded paths run the same per-MC step.
+const SHARD_MIN_MCS: usize = 32;
+
+// The sharded path moves checked-out states and their results across
+// worker threads; this pins the payload to `Send` at compile time.
+#[allow(dead_code)]
+fn assert_shard_payload_is_send<T: Send>() {}
+const _: fn() = assert_shard_payload_is_send::<(Vec<McState>, Vec<DgmcAction>, Vec<PendingEmit>)>;
+
+/// The paper's `EventHandler()` body (Fig. 4) for one MC: a pure function
+/// of the per-MC state. Returns the actions for the hosting actor plus
+/// the decision-log emissions to replay ([`PendingEmit`]); snapshots are
+/// only built when `want_emits` (an observer is attached).
+fn event_step(
+    me: NodeId,
+    mutation: EngineMutation,
+    want_emits: bool,
+    st: &mut McState,
+    mc: McId,
+    event: McEventKind,
+) -> (Vec<DgmcAction>, Vec<PendingEmit>) {
+    debug_assert!(event.is_event(), "EventHandler takes real events");
+    let mut emits = Vec::new();
+    // Line 1: R[x] += 1; E[x] += 1.
+    st.r.incr(me);
+    st.e.incr(me);
+    // Local bookkeeping of our own membership change.
+    st.apply_membership(me, event);
+    let change = match event {
+        McEventKind::Join(_) => MemberChange::Join,
+        McEventKind::Leave => MemberChange::Leave,
+        McEventKind::Link | McEventKind::None => MemberChange::Link,
+    };
+    if want_emits {
+        emits.push(PendingEmit {
+            mc,
+            kind: DecisionKind::EventDetected {
+                member: me.0,
+                change,
+            },
+            stamps: snap(st),
+        });
+    }
+    // Line 2: compute only with no known outstanding LSAs — and, under
+    // CPU serialization, only when idle.
+    if st.all_caught_up() && st.computing.is_none() && st.mailbox.is_empty() {
+        // Lines 4-5: save old_R and start the Tc-long computation; the
+        // event LSA is flooded at completion (lines 6-14).
+        st.computing = Some(ComputationJob {
+            old_r: st.r.clone(),
+            terminals: st.terminals(),
+            previous: st.installed.clone(),
+            pending_event: Some(event),
+            stashed_candidate: None,
+            deferred: Vec::new(),
+        });
+        (vec![DgmcAction::StartComputation { mc }], emits)
+    } else {
+        // Lines 15-17 flood the event immediately — but when an earlier
+        // local event is still *unannounced* (it waits for the in-flight
+        // computation's completion, lines 11-13), flooding now would let
+        // this event overtake it and split member lists at receivers
+        // (DESIGN.md §11 race 2). Hold it in local order instead; the
+        // completion's withdrawal path floods pending + deferred FIFO.
+        st.make_proposal_flag = true;
+        let unannounced_ahead = st
+            .computing
+            .as_ref()
+            .is_some_and(|job| job.pending_event.is_some() || !job.deferred.is_empty());
+        if unannounced_ahead && mutation != EngineMutation::EagerDeferredFlood {
+            let job = st.computing.as_mut().expect("checked above");
+            job.deferred.push((event, st.r.clone()));
+            if want_emits {
+                emits.push(PendingEmit {
+                    mc,
+                    kind: DecisionKind::EventDeferred,
+                    stamps: snap(st),
+                });
+            }
+            return (Vec::new(), emits);
+        }
+        let lsa = McLsa {
+            source: me,
+            event,
+            mc,
+            mc_type: st.mc_type,
+            epoch: st.epoch,
+            proposal: None,
+            stamp: st.r.clone(),
+        };
+        (vec![DgmcAction::Flood(lsa)], emits)
+    }
+}
+
 /// The per-switch D-GMC protocol engine (all MCs).
 ///
 /// # Examples
@@ -127,7 +253,7 @@ pub struct DgmcEngine {
     me: NodeId,
     n: usize,
     algorithm: Rc<dyn McAlgorithm>,
-    states: BTreeMap<McId, McState>,
+    states: McArena,
     /// Fences left behind by MC teardowns: the torn-down incarnation and
     /// its final `R`, consulted whenever an LSA arrives for an MC without
     /// state (DESIGN.md §11, the teardown/resurrection repair).
@@ -135,6 +261,9 @@ pub struct DgmcEngine {
     observer: SharedObserver,
     spf_cache: SpfCache,
     mutation: EngineMutation,
+    /// Worker count for sharding independent MCs in one event step
+    /// (1 = serial; see [`DgmcEngine::set_jobs`]).
+    jobs: usize,
 }
 
 impl DgmcEngine {
@@ -144,11 +273,12 @@ impl DgmcEngine {
             me,
             n,
             algorithm,
-            states: BTreeMap::new(),
+            states: McArena::new(),
             tombstones: BTreeMap::new(),
             observer: SharedObserver::new(),
             spf_cache: SpfCache::new(),
             mutation: EngineMutation::None,
+            jobs: 1,
         }
     }
 
@@ -160,6 +290,22 @@ impl DgmcEngine {
     /// The active engine mutation ([`EngineMutation::None`] in production).
     pub fn mutation(&self) -> EngineMutation {
         self.mutation
+    }
+
+    /// Sets the worker count used to shard one event step across the
+    /// *independent* MCs it touches (distinct ids — disjoint state).
+    ///
+    /// Purely a wall-clock optimization: the sharded path runs the exact
+    /// same per-MC step as the serial one and merges results back in MC-id
+    /// order, so actions, decision events and every downstream artifact
+    /// are byte-identical for every value. Values below 1 clamp to 1.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
+    }
+
+    /// The configured shard worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// Plugs in a (typically simulation-wide shared) SPF computation cache.
@@ -199,16 +345,14 @@ impl DgmcEngine {
     /// Engine-level quiescence probe: `true` when no connection has queued
     /// LSAs or an in-flight computation. At simulation quiescence every
     /// engine must be quiet — the invariant suite treats leftovers as
-    /// un-withdrawn proposals.
+    /// un-withdrawn proposals. O(1) via the arena's busy set.
     pub fn is_quiet(&self) -> bool {
-        self.states
-            .values()
-            .all(|st| st.mailbox.is_empty() && st.computing.is_none())
+        self.states.is_quiet()
     }
 
     /// Read access to the state of connection `mc`, if allocated.
     pub fn state(&self, mc: McId) -> Option<&McState> {
-        self.states.get(&mc)
+        self.states.get(mc)
     }
 
     /// The tombstone left by the last teardown of `mc`, if any.
@@ -223,28 +367,38 @@ impl DgmcEngine {
 
     /// Ids of all connections with allocated state.
     pub fn mc_ids(&self) -> Vec<McId> {
-        self.states.keys().copied().collect()
+        self.states.ids()
+    }
+
+    /// Number of connections with allocated state (O(1)).
+    pub fn mc_count(&self) -> usize {
+        self.states.len()
     }
 
     /// The installed topology of `mc`, if any.
     pub fn installed(&self, mc: McId) -> Option<&dgmc_mctree::McTopology> {
-        self.states.get(&mc)?.installed.as_ref()
+        self.states.get(mc)?.installed.as_ref()
     }
 
     /// Returns `true` if this switch is a member of `mc`.
     pub fn is_member(&self, mc: McId) -> bool {
         self.states
-            .get(&mc)
+            .get(mc)
             .is_some_and(|st| st.members.contains_key(&self.me))
     }
 
-    /// Connections whose installed topology uses the link `(a, b)`.
+    /// Connections whose installed topology uses the link `(a, b)`, in id
+    /// order. O(answer) via the arena's inverted edge index.
     pub fn mcs_using_link(&self, a: NodeId, b: NodeId) -> Vec<McId> {
-        self.states
-            .iter()
-            .filter(|(_, st)| st.installed.as_ref().is_some_and(|t| t.contains_edge(a, b)))
-            .map(|(&mc, _)| mc)
-            .collect()
+        self.states.using_edge(a, b)
+    }
+
+    /// Reference implementation of [`DgmcEngine::mcs_using_link`]: the
+    /// pre-arena O(resident MCs) scan over every installed topology. Kept
+    /// as the arena's debug oracle and as the measured baseline for the
+    /// PR9 many-MC bench gate.
+    pub fn mcs_using_link_scan(&self, a: NodeId, b: NodeId) -> Vec<McId> {
+        self.states.using_edge_scan(a, b)
     }
 
     /// `EventHandler()` for a local host join.
@@ -261,8 +415,7 @@ impl DgmcEngine {
         let n = self.n;
         let st = self
             .states
-            .entry(mc)
-            .or_insert_with(|| McState::new_at_epoch(mc, mc_type, n, epoch));
+            .ensure(mc, || McState::new_at_epoch(mc, mc_type, n, epoch));
         if st.members.contains_key(&self.me) {
             return Vec::new();
         }
@@ -284,8 +437,16 @@ impl DgmcEngine {
     /// event will cause ... k MC LSAs, where k is the number of MCs whose
     /// topologies are affected").
     ///
+    /// The affected connections are *independent* — distinct MC ids with
+    /// disjoint state — so when a worker pool is configured
+    /// ([`DgmcEngine::set_jobs`]) and enough MCs are touched, their
+    /// `EventHandler()` steps run sharded and are merged back in MC-id
+    /// order (DESIGN.md §13). Output is byte-identical either way.
     pub fn local_link_event(&mut self, a: NodeId, b: NodeId) -> Vec<DgmcAction> {
         let affected = self.mcs_using_link(a, b);
+        if self.jobs > 1 && affected.len() >= SHARD_MIN_MCS {
+            return self.link_event_sharded(&affected);
+        }
         let mut actions = Vec::new();
         for mc in affected {
             actions.extend(self.event_handler(mc, McEventKind::Link));
@@ -293,13 +454,121 @@ impl DgmcEngine {
         actions
     }
 
+    /// Reference implementation of [`DgmcEngine::local_link_event`]: the
+    /// pre-arena event path (O(resident MCs) affected-set scan, serial
+    /// per-MC processing). Behaviorally identical; kept as the measured
+    /// baseline for the PR9 many-MC bench gate.
+    pub fn local_link_event_scan(&mut self, a: NodeId, b: NodeId) -> Vec<DgmcAction> {
+        let affected = self.states.using_edge_scan(a, b);
+        let mut actions = Vec::new();
+        for mc in affected {
+            actions.extend(self.event_handler(mc, McEventKind::Link));
+        }
+        actions
+    }
+
+    /// Runs the link-event `EventHandler()` step for every affected MC on
+    /// the `dgmc_des::par` pool and merges results in MC-id order.
+    ///
+    /// Soundness: the states are checked out of the arena first, so each
+    /// worker owns its block of `McState`s exclusively (`McId`s are
+    /// distinct by construction — they come from one sorted affected set).
+    /// Work is sharded in *contiguous blocks*, not per MC: one step is a
+    /// microsecond of work, so per-task pool overhead (claim, slot lock)
+    /// must be amortized over hundreds of steps to win wall-clock. The
+    /// merge replays per-block results in exactly the order the serial
+    /// loop would have produced them: `affected` is sorted, blocks are
+    /// contiguous, the pool returns slots in task-index order, and
+    /// emissions ride along as data ([`PendingEmit`]) to be replayed on
+    /// this thread.
+    fn link_event_sharded(&mut self, affected: &[McId]) -> Vec<DgmcAction> {
+        use std::sync::Mutex;
+        let me = self.me;
+        let mutation = self.mutation;
+        let want_emits = self.observer.enabled();
+        // A few blocks per worker evens out block-to-block variance without
+        // reintroducing per-task overhead.
+        let block = affected.len().div_ceil(self.jobs * 4).max(8);
+        let blocks: Vec<&[McId]> = affected.chunks(block).collect();
+        // Resolve each id's slot once; take/restore then skip the map probe.
+        let slots: Vec<u32> = affected
+            .iter()
+            .map(|&mc| {
+                self.states
+                    .slot_index(mc)
+                    .expect("affected ids are resident")
+            })
+            .collect();
+        let slot_blocks: Vec<&[u32]> = slots.chunks(block).collect();
+        let cells: Vec<Mutex<Option<Vec<McState>>>> = slot_blocks
+            .iter()
+            .map(|idxs| {
+                let states: Vec<McState> = idxs
+                    .iter()
+                    .map(|&slot| {
+                        self.states
+                            .take_at(slot)
+                            .expect("affected ids are resident")
+                    })
+                    .collect();
+                Mutex::new(Some(states))
+            })
+            .collect();
+        let results = dgmc_des::par::sweep(
+            self.jobs,
+            blocks.len(),
+            |_| (),
+            |(), i| {
+                let mut states = cells[i]
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("each block is claimed exactly once");
+                let mut actions = Vec::new();
+                let mut emits = Vec::new();
+                for (st, &mc) in states.iter_mut().zip(blocks[i]) {
+                    let (a, e) = event_step(me, mutation, want_emits, st, mc, McEventKind::Link);
+                    actions.extend(a);
+                    emits.extend(e);
+                }
+                (states, actions, emits)
+            },
+            |_| false,
+        );
+        let mut actions = Vec::new();
+        for (i, result) in results.into_iter().enumerate() {
+            let (states, acts, emits) = result.expect("sweep without cancellation completes all");
+            for ((st, &mc), &slot) in states.into_iter().zip(blocks[i]).zip(slot_blocks[i]) {
+                self.states.restore_at(slot, mc, st);
+            }
+            for p in emits {
+                self.emit_pending(p);
+            }
+            actions.extend(acts);
+        }
+        actions
+    }
+
+    /// Replays a deferred decision-log emission from the (possibly
+    /// sharded) event step on the calling thread.
+    fn emit_pending(&self, p: PendingEmit) {
+        let switch = self.me.0;
+        self.observer.emit(move |now| DecisionEvent {
+            at_nanos: now,
+            mc: u64::from(p.mc.0),
+            switch,
+            kind: p.kind,
+            stamps: p.stamps,
+        });
+    }
+
     /// Exports a snapshot of all MC states for database synchronization
     /// (sent to a neighbor when a link to it comes up, mirroring OSPF's
     /// database exchange; see [`crate::switch`]).
     pub fn export_sync(&self) -> Vec<McSync> {
         self.states
-            .values()
-            .map(|st| McSync {
+            .iter()
+            .map(|(_, st)| McSync {
                 mc: st.mc,
                 mc_type: st.mc_type,
                 epoch: st.epoch,
@@ -330,25 +599,25 @@ impl DgmcEngine {
         let synced: std::collections::BTreeSet<McId> = snapshot.iter().map(|s| s.mc).collect();
         let fenced = self.mutation != EngineMutation::UnfencedTeardown;
         for sync in snapshot {
+            let mc = sync.mc;
             // Incarnation fencing mirrors on_mc_lsa: snapshots of a dead
             // incarnation are ignored; an unknown MC at the tombstone's own
             // epoch resumes from the tombstone's counts.
-            if fenced && !self.states.contains_key(&sync.mc) {
-                if let Some(tomb) = self.tombstones.get(&sync.mc) {
+            if fenced && !self.states.contains(mc) {
+                if let Some(tomb) = self.tombstones.get(&mc) {
                     if sync.epoch < tomb.epoch {
                         continue;
                     }
                     if sync.epoch == tomb.epoch {
-                        let st = McState::revived(sync.mc, sync.mc_type, self.n, tomb);
-                        self.states.insert(sync.mc, st);
+                        let st = McState::revived(mc, sync.mc_type, self.n, tomb);
+                        self.states.insert(mc, st);
                     }
                 }
             }
             let n = self.n;
-            let st = self
-                .states
-                .entry(sync.mc)
-                .or_insert_with(|| McState::new_at_epoch(sync.mc, sync.mc_type, n, sync.epoch));
+            let st = self.states.ensure(mc, || {
+                McState::new_at_epoch(mc, sync.mc_type, n, sync.epoch)
+            });
             if fenced && sync.epoch < st.epoch {
                 continue;
             }
@@ -358,7 +627,7 @@ impl DgmcEngine {
             let quiet = st.mailbox.is_empty() && st.computing.is_none();
             if fenced && sync.epoch > st.epoch && quiet {
                 // The peer's incarnation supersedes ours wholesale.
-                *st = McState::new_at_epoch(sync.mc, sync.mc_type, n, sync.epoch);
+                *st = McState::new_at_epoch(mc, sync.mc_type, n, sync.epoch);
             }
             if quiet
                 && (sync.r.strictly_dominates(&st.r)
@@ -371,13 +640,13 @@ impl DgmcEngine {
                 st.installed = sync.installed;
                 st.e.merge_max(&sync.e);
                 st.e.merge_max(&sync.r);
-                actions.push(DgmcAction::Installed { mc: sync.mc });
+                actions.push(DgmcAction::Installed { mc });
                 let me = self.me;
                 let edges = st.installed.as_ref().map_or(0, |t| t.edge_count());
                 let by = st.c_source.unwrap_or(me);
                 self.observer.emit(|now| DecisionEvent {
                     at_nanos: now,
-                    mc: sync.mc.0 as u64,
+                    mc: u64::from(mc.0),
                     switch: me.0,
                     kind: DecisionKind::TopologyInstalled {
                         source: by.0,
@@ -388,6 +657,7 @@ impl DgmcEngine {
             } else {
                 st.e.merge_max(&sync.e);
             }
+            self.states.sync(mc);
         }
         // Prune quiet local states the peer no longer knows (destroyed MCs).
         let stale: Vec<McId> = self
@@ -396,10 +666,10 @@ impl DgmcEngine {
             .filter(|(mc, st)| {
                 !synced.contains(mc) && st.mailbox.is_empty() && st.computing.is_none()
             })
-            .map(|(&mc, _)| mc)
+            .map(|(mc, _)| mc)
             .collect();
         for mc in stale {
-            if let Some(st) = self.states.remove(&mc) {
+            if let Some(st) = self.states.remove(mc) {
                 if fenced {
                     self.tombstones.insert(
                         mc,
@@ -414,83 +684,22 @@ impl DgmcEngine {
         actions
     }
 
-    /// The `EventHandler()` algorithm (paper Fig. 4).
+    /// The `EventHandler()` algorithm (paper Fig. 4): runs the pure
+    /// per-MC step ([`event_step`]) in place and replays its emissions.
     fn event_handler(&mut self, mc: McId, event: McEventKind) -> Vec<DgmcAction> {
-        debug_assert!(event.is_event(), "EventHandler takes real events");
         let me = self.me;
+        let mutation = self.mutation;
+        let want_emits = self.observer.enabled();
         // Private invariant, not a recoverable race: every caller allocates
         // the state in the same tool round (unlike on_computation_done, whose
         // signal can cross a deletion).
-        let st = self.states.get_mut(&mc).expect("state allocated by caller");
-        // Line 1: R[x] += 1; E[x] += 1.
-        st.r.incr(me);
-        st.e.incr(me);
-        // Local bookkeeping of our own membership change.
-        st.apply_membership(me, event);
-        let change = match event {
-            McEventKind::Join(_) => MemberChange::Join,
-            McEventKind::Leave => MemberChange::Leave,
-            McEventKind::Link | McEventKind::None => MemberChange::Link,
-        };
-        self.observer.emit(|now| DecisionEvent {
-            at_nanos: now,
-            mc: mc.0 as u64,
-            switch: me.0,
-            kind: DecisionKind::EventDetected {
-                member: me.0,
-                change,
-            },
-            stamps: snap(st),
-        });
-        // Line 2: compute only with no known outstanding LSAs — and, under
-        // CPU serialization, only when idle.
-        if st.all_caught_up() && st.computing.is_none() && st.mailbox.is_empty() {
-            // Lines 4-5: save old_R and start the Tc-long computation; the
-            // event LSA is flooded at completion (lines 6-14).
-            st.computing = Some(ComputationJob {
-                old_r: st.r.clone(),
-                terminals: st.terminals(),
-                previous: st.installed.clone(),
-                pending_event: Some(event),
-                stashed_candidate: None,
-                deferred: Vec::new(),
-            });
-            vec![DgmcAction::StartComputation { mc }]
-        } else {
-            // Lines 15-17 flood the event immediately — but when an earlier
-            // local event is still *unannounced* (it waits for the in-flight
-            // computation's completion, lines 11-13), flooding now would let
-            // this event overtake it and split member lists at receivers
-            // (DESIGN.md §11 race 2). Hold it in local order instead; the
-            // completion's withdrawal path floods pending + deferred FIFO.
-            st.make_proposal_flag = true;
-            let unannounced_ahead = st
-                .computing
-                .as_ref()
-                .is_some_and(|job| job.pending_event.is_some() || !job.deferred.is_empty());
-            if unannounced_ahead && self.mutation != EngineMutation::EagerDeferredFlood {
-                let job = st.computing.as_mut().expect("checked above");
-                job.deferred.push((event, st.r.clone()));
-                self.observer.emit(|now| DecisionEvent {
-                    at_nanos: now,
-                    mc: mc.0 as u64,
-                    switch: me.0,
-                    kind: DecisionKind::EventDeferred,
-                    stamps: snap(st),
-                });
-                return Vec::new();
-            }
-            let lsa = McLsa {
-                source: me,
-                event,
-                mc,
-                mc_type: st.mc_type,
-                epoch: st.epoch,
-                proposal: None,
-                stamp: st.r.clone(),
-            };
-            vec![DgmcAction::Flood(lsa)]
+        let st = self.states.get_mut(mc).expect("state allocated by caller");
+        let (actions, emits) = event_step(me, mutation, want_emits, st, mc, event);
+        self.states.sync(mc);
+        for p in emits {
+            self.emit_pending(p);
         }
+        actions
     }
 
     /// Delivers a (fresh, non-duplicate) MC LSA to the engine.
@@ -519,7 +728,7 @@ impl DgmcEngine {
         let mc_type = lsa.mc_type;
         let fenced = self.mutation != EngineMutation::UnfencedTeardown;
         let mut rejoin: Option<Role> = None;
-        match self.states.get(&mc).map(|st| st.epoch) {
+        match self.states.get(mc).map(|st| st.epoch) {
             None => {
                 let is_join = matches!(lsa.event, McEventKind::Join(_));
                 match self.tombstones.get(&mc).filter(|_| fenced) {
@@ -542,17 +751,19 @@ impl DgmcEngine {
             Some(epoch) if fenced && lsa.epoch > epoch => {
                 // Our whole incarnation is stale. Any in-flight computation
                 // dies with it (its completion becomes a logged no-op).
-                let old = self.states.get(&mc).expect("matched Some");
+                let old = self.states.get(mc).expect("matched Some");
                 rejoin = old.members.get(&self.me).copied();
                 self.states
                     .insert(mc, McState::new_at_epoch(mc, mc_type, self.n, lsa.epoch));
             }
             Some(_) => {}
         }
-        let st = self.states.get_mut(&mc).expect("just ensured");
+        let st = self.states.get_mut(mc).expect("just ensured");
         st.mailbox.push_back(lsa);
+        let idle = st.computing.is_none();
+        self.states.sync(mc);
         let mut actions = Vec::new();
-        if st.computing.is_none() {
+        if idle {
             // The CPU is idle; drain now. Otherwise the LSA waits (and will
             // invalidate the in-flight proposal at completion).
             actions.extend(self.process_mailbox(mc, None));
@@ -561,7 +772,7 @@ impl DgmcEngine {
             // Announce ourselves in the adopted incarnation. The drain above
             // can have torn the reset state down again (the LSA was a leave
             // and we were caught up); `local_join` then re-creates it.
-            if self.states.contains_key(&mc) {
+            if self.states.contains(mc) {
                 actions.extend(self.event_handler(mc, McEventKind::Join(role)));
             } else {
                 actions.extend(self.local_join(mc, mc_type, role));
@@ -579,10 +790,10 @@ impl DgmcEngine {
     /// [`DecisionKind::StaleCompletion`].
     pub fn on_computation_done(&mut self, mc: McId, image: &Network) -> Vec<DgmcAction> {
         let me = self.me;
-        let Some(st) = self.states.get_mut(&mc) else {
+        let Some(st) = self.states.get_mut(mc) else {
             self.observer.emit(|now| DecisionEvent {
                 at_nanos: now,
-                mc: mc.0 as u64,
+                mc: u64::from(mc.0),
                 switch: me.0,
                 kind: DecisionKind::StaleCompletion,
                 stamps: StampSnapshot::empty(),
@@ -593,7 +804,7 @@ impl DgmcEngine {
             let stamps = snap(st);
             self.observer.emit(|now| DecisionEvent {
                 at_nanos: now,
-                mc: mc.0 as u64,
+                mc: u64::from(mc.0),
                 switch: me.0,
                 kind: DecisionKind::StaleCompletion,
                 stamps,
@@ -616,7 +827,7 @@ impl DgmcEngine {
             let own_edges = topology.edge_count();
             self.observer.emit(|now| DecisionEvent {
                 at_nanos: now,
-                mc: mc.0 as u64,
+                mc: u64::from(mc.0),
                 switch: me.0,
                 kind: DecisionKind::ProposalComputed { edges: own_edges },
                 stamps: snap(st),
@@ -633,7 +844,7 @@ impl DgmcEngine {
             actions.push(DgmcAction::Flood(lsa));
             self.observer.emit(|now| DecisionEvent {
                 at_nanos: now,
-                mc: mc.0 as u64,
+                mc: u64::from(mc.0),
                 switch: me.0,
                 kind: DecisionKind::ProposalFlooded,
                 stamps: snap(st),
@@ -659,7 +870,7 @@ impl DgmcEngine {
                 };
                 self.observer.emit(|now| DecisionEvent {
                     at_nanos: now,
-                    mc: mc.0 as u64,
+                    mc: u64::from(mc.0),
                     switch: me.0,
                     kind: DecisionKind::ConflictResolved {
                         winner: winner.0,
@@ -685,7 +896,7 @@ impl DgmcEngine {
             actions.push(DgmcAction::Installed { mc });
             self.observer.emit(|now| DecisionEvent {
                 at_nanos: now,
-                mc: mc.0 as u64,
+                mc: u64::from(mc.0),
                 switch: me.0,
                 kind: DecisionKind::TopologyInstalled {
                     source: installed_by.0,
@@ -737,7 +948,7 @@ impl DgmcEngine {
             actions.push(DgmcAction::Withdrawn { mc });
             self.observer.emit(|now| DecisionEvent {
                 at_nanos: now,
-                mc: mc.0 as u64,
+                mc: u64::from(mc.0),
                 switch: me.0,
                 kind: DecisionKind::ProposalWithdrawn,
                 stamps: snap(st),
@@ -755,7 +966,7 @@ impl DgmcEngine {
         initial: Option<crate::state::Candidate>,
     ) -> Vec<DgmcAction> {
         let me = self.me;
-        let Some(st) = self.states.get_mut(&mc) else {
+        let Some(st) = self.states.get_mut(mc) else {
             return Vec::new();
         };
         debug_assert!(st.computing.is_none(), "mailbox drains only when idle");
@@ -795,7 +1006,7 @@ impl DgmcEngine {
                     };
                     self.observer.emit(|now| DecisionEvent {
                         at_nanos: now,
-                        mc: mc.0 as u64,
+                        mc: u64::from(mc.0),
                         switch: me.0,
                         kind: DecisionKind::ConflictResolved {
                             winner: winner.0,
@@ -812,7 +1023,7 @@ impl DgmcEngine {
                     ));
                     self.observer.emit(|now| DecisionEvent {
                         at_nanos: now,
-                        mc: mc.0 as u64,
+                        mc: u64::from(mc.0),
                         switch: me.0,
                         kind: DecisionKind::ProposalAccepted { from: lsa.source.0 },
                         stamps: snap(st),
@@ -841,6 +1052,7 @@ impl DgmcEngine {
                 deferred: Vec::new(),
             });
             actions.push(DgmcAction::StartComputation { mc });
+            self.states.sync(mc);
             return actions;
         }
         // Lines 32-34: install the accepted candidate, preferring the
@@ -856,7 +1068,7 @@ impl DgmcEngine {
                 actions.push(DgmcAction::Installed { mc });
                 self.observer.emit(|now| DecisionEvent {
                     at_nanos: now,
-                    mc: mc.0 as u64,
+                    mc: u64::from(mc.0),
                     switch: me.0,
                     kind: DecisionKind::TopologyInstalled {
                         source: source.0,
@@ -882,8 +1094,9 @@ impl DgmcEngine {
                     },
                 );
             }
-            self.states.remove(&mc);
+            self.states.remove(mc);
         }
+        self.states.sync(mc);
         actions
     }
 }
@@ -1040,6 +1253,11 @@ mod tests {
         // Tree now uses links 0-1,1-2,2-3.
         assert_eq!(e0.mcs_using_link(NodeId(1), NodeId(2)), vec![MC]);
         assert!(e0.mcs_using_link(NodeId(0), NodeId(2)).is_empty());
+        // The indexed affected set and the reference scan agree.
+        assert_eq!(
+            e0.mcs_using_link(NodeId(1), NodeId(2)),
+            e0.mcs_using_link_scan(NodeId(1), NodeId(2))
+        );
         // A link event on 1-2 triggers EventHandler for the MC.
         let mut cut = net.clone();
         let l = cut.link_between(NodeId(1), NodeId(2)).unwrap().id;
@@ -1287,5 +1505,89 @@ mod tests {
         assert_eq!(lsas.len(), 1);
         assert_eq!(lsas[0].event, McEventKind::Leave);
         assert_eq!(lsas[0].proposal, None);
+    }
+
+    /// Builds `k` resident MCs with installed path trees via database
+    /// sync, every tree using the edge `(0, 1)`.
+    fn engine_with_k_mcs(n: usize, k: u32) -> DgmcEngine {
+        use dgmc_mctree::McTopology;
+        use std::collections::BTreeSet;
+        let mut e0 = engine(0, n);
+        let snapshot: Vec<McSync> = (0..k)
+            .map(|i| {
+                let mc = McId(i + 1);
+                // Three members spread over the network; the tree is the
+                // path 0-1-…-last so the edge (0,1) is always used.
+                let last = 2 + (i % u32::try_from(n - 2).expect("test n fits u32"));
+                let member_ids = [0u32, 1, last];
+                let mut members = BTreeMap::new();
+                let mut r = Timestamp::zero(n);
+                for &m in &member_ids {
+                    members.insert(NodeId(m), Role::SenderReceiver);
+                    r.incr(NodeId(m));
+                }
+                let edges = (0..last).map(|a| (NodeId(a), NodeId(a + 1)));
+                let terminals: BTreeSet<NodeId> = members.keys().copied().collect();
+                McSync {
+                    mc,
+                    mc_type: McType::Symmetric,
+                    epoch: 0,
+                    r: r.clone(),
+                    e: r.clone(),
+                    c: r.clone(),
+                    c_source: Some(NodeId(0)),
+                    members,
+                    installed: Some(McTopology::from_edges(edges, terminals)),
+                }
+            })
+            .collect();
+        e0.import_sync(snapshot);
+        e0
+    }
+
+    #[test]
+    fn sharded_link_event_is_byte_identical_to_serial() {
+        // Enough MCs to clear SHARD_MIN_MCS so jobs > 1 really shards.
+        let k = u32::try_from(SHARD_MIN_MCS).expect("shard threshold fits u32") * 2;
+        let serial = engine_with_k_mcs(8, k);
+        assert_eq!(serial.mc_ids().len(), k as usize);
+        for jobs in [1usize, 2, 4] {
+            // Cloned engines share the observer Rc; give each its own so
+            // the two logs record independently.
+            let mut eng = serial.clone();
+            eng.set_jobs(jobs);
+            eng.set_observer(SharedObserver::new());
+            let log = eng.observer().attach_log(usize::MAX);
+            let mut reference = serial.clone();
+            reference.set_observer(SharedObserver::new());
+            let ref_log = reference.observer().attach_log(usize::MAX);
+            let a = eng.local_link_event(NodeId(0), NodeId(1));
+            let b = reference.local_link_event_scan(NodeId(0), NodeId(1));
+            assert_eq!(a, b, "jobs={jobs}: actions diverge from the scan path");
+            assert_eq!(
+                log.borrow().iter().cloned().collect::<Vec<_>>(),
+                ref_log.borrow().iter().cloned().collect::<Vec<_>>(),
+                "jobs={jobs}: decision events diverge"
+            );
+            for mc in serial.mc_ids() {
+                assert_eq!(
+                    eng.state(mc),
+                    reference.state(mc),
+                    "jobs={jobs}: state diverges for {mc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn link_event_index_agrees_with_scan_at_scale() {
+        let eng = engine_with_k_mcs(8, 100);
+        for (a, b) in [(0u32, 1u32), (1, 2), (2, 3), (5, 6), (0, 7)] {
+            assert_eq!(
+                eng.mcs_using_link(NodeId(a), NodeId(b)),
+                eng.mcs_using_link_scan(NodeId(a), NodeId(b)),
+                "edge ({a},{b})"
+            );
+        }
     }
 }

@@ -54,7 +54,8 @@ impl fmt::Display for InvariantViolation {
 }
 
 fn live_switches(sim: &Simulation<SwitchMsg>) -> Vec<&DgmcSwitch> {
-    (0..sim.actor_count() as u32)
+    let count = u32::try_from(sim.actor_count()).expect("actor ids fit u32");
+    (0..count)
         .map(|i| {
             sim.actor_as::<DgmcSwitch>(ActorId(i))
                 .expect("all actors are DgmcSwitch")
@@ -237,7 +238,7 @@ pub fn check_invariants(sim: &Simulation<SwitchMsg>, net: &Network) -> Vec<Invar
     for v in &out {
         sim.observer().emit(|now| DecisionEvent {
             at_nanos: now,
-            mc: v.mc.0 as u64,
+            mc: u64::from(v.mc.0),
             switch: v.switch.map_or(u32::MAX, |n| n.0),
             kind: DecisionKind::InvariantViolated {
                 invariant: v.invariant.to_string(),
@@ -268,7 +269,7 @@ mod tests {
         for (i, node) in [0u32, 2, 4].into_iter().enumerate() {
             sim.inject(
                 ActorId(node),
-                SimDuration::millis(i as u64),
+                SimDuration::millis(u64::try_from(i).expect("loop index fits u64")),
                 SwitchMsg::HostJoin {
                     mc: McId(1),
                     mc_type: McType::Symmetric,

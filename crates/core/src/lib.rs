@@ -56,6 +56,7 @@ pub mod invariants;
 pub mod spec;
 pub mod switch;
 
+mod arena;
 mod engine;
 mod mc;
 mod state;

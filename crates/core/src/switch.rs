@@ -302,6 +302,13 @@ impl DgmcSwitch {
         self.engine.set_observer(observer);
     }
 
+    /// Sets the engine's shard worker count for link events touching many
+    /// independent MCs (see [`DgmcEngine::set_jobs`]). Purely wall-clock:
+    /// outputs stay byte-identical for every value.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.engine.set_jobs(jobs);
+    }
+
     /// Replaces the switch's SPF cache, typically with one shared by every
     /// switch of the simulation: identical local images hash to the same
     /// digest, so SPF work done by one switch is reused by all others.
@@ -443,9 +450,12 @@ impl DgmcSwitch {
                         .map(|t| t.edges().collect())
                         .unwrap_or_default();
                     if let Some(previous) = self.installed_edges.insert(mc, edges) {
-                        let disrupted = previous
-                            .difference(self.installed_edges.get(&mc).expect("just inserted"))
-                            .count() as u64;
+                        let disrupted = u64::try_from(
+                            previous
+                                .difference(self.installed_edges.get(&mc).expect("just inserted"))
+                                .count(),
+                        )
+                        .expect("edge count fits u64");
                         ctx.counter(counters::DISRUPTED_EDGES).add(disrupted);
                     }
                 }
@@ -658,7 +668,9 @@ impl Actor<SwitchMsg> for DgmcSwitch {
                     // Database exchange toward the (possibly just revived)
                     // far endpoint, as OSPF does when an adjacency forms.
                     if let Some(neighbor) = self.neighbor_of(link) {
-                        let router_lsas = (0..self.lsdb.node_count() as u32)
+                        let node_count =
+                            u32::try_from(self.lsdb.node_count()).expect("node ids fit u32");
+                        let router_lsas = (0..node_count)
                             .filter_map(|i| self.lsdb.get(NodeId(i)).cloned())
                             .collect();
                         ctx.send(
@@ -802,6 +814,20 @@ pub fn build_dgmc_sim_with_cache(
     algorithm: Rc<dyn McAlgorithm>,
     cache: SpfCache,
 ) -> Simulation<SwitchMsg> {
+    build_dgmc_sim_sharded(net, config, algorithm, cache, 1)
+}
+
+/// [`build_dgmc_sim_with_cache`] with the per-switch shard worker count
+/// for many-MC link events (see [`DgmcEngine::set_jobs`]). Any `jobs`
+/// value produces byte-identical simulation outputs; values above 1 only
+/// change wall-clock when one event touches many independent connections.
+pub fn build_dgmc_sim_sharded(
+    net: &Network,
+    config: DgmcConfig,
+    algorithm: Rc<dyn McAlgorithm>,
+    cache: SpfCache,
+    jobs: usize,
+) -> Simulation<SwitchMsg> {
     let mut sim = Simulation::new();
     for n in net.nodes() {
         let mut switch =
@@ -809,6 +835,7 @@ pub fn build_dgmc_sim_with_cache(
         // Every engine stamps decisions with the simulation's shared clock;
         // observation stays a no-op until a sink is attached on the handle.
         switch.set_observer(sim.observer().clone());
+        switch.set_jobs(jobs);
         let id = sim.add_actor(Box::new(switch));
         debug_assert_eq!(id.index(), n.index());
     }

@@ -12,6 +12,16 @@ use std::fmt;
 /// `A > B` iff `A >= B` and `A != B`. Two timestamps can be incomparable, so
 /// only [`PartialOrd`] is implemented.
 ///
+/// # Representation
+///
+/// Logically an n-tuple, physically a sorted sparse vector of the *nonzero*
+/// components only. An MC's stamps count events from its members, so at
+/// scale (many thousands of resident MCs in a large network) almost every
+/// component is zero; storing `(origin, count)` pairs makes a stamp O(active
+/// origins) instead of O(n) and lets 100k-connection switches fit in memory.
+/// The canonical form — strictly increasing indices, no zero values — makes
+/// the derived `Eq`/`Hash` agree with tuple equality.
+///
 /// # Examples
 ///
 /// ```
@@ -28,27 +38,47 @@ use std::fmt;
 /// assert!(m.dominates(&a) && m.dominates(&b));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Timestamp(Vec<u64>);
+pub struct Timestamp {
+    /// Network size: the logical tuple length.
+    n: u32,
+    /// Nonzero components as `(switch index, count)`, sorted by index.
+    entries: Vec<(u32, u64)>,
+}
 
 impl Timestamp {
     /// The all-zero timestamp for a network of `n` switches.
     pub fn zero(n: usize) -> Timestamp {
-        Timestamp(vec![0; n])
+        Timestamp {
+            n: u32::try_from(n).expect("network size exceeds u32"),
+            entries: Vec::new(),
+        }
     }
 
     /// Builds a timestamp from explicit components.
     pub fn from_components(components: Vec<u64>) -> Timestamp {
-        Timestamp(components)
+        let n = u32::try_from(components.len()).expect("network size exceeds u32");
+        let entries = components
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, v)| v != 0)
+            .map(|(i, v)| (u32::try_from(i).expect("index fits: len checked"), v))
+            .collect();
+        Timestamp { n, entries }
     }
 
     /// Number of components (network size).
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.n as usize
     }
 
     /// Returns `true` if the timestamp has no components.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.n == 0
+    }
+
+    /// Number of nonzero components actually stored.
+    pub fn nonzero_len(&self) -> usize {
+        self.entries.len()
     }
 
     /// The component for switch `x`.
@@ -57,7 +87,11 @@ impl Timestamp {
     ///
     /// Panics if `x` is out of range.
     pub fn get(&self, x: NodeId) -> u64 {
-        self.0[x.index()]
+        assert!(x.0 < self.n, "timestamp component {} out of range", x.0);
+        match self.entries.binary_search_by_key(&x.0, |&(i, _)| i) {
+            Ok(k) => self.entries[k].1,
+            Err(_) => 0,
+        }
     }
 
     /// Increments the component for switch `x` (one more event heard).
@@ -66,7 +100,11 @@ impl Timestamp {
     ///
     /// Panics if `x` is out of range.
     pub fn incr(&mut self, x: NodeId) {
-        self.0[x.index()] += 1;
+        assert!(x.0 < self.n, "timestamp component {} out of range", x.0);
+        match self.entries.binary_search_by_key(&x.0, |&(i, _)| i) {
+            Ok(k) => self.entries[k].1 += 1,
+            Err(k) => self.entries.insert(k, (x.0, 1)),
+        }
     }
 
     /// Sets every component to the max of itself and `other`'s
@@ -76,10 +114,35 @@ impl Timestamp {
     ///
     /// Panics if the lengths differ.
     pub fn merge_max(&mut self, other: &Timestamp) {
-        assert_eq!(self.0.len(), other.0.len(), "timestamp sizes differ");
-        for (a, &b) in self.0.iter_mut().zip(&other.0) {
-            *a = (*a).max(b);
+        assert_eq!(self.n, other.n, "timestamp sizes differ");
+        if other.entries.is_empty() {
+            return;
         }
+        // Merge-walk the two sorted sparse vectors.
+        let mut merged = Vec::with_capacity(self.entries.len().max(other.entries.len()));
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < self.entries.len() && b < other.entries.len() {
+            let (ia, va) = self.entries[a];
+            let (ib, vb) = other.entries[b];
+            match ia.cmp(&ib) {
+                Ordering::Less => {
+                    merged.push((ia, va));
+                    a += 1;
+                }
+                Ordering::Greater => {
+                    merged.push((ib, vb));
+                    b += 1;
+                }
+                Ordering::Equal => {
+                    merged.push((ia, va.max(vb)));
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.entries[a..]);
+        merged.extend_from_slice(&other.entries[b..]);
+        self.entries = merged;
     }
 
     /// Returns the componentwise max without mutating.
@@ -95,8 +158,20 @@ impl Timestamp {
     ///
     /// Panics if the lengths differ.
     pub fn dominates(&self, other: &Timestamp) -> bool {
-        assert_eq!(self.0.len(), other.0.len(), "timestamp sizes differ");
-        self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+        assert_eq!(self.n, other.n, "timestamp sizes differ");
+        // Every nonzero component of `other` must be covered; components
+        // absent from `other` are zero and trivially dominated.
+        let mut a = 0usize;
+        for &(ib, vb) in &other.entries {
+            while a < self.entries.len() && self.entries[a].0 < ib {
+                a += 1;
+            }
+            match self.entries.get(a) {
+                Some(&(ia, va)) if ia == ib && va >= vb => a += 1,
+                _ => return false,
+            }
+        }
+        true
     }
 
     /// The paper's `A > B`: dominates and differs.
@@ -106,15 +181,27 @@ impl Timestamp {
 
     /// Sum of all components (total events heard; useful in traces).
     pub fn total(&self) -> u64 {
-        self.0.iter().sum()
+        self.entries.iter().map(|&(_, v)| v).sum()
     }
 
-    /// Iterates over `(switch, component)` pairs.
+    /// Iterates over all `n` `(switch, component)` pairs, zeros included.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
-        self.0
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (NodeId(i as u32), v))
+        let mut k = 0usize;
+        (0..self.n).map(move |i| {
+            let v = match self.entries.get(k) {
+                Some(&(idx, v)) if idx == i => {
+                    k += 1;
+                    v
+                }
+                _ => 0,
+            };
+            (NodeId(i), v)
+        })
+    }
+
+    /// Iterates over the stored nonzero `(switch, component)` pairs only.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.entries.iter().map(|&(i, v)| (NodeId(i), v))
     }
 }
 
@@ -133,7 +220,7 @@ impl PartialOrd for Timestamp {
 impl fmt::Display for Timestamp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "(")?;
-        for (i, v) in self.0.iter().enumerate() {
+        for (i, (_, v)) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ",")?;
             }
@@ -209,6 +296,7 @@ mod tests {
         let t = ts(&[3, 1, 4]);
         assert_eq!(t.to_string(), "(3,1,4)");
         let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs.len(), 3, "iter yields every component, zeros too");
         assert_eq!(pairs[2], (NodeId(2), 4));
         assert_eq!(t.len(), 3);
         assert!(!t.is_empty());
@@ -218,5 +306,55 @@ mod tests {
     #[should_panic(expected = "sizes differ")]
     fn size_mismatch_panics() {
         ts(&[1]).dominates(&ts(&[1, 2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        ts(&[1, 2]).get(NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn incr_out_of_range_panics() {
+        let mut t = Timestamp::zero(2);
+        t.incr(NodeId(2));
+    }
+
+    #[test]
+    fn sparse_representation_is_canonical() {
+        // Zeros are never stored, so tuple-equal stamps built along
+        // different paths are representation-equal (Eq/Hash agree).
+        let a = ts(&[0, 7, 0, 0]);
+        let mut b = Timestamp::zero(4);
+        for _ in 0..7 {
+            b.incr(NodeId(1));
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.nonzero_len(), 1);
+        let merged = Timestamp::zero(4).merged_max(&a);
+        assert_eq!(merged.nonzero_len(), 1);
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![
+                (NodeId(0), 0),
+                (NodeId(1), 7),
+                (NodeId(2), 0),
+                (NodeId(3), 0)
+            ]
+        );
+        assert_eq!(a.iter_nonzero().collect::<Vec<_>>(), vec![(NodeId(1), 7)]);
+    }
+
+    #[test]
+    fn dominates_handles_interleaved_sparse_entries() {
+        let a = ts(&[2, 0, 3, 0, 1]);
+        let b = ts(&[1, 0, 3, 0, 0]);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        let c = ts(&[0, 1, 0, 0, 0]);
+        assert!(!a.dominates(&c), "missing index 1 must not be skipped");
+        assert!(a.merged_max(&c).dominates(&c));
     }
 }

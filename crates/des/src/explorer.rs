@@ -70,6 +70,23 @@ impl Default for ExploreConfig {
     }
 }
 
+impl ExploreConfig {
+    /// The exclusive end of the seed range, `start_seed + seeds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overflows `u64`. This used to be a silent
+    /// `saturating_add`, which *truncated* the sweep: a config asking for
+    /// seeds near `u64::MAX` would check fewer schedules than requested and
+    /// still report "all seeds passed" — the worst failure mode for a
+    /// correctness tool. An impossible range is a config error; reject it.
+    pub fn end_seed(&self) -> u64 {
+        self.start_seed
+            .checked_add(self.seeds)
+            .expect("seed range overflows u64 (start_seed + seeds); reduce seeds or start_seed")
+    }
+}
+
 /// One invariant violation observed in a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -179,9 +196,13 @@ impl ExploreReport {
 ///
 /// The closure owns the scenario: everything it does must derive from the
 /// seed it is given, or failures will not replay.
+///
+/// # Panics
+///
+/// Panics if the seed range overflows (see [`ExploreConfig::end_seed`]).
 pub fn explore(config: &ExploreConfig, mut run: impl FnMut(u64) -> SeedOutcome) -> ExploreReport {
     let mut report = ExploreReport::default();
-    for seed in config.start_seed..config.start_seed.saturating_add(config.seeds) {
+    for seed in config.start_seed..config.end_seed() {
         let outcome = run(seed);
         debug_assert_eq!(outcome.seed, seed, "scenario must report its own seed");
         report.checked += 1;
@@ -205,25 +226,25 @@ pub fn explore(config: &ExploreConfig, mut run: impl FnMut(u64) -> SeedOutcome) 
 /// `fail_fast` every seed appears exactly once; with `fail_fast` the report
 /// is truncated at the *smallest* failing seed even if a worker racing ahead
 /// also failed on a later one (the serial sweep would never have reached it).
+///
+/// # Panics
+///
+/// Panics if the seed range overflows (see [`ExploreConfig::end_seed`]) or
+/// the seed count does not fit the address space.
 pub fn explore_sharded<S>(
     config: &ExploreConfig,
     init: impl Fn(usize) -> S + Sync,
     run: impl Fn(&mut S, u64) -> SeedOutcome + Sync,
 ) -> ExploreReport {
-    let tasks = usize::try_from(
-        config
-            .start_seed
-            .saturating_add(config.seeds)
-            .saturating_sub(config.start_seed),
-    )
-    .expect("seed count exceeds the address space");
+    let _ = config.end_seed(); // reject overflowing ranges up front
+    let tasks = usize::try_from(config.seeds).expect("seed count exceeds the address space");
     let start = config.start_seed;
     let slots = par::sweep(
         config.jobs.max(1),
         tasks,
         init,
         |state, index| {
-            let seed = start + index as u64;
+            let seed = start + u64::try_from(index).expect("index bounded by seed count");
             let outcome = run(state, seed);
             debug_assert_eq!(outcome.seed, seed, "scenario must report its own seed");
             outcome
@@ -420,6 +441,59 @@ mod tests {
         });
         assert_eq!(report.checked, 4, "stopped right after seed 3");
         assert_eq!(report.first_failing_seed(), Some(3));
+    }
+
+    #[test]
+    fn seed_range_ending_exactly_at_u64_max_is_accepted() {
+        // The topmost legal range: the exclusive end lands on u64::MAX.
+        let config = ExploreConfig {
+            start_seed: u64::MAX - 2,
+            seeds: 2,
+            ..ExploreConfig::default()
+        };
+        let mut seen = Vec::new();
+        let report = explore(&config, |seed| {
+            seen.push(seed);
+            SeedOutcome::pass(seed)
+        });
+        assert_eq!(seen, vec![u64::MAX - 2, u64::MAX - 1]);
+        assert_eq!(report.checked, 2, "no silent truncation at the top");
+    }
+
+    #[test]
+    #[should_panic(expected = "seed range overflows u64")]
+    fn overflowing_seed_range_is_rejected_not_truncated() {
+        let config = ExploreConfig {
+            start_seed: u64::MAX - 1,
+            seeds: 3,
+            ..ExploreConfig::default()
+        };
+        explore(&config, SeedOutcome::pass);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed range overflows u64")]
+    fn sharded_explorer_rejects_overflowing_ranges_too() {
+        let config = ExploreConfig {
+            start_seed: u64::MAX,
+            seeds: 1,
+            jobs: 2,
+            ..ExploreConfig::default()
+        };
+        explore_sharded(&config, |_| (), |(), seed| SeedOutcome::pass(seed));
+    }
+
+    #[test]
+    fn sharded_explorer_handles_the_topmost_legal_range() {
+        let config = ExploreConfig {
+            start_seed: u64::MAX - 3,
+            seeds: 3,
+            jobs: 2,
+            ..ExploreConfig::default()
+        };
+        let report = explore_sharded(&config, |_| (), |(), seed| SeedOutcome::pass(seed));
+        assert_eq!(report.checked, 3);
+        assert!(report.passed());
     }
 
     #[test]

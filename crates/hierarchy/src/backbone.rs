@@ -5,7 +5,7 @@
 //! between border pairs of the same area, with the intra-area shortest-path
 //! cost — the standard PNNI "complex node" summarization.
 
-use crate::{AreaId, AreaMap};
+use crate::AreaMap;
 use dgmc_topology::{spf, Network, NodeId};
 use std::collections::BTreeMap;
 
@@ -41,8 +41,7 @@ impl Backbone {
             }
         }
         // Logical intra-area links between same-area border pairs.
-        for area_idx in 0..map.area_count() as u16 {
-            let area = AreaId(area_idx);
+        for area in map.area_ids() {
             let sub = map.area_subgraph(net, area);
             let area_borders: Vec<NodeId> = borders
                 .iter()

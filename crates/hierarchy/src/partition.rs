@@ -43,6 +43,10 @@ impl AreaMap {
     pub fn partition(net: &Network, k: usize) -> AreaMap {
         assert!(k > 0, "need at least one area");
         assert!(k <= net.len(), "more areas than switches");
+        assert!(
+            k <= usize::from(u16::MAX) + 1,
+            "area ids are u16: at most 65536 areas"
+        );
         assert!(net.is_connected(), "hierarchy requires a connected network");
         // Seed selection: farthest-point traversal by hops from node 0.
         let mut seeds = vec![NodeId(0)];
@@ -68,7 +72,7 @@ impl AreaMap {
         let mut area_of: Vec<Option<AreaId>> = vec![None; net.len()];
         let mut frontiers: Vec<Vec<NodeId>> = Vec::new();
         for (i, &s) in seeds.iter().enumerate() {
-            area_of[s.index()] = Some(AreaId(i as u16));
+            area_of[s.index()] = Some(AreaId(u16::try_from(i).expect("checked: k <= 65536")));
             frontiers.push(vec![s]);
         }
         let mut sizes = vec![1usize; k];
@@ -85,7 +89,8 @@ impl AreaMap {
                 for &u in &frontiers[a] {
                     for (v, _) in net.neighbors(u) {
                         if area_of[v.index()].is_none() {
-                            area_of[v.index()] = Some(AreaId(a as u16));
+                            area_of[v.index()] =
+                                Some(AreaId(u16::try_from(a).expect("checked: k <= 65536")));
                             sizes[a] += 1;
                             next.push(v);
                         }
@@ -145,6 +150,14 @@ impl AreaMap {
         self.n_areas
     }
 
+    /// All area ids, `0..area_count()`, as typed [`AreaId`]s. The checked
+    /// conversion lives here so callers never cast `area_count()` down to
+    /// `u16` themselves.
+    pub fn area_ids(&self) -> impl Iterator<Item = AreaId> {
+        (0..self.n_areas)
+            .map(|a| AreaId(u16::try_from(a).expect("area ids fit u16 by construction")))
+    }
+
     /// Number of switches the map covers.
     pub fn len(&self) -> usize {
         self.area_of.len()
@@ -161,7 +174,7 @@ impl AreaMap {
             .iter()
             .enumerate()
             .filter(|(_, &a)| a == area)
-            .map(|(i, _)| NodeId(i as u32))
+            .map(|(i, _)| NodeId(u32::try_from(i).expect("switch ids fit u32")))
             .collect()
     }
 
@@ -193,8 +206,7 @@ impl AreaMap {
 
     /// Checks that every area is internally connected on `net`.
     pub fn areas_connected(&self, net: &Network) -> bool {
-        (0..self.n_areas as u16).all(|a| {
-            let area = AreaId(a);
+        self.area_ids().all(|area| {
             let sub = self.area_subgraph(net, area);
             let members = self.switches_in(area);
             let Some(&first) = members.first() else {
@@ -221,6 +233,14 @@ mod tests {
             let size = map.switches_in(AreaId(a)).len();
             assert!((4..=16).contains(&size), "area {a} size {size}");
         }
+    }
+
+    #[test]
+    fn area_ids_cover_every_area_in_order() {
+        let net = generate::grid(6, 6);
+        let map = AreaMap::partition(&net, 4);
+        let ids: Vec<AreaId> = map.area_ids().collect();
+        assert_eq!(ids, vec![AreaId(0), AreaId(1), AreaId(2), AreaId(3)]);
     }
 
     #[test]

@@ -606,8 +606,7 @@ pub fn build_hier_sim(
     // Designated attachment per area: the smallest border id; for a
     // single-area map every switch is its own "attachment" (unused).
     let mut attachments: BTreeMap<AreaId, NodeId> = BTreeMap::new();
-    for a in 0..map.area_count() as u16 {
-        let area = AreaId(a);
+    for area in map.area_ids() {
         let att = borders
             .iter()
             .copied()
@@ -619,11 +618,9 @@ pub fn build_hier_sim(
         attachments.insert(area, att);
     }
     // Per-area subgraphs shared among the area's switches.
-    let area_nets: BTreeMap<AreaId, Rc<Network>> = (0..map.area_count() as u16)
-        .map(|a| {
-            let area = AreaId(a);
-            (area, Rc::new(map.area_subgraph(net, area)))
-        })
+    let area_nets: BTreeMap<AreaId, Rc<Network>> = map
+        .area_ids()
+        .map(|area| (area, Rc::new(map.area_subgraph(net, area))))
         .collect();
     let mut sim = Simulation::new();
     for n in net.nodes() {
@@ -675,8 +672,7 @@ mod tests {
     #[test]
     fn exactly_one_attachment_per_area() {
         let (net, map, sim) = grid_setup(4);
-        for a in 0..map.area_count() as u16 {
-            let area = AreaId(a);
+        for area in map.area_ids() {
             let attachments: Vec<NodeId> = map
                 .switches_in(area)
                 .into_iter()

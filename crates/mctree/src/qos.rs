@@ -49,6 +49,66 @@ impl fmt::Display for AdmissionError {
 
 impl Error for AdmissionError {}
 
+/// An arithmetic inconsistency the reservation ledger refused to absorb.
+///
+/// Both variants used to be silent `saturating_sub` clamps; clamping hides
+/// real accounting bugs (a reservation released twice, a capacity lowered
+/// under live traffic) behind a plausible-looking `0`. The plan now refuses
+/// the operation, leaves the ledger untouched, and records the refusal in
+/// [`CapacityPlan::ledger_log`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LedgerError {
+    /// Lowering a link's capacity below its reserved usage was refused.
+    WouldOvercommit {
+        /// The link, in normalized `(min, max)` form.
+        link: (NodeId, NodeId),
+        /// The capacity the caller tried to set.
+        requested: u64,
+        /// Bandwidth currently reserved on the link.
+        used: u64,
+    },
+    /// Releasing a reservation would drive a link's usage negative.
+    ReleaseUnderflow {
+        /// The connection being released.
+        connection: u32,
+        /// The link, in normalized `(min, max)` form.
+        link: (NodeId, NodeId),
+        /// Bandwidth currently reserved on the link.
+        used: u64,
+        /// The reservation's demand, which exceeds `used`.
+        demand: u64,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::WouldOvercommit {
+                link,
+                requested,
+                used,
+            } => write!(
+                f,
+                "capacity {requested} on link ({}, {}) is below reserved usage {used}",
+                link.0, link.1
+            ),
+            LedgerError::ReleaseUnderflow {
+                connection,
+                link,
+                used,
+                demand,
+            } => write!(
+                f,
+                "releasing connection {connection} would free {demand} on link ({}, {}) with only {used} reserved",
+                link.0, link.1
+            ),
+        }
+    }
+}
+
+impl Error for LedgerError {}
+
 /// Per-link capacities plus the ledger of bandwidth reservations held by
 /// admitted connections.
 ///
@@ -77,6 +137,9 @@ pub struct CapacityPlan {
     reservations: BTreeMap<u32, (u64, Vec<(NodeId, NodeId)>)>,
     /// cached per-edge usage.
     used: BTreeMap<(NodeId, NodeId), u64>,
+    /// Refused operations, in order — the audit trail QoS negotiation
+    /// needs ("negotiation prior to data transmission", paper §1).
+    ledger_log: Vec<LedgerError>,
 }
 
 fn normalize(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -98,20 +161,51 @@ impl CapacityPlan {
             capacity: capacity_map,
             reservations: BTreeMap::new(),
             used: BTreeMap::new(),
+            ledger_log: Vec::new(),
         }
     }
 
     /// Overrides one link's capacity.
-    pub fn set_capacity(&mut self, a: NodeId, b: NodeId, capacity: u64) {
-        self.capacity.insert(normalize(a, b), capacity);
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::WouldOvercommit`] (also recorded in
+    /// [`CapacityPlan::ledger_log`]) if `capacity` is below the link's
+    /// reserved usage; release the holders first. The plan is unchanged.
+    pub fn set_capacity(&mut self, a: NodeId, b: NodeId, capacity: u64) -> Result<(), LedgerError> {
+        let link = normalize(a, b);
+        let used = self.used.get(&link).copied().unwrap_or(0);
+        if capacity < used {
+            let err = LedgerError::WouldOvercommit {
+                link,
+                requested: capacity,
+                used,
+            };
+            self.ledger_log.push(err.clone());
+            return Err(err);
+        }
+        self.capacity.insert(link, capacity);
+        Ok(())
     }
 
     /// Residual capacity of the link `(a, b)` (0 for unknown links).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger records more usage than capacity on the link —
+    /// impossible through this type's API (every mutation is checked), so a
+    /// panic here means memory corruption, not an operational condition.
     pub fn residual(&self, a: NodeId, b: NodeId) -> u64 {
         let key = normalize(a, b);
         let cap = self.capacity.get(&key).copied().unwrap_or(0);
         let used = self.used.get(&key).copied().unwrap_or(0);
-        cap.saturating_sub(used)
+        cap.checked_sub(used)
+            .expect("ledger invariant: reserved usage never exceeds capacity")
+    }
+
+    /// Refused operations ([`LedgerError`]s), oldest first.
+    pub fn ledger_log(&self) -> &[LedgerError] {
+        &self.ledger_log
     }
 
     /// Number of admitted connections.
@@ -156,17 +250,42 @@ impl CapacityPlan {
         Ok(tree)
     }
 
-    /// Releases `connection`'s reservation; returns `true` if it existed.
-    pub fn release(&mut self, connection: u32) -> bool {
-        let Some((demand, edges)) = self.reservations.remove(&connection) else {
-            return false;
+    /// Releases `connection`'s reservation; `Ok(true)` if it existed.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::ReleaseUnderflow`] (also recorded in
+    /// [`CapacityPlan::ledger_log`]) if freeing the reservation would drive
+    /// any link's usage negative — double accounting the old
+    /// `saturating_sub` silently clamped. The plan is unchanged, the
+    /// reservation stays held.
+    pub fn release(&mut self, connection: u32) -> Result<bool, LedgerError> {
+        let Some((demand, edges)) = self.reservations.get(&connection) else {
+            return Ok(false);
         };
-        for e in edges {
-            if let Some(u) = self.used.get_mut(&e) {
-                *u = u.saturating_sub(demand);
+        // Validate every edge before touching any, so a refusal is atomic.
+        for &link in edges {
+            let used = self.used.get(&link).copied().unwrap_or(0);
+            if used.checked_sub(*demand).is_none() {
+                let err = LedgerError::ReleaseUnderflow {
+                    connection,
+                    link,
+                    used,
+                    demand: *demand,
+                };
+                self.ledger_log.push(err.clone());
+                return Err(err);
             }
         }
-        true
+        let (demand, edges) = self
+            .reservations
+            .remove(&connection)
+            .expect("present: checked above");
+        for e in edges {
+            let u = self.used.get_mut(&e).expect("validated above");
+            *u -= demand;
+        }
+        Ok(true)
     }
 }
 
@@ -225,9 +344,9 @@ mod tests {
         assert_eq!(tree.edge_count(), 3);
         assert_eq!(plan.residual(NodeId(0), NodeId(1)), 6);
         assert!(plan.is_admitted(1));
-        assert!(plan.release(1));
+        assert!(plan.release(1).unwrap());
         assert_eq!(plan.residual(NodeId(0), NodeId(1)), 10);
-        assert!(!plan.release(1), "double release is a no-op");
+        assert!(!plan.release(1).unwrap(), "double release is a no-op");
     }
 
     #[test]
@@ -277,7 +396,7 @@ mod tests {
         // Square 0-1-2-3-0; the 0-1 link is thin.
         let net = generate::ring(4);
         let mut plan = CapacityPlan::uniform(&net, 10);
-        plan.set_capacity(NodeId(0), NodeId(1), 2);
+        plan.set_capacity(NodeId(0), NodeId(1), 2).unwrap();
         let tree = plan
             .admit(&net, 1, &members(&[0, 1]), 5)
             .expect("detour exists");
@@ -291,8 +410,55 @@ mod tests {
         let mut plan = CapacityPlan::uniform(&net, 10);
         plan.admit(&net, 1, &members(&[0, 2]), 10).unwrap();
         assert!(plan.admit(&net, 2, &members(&[0, 2]), 1).is_err());
-        plan.release(1);
+        plan.release(1).unwrap();
         assert!(plan.admit(&net, 2, &members(&[0, 2]), 10).is_ok());
+    }
+
+    #[test]
+    fn lowering_capacity_below_usage_is_refused_and_logged() {
+        let net = generate::path(3);
+        let mut plan = CapacityPlan::uniform(&net, 10);
+        plan.admit(&net, 1, &members(&[0, 2]), 6).unwrap();
+        let err = plan.set_capacity(NodeId(0), NodeId(1), 4).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError::WouldOvercommit {
+                link: (NodeId(0), NodeId(1)),
+                requested: 4,
+                used: 6,
+            }
+        );
+        // Refusal is atomic and audited; the old capacity still stands.
+        assert_eq!(plan.residual(NodeId(0), NodeId(1)), 4);
+        assert_eq!(plan.ledger_log(), &[err]);
+        // Raising (or matching usage) is fine.
+        plan.set_capacity(NodeId(0), NodeId(1), 6).unwrap();
+        assert_eq!(plan.residual(NodeId(0), NodeId(1)), 0);
+    }
+
+    #[test]
+    fn release_underflow_is_a_checked_error_not_a_silent_clamp() {
+        let net = generate::path(3);
+        let mut plan = CapacityPlan::uniform(&net, 10);
+        plan.admit(&net, 1, &members(&[0, 2]), 6).unwrap();
+        // Simulate ledger drift (impossible through the public API): the
+        // usage counter lost part of the reservation. The old code's
+        // `saturating_sub` would clamp to 0 and corrupt headroom silently.
+        *plan.used.get_mut(&(NodeId(0), NodeId(1))).unwrap() = 2;
+        let err = plan.release(1).unwrap_err();
+        assert_eq!(
+            err,
+            LedgerError::ReleaseUnderflow {
+                connection: 1,
+                link: (NodeId(0), NodeId(1)),
+                used: 2,
+                demand: 6,
+            }
+        );
+        // Atomic refusal: the reservation is still held, nothing freed.
+        assert!(plan.is_admitted(1));
+        assert_eq!(plan.residual(NodeId(1), NodeId(2)), 4);
+        assert_eq!(plan.ledger_log(), &[err]);
     }
 
     #[test]

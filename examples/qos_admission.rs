@@ -57,7 +57,7 @@ fn main() {
 
     // The first conference hangs up; its bandwidth becomes available again.
     let first = admitted[0];
-    plan.release(first);
+    plan.release(first).expect("ledger holds this reservation");
     println!("conference {first} ended; retrying one more admission...");
     let members: BTreeSet<NodeId> = dgmc::topology::generate::sample_nodes(&mut rng, &net, 4)
         .into_iter()
