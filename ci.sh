@@ -41,6 +41,33 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test (with backtraces, so panics in threaded tests are diagnosable) =="
 RUST_BACKTRACE=1 cargo test --workspace --offline -q
 
+echo "== node e2e (multi-process localhost mesh, ignored tests) =="
+cargo build -q --offline --release -p dgmc-node
+RUST_BACKTRACE=1 DGMC_NODE_BIN="$PWD/target/release/dgmc-node" \
+    cargo test --offline -q --test node_e2e -- --ignored
+
+echo "== localhost mesh smoke (5-node teleconference to convergence) =="
+rm -rf results/mesh-smoke
+DGMC_NODE_BIN="$PWD/target/release/dgmc-node" \
+    cargo run --offline -q --release -p dgmc-node --bin node_e2e -- \
+    scenarios/teleconference_mesh.dgmc --out results/mesh-smoke \
+    --name mesh_smoke --deadline-secs 60 >results/mesh-smoke.json
+grep -q '"invariant_violations":0' results/mesh-smoke.json || {
+    echo "mesh smoke reported invariant violations"
+    exit 1
+}
+cost=$(sed -n 's/.*"mc\.1\.tree_cost":\([0-9]*\).*/\1/p' results/mesh-smoke.json)
+[ "${cost:-0}" -gt 0 ] || {
+    echo "mc.1.tree_cost gauge missing or zero in results/mesh-smoke.json"
+    exit 1
+}
+if command -v pgrep >/dev/null 2>&1; then
+    if pgrep -f 'dgmc-node --id' >/dev/null 2>&1; then
+        echo "orphan dgmc-node processes left running after the mesh smoke"
+        exit 1
+    fi
+fi
+
 echo "== explorer smoke (fixed seeds, fault-injected invariant check) =="
 cargo run --offline -q --release -p dgmc-experiments --bin explore -- --seeds 25 --fail-fast
 

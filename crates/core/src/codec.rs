@@ -14,15 +14,38 @@
 //! McLsa      := source:u32 event:u8 [role:u8] mc:u32 type:u8 epoch:u64
 //!               has_proposal:u8 [Topology] Timestamp
 //! Payload    := 0x01 RouterLsa | 0x02 McLsa
+//! McSync     := mc:u32 type:u8 epoch:u64 R:Timestamp E:Timestamp
+//!               C:Timestamp has_source:u8 [source:u32]
+//!               n_members:u32 (node:u32 role:u8)* has_installed:u8 [Topology]
+//! DbSync     := n_router:u32 RouterLsa* n_sync:u32 McSync*
+//! FloodPacket:= FloodId Payload
+//! DataMsg    := mc:u32 packet_id:u64 origin:u32
+//!               (0x01 has_via:u8 [via:u32] | 0x02 contact:u32)
 //! ```
+//!
+//! Every decoder is total: arbitrary input yields `Ok` or a [`CodecError`],
+//! never a panic, and length fields are checked against the remaining
+//! buffer *before* any allocation so a garbage count cannot drive an
+//! out-of-memory abort (the node-facing robustness contract).
 
-use crate::switch::DgmcPayload;
-use crate::{McEventKind, McId, McLsa, Timestamp};
+use crate::switch::{DataKind, DataMsg, DgmcPayload};
+use crate::{McEventKind, McId, McLsa, McSync, Timestamp};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dgmc_lsr::codec::{decode_router_lsa, encode_router_lsa, CodecError};
+use dgmc_lsr::codec::{
+    decode_flood_id, decode_router_lsa, encode_flood_id, encode_router_lsa, CodecError,
+};
+use dgmc_lsr::lsa::{FloodPacket, RouterLsa};
 use dgmc_mctree::{McTopology, McType, Role};
-use dgmc_topology::NodeId;
-use std::collections::BTreeSet;
+use dgmc_topology::{LinkId, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Upper bound on the dense width of a decoded [`Timestamp`].
+///
+/// The sparse encoding transmits only nonzero entries, but the width field
+/// sizes the decoded vector: without a cap, a 12-byte garbage datagram
+/// claiming `n = u32::MAX` would ask for a 32 GiB allocation. A million
+/// switches is far beyond any deployment this protocol targets.
+pub const MAX_TIMESTAMP_WIDTH: usize = 1 << 20;
 
 fn need(buf: &impl Buf, n: usize) -> Result<(), CodecError> {
     if buf.remaining() < n {
@@ -47,11 +70,18 @@ pub fn encode_timestamp(t: &Timestamp, out: &mut BytesMut) {
 /// # Errors
 ///
 /// [`CodecError::Truncated`] on short input; [`CodecError::BadTag`] when an
-/// index is out of range.
+/// index is out of range; [`CodecError::Oversize`] when the width exceeds
+/// [`MAX_TIMESTAMP_WIDTH`] or the entry count exceeds the width.
 pub fn decode_timestamp(buf: &mut Bytes) -> Result<Timestamp, CodecError> {
     need(buf, 8)?;
     let n = buf.get_u32() as usize;
     let k = buf.get_u32() as usize;
+    if n > MAX_TIMESTAMP_WIDTH || k > n {
+        return Err(CodecError::Oversize);
+    }
+    // Each sparse entry is 12 bytes; checking up front keeps a torn entry
+    // count from looping over an allocation larger than the datagram.
+    need(buf, k * 12)?;
     let mut components = vec![0u64; n];
     for _ in 0..k {
         need(buf, 12)?;
@@ -86,6 +116,8 @@ pub fn encode_topology(t: &McTopology, out: &mut BytesMut) {
 pub fn decode_topology(buf: &mut Bytes) -> Result<McTopology, CodecError> {
     need(buf, 4)?;
     let n_edges = buf.get_u32() as usize;
+    // 8 bytes per edge, checked before the allocation the count sizes.
+    need(buf, n_edges.checked_mul(8).ok_or(CodecError::Oversize)?)?;
     let mut edges = Vec::with_capacity(n_edges);
     for _ in 0..n_edges {
         need(buf, 8)?;
@@ -236,6 +268,204 @@ pub fn mc_lsa_bytes(lsa: &McLsa) -> Bytes {
     let mut out = BytesMut::new();
     encode_mc_lsa(lsa, &mut out);
     out.freeze()
+}
+
+/// Encodes an [`McSync`] database-exchange snapshot.
+pub fn encode_mc_sync(sync: &McSync, out: &mut BytesMut) {
+    out.put_u32(sync.mc.0);
+    out.put_u8(mc_type_tag(sync.mc_type));
+    out.put_u64(sync.epoch);
+    encode_timestamp(&sync.r, out);
+    encode_timestamp(&sync.e, out);
+    encode_timestamp(&sync.c, out);
+    match sync.c_source {
+        Some(source) => {
+            out.put_u8(1);
+            out.put_u32(source.0);
+        }
+        None => out.put_u8(0),
+    }
+    out.put_u32(u32::try_from(sync.members.len()).expect("member count fits u32"));
+    for (&node, &role) in &sync.members {
+        out.put_u32(node.0);
+        out.put_u8(role_tag(role));
+    }
+    match &sync.installed {
+        Some(topology) => {
+            out.put_u8(1);
+            encode_topology(topology, out);
+        }
+        None => out.put_u8(0),
+    }
+}
+
+/// Decodes an [`McSync`].
+///
+/// # Errors
+///
+/// Propagates inner codec errors; [`CodecError::BadTag`] on unknown
+/// type/role/flag bytes.
+pub fn decode_mc_sync(buf: &mut Bytes) -> Result<McSync, CodecError> {
+    need(buf, 13)?;
+    let mc = McId(buf.get_u32());
+    let mc_type = mc_type_from(buf.get_u8())?;
+    let epoch = buf.get_u64();
+    let r = decode_timestamp(buf)?;
+    let e = decode_timestamp(buf)?;
+    let c = decode_timestamp(buf)?;
+    need(buf, 1)?;
+    let c_source = match buf.get_u8() {
+        0 => None,
+        1 => {
+            need(buf, 4)?;
+            Some(NodeId(buf.get_u32()))
+        }
+        t => return Err(CodecError::BadTag(t)),
+    };
+    need(buf, 4)?;
+    let n_members = buf.get_u32() as usize;
+    need(buf, n_members.checked_mul(5).ok_or(CodecError::Oversize)?)?;
+    let mut members = BTreeMap::new();
+    for _ in 0..n_members {
+        let node = NodeId(buf.get_u32());
+        let role = role_from(buf.get_u8())?;
+        members.insert(node, role);
+    }
+    need(buf, 1)?;
+    let installed = match buf.get_u8() {
+        0 => None,
+        1 => Some(decode_topology(buf)?),
+        t => return Err(CodecError::BadTag(t)),
+    };
+    Ok(McSync {
+        mc,
+        mc_type,
+        epoch,
+        r,
+        e,
+        c,
+        c_source,
+        members,
+        installed,
+    })
+}
+
+/// Encodes a database-exchange message: the advertising side's router LSAs
+/// plus its per-MC state snapshots (the payload of
+/// [`crate::switch::SwitchMsg::DbSync`]).
+pub fn encode_db_sync(router_lsas: &[RouterLsa], mc_states: &[McSync], out: &mut BytesMut) {
+    out.put_u32(u32::try_from(router_lsas.len()).expect("router LSA count fits u32"));
+    for lsa in router_lsas {
+        encode_router_lsa(lsa, out);
+    }
+    out.put_u32(u32::try_from(mc_states.len()).expect("sync count fits u32"));
+    for sync in mc_states {
+        encode_mc_sync(sync, out);
+    }
+}
+
+/// Decodes a database-exchange message into `(router_lsas, mc_states)`.
+///
+/// # Errors
+///
+/// Propagates inner codec errors.
+#[allow(clippy::type_complexity)]
+pub fn decode_db_sync(buf: &mut Bytes) -> Result<(Vec<RouterLsa>, Vec<McSync>), CodecError> {
+    need(buf, 4)?;
+    let n_router = buf.get_u32() as usize;
+    // Counts are untrusted: grow the vectors as elements actually decode
+    // instead of pre-reserving from the wire.
+    let mut router_lsas = Vec::new();
+    for _ in 0..n_router {
+        router_lsas.push(decode_router_lsa(buf)?);
+    }
+    need(buf, 4)?;
+    let n_sync = buf.get_u32() as usize;
+    let mut mc_states = Vec::new();
+    for _ in 0..n_sync {
+        mc_states.push(decode_mc_sync(buf)?);
+    }
+    Ok((router_lsas, mc_states))
+}
+
+/// Encodes a flood packet (duplicate-suppression id plus payload).
+pub fn encode_flood_packet(packet: &FloodPacket<DgmcPayload>, out: &mut BytesMut) {
+    encode_flood_id(packet.id, out);
+    encode_payload(&packet.payload, out);
+}
+
+/// Decodes a flood packet.
+///
+/// # Errors
+///
+/// Propagates inner codec errors.
+pub fn decode_flood_packet(buf: &mut Bytes) -> Result<FloodPacket<DgmcPayload>, CodecError> {
+    let id = decode_flood_id(buf)?;
+    let payload = decode_payload(buf)?;
+    Ok(FloodPacket { id, payload })
+}
+
+/// Encodes a data-plane packet.
+pub fn encode_data_msg(data: &DataMsg, out: &mut BytesMut) {
+    out.put_u32(data.mc.0);
+    out.put_u64(data.packet_id);
+    out.put_u32(data.origin.0);
+    match &data.kind {
+        DataKind::TreeFlood { via } => {
+            out.put_u8(0x01);
+            match via {
+                Some(link) => {
+                    out.put_u8(1);
+                    out.put_u32(link.0);
+                }
+                None => out.put_u8(0),
+            }
+        }
+        DataKind::UnicastToContact { contact } => {
+            out.put_u8(0x02);
+            out.put_u32(contact.0);
+        }
+    }
+}
+
+/// Decodes a data-plane packet.
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] on short input; [`CodecError::BadTag`] on
+/// unknown kind/flag bytes.
+pub fn decode_data_msg(buf: &mut Bytes) -> Result<DataMsg, CodecError> {
+    need(buf, 17)?;
+    let mc = McId(buf.get_u32());
+    let packet_id = buf.get_u64();
+    let origin = NodeId(buf.get_u32());
+    let kind = match buf.get_u8() {
+        0x01 => {
+            need(buf, 1)?;
+            let via = match buf.get_u8() {
+                0 => None,
+                1 => {
+                    need(buf, 4)?;
+                    Some(LinkId(buf.get_u32()))
+                }
+                t => return Err(CodecError::BadTag(t)),
+            };
+            DataKind::TreeFlood { via }
+        }
+        0x02 => {
+            need(buf, 4)?;
+            DataKind::UnicastToContact {
+                contact: NodeId(buf.get_u32()),
+            }
+        }
+        t => return Err(CodecError::BadTag(t)),
+    };
+    Ok(DataMsg {
+        mc,
+        packet_id,
+        origin,
+        kind,
+    })
 }
 
 #[cfg(test)]

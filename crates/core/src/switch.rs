@@ -343,6 +343,14 @@ impl DgmcSwitch {
         &self.routes
     }
 
+    /// The switch's current local image of the network (the LSDB
+    /// reconstruction its computations run against). Read-only: exposed so
+    /// external drivers and conformance checks can snapshot derived state
+    /// (e.g. installed-tree costs) without re-deriving the image.
+    pub fn image(&self) -> &Network {
+        &self.image
+    }
+
     /// Simulated instant of the switch's most recent topology install.
     pub fn last_install(&self) -> SimTime {
         self.last_install

@@ -28,6 +28,9 @@ pub enum CodecError {
     Truncated,
     /// A tag or flag byte held an unknown value.
     BadTag(u8),
+    /// A length field claimed more elements than the decoder allows (a
+    /// garbage count must not drive a giant allocation).
+    Oversize,
 }
 
 impl fmt::Display for CodecError {
@@ -35,6 +38,7 @@ impl fmt::Display for CodecError {
         match self {
             CodecError::Truncated => f.write_str("buffer truncated mid-value"),
             CodecError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            CodecError::Oversize => f.write_str("length field exceeds decoder limits"),
         }
     }
 }
@@ -92,6 +96,9 @@ pub fn decode_router_lsa(buf: &mut Bytes) -> Result<RouterLsa, CodecError> {
     let origin = NodeId(buf.get_u32());
     let seq = buf.get_u64();
     let n = buf.get_u16() as usize;
+    // Every advertised link costs 17 bytes: check before allocating so a
+    // torn count can never reserve more memory than the datagram holds.
+    need(buf, n * 17)?;
     let mut links = Vec::with_capacity(n);
     for _ in 0..n {
         need(buf, 17)?;

@@ -1,0 +1,107 @@
+//! `node_e2e` — run a scenario file through a multi-process localhost mesh
+//! and print the merged report (the launcher CLI used by `ci.sh`).
+//!
+//! ```text
+//! node_e2e scenarios/teleconference_mesh.txt --out /tmp/mesh \
+//!          [--bin target/release/dgmc-node] [--tc-ns 300000] \
+//!          [--fault-plan plan.json] [--seed 42] [--deadline-secs 30] \
+//!          [--name node_mesh]
+//! ```
+//!
+//! Exits nonzero when the run fails or any cross-node invariant is
+//! violated; the report JSON goes to stdout either way, so CI can gate on
+//! `"invariant_violations":0` and nonzero `mc.*.tree_cost` gauges.
+
+use dgmc_node::launcher::{run_scenario_mesh, MeshOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("node_e2e: {message}");
+    eprintln!(
+        "usage: node_e2e SCENARIO --out DIR [--bin PATH] [--tc-ns N] \
+         [--fault-plan FILE] [--seed N] [--deadline-secs N] [--name STR]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario_path = None;
+    let mut opts = MeshOptions::new("mesh-out");
+    let mut name = "node_mesh".to_owned();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        let result: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--out" => opts.out_dir = PathBuf::from(value("--out")?),
+                "--bin" => opts.binary = Some(PathBuf::from(value("--bin")?)),
+                "--tc-ns" => {
+                    opts.tc_nanos = value("--tc-ns")?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?;
+                }
+                "--fault-plan" => opts.fault_plan = Some(PathBuf::from(value("--fault-plan")?)),
+                "--seed" => {
+                    opts.seed = value("--seed")?
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| e.to_string())?;
+                }
+                "--deadline-secs" => {
+                    opts.deadline = Duration::from_secs(
+                        value("--deadline-secs")?
+                            .parse()
+                            .map_err(|e: std::num::ParseIntError| e.to_string())?,
+                    );
+                }
+                "--name" => name = value("--name")?,
+                flag if flag.starts_with("--") => return Err(format!("unknown flag {flag:?}")),
+                path => {
+                    if scenario_path.replace(PathBuf::from(path)).is_some() {
+                        return Err("more than one scenario file given".to_owned());
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            return usage(&e);
+        }
+    }
+    let Some(scenario_path) = scenario_path else {
+        return usage("a scenario file is required");
+    };
+    let scenario_text = match std::fs::read_to_string(&scenario_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("node_e2e: cannot read {}: {e}", scenario_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_scenario_mesh(&scenario_text, &opts) {
+        Ok(report) => {
+            println!("{}", report.report_json(&name));
+            if report.violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "node_e2e: {} invariant violation(s): {:?}",
+                    report.violations.len(),
+                    report.violations
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("node_e2e: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! A D-GMC node on real sockets.
+//!
+//! The DES validates the protocol under simulated time; this crate stands
+//! the *same engine* up on real UDP datagrams so the checker guarantees
+//! carry over to deployed code (ROADMAP item 1, DESIGN.md §14). The split
+//! is sans-IO, lightway-style:
+//!
+//! * [`proto`] — [`proto::NodeCore`], a pure protocol core mirroring the
+//!   DES [`dgmc_core::switch::DgmcSwitch`] handler arm for arm. It consumes
+//!   decoded frames and control events and returns [`proto::Output`] values
+//!   (datagrams to send, timers to arm) without ever touching a socket.
+//! * [`frame`] — the outer datagram framing over the `dgmc-core`/`dgmc-lsr`
+//!   wire codecs, plus semantic validation of decoded frames.
+//! * [`clock`] — the monotonic wall clock mapped onto the engine's
+//!   nanosecond tick domain, and the timer wheel for `Tc` computations.
+//! * [`driver`] — the I/O loop: one UDP socket for protocol traffic, one
+//!   line-oriented TCP control socket for scripting (join/leave/status).
+//! * [`fault`] — a seeded `FaultyNet`-equivalent shim on the send path
+//!   (recovered loss as delayed retransmission), replayable from the PR-2
+//!   fault-plan JSON format.
+//! * [`launcher`] — spawns N node processes on loopback from a scenario
+//!   file, drives membership through control sockets, and merges each
+//!   node's decision log and metrics into the DES report schema.
+//! * [`snapshot`] — canonical JSON projections of engine state and
+//!   decision logs, shared by the node's state dump and the DES-vs-socket
+//!   conformance suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod driver;
+pub mod fault;
+pub mod frame;
+pub mod launcher;
+pub mod proto;
+pub mod snapshot;

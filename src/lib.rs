@@ -15,7 +15,9 @@
 //! * [`baselines`] — brute-force LSR multicast, MOSPF and CBT comparators,
 //! * [`experiments`] — the harness regenerating the paper's Figures 6-8,
 //! * [`hierarchy`] — the two-level hierarchical extension (the paper's
-//!   stated ongoing work).
+//!   stated ongoing work),
+//! * [`node`] — the sans-IO real-socket node (`dgmc-node` binary), its UDP
+//!   datagram framing and the multi-process localhost launcher.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@ pub use dgmc_experiments as experiments;
 pub use dgmc_hierarchy as hierarchy;
 pub use dgmc_lsr as lsr;
 pub use dgmc_mctree as mctree;
+pub use dgmc_node as node;
 pub use dgmc_obs as obs;
 pub use dgmc_topology as topology;
 

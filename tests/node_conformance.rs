@@ -1,0 +1,169 @@
+//! DES-vs-socket conformance: one scripted scenario replayed through both
+//! drivers — the discrete-event simulation and a multi-process localhost
+//! mesh of `dgmc-node` processes — must produce identical final engine
+//! state (R/E/C stamps, epochs, members, installed trees, tombstones) and
+//! identical ordered per-switch decision logs modulo timestamps.
+//!
+//! Both runs are *stepped*: each scenario directive is injected alone and
+//! the network drains to quiescence before the next one (the launcher polls
+//! `status` for the socket equivalent of `run_to_quiescence`). Stepping
+//! pins down cross-switch message interleavings so the decision logs are
+//! comparable event for event; within a step the protocol itself is
+//! deterministic per switch.
+
+use dgmc::des::RunOutcome;
+use dgmc::experiments::scenario::{self, Step};
+use dgmc::node::launcher::{run_scenario_mesh, MeshOptions};
+use dgmc::node::snapshot::{engine_snapshot, per_switch_logs};
+use dgmc::prelude::*;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// 4 switches in a ring, two connections, a link flap, a membership flap,
+/// one data packet and a full teardown of connection 2 (tombstones on every
+/// switch). The `@ms` offsets order the steps; both drivers run stepped.
+const SCENARIO: &str = "\
+net ring 4
+join 0 @0ms mc=1
+join 2 @10ms mc=1
+join 1 @20ms mc=2
+join 3 @30ms mc=2
+cut 0 1 @40ms
+repair 0 1 @50ms
+leave 2 @60ms mc=1
+join 2 @70ms mc=1
+send 0 @80ms id=7 mc=1
+leave 1 @90ms mc=2
+leave 3 @100ms mc=2
+";
+
+/// Runs the scenario through the DES one step at a time and returns each
+/// switch's canonical engine snapshot plus the per-switch canonical logs.
+fn des_reference(text: &str) -> (Vec<String>, BTreeMap<u64, Vec<String>>) {
+    let parsed = scenario::parse(text).expect("scenario parses");
+    let mut sim = build_dgmc_sim(
+        &parsed.net,
+        DgmcConfig::computation_dominated(),
+        Rc::new(SphStrategy::new()),
+    );
+    let log = sim.observer().attach_log(65_536);
+    let mut net_state = parsed.net.clone();
+    for step in &parsed.steps {
+        match *step {
+            Step::Join { node, mc, .. } => sim.inject(
+                ActorId(node.0),
+                SimDuration::ZERO,
+                SwitchMsg::HostJoin {
+                    mc,
+                    mc_type: McType::Symmetric,
+                    role: Role::SenderReceiver,
+                },
+            ),
+            Step::Leave { node, mc, .. } => {
+                sim.inject(
+                    ActorId(node.0),
+                    SimDuration::ZERO,
+                    SwitchMsg::HostLeave { mc },
+                );
+            }
+            Step::Link { a, b, up, .. } => {
+                let link = net_state.link_between(a, b).expect("validated link").id;
+                inject_link_event(&mut sim, &net_state, link, up, SimDuration::ZERO);
+                let state = if up {
+                    dgmc::topology::LinkState::Up
+                } else {
+                    dgmc::topology::LinkState::Down
+                };
+                let _ = net_state.set_link_state(link, state);
+            }
+            Step::Node { node, up, .. } => {
+                dgmc::protocol::switch::inject_node_event(
+                    &mut sim,
+                    &net_state,
+                    node,
+                    up,
+                    SimDuration::ZERO,
+                );
+            }
+            Step::Send {
+                node,
+                packet_id,
+                mc,
+                ..
+            } => sim.inject(
+                ActorId(node.0),
+                SimDuration::ZERO,
+                SwitchMsg::SendData { mc, packet_id },
+            ),
+        }
+        assert_eq!(
+            sim.run_to_quiescence(),
+            RunOutcome::Quiescent,
+            "DES step must drain"
+        );
+    }
+    let engines = (0..parsed.net.len())
+        .map(|id| {
+            let switch = sim
+                .actor_as::<DgmcSwitch>(ActorId(u32::try_from(id).expect("small id")))
+                .expect("actor is a DgmcSwitch");
+            engine_snapshot(switch.engine(), switch.image()).to_json()
+        })
+        .collect();
+    let logs = per_switch_logs(&log.borrow().to_jsonl()).expect("DES log lines parse");
+    (engines, logs)
+}
+
+#[test]
+fn socket_mesh_matches_des_state_and_decision_log() {
+    let (des_engines, des_logs) = des_reference(SCENARIO);
+
+    let out_dir = std::env::temp_dir().join(format!("dgmc-conformance-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let mut opts = MeshOptions::new(&out_dir);
+    opts.deadline = std::time::Duration::from_secs(60);
+    let report = run_scenario_mesh(SCENARIO, &opts).expect("mesh run succeeds");
+
+    assert!(
+        report.violations.is_empty(),
+        "cross-node violations: {:?}",
+        report.violations
+    );
+    assert_eq!(report.nodes, des_engines.len());
+
+    // Identical final engine state, switch by switch.
+    for (id, des_engine) in des_engines.iter().enumerate() {
+        let mesh_engine = report.states[id]
+            .get("engine")
+            .unwrap_or_else(|| panic!("node {id} state has no engine snapshot"))
+            .to_json();
+        assert_eq!(
+            &mesh_engine, des_engine,
+            "node {id}: socket engine state diverges from DES"
+        );
+    }
+
+    // The run exercised a real teardown: connection 2 is tombstoned.
+    assert!(
+        des_engines[0].contains("\"tombstones\":{\"2\""),
+        "scenario must tear down mc 2: {}",
+        des_engines[0]
+    );
+
+    // Identical ordered decision logs modulo timestamps, per switch.
+    let mesh_logs = report.canonical_logs().expect("mesh logs parse");
+    assert_eq!(
+        mesh_logs.keys().collect::<Vec<_>>(),
+        des_logs.keys().collect::<Vec<_>>(),
+        "same set of switches made decisions"
+    );
+    for (switch, des_lines) in &des_logs {
+        let mesh_lines = &mesh_logs[switch];
+        assert_eq!(
+            mesh_lines, des_lines,
+            "switch {switch}: socket decision log diverges from DES"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
